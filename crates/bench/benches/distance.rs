@@ -1,0 +1,73 @@
+//! Criterion benchmarks: the O(k²) quadratic-form color distance
+//! (eq. (1)) vs the O(k) distance-bounding filter of \[HSE+95\] — the
+//! per-pair costs behind experiment E7.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmdb_media::bounding::BoundedDistance;
+use fmdb_media::color::{ColorHistogram, ColorSpace};
+use fmdb_media::distance::{HistogramDistance, L2Distance};
+use fmdb_media::synth::{SynthConfig, SyntheticDb};
+
+fn setup(bins_per_channel: usize) -> (ColorSpace, Vec<ColorHistogram>) {
+    let db = SyntheticDb::generate(&SynthConfig {
+        count: 64,
+        bins_per_channel,
+        seed: 3,
+        ..SynthConfig::default()
+    });
+    let hists = db.objects.iter().map(|o| o.histogram.clone()).collect();
+    (db.space, hists)
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("color_distance");
+    for bins_per_channel in [4usize, 5] {
+        let (space, hists) = setup(bins_per_channel);
+        let k = space.k();
+        let bounded = BoundedDistance::for_space(&space).expect("filter derivable");
+        let shorts: Vec<_> = hists
+            .iter()
+            .map(|h| bounded.filter.project(h).expect("same space"))
+            .collect();
+
+        group.bench_function(BenchmarkId::new("quadratic_form", k), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..hists.len() {
+                    let j = (i + 7) % hists.len();
+                    acc += bounded
+                        .full
+                        .distance(black_box(&hists[i]), black_box(&hists[j]))
+                        .expect("same space");
+                }
+                acc
+            })
+        });
+        group.bench_function(BenchmarkId::new("l2", k), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..hists.len() {
+                    let j = (i + 7) % hists.len();
+                    acc += L2Distance
+                        .distance(black_box(&hists[i]), black_box(&hists[j]))
+                        .expect("same space");
+                }
+                acc
+            })
+        });
+        group.bench_function(BenchmarkId::new("short_vector_filter", k), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..shorts.len() {
+                    let j = (i + 7) % shorts.len();
+                    acc += shorts[i].distance(black_box(&shorts[j]));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks: end-to-end top-k evaluation — algorithm A₀
+//! and friends vs the naive scan (wall-clock companion to experiment
+//! E1's access-count tables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmdb_core::scoring::tnorms::Min;
+use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
+use fmdb_middleware::algorithms::naive::Naive;
+use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
+use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
+use fmdb_middleware::algorithms::TopKAlgorithm;
+use fmdb_middleware::source::GradedSource;
+use fmdb_middleware::workload::independent_uniform;
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    group.sample_size(20);
+    let n = 16_384;
+    let k = 10;
+    let pruned = PrunedFa::default();
+    let algos: Vec<(&str, &dyn TopKAlgorithm)> = vec![
+        ("a0", &FaginsAlgorithm),
+        ("pruned_a0", &pruned),
+        ("ta", &ThresholdAlgorithm),
+        ("naive", &Naive),
+    ];
+    for (name, algo) in algos {
+        group.bench_function(BenchmarkId::new(name, n), |b| {
+            b.iter_batched(
+                || independent_uniform(n, 2, 7),
+                |mut sources| {
+                    let mut refs: Vec<&mut dyn GradedSource> = sources
+                        .iter_mut()
+                        .map(|s| s as &mut dyn GradedSource)
+                        .collect();
+                    algo.top_k(&mut refs, &Min, k).expect("valid run")
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks: k-NN under the three access methods of §2.1 —
+//! the wall-clock companion to experiment E8's access-count curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmdb_index::gridfile::GridFile;
+use fmdb_index::quadtree::QuadTree;
+use fmdb_index::rtree::RTree;
+use fmdb_index::scan::LinearScan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn");
+    group.sample_size(20);
+    let n = 8192;
+    let k = 10;
+    for dim in [2usize, 8, 16] {
+        let points = random_points(n, dim, 5);
+        let queries = random_points(32, dim, 6);
+
+        let mut tree = RTree::new(dim).expect("positive dim");
+        let mut scan = LinearScan::new(dim).expect("positive dim");
+        let mut grid = GridFile::new(dim, 16, 1 << 22).expect("positive dim");
+        let mut quad = QuadTree::new(dim, 16, 1 << 22).expect("supported dim");
+        let mut grid_ok = true;
+        let mut quad_ok = true;
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(p, i as u64).expect("valid point");
+            scan.insert(p, i as u64).expect("valid point");
+            if grid_ok {
+                grid_ok = grid.insert(p, i as u64).is_ok();
+            }
+            if quad_ok {
+                quad_ok = quad.insert(p, i as u64).is_ok();
+            }
+        }
+
+        group.bench_function(BenchmarkId::new("rtree", dim), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    let _ = tree.knn(q, k).expect("valid query");
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("scan", dim), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    let _ = scan.knn(q, k).expect("valid query");
+                }
+            })
+        });
+        if grid_ok {
+            group.bench_function(BenchmarkId::new("gridfile", dim), |b| {
+                b.iter(|| {
+                    for q in &queries {
+                        let _ = grid.knn(q, k).expect("valid query");
+                    }
+                })
+            });
+        }
+        if quad_ok {
+            group.bench_function(BenchmarkId::new("quadtree", dim), |b| {
+                b.iter(|| {
+                    for q in &queries {
+                        let _ = quad.knn(q, k).expect("valid query");
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn);
+criterion_main!(benches);

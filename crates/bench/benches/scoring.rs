@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks: scoring-function combine throughput
+//! (the inner loop of every evaluation algorithm).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmdb_core::score::Score;
+use fmdb_core::scoring::means::ArithmeticMean;
+use fmdb_core::scoring::tnorms::{Lukasiewicz, Min, Product, Yager};
+use fmdb_core::scoring::ScoringFunction;
+use fmdb_core::weights::{Weighted, Weighting};
+
+fn tuples(m: usize, count: usize) -> Vec<Vec<Score>> {
+    (0..count)
+        .map(|i| {
+            (0..m)
+                .map(|j| Score::clamped(((i * 31 + j * 17) % 100) as f64 / 100.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring_combine");
+    let data = tuples(4, 1024);
+    let fns: Vec<(&str, Box<dyn ScoringFunction>)> = vec![
+        ("min", Box::new(Min)),
+        ("product", Box::new(Product)),
+        ("lukasiewicz", Box::new(Lukasiewicz)),
+        ("yager2", Box::new(Yager::new(2.0).expect("valid p"))),
+        ("arith-mean", Box::new(ArithmeticMean)),
+        (
+            "weighted-min",
+            Box::new(Weighted::new(
+                Min,
+                Weighting::new(vec![0.4, 0.3, 0.2, 0.1]).expect("valid weighting"),
+            )),
+        ),
+    ];
+    for (name, f) in &fns {
+        group.bench_with_input(BenchmarkId::new("m4", name), f, |b, f| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for t in &data {
+                    acc += f.combine(black_box(t)).value();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring);
+criterion_main!(benches);

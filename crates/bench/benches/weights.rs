@@ -1,0 +1,50 @@
+//! Criterion benchmarks: the Fagin–Wimmers weighted combine (formula
+//! (5)) vs the unweighted rule — the per-tuple overhead of §5's slider
+//! semantics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmdb_core::score::Score;
+use fmdb_core::scoring::tnorms::Min;
+use fmdb_core::scoring::ScoringFunction;
+use fmdb_core::weights::{weighted_combine, Weighting};
+
+fn tuples(m: usize, count: usize) -> Vec<Vec<Score>> {
+    (0..count)
+        .map(|i| {
+            (0..m)
+                .map(|j| Score::clamped(((i * 29 + j * 13) % 100) as f64 / 100.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_weights(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_combine");
+    for m in [2usize, 4, 8] {
+        let data = tuples(m, 1024);
+        let ratios: Vec<f64> = (1..=m).map(|i| i as f64).collect();
+        let theta = Weighting::from_ratios(&ratios).expect("positive ratios");
+        group.bench_function(BenchmarkId::new("fw_formula", m), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for t in &data {
+                    acc += weighted_combine(&Min, &theta, black_box(t)).value();
+                }
+                acc
+            })
+        });
+        group.bench_function(BenchmarkId::new("unweighted_min", m), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for t in &data {
+                    acc += Min.combine(black_box(t)).value();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weights);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Runs the full experiment suite in order.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    for report in fmdb_bench::experiments::run_all(&cfg) {
+        report.print();
+        println!("{}", "=".repeat(72));
+    }
+}

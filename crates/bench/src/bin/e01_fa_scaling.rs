@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e01_fa_scaling`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e01_fa_scaling::run(&cfg).print();
+}

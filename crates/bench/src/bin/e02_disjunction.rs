@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e02_disjunction`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e02_disjunction::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e03_lower_bound`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e03_lower_bound::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e04_scoring_sweep`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e04_scoring_sweep::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e05_access_costs`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e05_access_costs::run(&cfg).print();
+}

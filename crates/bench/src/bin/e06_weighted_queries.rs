@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e06_weighted_queries`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e06_weighted_queries::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e07_distance_bounding`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e07_distance_bounding::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e08_dimensionality`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e08_dimensionality::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e09_precomputed`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e09_precomputed::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e10_crisp_filter`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e10_crisp_filter::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e11_correlation`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e11_correlation::run(&cfg).print();
+}

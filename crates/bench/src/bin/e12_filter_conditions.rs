@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e12_filter_conditions`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e12_filter_conditions::run(&cfg).print();
+}

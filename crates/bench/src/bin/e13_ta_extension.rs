@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e13_ta_extension`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e13_ta_extension::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e14_axiom_table`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e14_axiom_table::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e15_weighting_laws`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e15_weighting_laws::run(&cfg).print();
+}

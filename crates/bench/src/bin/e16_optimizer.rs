@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e16_optimizer`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e16_optimizer::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e17_ablations`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e17_ablations::run(&cfg).print();
+}

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e18_page_costs`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e18_page_costs::run(&cfg).print();
+}

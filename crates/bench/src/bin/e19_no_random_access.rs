@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e19_no_random_access`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e19_no_random_access::run(&cfg).print();
+}

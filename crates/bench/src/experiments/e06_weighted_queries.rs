@@ -1,0 +1,76 @@
+//! E6 — weighted queries (§5): moving a slider from "color and shape
+//! equal" to "color only" rotates the result set, the grades follow the
+//! Fagin–Wimmers formula, and A₀ remains correct and roughly as cheap
+//! as in the unweighted case.
+
+use std::sync::Arc;
+
+use fmdb_core::query::{Query, Target};
+use fmdb_core::scoring::tnorms::Min;
+use fmdb_core::weights::Weighting;
+use fmdb_garlic::demo::cd_store;
+use fmdb_garlic::executor::AlgoChoice;
+
+use crate::report::{int, Report, Table};
+use crate::runners::RunCfg;
+
+/// Runs the experiment.
+pub fn run(cfg: &RunCfg) -> Report {
+    let mut report = Report::new(
+        "E6",
+        "slider sweep: weighting color vs shape",
+        "§5: the weighted rule f_Θ (formula (5)) keeps A0 correct and optimal; \
+         sliders change emphasis continuously",
+    );
+    let n = cfg.pick(400, 120);
+    let garlic = cd_store(n, 9);
+    let color = Query::atomic("Color", Target::Similar("red".into()));
+    let shape = Query::atomic("Shape", Target::Similar("round".into()));
+
+    let mut t = Table::new(
+        format!("top-5 of Color~red ∧ Shape~round over {n} covers, weighted min"),
+        &[
+            "θ_color",
+            "θ_shape",
+            "top-5 ids",
+            "top grade",
+            "A0 cost",
+            "= naive?",
+        ],
+    );
+    for theta_color in [0.50, 0.60, 0.70, 0.80, 0.90, 1.00] {
+        let theta = Weighting::new(vec![theta_color, 1.0 - theta_color]).expect("weights sum to 1");
+        let q = Query::weighted(vec![color.clone(), shape.clone()], Arc::new(Min), theta)
+            .expect("arity matches");
+        let fa = garlic.top_k(&q, 5).expect("query runs");
+        let naive = garlic
+            .top_k_with(&q, 5, AlgoChoice::Naive)
+            .expect("query runs");
+        let same_grades = fa
+            .answers
+            .iter()
+            .zip(&naive.answers)
+            .all(|(a, b)| a.grade.approx_eq(b.grade, 1e-9));
+        let ids: Vec<String> = fa.answers.iter().map(|a| a.id.to_string()).collect();
+        t.row(vec![
+            format!("{theta_color:.2}"),
+            format!("{:.2}", 1.0 - theta_color),
+            ids.join(","),
+            fa.answers[0].grade.to_string(),
+            int(fa.stats.database_access_cost()),
+            if same_grades {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    report.table(t);
+    report.note(
+        "at θ = (0.5, 0.5) the result is the plain min conjunction (desideratum D1); as θ_color \
+         approaches 1 the result converges to the pure color ranking (D2 drops the shape term); \
+         every row's grades match the naive reference, confirming §5's claim that A0 stays \
+         correct under f_Θ.",
+    );
+    report
+}

@@ -1,0 +1,103 @@
+//! E10 — the Beatles strategy (§4.1): "under the reasonable assumption
+//! that there are not many objects that satisfy the first conjunct … a
+//! good way to evaluate this query" filters on the crisp predicate and
+//! random-accesses only the survivors — cost ∝ selectivity.
+
+use fmdb_core::query::{Query, Target};
+use fmdb_garlic::catalog::Catalog;
+use fmdb_garlic::executor::{AlgoChoice, Garlic};
+use fmdb_garlic::object::Value;
+use fmdb_garlic::planner::PlanKind;
+use fmdb_garlic::repository::{QbicRepository, TableRepository};
+use fmdb_media::synth::{SynthConfig, SyntheticDb};
+
+use crate::report::{f3, int, Report, Table};
+use crate::runners::RunCfg;
+
+fn garlic_with_selectivity(n: usize, selectivity: f64, seed: u64) -> Garlic {
+    let db = SyntheticDb::generate(&SynthConfig {
+        count: n,
+        bins_per_channel: 4,
+        seed,
+        ..SynthConfig::default()
+    });
+    let mut table = TableRepository::new("store", n as u64);
+    let matches = ((n as f64 * selectivity).round() as u64).max(1);
+    for i in 0..n as u64 {
+        // Spread the matches evenly so grade ties don't cluster.
+        let artist = if i % (n as u64 / matches).max(1) == 0 {
+            "Beatles"
+        } else {
+            "Various"
+        };
+        table.set(i, "Artist", Value::text(artist));
+    }
+    let mut catalog = Catalog::new();
+    catalog.register(Box::new(table)).expect("fresh catalog");
+    catalog
+        .register(Box::new(QbicRepository::new("qbic", db)))
+        .expect("fresh catalog");
+    Garlic::new(catalog)
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &RunCfg) -> Report {
+    let mut report = Report::new(
+        "E10",
+        "crisp-filter plan vs selectivity",
+        "§4.1 (the Beatles example): evaluate the selective crisp conjunct first, then obtain \
+         fuzzy grades by random access for the survivors only",
+    );
+    let n = cfg.pick(2000, 300);
+    let k = 10usize;
+    let q = Query::and(vec![
+        Query::atomic("Artist", Target::Text("Beatles".into())),
+        Query::atomic("Color", Target::Similar("red".into())),
+    ]);
+    let mut t = Table::new(
+        format!("Artist='Beatles' ∧ Color~red over {n} albums, k = {k}"),
+        &[
+            "selectivity",
+            "|S|",
+            "plan cost",
+            "A0 cost",
+            "naive cost",
+            "plan",
+            "grades = naive?",
+        ],
+    );
+    for &sel in &[0.005f64, 0.01, 0.05, 0.1, 0.25, 0.5] {
+        let garlic = garlic_with_selectivity(n, sel, 21);
+        let auto = garlic.top_k(&q, k).expect("query runs");
+        let fa = garlic
+            .top_k_with(&q, k, AlgoChoice::Fa)
+            .expect("query runs");
+        let naive = garlic
+            .top_k_with(&q, k, AlgoChoice::Naive)
+            .expect("query runs");
+        assert_eq!(auto.plan, PlanKind::CrispFilter);
+        let same = auto
+            .answers
+            .iter()
+            .zip(&naive.answers)
+            .all(|(a, b)| a.grade.approx_eq(b.grade, 1e-9));
+        let s_size = (n as f64 * sel).round() as u64;
+        t.row(vec![
+            f3(sel),
+            int(s_size.max(1)),
+            int(auto.stats.database_access_cost()),
+            int(fa.stats.database_access_cost()),
+            int(naive.stats.database_access_cost()),
+            auto.plan.to_string(),
+            if same { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    report.table(t);
+    report.note(
+        "the crisp-filter cost grows linearly with |S| (≈ 2·|S| accesses) and beats A0 while \
+         the predicate is selective; as selectivity approaches ½ the advantage erodes — \
+         matching the paper's \"reasonable assumption that there are not many objects that \
+         satisfy the first conjunct\".",
+    );
+    report
+}

@@ -1,0 +1,117 @@
+//! E15 — the Fagin–Wimmers desiderata (§5): D1 (equal weights =
+//! unweighted), D2 (zero weight drops the argument), D3′ (local
+//! linearity), and the failure of the naive weighted sum.
+
+use fmdb_core::score::Score;
+use fmdb_core::scoring::means::ArithmeticMean;
+use fmdb_core::scoring::tnorms::{Min, Product};
+use fmdb_core::scoring::ScoringFunction;
+use fmdb_core::weights::{weighted_combine, Weighting};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::{f3, Report, Table};
+use crate::runners::RunCfg;
+
+fn random_scores(rng: &mut StdRng, m: usize) -> Vec<Score> {
+    (0..m).map(|_| Score::clamped(rng.gen())).collect()
+}
+
+fn random_weighting(rng: &mut StdRng, m: usize) -> Weighting {
+    let ratios: Vec<f64> = (0..m).map(|_| rng.gen::<f64>() + 1e-3).collect();
+    Weighting::from_ratios(&ratios).expect("positive ratios")
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &RunCfg) -> Report {
+    let mut report = Report::new(
+        "E15",
+        "numeric verification of the weighting desiderata",
+        "§5/[FW97]: formula (5) is the unique weighting satisfying D1, D2 and D3′ \
+         (local linearity); the naive weighted sum violates D1 for min",
+    );
+    let trials = cfg.pick(20_000, 2_000);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let rules: Vec<(&str, Box<dyn ScoringFunction>)> = vec![
+        ("min", Box::new(Min)),
+        ("product", Box::new(Product)),
+        ("arith-mean", Box::new(ArithmeticMean)),
+    ];
+
+    let mut t = Table::new(
+        format!("max violation over {trials} random trials, arities 2–5"),
+        &["rule", "D1 (equal wts)", "D2 (zero wt)", "D3' (local lin.)"],
+    );
+    for (name, f) in &rules {
+        let mut d1 = 0.0f64;
+        let mut d2 = 0.0f64;
+        let mut d3 = 0.0f64;
+        for _ in 0..trials {
+            let m = rng.gen_range(2..=5usize);
+            let xs = random_scores(&mut rng, m);
+
+            // D1: uniform weighting reduces to the unweighted rule.
+            let uniform = Weighting::uniform(m).expect("m ≥ 2");
+            let lhs = weighted_combine(f.as_ref(), &uniform, &xs).value();
+            d1 = d1.max((lhs - f.combine(&xs).value()).abs());
+
+            // D2: appending a zero-weight argument changes nothing.
+            let theta = random_weighting(&mut rng, m);
+            let mut wide_w = theta.weights().to_vec();
+            wide_w.push(0.0);
+            let wide_theta = Weighting::new(wide_w).expect("still sums to 1");
+            let mut wide_x = xs.clone();
+            wide_x.push(Score::clamped(rng.gen()));
+            let with = weighted_combine(f.as_ref(), &wide_theta, &wide_x).value();
+            let without = weighted_combine(f.as_ref(), &theta, &xs).value();
+            d2 = d2.max((with - without).abs());
+
+            // D3': f_{αΘ+(1−α)Θ'} = α·f_Θ + (1−α)·f_Θ' for *ordered*
+            // weightings (sort both so they agree on importance order).
+            let mut w1 = theta.weights().to_vec();
+            let mut w2 = random_weighting(&mut rng, m).weights().to_vec();
+            w1.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            w2.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            let t1 = Weighting::new(w1).expect("sorted weights still sum to 1");
+            let t2 = Weighting::new(w2).expect("sorted weights still sum to 1");
+            let alpha: f64 = rng.gen();
+            let mix = t1.mix(&t2, alpha).expect("same arity");
+            let lhs = weighted_combine(f.as_ref(), &mix, &xs).value();
+            let rhs = alpha * weighted_combine(f.as_ref(), &t1, &xs).value()
+                + (1.0 - alpha) * weighted_combine(f.as_ref(), &t2, &xs).value();
+            d3 = d3.max((lhs - rhs).abs());
+        }
+        t.row(vec![
+            (*name).to_owned(),
+            format!("{d1:.2e}"),
+            format!("{d2:.2e}"),
+            format!("{d3:.2e}"),
+        ]);
+    }
+    report.table(t);
+
+    // The cautionary example: naive weighted sum of min grades.
+    let mut counter = Table::new(
+        "why not θ₁x₁ + θ₂x₂? the paper's counterexample (f = min, equal weights)",
+        &["x1", "x2", "naive sum", "formula (5)", "true min"],
+    );
+    for (x1, x2) in [(0.9f64, 0.3f64), (1.0, 0.0), (0.6, 0.4)] {
+        let theta = Weighting::uniform(2).expect("valid");
+        let xs = [Score::clamped(x1), Score::clamped(x2)];
+        let fw = weighted_combine(&Min, &theta, &xs).value();
+        counter.row(vec![
+            f3(x1),
+            f3(x2),
+            f3(0.5 * x1 + 0.5 * x2),
+            f3(fw),
+            f3(x1.min(x2)),
+        ]);
+    }
+    report.table(counter);
+    report.note(
+        "all desiderata hold to floating-point precision for every rule; the naive weighted \
+         sum disagrees with min at equal weights (violating D1), which is §5's argument for \
+         needing formula (5) in the first place.",
+    );
+    report
+}

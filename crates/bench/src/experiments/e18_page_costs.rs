@@ -1,0 +1,132 @@
+//! E18 — the paged-I/O cost measure (§6's open problem: "to give a
+//! more realistic cost measure than the definition in \[Fa96\] for the
+//! database access cost. This is especially important in the presence
+//! of query optimizers.").
+//!
+//! Sorted access is sequential (page_size objects per page read);
+//! random access goes through a hash-partitioned structure behind an
+//! LRU buffer pool. Under this measure the naive full scan — which the
+//! flat count condemns outright — becomes genuinely competitive once
+//! pages are large, because its `m·N` accesses collapse into
+//! `m·N/page_size` sequential reads while A₀ keeps paying a random
+//! read per probe.
+
+use fmdb_core::scoring::tnorms::Min;
+use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
+use fmdb_middleware::algorithms::naive::Naive;
+use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
+use fmdb_middleware::algorithms::TopKAlgorithm;
+use fmdb_middleware::paging::{PageConfig, PageIo, PagedSource};
+use fmdb_middleware::source::GradedSource;
+use fmdb_middleware::workload::independent_uniform;
+
+use crate::report::{f3, int, Report, Table};
+use crate::runners::RunCfg;
+
+/// Runs `algo` over paged wrappers and sums the page I/O.
+fn paged_run(
+    algo: &dyn TopKAlgorithm,
+    n: usize,
+    m: usize,
+    k: usize,
+    config: PageConfig,
+    seed: u64,
+) -> PageIo {
+    let sources = independent_uniform(n, m, seed);
+    let mut paged: Vec<PagedSource<_>> = sources
+        .into_iter()
+        .map(|s| PagedSource::new(s, config))
+        .collect();
+    {
+        let mut refs: Vec<&mut dyn GradedSource> = paged
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        algo.top_k(&mut refs, &Min, k).expect("valid run");
+    }
+    let mut total = PageIo::default();
+    for p in &paged {
+        let io = p.io();
+        total.sequential_reads += io.sequential_reads;
+        total.random_reads += io.random_reads;
+        total.buffer_hits += io.buffer_hits;
+    }
+    total
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &RunCfg) -> Report {
+    let mut report = Report::new(
+        "E18",
+        "page-level I/O costs: where the naive scan fights back",
+        "§6: \"give a more realistic cost measure than the definition in [Fa96]\" — under \
+         paged sequential I/O the flat access count misprices the naive scan",
+    );
+    let n = cfg.pick(1 << 15, 1 << 11);
+    // Three conjuncts and a deep k keep the random-access volume high
+    // even for the pruned variant, so the page-size sweep exposes the
+    // full crossover structure.
+    let k = 50usize;
+    let m = 3usize;
+    let seek = 10.0; // random read = 10 sequential reads (spinning disk)
+
+    let mut t = Table::new(
+        format!("total page reads (and seek-charged cost at {seek}x), N = {n}, m = {m}, k = {k}"),
+        &[
+            "page size",
+            "buffer",
+            "A0 reads",
+            "A0 charged",
+            "pruned reads",
+            "pruned charged",
+            "naive reads",
+            "naive charged",
+            "cheapest (charged)",
+        ],
+    );
+    for &page_size in &[1usize, 16, 64, 256] {
+        for &buffer in &[4usize, 64] {
+            let config = PageConfig::new(page_size, buffer);
+            let fa = paged_run(&FaginsAlgorithm, n, m, k, config, 7);
+            let pruned = paged_run(&PrunedFa::default(), n, m, k, config, 7);
+            let naive = paged_run(&Naive, n, m, k, config, 7);
+            let costs = [
+                ("A0", fa.charged(seek)),
+                ("pruned A0", pruned.charged(seek)),
+                ("naive", naive.charged(seek)),
+            ];
+            let cheapest = costs
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+                .expect("non-empty")
+                .0;
+            t.row(vec![
+                page_size.to_string(),
+                buffer.to_string(),
+                int(fa.total_reads()),
+                f3(fa.charged(seek)),
+                int(pruned.total_reads()),
+                f3(pruned.charged(seek)),
+                int(naive.total_reads()),
+                f3(naive.charged(seek)),
+                cheapest.to_owned(),
+            ]);
+        }
+    }
+    report.table(t);
+    report.note(
+        "at page size 1 the read counts reduce to the paper's flat access counts (the \
+         seek surcharge is then exactly experiment E5's pricing); as pages grow, the \
+         naive scan amortizes its m·N accesses into m·N/page_size sequential reads while \
+         the A0 family keeps paying a seek-charged random read per probe — naive takes \
+         over from page size ~64 up, a crossover the flat measure cannot see, and exactly \
+         why §6 calls realistic cost modeling 'especially important in the presence of \
+         query optimizers'.",
+    );
+    report.note(
+        "pruned A0 stretches the A0 regime further by eliminating most random probes; with \
+         a generous buffer the gap narrows again because repeated probes start hitting the \
+         pool.",
+    );
+    report
+}

@@ -1,0 +1,98 @@
+//! E19 — the no-random-access regime (extension; §4.2).
+//!
+//! "Given an object from one input stream, the algorithm needs to be
+//! able to find the matching attributes of the same object in the
+//! second stream … This information may not be easily available."
+//! When it is *not* available at all, A₀ cannot run; NRA answers the
+//! same top-k question from sorted access alone, paying deeper streams
+//! and (sometimes) returning grade intervals instead of exact values.
+
+use fmdb_core::scoring::tnorms::Min;
+use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
+use fmdb_middleware::algorithms::nra::Nra;
+use fmdb_middleware::algorithms::TopKAlgorithm;
+use fmdb_middleware::source::GradedSource;
+use fmdb_middleware::workload::{correlated_pair, independent_uniform};
+
+use crate::report::{f3, int, Report, Table};
+use crate::runners::RunCfg;
+
+/// Runs the experiment.
+pub fn run(cfg: &RunCfg) -> Report {
+    let mut report = Report::new(
+        "E19",
+        "top-k without random access: NRA vs A0",
+        "§4.2: cross-subsystem id lookups \"may not be easily available\" — the regime where \
+         A0 is inapplicable and sorted access must carry the whole query",
+    );
+    let n = cfg.pick(1 << 14, 1 << 10);
+    let mut t = Table::new(
+        format!("sorted/random accesses and exactness, N = {n}, m = 2, min"),
+        &[
+            "workload",
+            "k",
+            "A0 sorted",
+            "A0 random",
+            "NRA sorted",
+            "NRA exact grades",
+            "NRA/A0 total",
+        ],
+    );
+    let workloads: [(&str, f64); 3] = [("independent", 0.0), ("correlated", 0.8), ("anti", -0.8)];
+    for (name, rho) in workloads {
+        for &k in &[5usize, 25] {
+            let mut total_fa_sorted = 0u64;
+            let mut total_fa_random = 0u64;
+            let mut total_nra_sorted = 0u64;
+            let mut exact = 0usize;
+            let mut answers = 0usize;
+            for seed in 0..cfg.seeds {
+                let make = |s: u64| {
+                    if rho == 0.0 {
+                        independent_uniform(n, 2, s)
+                    } else {
+                        correlated_pair(n, rho, s)
+                    }
+                };
+                let mut a = make(seed);
+                let mut refs: Vec<&mut dyn GradedSource> =
+                    a.iter_mut().map(|s| s as &mut dyn GradedSource).collect();
+                let fa = FaginsAlgorithm
+                    .top_k(&mut refs, &Min, k)
+                    .expect("valid run");
+                total_fa_sorted += fa.stats.sorted;
+                total_fa_random += fa.stats.random;
+
+                let mut b = make(seed);
+                let mut refs_b: Vec<&mut dyn GradedSource> =
+                    b.iter_mut().map(|s| s as &mut dyn GradedSource).collect();
+                let nra = Nra.top_k(&mut refs_b, &Min, k).expect("valid run");
+                assert_eq!(nra.stats.random, 0);
+                total_nra_sorted += nra.stats.sorted;
+                exact += nra.answers.iter().filter(|x| x.is_exact()).count();
+                answers += nra.answers.len();
+            }
+            let seeds = cfg.seeds;
+            let fa_total = (total_fa_sorted + total_fa_random) / seeds;
+            t.row(vec![
+                name.to_owned(),
+                k.to_string(),
+                int(total_fa_sorted / seeds),
+                int(total_fa_random / seeds),
+                int(total_nra_sorted / seeds),
+                format!("{:.0}%", 100.0 * exact as f64 / answers.max(1) as f64),
+                f3((total_nra_sorted / seeds) as f64 / fa_total.max(1) as f64),
+            ]);
+        }
+    }
+    report.table(t);
+    report.note(
+        "NRA's sorted streams run only slightly deeper than A0's, and since it never pays \
+         for random probes its *total* cost is about half of A0's on independent data; \
+         only strong positive correlation (where A0 stops almost immediately) reverses \
+         the ranking. Under min the exactness column is 100% by construction: an object \
+         with any unknown conjunct has lower bound 0, so certified top-k members are \
+         always fully resolved — means and other rules can return genuine intervals.",
+    );
+    report
+}

@@ -1,0 +1,50 @@
+//! The experiment suite: one module per paper claim (see DESIGN.md's
+//! experiment index and EXPERIMENTS.md for recorded results).
+
+pub mod e01_fa_scaling;
+pub mod e02_disjunction;
+pub mod e03_lower_bound;
+pub mod e04_scoring_sweep;
+pub mod e05_access_costs;
+pub mod e06_weighted_queries;
+pub mod e07_distance_bounding;
+pub mod e08_dimensionality;
+pub mod e09_precomputed;
+pub mod e10_crisp_filter;
+pub mod e11_correlation;
+pub mod e12_filter_conditions;
+pub mod e13_ta_extension;
+pub mod e14_axiom_table;
+pub mod e15_weighting_laws;
+pub mod e16_optimizer;
+pub mod e17_ablations;
+pub mod e18_page_costs;
+pub mod e19_no_random_access;
+
+use crate::report::Report;
+use crate::runners::RunCfg;
+
+/// Runs every experiment in order (the `e00_run_all` binary).
+pub fn run_all(cfg: &RunCfg) -> Vec<Report> {
+    vec![
+        e01_fa_scaling::run(cfg),
+        e02_disjunction::run(cfg),
+        e03_lower_bound::run(cfg),
+        e04_scoring_sweep::run(cfg),
+        e05_access_costs::run(cfg),
+        e06_weighted_queries::run(cfg),
+        e07_distance_bounding::run(cfg),
+        e08_dimensionality::run(cfg),
+        e09_precomputed::run(cfg),
+        e10_crisp_filter::run(cfg),
+        e11_correlation::run(cfg),
+        e12_filter_conditions::run(cfg),
+        e13_ta_extension::run(cfg),
+        e14_axiom_table::run(cfg),
+        e15_weighting_laws::run(cfg),
+        e16_optimizer::run(cfg),
+        e17_ablations::run(cfg),
+        e18_page_costs::run(cfg),
+        e19_no_random_access::run(cfg),
+    ]
+}

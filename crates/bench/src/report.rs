@@ -1,0 +1,224 @@
+//! Experiment reporting: aligned text tables, JSON dumps, and the
+//! log-log exponent fits used to check the paper's asymptotic claims.
+
+use serde::Serialize;
+
+/// One formatted table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch — experiment code bug.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:>w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A full experiment report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment id ("E1", …).
+    pub id: String,
+    /// Headline description.
+    pub title: String,
+    /// The paper claim being reproduced.
+    pub claim: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Findings / caveats, printed after the tables.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, claim: &str) -> Report {
+        Report {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            claim: claim.to_owned(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a table.
+    pub fn table(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the whole report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# {} — {}\n\nPaper claim: {}\n\n",
+            self.id, self.title, self.claim
+        );
+        for t in &self.tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("* {n}\n"));
+        }
+        out
+    }
+
+    /// Prints to stdout (and a JSON line to stderr when
+    /// `FMDB_JSON=1`, for tooling).
+    pub fn print(&self) {
+        println!("{}", self.render());
+        if std::env::var_os("FMDB_JSON").is_some() {
+            eprintln!(
+                "{}",
+                serde_json::to_string(self).expect("reports are serializable")
+            );
+        }
+    }
+}
+
+/// Fits `y = c·x^e` by least squares on (ln x, ln y); returns the
+/// exponent `e`. Pairs with non-positive coordinates are skipped.
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = logs.len() as f64;
+    if logs.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return f64::NAN;
+    }
+    (n * sxy - sx * sy) / denom
+}
+
+/// Formats a float with 3 significant-ish decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats an integer-valued quantity.
+pub fn int(v: u64) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["n", "cost"]);
+        t.row(vec!["10".into(), "4".into()]);
+        t.row(vec!["10000".into(), "400".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| 10000 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn exponent_fit_recovers_powers() {
+        let sqrt_points: Vec<(f64, f64)> = (1..=20)
+            .map(|i| (i as f64, (i as f64).sqrt() * 3.0))
+            .collect();
+        assert!((fit_exponent(&sqrt_points) - 0.5).abs() < 1e-9);
+        let linear: Vec<(f64, f64)> = (1..=20).map(|i| (i as f64, i as f64 * 7.0)).collect();
+        assert!((fit_exponent(&linear) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponent_fit_edge_cases() {
+        assert!(fit_exponent(&[]).is_nan());
+        assert!(fit_exponent(&[(1.0, 1.0)]).is_nan());
+        assert!(fit_exponent(&[(0.0, 5.0), (-1.0, 2.0)]).is_nan());
+    }
+
+    #[test]
+    fn report_renders_sections() {
+        let mut r = Report::new("E0", "demo", "claim text");
+        r.table(Table::new("t", &["x"]));
+        r.note("a note");
+        let s = r.render();
+        assert!(s.contains("# E0"));
+        assert!(s.contains("claim text"));
+        assert!(s.contains("* a note"));
+    }
+}

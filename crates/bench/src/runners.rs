@@ -1,0 +1,112 @@
+//! Shared helpers for the experiment binaries.
+
+use fmdb_core::scoring::ScoringFunction;
+use fmdb_middleware::algorithms::{TopKAlgorithm, TopKResult};
+use fmdb_middleware::source::{GradedSource, VecSource};
+use fmdb_middleware::stats::AccessStats;
+
+/// Global run configuration for experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCfg {
+    /// Quick mode shrinks every sweep so the full suite runs in
+    /// seconds (used by integration tests and smoke runs).
+    pub quick: bool,
+    /// Number of random seeds to average over.
+    pub seeds: u64,
+}
+
+impl RunCfg {
+    /// Reads configuration from `FMDB_QUICK` / `--quick`.
+    pub fn from_env() -> RunCfg {
+        let quick =
+            std::env::var_os("FMDB_QUICK").is_some() || std::env::args().any(|a| a == "--quick");
+        RunCfg {
+            quick,
+            seeds: if quick { 2 } else { 5 },
+        }
+    }
+
+    /// A quick configuration (for tests).
+    pub fn quick() -> RunCfg {
+        RunCfg {
+            quick: true,
+            seeds: 2,
+        }
+    }
+
+    /// Picks between a full and a quick value.
+    pub fn pick<T: Copy>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Runs `algo` over fresh mutable references to `sources`.
+///
+/// # Panics
+/// Panics if the algorithm rejects the query — experiments only pass
+/// valid (monotone, non-empty) configurations.
+pub fn run_algo(
+    algo: &dyn TopKAlgorithm,
+    sources: &mut [VecSource],
+    scoring: &dyn ScoringFunction,
+    k: usize,
+) -> TopKResult {
+    let mut refs: Vec<&mut dyn GradedSource> = sources
+        .iter_mut()
+        .map(|s| s as &mut dyn GradedSource)
+        .collect();
+    algo.top_k(&mut refs, scoring, k)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
+}
+
+/// Averages the access stats of `algo` across seeds, generating fresh
+/// sources per seed via `make_sources`.
+pub fn mean_cost(
+    algo: &dyn TopKAlgorithm,
+    scoring: &dyn ScoringFunction,
+    k: usize,
+    seeds: u64,
+    mut make_sources: impl FnMut(u64) -> Vec<VecSource>,
+) -> AccessStats {
+    let mut total = AccessStats::ZERO;
+    for seed in 0..seeds {
+        let mut sources = make_sources(seed);
+        total += run_algo(algo, &mut sources, scoring, k).stats;
+    }
+    AccessStats {
+        sorted: total.sorted / seeds,
+        random: total.random / seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmdb_core::scoring::tnorms::Min;
+    use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
+    use fmdb_middleware::workload::independent_uniform;
+
+    #[test]
+    fn mean_cost_averages_over_seeds() {
+        let stats = mean_cost(&FaginsAlgorithm, &Min, 3, 3, |seed| {
+            independent_uniform(200, 2, seed)
+        });
+        assert!(stats.database_access_cost() > 0);
+        assert!(stats.database_access_cost() < 400);
+    }
+
+    #[test]
+    fn cfg_pick() {
+        let q = RunCfg::quick();
+        assert_eq!(q.pick(100, 10), 10);
+        let f = RunCfg {
+            quick: false,
+            seeds: 5,
+        };
+        assert_eq!(f.pick(100, 10), 100);
+    }
+}

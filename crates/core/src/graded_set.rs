@@ -1,0 +1,355 @@
+//! Graded ("fuzzy") sets, after Zadeh \[Za65\] as used in §3 of the paper.
+//!
+//! A graded set is a set of pairs `(x, g)` where `x` is an object and
+//! `g ∈ [0, 1]` is its grade. It generalizes both a plain set (all grades
+//! crisp) and a sorted list (objects ordered by grade) — exactly the
+//! mismatch the paper resolves between relational answers and multimedia
+//! answers.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::score::Score;
+use crate::scoring::{Conorm, TNorm};
+
+/// A graded set: objects with grades, iterable in descending grade order.
+///
+/// Internally kept as a vector of `(object, grade)` pairs plus an index
+/// from object to position, so membership queries are O(1) and ordered
+/// iteration is O(n log n) once (lazily sorted).
+///
+/// ```
+/// use fmdb_core::graded_set::GradedSet;
+/// use fmdb_core::score::Score;
+///
+/// let mut s = GradedSet::new();
+/// s.insert("red-album", Score::clamped(0.9));
+/// s.insert("blue-album", Score::clamped(0.2));
+/// let top: Vec<_> = s.iter_sorted().map(|(o, _)| *o).collect();
+/// assert_eq!(top, vec!["red-album", "blue-album"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradedSet<T> {
+    entries: Vec<(T, Score)>,
+    index: HashMap<T, usize>,
+}
+
+impl<T: Eq + Hash + Clone> Default for GradedSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq + Hash + Clone> GradedSet<T> {
+    /// Creates an empty graded set.
+    pub fn new() -> Self {
+        GradedSet {
+            entries: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty graded set with room for `capacity` objects.
+    pub fn with_capacity(capacity: usize) -> Self {
+        GradedSet {
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of objects with an explicit grade (including grade 0).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no object has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts or updates the grade of `object`, returning the previous
+    /// grade if there was one.
+    pub fn insert(&mut self, object: T, grade: Score) -> Option<Score> {
+        match self.index.get(&object) {
+            Some(&pos) => {
+                let old = self.entries[pos].1;
+                self.entries[pos].1 = grade;
+                Some(old)
+            }
+            None => {
+                self.index.insert(object.clone(), self.entries.len());
+                self.entries.push((object, grade));
+                None
+            }
+        }
+    }
+
+    /// The grade of `object`, or `None` if it was never inserted.
+    ///
+    /// Note that in fuzzy-set semantics an absent object has grade 0;
+    /// use [`GradedSet::grade_or_zero`] for that reading.
+    pub fn grade(&self, object: &T) -> Option<Score> {
+        self.index.get(object).map(|&pos| self.entries[pos].1)
+    }
+
+    /// The grade of `object`, treating absence as grade 0 (fuzzy-set
+    /// membership semantics).
+    pub fn grade_or_zero(&self, object: &T) -> Score {
+        self.grade(object).unwrap_or(Score::ZERO)
+    }
+
+    /// True if `object` has an explicit grade.
+    pub fn contains(&self, object: &T) -> bool {
+        self.index.contains_key(object)
+    }
+
+    /// Iterates over `(object, grade)` in descending grade order.
+    ///
+    /// Ties are broken by insertion order, which keeps results stable
+    /// across runs (the paper allows arbitrary tie-breaking).
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (&T, Score)> {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| self.entries[b].1.cmp(&self.entries[a].1).then(a.cmp(&b)));
+        order.into_iter().map(move |i| {
+            let (ref obj, grade) = self.entries[i];
+            (obj, grade)
+        })
+    }
+
+    /// Iterates over `(object, grade)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, Score)> {
+        self.entries.iter().map(|(o, g)| (o, *g))
+    }
+
+    /// The `k` objects with the highest grades, in descending grade order.
+    ///
+    /// This is the "top k answers" the paper's queries ask for. If there
+    /// are ties at the boundary they are broken arbitrarily but
+    /// deterministically (insertion order).
+    pub fn top_k(&self, k: usize) -> Vec<(T, Score)> {
+        self.iter_sorted()
+            .take(k)
+            .map(|(o, g)| (o.clone(), g))
+            .collect()
+    }
+
+    /// The single best object, if any.
+    pub fn best(&self) -> Option<(T, Score)> {
+        self.top_k(1).into_iter().next()
+    }
+
+    /// Fuzzy intersection under a triangular norm `t`:
+    /// `μ_{A∧B}(x) = t(μ_A(x), μ_B(x))`.
+    ///
+    /// Objects appearing in neither set are absent; objects appearing in
+    /// only one set are combined with grade 0 for the other (fuzzy-set
+    /// semantics), so under a t-norm they get grade
+    /// `t(g, 0) ≤ t(1, 0) = 0` and are dropped.
+    pub fn intersect<N: TNorm>(&self, other: &GradedSet<T>, norm: &N) -> GradedSet<T> {
+        let mut out = GradedSet::with_capacity(self.len().min(other.len()));
+        for (obj, g) in self.iter() {
+            let h = other.grade_or_zero(obj);
+            let combined = norm.t(g, h);
+            if combined > Score::ZERO {
+                out.insert(obj.clone(), combined);
+            }
+        }
+        out
+    }
+
+    /// Fuzzy union under a triangular co-norm `s`:
+    /// `μ_{A∨B}(x) = s(μ_A(x), μ_B(x))`.
+    pub fn union<S: Conorm>(&self, other: &GradedSet<T>, conorm: &S) -> GradedSet<T> {
+        let mut out = GradedSet::with_capacity(self.len() + other.len());
+        for (obj, g) in self.iter() {
+            let h = other.grade_or_zero(obj);
+            out.insert(obj.clone(), conorm.s(g, h));
+        }
+        for (obj, h) in other.iter() {
+            if !self.contains(obj) {
+                out.insert(obj.clone(), conorm.s(Score::ZERO, h));
+            }
+        }
+        out
+    }
+
+    /// Fuzzy complement under the standard negation `1 − x`, over the
+    /// explicit support of this set.
+    ///
+    /// Note: a true fuzzy complement is defined over the whole universe;
+    /// since a `GradedSet` only knows its support, objects never inserted
+    /// (implicit grade 0, complement grade 1) cannot be enumerated. Use a
+    /// universe-aware layer (the middleware) for full negation semantics.
+    pub fn complement(&self) -> GradedSet<T> {
+        let mut out = GradedSet::with_capacity(self.len());
+        for (obj, g) in self.iter() {
+            out.insert(obj.clone(), g.negate());
+        }
+        out
+    }
+
+    /// The fuzzy (sigma-count) cardinality: the sum of all grades —
+    /// Zadeh's standard cardinality for graded sets.
+    pub fn sigma_count(&self) -> f64 {
+        self.entries.iter().map(|(_, g)| g.value()).sum()
+    }
+
+    /// The crisp support: objects with strictly positive grade.
+    pub fn support(&self) -> Vec<T> {
+        self.iter()
+            .filter(|&(_, g)| g > Score::ZERO)
+            .map(|(o, _)| o.clone())
+            .collect()
+    }
+
+    /// The crisp `α`-cut: all objects with grade ≥ `alpha`.
+    pub fn alpha_cut(&self, alpha: Score) -> Vec<T> {
+        self.iter()
+            .filter(|&(_, g)| g >= alpha)
+            .map(|(o, _)| o.clone())
+            .collect()
+    }
+
+    /// Converts into the underlying `(object, grade)` pairs, sorted by
+    /// descending grade.
+    pub fn into_sorted_vec(self) -> Vec<(T, Score)> {
+        let mut v = self.entries;
+        // Stable sort keeps insertion order for equal grades.
+        v.sort_by_key(|&(_, grade)| std::cmp::Reverse(grade));
+        v
+    }
+}
+
+impl<T: Eq + Hash + Clone> FromIterator<(T, Score)> for GradedSet<T> {
+    fn from_iter<I: IntoIterator<Item = (T, Score)>>(iter: I) -> Self {
+        let mut s = GradedSet::new();
+        for (obj, grade) in iter {
+            s.insert(obj, grade);
+        }
+        s
+    }
+}
+
+impl<T: Eq + Hash + Clone> PartialEq for GradedSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().all(|(o, g)| other.grade(o) == Some(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::conorms::Max;
+    use crate::scoring::tnorms::Min;
+
+    fn set(pairs: &[(&'static str, f64)]) -> GradedSet<&'static str> {
+        pairs.iter().map(|&(o, g)| (o, Score::clamped(g))).collect()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut s = GradedSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.insert("a", Score::HALF), None);
+        assert_eq!(s.insert("a", Score::ONE), Some(Score::HALF));
+        assert_eq!(s.grade(&"a"), Some(Score::ONE));
+        assert_eq!(s.grade(&"b"), None);
+        assert_eq!(s.grade_or_zero(&"b"), Score::ZERO);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sorted_iteration_descending_with_stable_ties() {
+        let s = set(&[("a", 0.5), ("b", 0.9), ("c", 0.5), ("d", 0.1)]);
+        let order: Vec<_> = s.iter_sorted().map(|(o, _)| *o).collect();
+        assert_eq!(order, vec!["b", "a", "c", "d"]);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let s = set(&[("a", 0.5), ("b", 0.9), ("c", 0.7)]);
+        let top = s.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "b");
+        assert_eq!(top[1].0, "c");
+        assert_eq!(s.best().unwrap().0, "b");
+    }
+
+    #[test]
+    fn top_k_larger_than_len_returns_all() {
+        let s = set(&[("a", 0.5)]);
+        assert_eq!(s.top_k(10).len(), 1);
+    }
+
+    #[test]
+    fn intersection_under_min_matches_zadeh_rule() {
+        let a = set(&[("x", 0.8), ("y", 0.3)]);
+        let b = set(&[("x", 0.5), ("z", 0.9)]);
+        let i = a.intersect(&b, &Min);
+        assert_eq!(i.grade(&"x"), Some(Score::clamped(0.5)));
+        // y has grade 0 in b => min is 0 => dropped from the support.
+        assert_eq!(i.grade(&"y"), None);
+        assert_eq!(i.grade(&"z"), None);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn union_under_max_matches_zadeh_rule() {
+        let a = set(&[("x", 0.8), ("y", 0.3)]);
+        let b = set(&[("x", 0.5), ("z", 0.9)]);
+        let u = a.union(&b, &Max);
+        assert_eq!(u.grade(&"x"), Some(Score::clamped(0.8)));
+        assert_eq!(u.grade(&"y"), Some(Score::clamped(0.3)));
+        assert_eq!(u.grade(&"z"), Some(Score::clamped(0.9)));
+    }
+
+    #[test]
+    fn complement_negates_support() {
+        let a = set(&[("x", 0.8)]);
+        let c = a.complement();
+        assert!(c.grade(&"x").unwrap().approx_eq(Score::clamped(0.2), 1e-12));
+    }
+
+    #[test]
+    fn sigma_count_and_support() {
+        let a = set(&[("x", 0.5), ("y", 0.25), ("z", 0.0)]);
+        assert!((a.sigma_count() - 0.75).abs() < 1e-12);
+        let mut sup = a.support();
+        sup.sort();
+        assert_eq!(sup, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn alpha_cut_filters() {
+        let a = set(&[("x", 0.8), ("y", 0.3), ("z", 0.5)]);
+        let mut cut = a.alpha_cut(Score::HALF);
+        cut.sort();
+        assert_eq!(cut, vec!["x", "z"]);
+    }
+
+    #[test]
+    fn crisp_sets_behave_like_sets() {
+        // When all grades are 0/1, intersection under min is set
+        // intersection — the "conservative extension" property from §3.
+        let a = set(&[("x", 1.0), ("y", 1.0)]);
+        let b = set(&[("y", 1.0), ("z", 1.0)]);
+        let i = a.intersect(&b, &Min);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.grade(&"y"), Some(Score::ONE));
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let a = set(&[("x", 0.4), ("y", 0.6)]);
+        let b = set(&[("y", 0.6), ("x", 0.4)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_sorted_vec_is_descending() {
+        let a = set(&[("x", 0.4), ("y", 0.6), ("z", 0.5)]);
+        let v = a.into_sorted_vec();
+        let names: Vec<_> = v.iter().map(|(o, _)| *o).collect();
+        assert_eq!(names, vec!["y", "z", "x"]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Averaging scoring functions.
+//!
+//! Thole, Zimmermann, and Zysno \[TZZ79\] found "various weighted and
+//! unweighted arithmetic and geometric means to perform empirically
+//! quite well" as conjunction evaluators, even though they are **not**
+//! t-norms: the arithmetic mean does not conserve propositional
+//! semantics (mean(0, 1) = ½, not 0). The paper's point (§3) is that
+//! they still satisfy **strictness** and **monotonicity**, so the
+//! upper/lower bounds of \[Fa96\] — and hence algorithm A₀ — apply
+//! unchanged. Tests here pin down both facts.
+
+use crate::score::Score;
+use crate::scoring::ScoringFunction;
+
+/// The arithmetic mean `(x₁ + … + x_m) / m`; value 1 on the empty tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArithmeticMean;
+
+impl ScoringFunction for ArithmeticMean {
+    fn name(&self) -> String {
+        "arith-mean".to_owned()
+    }
+
+    #[inline]
+    fn combine(&self, scores: &[Score]) -> Score {
+        if scores.is_empty() {
+            return Score::ONE;
+        }
+        let sum: f64 = scores.iter().map(|s| s.value()).sum();
+        Score::clamped(sum / scores.len() as f64)
+    }
+
+    fn is_strict(&self) -> bool {
+        // mean = 1 forces every term to be 1 (terms are ≤ 1).
+        true
+    }
+}
+
+/// The geometric mean `(x₁·…·x_m)^(1/m)`; value 1 on the empty tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GeometricMean;
+
+impl ScoringFunction for GeometricMean {
+    fn name(&self) -> String {
+        "geo-mean".to_owned()
+    }
+
+    #[inline]
+    fn combine(&self, scores: &[Score]) -> Score {
+        if scores.is_empty() {
+            return Score::ONE;
+        }
+        let product: f64 = scores.iter().map(|s| s.value()).product();
+        Score::clamped(product.powf(1.0 / scores.len() as f64))
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+}
+
+/// The harmonic mean `m / (1/x₁ + … + 1/x_m)`, with value 0 if any
+/// argument is 0 (the natural continuous extension); value 1 on the
+/// empty tuple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HarmonicMean;
+
+impl ScoringFunction for HarmonicMean {
+    fn name(&self) -> String {
+        "harm-mean".to_owned()
+    }
+
+    #[inline]
+    fn combine(&self, scores: &[Score]) -> Score {
+        if scores.is_empty() {
+            return Score::ONE;
+        }
+        if scores.contains(&Score::ZERO) {
+            return Score::ZERO;
+        }
+        let sum_inv: f64 = scores.iter().map(|s| 1.0 / s.value()).sum();
+        Score::clamped(scores.len() as f64 / sum_inv)
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+}
+
+/// A fixed-weight arithmetic mean `Σ wᵢ·xᵢ` with `Σ wᵢ = 1`, `wᵢ ≥ 0`.
+///
+/// This is the "easy case" of §5: when the underlying rule is the
+/// average, weighting is just the weighted average. Its arity is fixed
+/// by the weight vector. Contrast with
+/// [`crate::weights::Weighted`], which weights an *arbitrary* rule via
+/// the Fagin–Wimmers formula.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedArithmeticMean {
+    weights: Vec<f64>,
+}
+
+/// Error constructing a [`WeightedArithmeticMean`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightError {
+    /// A weight was negative or NaN.
+    InvalidWeight(f64),
+    /// Weights do not sum to 1 (within 1e-9); the payload is the sum.
+    NotNormalized(f64),
+    /// The weight vector was empty.
+    Empty,
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::InvalidWeight(w) => write!(f, "invalid weight {w}"),
+            WeightError::NotNormalized(s) => write!(f, "weights sum to {s}, expected 1"),
+            WeightError::Empty => write!(f, "weight vector is empty"),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {}
+
+impl WeightedArithmeticMean {
+    /// Creates a weighted mean from nonnegative weights summing to 1.
+    pub fn new(weights: Vec<f64>) -> Result<Self, WeightError> {
+        if weights.is_empty() {
+            return Err(WeightError::Empty);
+        }
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightError::InvalidWeight(w));
+            }
+        }
+        let sum: f64 = weights.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(WeightError::NotNormalized(sum));
+        }
+        Ok(WeightedArithmeticMean { weights })
+    }
+
+    /// The arity this function accepts.
+    pub fn arity(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl ScoringFunction for WeightedArithmeticMean {
+    fn name(&self) -> String {
+        format!("weighted-mean({:?})", self.weights)
+    }
+
+    /// Combines the grades.
+    ///
+    /// # Panics
+    /// Panics if `scores.len() != self.arity()` — a fixed-weight mean is
+    /// only defined at its own arity.
+    fn combine(&self, scores: &[Score]) -> Score {
+        assert_eq!(
+            scores.len(),
+            self.weights.len(),
+            "weighted mean of arity {} applied to {} scores",
+            self.weights.len(),
+            scores.len()
+        );
+        let sum: f64 = scores
+            .iter()
+            .zip(&self.weights)
+            .map(|(s, w)| s.value() * w)
+            .sum();
+        Score::clamped(sum)
+    }
+
+    fn is_strict(&self) -> bool {
+        // Strict iff every weight is positive: a zero-weight argument
+        // could be < 1 while the result is still 1.
+        self.weights.iter().all(|&w| w > 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: f64) -> Score {
+        Score::clamped(v)
+    }
+
+    #[test]
+    fn arithmetic_mean_basics() {
+        assert_eq!(ArithmeticMean.combine(&[]), Score::ONE);
+        assert!(ArithmeticMean
+            .combine(&[s(0.2), s(0.4)])
+            .approx_eq(s(0.3), 1e-12));
+    }
+
+    #[test]
+    fn arithmetic_mean_is_not_conservative() {
+        // The paper's example: with arguments 0 and 1 it gives ½, not 0,
+        // so it is not a t-norm.
+        assert_eq!(
+            ArithmeticMean.combine(&[Score::ZERO, Score::ONE]),
+            Score::HALF
+        );
+    }
+
+    #[test]
+    fn means_are_strict_on_sample_grid() {
+        let fns: Vec<Box<dyn ScoringFunction>> = vec![
+            Box::new(ArithmeticMean),
+            Box::new(GeometricMean),
+            Box::new(HarmonicMean),
+        ];
+        for f in &fns {
+            assert!(f.is_strict());
+            assert_eq!(f.combine(&[Score::ONE, Score::ONE, Score::ONE]), Score::ONE);
+            assert!(
+                f.combine(&[Score::ONE, s(0.999)]) < Score::ONE,
+                "{}",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn means_are_monotone_on_sample_grid() {
+        let grid = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let fns: Vec<Box<dyn ScoringFunction>> = vec![
+            Box::new(ArithmeticMean),
+            Box::new(GeometricMean),
+            Box::new(HarmonicMean),
+        ];
+        for f in &fns {
+            for &a in &grid {
+                for &b in &grid {
+                    for &a2 in &grid {
+                        if a2 >= a {
+                            assert!(
+                                f.combine(&[s(a2), s(b)]) >= f.combine(&[s(a), s(b)]),
+                                "{} not monotone",
+                                f.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mean_inequality_chain() {
+        // harmonic ≤ geometric ≤ arithmetic on positive grades.
+        for (a, b) in [(0.2, 0.8), (0.5, 0.5), (0.1, 0.9), (0.33, 0.77)] {
+            let h = HarmonicMean.combine(&[s(a), s(b)]);
+            let g = GeometricMean.combine(&[s(a), s(b)]);
+            let m = ArithmeticMean.combine(&[s(a), s(b)]);
+            assert!(h <= g || h.approx_eq(g, 1e-12));
+            assert!(g <= m || g.approx_eq(m, 1e-12));
+        }
+    }
+
+    #[test]
+    fn harmonic_mean_zero_argument() {
+        assert_eq!(
+            HarmonicMean.combine(&[Score::ZERO, Score::ONE]),
+            Score::ZERO
+        );
+    }
+
+    #[test]
+    fn weighted_mean_construction_errors() {
+        assert_eq!(WeightedArithmeticMean::new(vec![]), Err(WeightError::Empty));
+        assert!(matches!(
+            WeightedArithmeticMean::new(vec![-0.5, 1.5]),
+            Err(WeightError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            WeightedArithmeticMean::new(vec![0.3, 0.3]),
+            Err(WeightError::NotNormalized(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_mean_combines() {
+        let f = WeightedArithmeticMean::new(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap();
+        // The paper's slider example: color weighted twice shape.
+        let v = f.combine(&[s(0.9), s(0.3)]);
+        assert!(v.approx_eq(s(0.7), 1e-12));
+        assert!(f.is_strict());
+        assert_eq!(f.arity(), 2);
+    }
+
+    #[test]
+    fn weighted_mean_zero_weight_is_not_strict() {
+        let f = WeightedArithmeticMean::new(vec![1.0, 0.0]).unwrap();
+        assert!(!f.is_strict());
+        assert_eq!(f.combine(&[Score::ONE, Score::ZERO]), Score::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn weighted_mean_wrong_arity_panics() {
+        let f = WeightedArithmeticMean::new(vec![0.5, 0.5]).unwrap();
+        let _ = f.combine(&[Score::ONE]);
+    }
+}

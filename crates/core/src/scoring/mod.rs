@@ -1,0 +1,251 @@
+//! Scoring functions for Boolean combinations of atomic queries (§3).
+//!
+//! An *m-ary scoring function* maps `[0,1]^m → [0,1]`: it combines the
+//! grades an object got under `m` subqueries into one overall grade.
+//! The paper's algorithmic results (Theorems 4.1/4.2) need exactly two
+//! properties of a scoring function:
+//!
+//! * **monotonicity** — raising any argument never lowers the result
+//!   (needed for the upper bound / correctness of algorithm A₀), and
+//! * **strictness** — the result is 1 iff *every* argument is 1
+//!   (needed for the matching lower bound).
+//!
+//! Triangular norms ([`tnorms`]) iterate into strict, monotone m-ary
+//! functions; triangular co-norms ([`conorms`]) are monotone but not
+//! strict; means ([`means`]) are strict and monotone but not t-norms
+//! (the arithmetic mean is not even conservative: `mean(0,1) = ½ ≠ 0`).
+
+pub mod conorms;
+pub mod means;
+pub mod negation;
+pub mod properties;
+pub mod tnorms;
+
+use crate::score::Score;
+
+/// An m-ary scoring function: combines per-subquery grades into an
+/// overall grade.
+///
+/// Implementations must be **monotone** unless [`is_monotone`] returns
+/// `false` — the middleware algorithms check this flag and refuse to run
+/// A₀ on non-monotone functions (mirroring Garlic's need to "somehow
+/// guarantee monotonicity" for user-defined scoring functions, §4.2).
+///
+/// The value on the *empty* tuple is the function's neutral element
+/// (1 for conjunctive functions, 0 for disjunctive ones); all shipped
+/// implementations document theirs.
+///
+/// [`is_monotone`]: ScoringFunction::is_monotone
+pub trait ScoringFunction {
+    /// A short human-readable name ("min", "product", "yager(2)", …).
+    fn name(&self) -> String;
+
+    /// Combines the grades. `scores.len()` is the arity `m`.
+    fn combine(&self, scores: &[Score]) -> Score;
+
+    /// Whether the function is strict: `combine(x₁..x_m) = 1` iff every
+    /// `xᵢ = 1`.
+    fn is_strict(&self) -> bool;
+
+    /// Whether the function is monotone in every argument.
+    fn is_monotone(&self) -> bool {
+        true
+    }
+}
+
+impl ScoringFunction for Box<dyn ScoringFunction + Send + Sync> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn combine(&self, scores: &[Score]) -> Score {
+        (**self).combine(scores)
+    }
+    fn is_strict(&self) -> bool {
+        (**self).is_strict()
+    }
+    fn is_monotone(&self) -> bool {
+        (**self).is_monotone()
+    }
+}
+
+impl ScoringFunction for std::sync::Arc<dyn ScoringFunction + Send + Sync> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn combine(&self, scores: &[Score]) -> Score {
+        (**self).combine(scores)
+    }
+    fn is_strict(&self) -> bool {
+        (**self).is_strict()
+    }
+    fn is_monotone(&self) -> bool {
+        (**self).is_monotone()
+    }
+}
+
+/// A triangular norm [SS63, DP80]: a 2-ary scoring function `t`
+/// satisfying ∧-conservation (`t(0,0) = 0`, `t(x,1) = t(1,x) = x`),
+/// monotonicity, commutativity, and associativity.
+///
+/// Associativity means an m-ary conjunction can be evaluated by
+/// iterating the 2-ary function; the blanket [`ScoringFunction`] impl
+/// does exactly that (with neutral element 1 for the empty tuple).
+pub trait TNorm {
+    /// The 2-ary norm.
+    fn t(&self, a: Score, b: Score) -> Score;
+
+    /// A short human-readable name.
+    fn norm_name(&self) -> String;
+}
+
+impl<N: TNorm> ScoringFunction for N {
+    fn name(&self) -> String {
+        self.norm_name()
+    }
+
+    #[inline]
+    fn combine(&self, scores: &[Score]) -> Score {
+        scores.iter().fold(Score::ONE, |acc, &s| self.t(acc, s))
+    }
+
+    fn is_strict(&self) -> bool {
+        // Every iterated t-norm is strict (§3): t(x, 1) = x forces the
+        // value 1 to be attainable only when all arguments are 1.
+        true
+    }
+}
+
+/// A triangular co-norm \[DP85\]: monotone, commutative, associative, with
+/// ∨-conservation (`s(1,1) = 1`, `s(x,0) = s(0,x) = x`).
+///
+/// Co-norms evaluate disjunctions. They are monotone but **not** strict
+/// (`s(1, 0) = 1` with an argument below 1), which is why the paper's
+/// lower bound does not apply to them — and indeed max admits an
+/// `m·k`-cost algorithm (§4.1).
+pub trait Conorm {
+    /// The 2-ary co-norm.
+    fn s(&self, a: Score, b: Score) -> Score;
+
+    /// A short human-readable name.
+    fn conorm_name(&self) -> String;
+}
+
+/// Adapter exposing a [`Conorm`] as an m-ary [`ScoringFunction`]
+/// (iterated, neutral element 0 on the empty tuple).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConormScoring<S>(pub S);
+
+impl<S: Conorm> ScoringFunction for ConormScoring<S> {
+    fn name(&self) -> String {
+        self.0.conorm_name()
+    }
+
+    #[inline]
+    fn combine(&self, scores: &[Score]) -> Score {
+        scores.iter().fold(Score::ZERO, |acc, &s| self.0.s(acc, s))
+    }
+
+    fn is_strict(&self) -> bool {
+        false
+    }
+}
+
+/// The dual co-norm of a t-norm: `s(x, y) = 1 − t(1−x, 1−y)` \[Al85\].
+///
+/// ```
+/// use fmdb_core::scoring::{Dual, TNorm, Conorm};
+/// use fmdb_core::scoring::tnorms::Min;
+/// use fmdb_core::score::Score;
+///
+/// let max = Dual(Min);
+/// let a = Score::clamped(0.3);
+/// let b = Score::clamped(0.8);
+/// assert_eq!(max.s(a, b), b); // dual of min is max
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dual<N>(pub N);
+
+impl<N: TNorm> Conorm for Dual<N> {
+    #[inline]
+    fn s(&self, a: Score, b: Score) -> Score {
+        self.0.t(a.negate(), b.negate()).negate()
+    }
+
+    fn conorm_name(&self) -> String {
+        format!("dual({})", self.0.norm_name())
+    }
+}
+
+/// The dual t-norm of a co-norm: `t(x, y) = 1 − s(1−x, 1−y)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DualNorm<S>(pub S);
+
+impl<S: Conorm> TNorm for DualNorm<S> {
+    #[inline]
+    fn t(&self, a: Score, b: Score) -> Score {
+        self.0.s(a.negate(), b.negate()).negate()
+    }
+
+    fn norm_name(&self) -> String {
+        format!("dual({})", self.0.conorm_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::conorms::{Max, ProbabilisticSum};
+    use super::tnorms::{Min, Product};
+    use super::*;
+
+    fn s(v: f64) -> Score {
+        Score::clamped(v)
+    }
+
+    #[test]
+    fn iterated_tnorm_has_neutral_one() {
+        assert_eq!(Min.combine(&[]), Score::ONE);
+        assert_eq!(Min.combine(&[s(0.4)]), s(0.4));
+        assert_eq!(Min.combine(&[s(0.4), s(0.7), s(0.5)]), s(0.4));
+    }
+
+    #[test]
+    fn iterated_conorm_has_neutral_zero() {
+        let max = ConormScoring(Max);
+        assert_eq!(max.combine(&[]), Score::ZERO);
+        assert_eq!(max.combine(&[s(0.4), s(0.7), s(0.5)]), s(0.7));
+    }
+
+    #[test]
+    fn dual_of_min_is_max() {
+        let d = Dual(Min);
+        for (a, b) in [(0.0, 0.0), (0.3, 0.8), (1.0, 0.2), (0.5, 0.5)] {
+            assert!(d.s(s(a), s(b)).approx_eq(Max.s(s(a), s(b)), 1e-12));
+        }
+    }
+
+    #[test]
+    fn dual_of_product_is_probabilistic_sum() {
+        let d = Dual(Product);
+        for (a, b) in [(0.0, 0.0), (0.3, 0.8), (1.0, 0.2), (0.5, 0.5)] {
+            assert!(d
+                .s(s(a), s(b))
+                .approx_eq(ProbabilisticSum.s(s(a), s(b)), 1e-12));
+        }
+    }
+
+    #[test]
+    fn double_dual_is_identity() {
+        let dd = DualNorm(Dual(Product));
+        for (a, b) in [(0.1, 0.9), (0.5, 0.5), (0.0, 1.0)] {
+            assert!(dd.t(s(a), s(b)).approx_eq(Product.t(s(a), s(b)), 1e-12));
+        }
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let f: &dyn ScoringFunction = &Min;
+        assert_eq!(f.combine(&[s(0.2), s(0.9)]), s(0.2));
+        assert!(f.is_strict());
+        assert!(f.is_monotone());
+    }
+}

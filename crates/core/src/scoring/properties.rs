@@ -1,0 +1,406 @@
+//! Runtime verification of scoring-function axioms (§3, Theorem 3.1).
+//!
+//! Garlic faced exactly this problem (§4.2): users supply arbitrary
+//! scoring functions, but algorithm A₀ is only guaranteed correct for
+//! monotone ones, so "the system must somehow guarantee monotonicity".
+//! This module provides samplers that *check* each axiom on a dense grid
+//! of the unit cube. A grid check cannot prove an axiom, but it can
+//! refute one, and it is the practical gate a middleware can apply to a
+//! user-defined function before agreeing to run A₀ on it.
+//!
+//! The checkers also power experiment E14, the axiom table over every
+//! shipped scoring function (reproducing the paper's taxonomy: which
+//! functions are t-norms, which are merely strict + monotone, which are
+//! neither).
+
+use crate::score::Score;
+use crate::scoring::{Conorm, ScoringFunction, TNorm};
+
+/// Outcome of checking one axiom on a sample grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No counterexample found on the grid.
+    HoldsOnGrid,
+    /// A counterexample was found.
+    Fails,
+}
+
+impl Verdict {
+    /// True if no counterexample was found.
+    pub fn holds(self) -> bool {
+        self == Verdict::HoldsOnGrid
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::HoldsOnGrid => write!(f, "yes"),
+            Verdict::Fails => write!(f, "NO"),
+        }
+    }
+}
+
+/// Numeric tolerance used by all equality comparisons in the checkers.
+pub const EPS: f64 = 1e-9;
+
+/// The default sample grid: `steps + 1` evenly spaced grades in `[0,1]`.
+pub fn sample_grid(steps: usize) -> Vec<Score> {
+    (0..=steps)
+        .map(|i| Score::clamped(i as f64 / steps as f64))
+        .collect()
+}
+
+/// A 2-ary view of a scoring function, so the binary-axiom checkers can
+/// run on t-norms, co-norms, and raw scoring functions alike.
+pub trait Binary {
+    /// Applies the function to two grades.
+    fn apply2(&self, a: Score, b: Score) -> Score;
+}
+
+/// Wrapper running a [`TNorm`] through the binary checkers.
+pub struct AsBinaryNorm<'a, N: ?Sized>(pub &'a N);
+
+impl<N: TNorm + ?Sized> Binary for AsBinaryNorm<'_, N> {
+    fn apply2(&self, a: Score, b: Score) -> Score {
+        self.0.t(a, b)
+    }
+}
+
+/// Wrapper running a [`Conorm`] through the binary checkers.
+pub struct AsBinaryConorm<'a, S: ?Sized>(pub &'a S);
+
+impl<S: Conorm + ?Sized> Binary for AsBinaryConorm<'_, S> {
+    fn apply2(&self, a: Score, b: Score) -> Score {
+        self.0.s(a, b)
+    }
+}
+
+/// Wrapper running any [`ScoringFunction`] at arity 2.
+pub struct AsBinaryScoring<'a, F: ?Sized>(pub &'a F);
+
+impl<F: ScoringFunction + ?Sized> Binary for AsBinaryScoring<'_, F> {
+    fn apply2(&self, a: Score, b: Score) -> Score {
+        self.0.combine(&[a, b])
+    }
+}
+
+/// Checks ∧-conservation: `f(0,0) = 0` and `f(x,1) = f(1,x) = x`.
+pub fn check_and_conservation(f: &dyn Binary, grid: &[Score]) -> Verdict {
+    if f.apply2(Score::ZERO, Score::ZERO) != Score::ZERO {
+        return Verdict::Fails;
+    }
+    for &x in grid {
+        if !f.apply2(x, Score::ONE).approx_eq(x, EPS) || !f.apply2(Score::ONE, x).approx_eq(x, EPS)
+        {
+            return Verdict::Fails;
+        }
+    }
+    Verdict::HoldsOnGrid
+}
+
+/// Checks ∨-conservation: `f(1,1) = 1` and `f(x,0) = f(0,x) = x`.
+pub fn check_or_conservation(f: &dyn Binary, grid: &[Score]) -> Verdict {
+    if f.apply2(Score::ONE, Score::ONE) != Score::ONE {
+        return Verdict::Fails;
+    }
+    for &x in grid {
+        if !f.apply2(x, Score::ZERO).approx_eq(x, EPS)
+            || !f.apply2(Score::ZERO, x).approx_eq(x, EPS)
+        {
+            return Verdict::Fails;
+        }
+    }
+    Verdict::HoldsOnGrid
+}
+
+/// Checks monotonicity of a binary function in both arguments.
+pub fn check_monotone2(f: &dyn Binary, grid: &[Score]) -> Verdict {
+    for &a in grid {
+        for &b in grid {
+            let v = f.apply2(a, b);
+            for &a2 in grid {
+                if a2 >= a && f.apply2(a2, b).value() < v.value() - EPS {
+                    return Verdict::Fails;
+                }
+            }
+            for &b2 in grid {
+                if b2 >= b && f.apply2(a, b2).value() < v.value() - EPS {
+                    return Verdict::Fails;
+                }
+            }
+        }
+    }
+    Verdict::HoldsOnGrid
+}
+
+/// Checks commutativity `f(a,b) = f(b,a)`.
+pub fn check_commutative(f: &dyn Binary, grid: &[Score]) -> Verdict {
+    for &a in grid {
+        for &b in grid {
+            if !f.apply2(a, b).approx_eq(f.apply2(b, a), EPS) {
+                return Verdict::Fails;
+            }
+        }
+    }
+    Verdict::HoldsOnGrid
+}
+
+/// Checks associativity `f(f(a,b),c) = f(a,f(b,c))`.
+pub fn check_associative(f: &dyn Binary, grid: &[Score]) -> Verdict {
+    for &a in grid {
+        for &b in grid {
+            for &c in grid {
+                let left = f.apply2(f.apply2(a, b), c);
+                let right = f.apply2(a, f.apply2(b, c));
+                if !left.approx_eq(right, 1e-7) {
+                    return Verdict::Fails;
+                }
+            }
+        }
+    }
+    Verdict::HoldsOnGrid
+}
+
+/// Checks idempotence `f(x,x) = x` — the property behind preservation of
+/// logical equivalence (`μ_{A∧A} = μ_A`), which by Theorem 3.1 only min
+/// (among monotone conjunctions) and max (among monotone disjunctions)
+/// satisfy.
+pub fn check_idempotent(f: &dyn Binary, grid: &[Score]) -> Verdict {
+    for &x in grid {
+        if !f.apply2(x, x).approx_eq(x, EPS) {
+            return Verdict::Fails;
+        }
+    }
+    Verdict::HoldsOnGrid
+}
+
+/// Checks the distributive logical equivalence
+/// `μ_{A∧(B∨C)} = μ_{(A∧B)∨(A∧C)}` for a candidate conjunction `and` and
+/// disjunction `or` — the second ingredient of Theorem 3.1's
+/// "preserves logical equivalence" hypothesis.
+pub fn check_distributive(and: &dyn Binary, or: &dyn Binary, grid: &[Score]) -> Verdict {
+    for &a in grid {
+        for &b in grid {
+            for &c in grid {
+                let left = and.apply2(a, or.apply2(b, c));
+                let right = or.apply2(and.apply2(a, b), and.apply2(a, c));
+                if !left.approx_eq(right, 1e-7) {
+                    return Verdict::Fails;
+                }
+            }
+        }
+    }
+    Verdict::HoldsOnGrid
+}
+
+/// Checks strictness of an m-ary scoring function at the given arity:
+/// `combine = 1` iff every argument is 1.
+pub fn check_strict(f: &dyn ScoringFunction, grid: &[Score], arity: usize) -> Verdict {
+    let ones = vec![Score::ONE; arity];
+    if f.combine(&ones) != Score::ONE {
+        return Verdict::Fails;
+    }
+    // Perturb each position downward; the result must drop below 1.
+    for pos in 0..arity {
+        for &x in grid {
+            if x == Score::ONE {
+                continue;
+            }
+            let mut args = ones.clone();
+            args[pos] = x;
+            if f.combine(&args) == Score::ONE {
+                return Verdict::Fails;
+            }
+        }
+    }
+    Verdict::HoldsOnGrid
+}
+
+/// Checks monotonicity of an m-ary scoring function at the given arity
+/// on random-ish structured samples from the grid (full cartesian
+/// product is too large beyond arity 3; we sweep axis-aligned rays).
+pub fn check_monotone_m(f: &dyn ScoringFunction, grid: &[Score], arity: usize) -> Verdict {
+    // Base points: all-equal diagonals plus boundary corners.
+    let mut bases: Vec<Vec<Score>> = grid.iter().map(|&g| vec![g; arity]).collect();
+    bases.push(vec![Score::ZERO; arity]);
+    bases.push(vec![Score::ONE; arity]);
+    for base in &bases {
+        let v = f.combine(base);
+        for pos in 0..arity {
+            for &x in grid {
+                if x >= base[pos] {
+                    let mut args = base.clone();
+                    args[pos] = x;
+                    if f.combine(&args).value() < v.value() - EPS {
+                        return Verdict::Fails;
+                    }
+                }
+            }
+        }
+    }
+    Verdict::HoldsOnGrid
+}
+
+/// A full axiom report for one binary scoring function, as printed by
+/// experiment E14.
+#[derive(Debug, Clone)]
+pub struct AxiomReport {
+    /// Function name.
+    pub name: String,
+    /// ∧-conservation (t-norm boundary conditions).
+    pub and_conservation: Verdict,
+    /// ∨-conservation (co-norm boundary conditions).
+    pub or_conservation: Verdict,
+    /// Monotone in both arguments.
+    pub monotone: Verdict,
+    /// Commutative.
+    pub commutative: Verdict,
+    /// Associative.
+    pub associative: Verdict,
+    /// Idempotent (equivalence-preserving for repeated conjuncts).
+    pub idempotent: Verdict,
+    /// Strict at arity 2.
+    pub strict: Verdict,
+}
+
+impl AxiomReport {
+    /// True if the function satisfies all four t-norm axioms.
+    pub fn is_tnorm(&self) -> bool {
+        self.and_conservation.holds()
+            && self.monotone.holds()
+            && self.commutative.holds()
+            && self.associative.holds()
+    }
+
+    /// True if the function satisfies all four co-norm axioms.
+    pub fn is_conorm(&self) -> bool {
+        self.or_conservation.holds()
+            && self.monotone.holds()
+            && self.commutative.holds()
+            && self.associative.holds()
+    }
+}
+
+/// Runs every binary axiom check against a scoring function at arity 2.
+pub fn audit(f: &dyn ScoringFunction, grid: &[Score]) -> AxiomReport {
+    let b = AsBinaryScoring(f);
+    AxiomReport {
+        name: f.name(),
+        and_conservation: check_and_conservation(&b, grid),
+        or_conservation: check_or_conservation(&b, grid),
+        monotone: check_monotone2(&b, grid),
+        commutative: check_commutative(&b, grid),
+        associative: check_associative(&b, grid),
+        idempotent: check_idempotent(&b, grid),
+        strict: check_strict(f, grid, 2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::conorms::Max;
+    use crate::scoring::means::ArithmeticMean;
+    use crate::scoring::tnorms::{all_tnorms, Min, Product};
+    use crate::scoring::ConormScoring;
+
+    #[test]
+    fn min_passes_every_conjunction_axiom() {
+        let grid = sample_grid(10);
+        let r = audit(&Min, &grid);
+        assert!(r.is_tnorm());
+        assert!(r.idempotent.holds());
+        assert!(r.strict.holds());
+        assert!(!r.or_conservation.holds());
+    }
+
+    #[test]
+    fn product_is_a_tnorm_but_not_idempotent() {
+        let grid = sample_grid(10);
+        let r = audit(&Product, &grid);
+        assert!(r.is_tnorm());
+        assert!(!r.idempotent.holds());
+    }
+
+    #[test]
+    fn arithmetic_mean_is_not_a_tnorm() {
+        let grid = sample_grid(10);
+        let r = audit(&ArithmeticMean, &grid);
+        assert!(!r.is_tnorm()); // fails ∧-conservation (mean(0,1)=½)
+        assert!(!r.and_conservation.holds());
+        assert!(r.monotone.holds());
+        assert!(r.strict.holds());
+        assert!(!r.associative.holds());
+    }
+
+    #[test]
+    fn max_is_a_conorm_and_idempotent() {
+        let grid = sample_grid(10);
+        let r = audit(&ConormScoring(Max), &grid);
+        assert!(r.is_conorm());
+        assert!(r.idempotent.holds());
+        assert!(!r.strict.holds()); // max(1, 0) = 1
+    }
+
+    #[test]
+    fn theorem_3_1_uniqueness_of_min_on_the_grid() {
+        // Among shipped t-norms, only min is idempotent — the grid-level
+        // shadow of Theorem 3.1's uniqueness statement.
+        let grid = sample_grid(10);
+        for norm in all_tnorms() {
+            let b = AsBinaryNorm(&*norm);
+            let idem = check_idempotent(&b, &grid).holds();
+            assert_eq!(
+                idem,
+                norm.norm_name() == "min",
+                "{} idempotence unexpected",
+                norm.norm_name()
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_distribute() {
+        let grid = sample_grid(8);
+        let and = AsBinaryNorm(&Min);
+        let or = AsBinaryConorm(&Max);
+        assert!(check_distributive(&and, &or, &grid).holds());
+    }
+
+    #[test]
+    fn product_max_do_not_distribute() {
+        let grid = sample_grid(8);
+        let and = AsBinaryNorm(&Product);
+        let or = AsBinaryConorm(&Max);
+        // product over max does distribute! t(a, max(b,c)) = max(ab, ac).
+        assert!(check_distributive(&and, &or, &grid).holds());
+        // ...but product is still not equivalence-preserving because it
+        // fails idempotence, so Theorem 3.1 is not contradicted.
+        assert!(!check_idempotent(&and, &grid).holds());
+    }
+
+    #[test]
+    fn monotone_m_ary_holds_for_tnorms() {
+        let grid = sample_grid(6);
+        for norm in all_tnorms() {
+            assert!(
+                check_monotone_m(&norm, &grid, 3).holds(),
+                "{}",
+                norm.norm_name()
+            );
+        }
+    }
+
+    #[test]
+    fn strictness_fails_for_max() {
+        let grid = sample_grid(6);
+        assert!(!check_strict(&ConormScoring(Max), &grid, 3).holds());
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::HoldsOnGrid.to_string(), "yes");
+        assert_eq!(Verdict::Fails.to_string(), "NO");
+    }
+}

@@ -1,0 +1,454 @@
+//! Weighting the importance of subqueries (§5; Fagin–Wimmers \[FW97\]).
+//!
+//! A user may care twice as much about `Color='red'` as about
+//! `Shape='round'`. Given an (unweighted, symmetric) rule `f` and a
+//! weighting `Θ = (θ₁, …, θ_m)` with `θ₁ ≥ … ≥ θ_m ≥ 0` and `Σθᵢ = 1`,
+//! the weighted rule is formula (5) of the paper:
+//!
+//! ```text
+//! f_Θ(x₁, …, x_m) = (θ₁ − θ₂)·f(x₁)
+//!                 + 2·(θ₂ − θ₃)·f(x₁, x₂)
+//!                 + 3·(θ₃ − θ₄)·f(x₁, x₂, x₃)
+//!                 + …
+//!                 + m·θ_m·f(x₁, …, x_m)
+//! ```
+//!
+//! — a convex combination of `f` on *prefixes* of the arguments sorted
+//! by descending weight. \[FW97\] proves it is the unique choice
+//! satisfying:
+//!
+//! * **D1** — equal weights reduce to the unweighted `f`;
+//! * **D2** — a zero-weight argument can be dropped;
+//! * **D3′** — local linearity in the weighting (which implies **D3**,
+//!   continuity in the weights).
+//!
+//! Monotonicity and strictness of `f` are inherited by `f_Θ`, so
+//! algorithm A₀ remains correct and optimal in the weighted case.
+
+use std::fmt;
+
+use crate::score::Score;
+use crate::scoring::ScoringFunction;
+
+/// Error constructing a [`Weighting`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightingError {
+    /// No weights were supplied.
+    Empty,
+    /// A weight was negative, NaN, or infinite.
+    InvalidWeight(f64),
+    /// The weights do not sum to 1 (within 1e-9); payload is the sum.
+    NotNormalized(f64),
+    /// All ratio entries were zero, so no normalization exists.
+    ZeroTotal,
+}
+
+impl fmt::Display for WeightingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightingError::Empty => write!(f, "weighting must be non-empty"),
+            WeightingError::InvalidWeight(w) => write!(f, "invalid weight {w}"),
+            WeightingError::NotNormalized(s) => {
+                write!(f, "weights sum to {s}, expected 1")
+            }
+            WeightingError::ZeroTotal => write!(f, "ratios sum to zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightingError {}
+
+/// A weighting `Θ = (θ₁, …, θ_m)`: nonnegative reals summing to 1, one
+/// per subquery.
+///
+/// The weighting remembers the *user's* argument order; the ordered
+/// (descending) permutation required by formula (5) is applied
+/// internally when combining, so callers pass weights and grades in the
+/// same positional order.
+///
+/// ```
+/// use fmdb_core::weights::Weighting;
+/// // "care twice as much about color as shape" — the paper's example,
+/// // θ = (2/3, 1/3).
+/// let theta = Weighting::from_ratios(&[2.0, 1.0]).unwrap();
+/// assert!((theta.weights()[0] - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weighting {
+    weights: Vec<f64>,
+}
+
+impl Weighting {
+    /// Creates a weighting from weights that already sum to 1.
+    pub fn new(weights: Vec<f64>) -> Result<Weighting, WeightingError> {
+        if weights.is_empty() {
+            return Err(WeightingError::Empty);
+        }
+        for &w in &weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightingError::InvalidWeight(w));
+            }
+        }
+        let sum: f64 = weights.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(WeightingError::NotNormalized(sum));
+        }
+        Ok(Weighting { weights })
+    }
+
+    /// Creates a weighting from arbitrary nonnegative ratios (slider
+    /// positions), normalizing them to sum to 1.
+    pub fn from_ratios(ratios: &[f64]) -> Result<Weighting, WeightingError> {
+        if ratios.is_empty() {
+            return Err(WeightingError::Empty);
+        }
+        for &w in ratios {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightingError::InvalidWeight(w));
+            }
+        }
+        let sum: f64 = ratios.iter().sum();
+        if sum <= 0.0 {
+            return Err(WeightingError::ZeroTotal);
+        }
+        Ok(Weighting {
+            weights: ratios.iter().map(|w| w / sum).collect(),
+        })
+    }
+
+    /// The uniform weighting `(1/m, …, 1/m)` — by D1, combining with it
+    /// is the same as using the unweighted rule.
+    pub fn uniform(m: usize) -> Result<Weighting, WeightingError> {
+        if m == 0 {
+            return Err(WeightingError::Empty);
+        }
+        Ok(Weighting {
+            weights: vec![1.0 / m as f64; m],
+        })
+    }
+
+    /// The weights in the caller's positional order.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The arity `m`.
+    pub fn arity(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True if all weights are equal (within 1e-12).
+    pub fn is_uniform(&self) -> bool {
+        let first = self.weights[0];
+        self.weights.iter().all(|&w| (w - first).abs() <= 1e-12)
+    }
+
+    /// The convex combination `α·Θ + (1−α)·Θ'` of two weightings of the
+    /// same arity — the operation local linearity (D3′) quantifies over.
+    ///
+    /// Returns `None` if arities differ or `α ∉ [0,1]`.
+    pub fn mix(&self, other: &Weighting, alpha: f64) -> Option<Weighting> {
+        if self.arity() != other.arity() || !(0.0..=1.0).contains(&alpha) {
+            return None;
+        }
+        Some(Weighting {
+            weights: self
+                .weights
+                .iter()
+                .zip(&other.weights)
+                .map(|(&a, &b)| alpha * a + (1.0 - alpha) * b)
+                .collect(),
+        })
+    }
+}
+
+/// Evaluates the Fagin–Wimmers weighted rule `f_Θ(x₁, …, x_m)`.
+///
+/// `weights` and `scores` are in the same positional order; the pair
+/// list is sorted by descending weight (stable, so ties keep caller
+/// order — the paper shows the value does not depend on how ties are
+/// broken, because tied prefixes are multiplied by `θᵢ − θᵢ₊₁ = 0`)
+/// before the prefix expansion is applied.
+///
+/// # Panics
+/// Panics if `weights.arity() != scores.len()` — callers own arity
+/// agreement; the query layer validates it before evaluation.
+pub fn weighted_combine<F: ScoringFunction + ?Sized>(
+    f: &F,
+    weights: &Weighting,
+    scores: &[Score],
+) -> Score {
+    assert_eq!(
+        weights.arity(),
+        scores.len(),
+        "weighting of arity {} applied to {} scores",
+        weights.arity(),
+        scores.len()
+    );
+    let m = scores.len();
+    // Sort (θ, x) jointly by descending θ.
+    let mut pairs: Vec<(f64, Score)> = weights
+        .weights
+        .iter()
+        .copied()
+        .zip(scores.iter().copied())
+        .collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("weights are finite"));
+
+    let mut total = 0.0;
+    let mut prefix: Vec<Score> = Vec::with_capacity(m);
+    for i in 0..m {
+        prefix.push(pairs[i].1);
+        let theta_i = pairs[i].0;
+        let theta_next = if i + 1 < m { pairs[i + 1].0 } else { 0.0 };
+        let coeff = (i + 1) as f64 * (theta_i - theta_next);
+        if coeff != 0.0 {
+            total += coeff * f.combine(&prefix).value();
+        }
+    }
+    Score::clamped(total)
+}
+
+/// A weighted scoring function `f_Θ`: wraps an underlying rule and a
+/// weighting into something the algorithms can use directly.
+///
+/// Since \[FW97\] shows monotonicity and strictness are inherited,
+/// algorithm A₀ "continues to be correct and optimal in the weighted
+/// case" (§5) — the middleware treats `Weighted` like any other
+/// monotone scoring function.
+#[derive(Debug, Clone)]
+pub struct Weighted<F> {
+    inner: F,
+    weighting: Weighting,
+}
+
+impl<F: ScoringFunction> Weighted<F> {
+    /// Wraps `inner` with `weighting`.
+    pub fn new(inner: F, weighting: Weighting) -> Weighted<F> {
+        Weighted { inner, weighting }
+    }
+
+    /// The underlying unweighted rule.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// The weighting.
+    pub fn weighting(&self) -> &Weighting {
+        &self.weighting
+    }
+}
+
+impl<F: ScoringFunction> ScoringFunction for Weighted<F> {
+    fn name(&self) -> String {
+        format!(
+            "weighted({}, {:?})",
+            self.inner.name(),
+            self.weighting.weights
+        )
+    }
+
+    fn combine(&self, scores: &[Score]) -> Score {
+        weighted_combine(&self.inner, &self.weighting, scores)
+    }
+
+    fn is_strict(&self) -> bool {
+        // Strictness is inherited when every weight is positive; a
+        // zero-weight argument is dropped (D2) and thus unconstrained.
+        self.inner.is_strict() && self.weighting.weights.iter().all(|&w| w > 0.0)
+    }
+
+    fn is_monotone(&self) -> bool {
+        self.inner.is_monotone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::means::ArithmeticMean;
+    use crate::scoring::tnorms::Min;
+
+    fn s(v: f64) -> Score {
+        Score::clamped(v)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(Weighting::new(vec![]), Err(WeightingError::Empty)));
+        assert!(matches!(
+            Weighting::new(vec![0.5, -0.5, 1.0]),
+            Err(WeightingError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            Weighting::new(vec![0.5, 0.6]),
+            Err(WeightingError::NotNormalized(_))
+        ));
+        assert!(matches!(
+            Weighting::from_ratios(&[0.0, 0.0]),
+            Err(WeightingError::ZeroTotal)
+        ));
+        assert!(Weighting::new(vec![0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn from_ratios_normalizes() {
+        let w = Weighting::from_ratios(&[2.0, 1.0]).unwrap();
+        assert!((w.weights()[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((w.weights()[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn d1_equal_weights_reduce_to_unweighted() {
+        let theta = Weighting::uniform(3).unwrap();
+        let xs = [s(0.2), s(0.9), s(0.5)];
+        let weighted = weighted_combine(&Min, &theta, &xs);
+        assert!(weighted.approx_eq(Min.combine(&xs), 1e-12));
+    }
+
+    #[test]
+    fn d2_zero_weight_argument_is_dropped() {
+        let theta = Weighting::new(vec![0.6, 0.4, 0.0]).unwrap();
+        let with_zero = weighted_combine(&Min, &theta, &[s(0.7), s(0.5), s(0.01)]);
+        let theta2 = Weighting::new(vec![0.6, 0.4]).unwrap();
+        let without = weighted_combine(&Min, &theta2, &[s(0.7), s(0.5)]);
+        assert!(with_zero.approx_eq(without, 1e-12));
+    }
+
+    #[test]
+    fn d3_continuity_in_the_weights() {
+        // Numeric continuity probe: small weight perturbations produce
+        // small output changes.
+        let xs = [s(0.9), s(0.2)];
+        let base = weighted_combine(&Min, &Weighting::new(vec![0.5, 0.5]).unwrap(), &xs);
+        for eps in [1e-3, 1e-6, 1e-9] {
+            let w = Weighting::new(vec![0.5 + eps, 0.5 - eps]).unwrap();
+            let v = weighted_combine(&Min, &w, &xs);
+            assert!(
+                (v.value() - base.value()).abs() <= 2.0 * eps + 1e-12,
+                "discontinuous at eps={eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_linearity_d3_prime() {
+        // For ordered Θ, Θ′: f_{αΘ+(1−α)Θ′}(X) = α·f_Θ(X) + (1−α)·f_Θ′(X).
+        let t1 = Weighting::new(vec![0.7, 0.2, 0.1]).unwrap();
+        let t2 = Weighting::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let xs = [s(0.9), s(0.4), s(0.6)];
+        for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let mixed = t1.mix(&t2, alpha).unwrap();
+            let lhs = weighted_combine(&Min, &mixed, &xs);
+            let rhs = alpha * weighted_combine(&Min, &t1, &xs).value()
+                + (1.0 - alpha) * weighted_combine(&Min, &t2, &xs).value();
+            assert!((lhs.value() - rhs).abs() < 1e-12, "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn weighted_average_is_the_plain_weighted_sum() {
+        // §5: "There is one scoring function where the answer is easy,
+        // namely the average": f_Θ = Σ θᵢ·xᵢ. The formula must reproduce
+        // this.
+        let theta = Weighting::new(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap();
+        let xs = [s(0.9), s(0.3)];
+        let v = weighted_combine(&ArithmeticMean, &theta, &xs);
+        let expected = 2.0 / 3.0 * 0.9 + 1.0 / 3.0 * 0.3;
+        assert!((v.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_min_is_not_the_weighted_sum() {
+        // §5's cautionary example: with equal weights, θ₁x₁ + θ₂x₂ would
+        // give (x₁+x₂)/2, but the weighted min must give min(x₁, x₂).
+        let theta = Weighting::uniform(2).unwrap();
+        let xs = [s(0.9), s(0.3)];
+        let v = weighted_combine(&Min, &theta, &xs);
+        assert!(v.approx_eq(s(0.3), 1e-12));
+        assert!(!v.approx_eq(s(0.6), 1e-9));
+    }
+
+    #[test]
+    fn paper_prefix_expansion_by_hand() {
+        // m = 3, Θ = (0.5, 0.3, 0.2), f = min, X = (0.9, 0.4, 0.6):
+        // ordered already; f_Θ = (0.5−0.3)·f(0.9) + 2·(0.3−0.2)·f(0.9,0.4)
+        //                    + 3·0.2·f(0.9,0.4,0.6)
+        //                 = 0.2·0.9 + 0.2·0.4 + 0.6·0.4 = 0.18+0.08+0.24.
+        let theta = Weighting::new(vec![0.5, 0.3, 0.2]).unwrap();
+        let v = weighted_combine(&Min, &theta, &[s(0.9), s(0.4), s(0.6)]);
+        assert!((v.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_weights_are_handled_by_joint_sort() {
+        // Same query with weights given in a different positional order
+        // must score the same objects identically.
+        let a = weighted_combine(
+            &Min,
+            &Weighting::new(vec![0.3, 0.7]).unwrap(),
+            &[s(0.4), s(0.9)],
+        );
+        let b = weighted_combine(
+            &Min,
+            &Weighting::new(vec![0.7, 0.3]).unwrap(),
+            &[s(0.9), s(0.4)],
+        );
+        assert!(a.approx_eq(b, 1e-12));
+    }
+
+    #[test]
+    fn tie_break_does_not_matter() {
+        // θ₂ = θ₃: the second summand is multiplied by 0, so swapping
+        // x₂/x₃ cannot change the result (the paper's remark after (5)).
+        let theta = Weighting::new(vec![0.5, 0.25, 0.25]).unwrap();
+        let v1 = weighted_combine(&Min, &theta, &[s(0.9), s(0.4), s(0.6)]);
+        let v2 = weighted_combine(&Min, &theta, &[s(0.9), s(0.6), s(0.4)]);
+        assert!(v1.approx_eq(v2, 1e-12));
+    }
+
+    #[test]
+    fn monotonicity_is_inherited() {
+        let theta = Weighting::new(vec![0.6, 0.4]).unwrap();
+        let f = Weighted::new(Min, theta);
+        assert!(f.is_monotone());
+        let grid = [0.0, 0.25, 0.5, 0.75, 1.0];
+        for &a in &grid {
+            for &b in &grid {
+                for &a2 in &grid {
+                    if a2 >= a {
+                        assert!(f.combine(&[s(a2), s(b)]) >= f.combine(&[s(a), s(b)]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strictness_is_inherited_for_positive_weights() {
+        let f = Weighted::new(Min, Weighting::new(vec![0.6, 0.4]).unwrap());
+        assert!(f.is_strict());
+        assert_eq!(f.combine(&[Score::ONE, Score::ONE]), Score::ONE);
+        assert!(f.combine(&[Score::ONE, s(0.99)]) < Score::ONE);
+
+        let g = Weighted::new(Min, Weighting::new(vec![1.0, 0.0]).unwrap());
+        assert!(!g.is_strict());
+        assert_eq!(g.combine(&[Score::ONE, s(0.2)]), Score::ONE);
+    }
+
+    #[test]
+    fn mix_rejects_mismatched_arity_and_bad_alpha() {
+        let a = Weighting::uniform(2).unwrap();
+        let b = Weighting::uniform(3).unwrap();
+        assert!(a.mix(&b, 0.5).is_none());
+        let c = Weighting::uniform(2).unwrap();
+        assert!(a.mix(&c, 1.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let theta = Weighting::uniform(2).unwrap();
+        let _ = weighted_combine(&Min, &theta, &[Score::ONE]);
+    }
+}

@@ -1,0 +1,121 @@
+//! In-crate property tests for the core semantic layer: every public
+//! combinator must stay inside the unit interval and respect the §3
+//! orderings on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use fmdb_core::graded_set::GradedSet;
+use fmdb_core::query::{Query, Target};
+use fmdb_core::score::Score;
+use fmdb_core::scoring::conorms::all_conorms;
+use fmdb_core::scoring::means::{ArithmeticMean, GeometricMean, HarmonicMean};
+use fmdb_core::scoring::tnorms::all_tnorms;
+use fmdb_core::scoring::ScoringFunction;
+use fmdb_core::weights::{weighted_combine, Weighting};
+
+fn score() -> impl Strategy<Value = Score> {
+    (0.0f64..=1.0).prop_map(Score::clamped)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn clamped_always_lands_in_the_unit_interval(v in proptest::num::f64::ANY) {
+        let s = Score::clamped(v);
+        prop_assert!((0.0..=1.0).contains(&s.value()));
+    }
+
+    #[test]
+    fn new_accepts_exactly_the_unit_interval(v in -2.0f64..=3.0) {
+        let ok = Score::new(v).is_ok();
+        prop_assert_eq!(ok, (0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn every_tnorm_stays_in_range_and_below_min(a in score(), b in score(), c in score()) {
+        for norm in all_tnorms() {
+            let v = norm.combine(&[a, b, c]);
+            prop_assert!((0.0..=1.0).contains(&v.value()));
+            let min = a.min(b).min(c);
+            prop_assert!(v.value() <= min.value() + 1e-9, "{}", norm.norm_name());
+        }
+    }
+
+    #[test]
+    fn every_conorm_stays_in_range_and_above_max(a in score(), b in score()) {
+        for conorm in all_conorms() {
+            let v = conorm.s(a, b);
+            prop_assert!((0.0..=1.0).contains(&v.value()));
+            prop_assert!(
+                v.value() >= a.max(b).value() - 1e-9,
+                "{}",
+                conorm.conorm_name()
+            );
+        }
+    }
+
+    #[test]
+    fn means_lie_between_min_and_max(a in score(), b in score(), c in score()) {
+        let fns: Vec<Box<dyn ScoringFunction>> = vec![
+            Box::new(ArithmeticMean),
+            Box::new(GeometricMean),
+            Box::new(HarmonicMean),
+        ];
+        let lo = a.min(b).min(c).value();
+        let hi = a.max(b).max(c).value();
+        for f in &fns {
+            let v = f.combine(&[a, b, c]).value();
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn weighted_combine_stays_in_range(
+        xs in proptest::collection::vec(0.0f64..=1.0, 1..6),
+        ratios in proptest::collection::vec(0.01f64..5.0, 1..6),
+    ) {
+        let m = xs.len().min(ratios.len());
+        let xs: Vec<Score> = xs[..m].iter().map(|&v| Score::clamped(v)).collect();
+        let theta = Weighting::from_ratios(&ratios[..m]).expect("positive ratios");
+        let v = weighted_combine(&fmdb_core::scoring::tnorms::Min, &theta, &xs);
+        prop_assert!((0.0..=1.0).contains(&v.value()));
+    }
+
+    #[test]
+    fn graded_set_sigma_count_bounds(grades in proptest::collection::vec(0.0f64..=1.0, 0..30)) {
+        let set: GradedSet<usize> = grades
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (i, Score::clamped(g)))
+            .collect();
+        let sigma = set.sigma_count();
+        prop_assert!(sigma >= 0.0 && sigma <= set.len() as f64 + 1e-9);
+        prop_assert!(set.support().len() <= set.len());
+    }
+
+    #[test]
+    fn query_grades_stay_in_range(
+        color in score(),
+        shape in score(),
+        pick in 0usize..4,
+    ) {
+        let c = Query::atomic("Color", Target::Similar("red".into()));
+        let s = Query::atomic("Shape", Target::Similar("round".into()));
+        let q = match pick {
+            0 => Query::and(vec![c, s]),
+            1 => Query::or(vec![c, s]),
+            2 => Query::not(Query::and(vec![c, s])),
+            _ => Query::weighted(
+                vec![c, s],
+                std::sync::Arc::new(fmdb_core::scoring::tnorms::Min),
+                Weighting::from_ratios(&[3.0, 1.0]).expect("positive ratios"),
+            )
+            .expect("arity matches"),
+        };
+        let grade = q
+            .grade(&|a| Some(if a.attribute == "Color" { color } else { shape }))
+            .expect("all atoms graded");
+        prop_assert!((0.0..=1.0).contains(&grade.value()));
+    }
+}

@@ -1,0 +1,216 @@
+//! Cost-based plan selection (§4.2).
+//!
+//! "Finally, there are cost modeling issues. In order to use an
+//! optimizer, we need to understand the cost of applying various
+//! operators over various data in various repositories." This module
+//! supplies that understanding for the four strategies the executor
+//! implements, using the paper's own cost formulas:
+//!
+//! | plan | estimated accesses |
+//! |------|--------------------|
+//! | crisp-filter | `Σ_crisp (|S_c|+1)` sorted + `|S|·#fuzzy` random |
+//! | A₀ | `c·N^((m−1)/m)·k^(1/m)` (Theorem 4.1), split evenly between sorted and random |
+//! | max-merge | `m·k` sorted |
+//! | full scan | `m·N` sorted |
+//!
+//! The A₀ constant `c` is calibratable — [`CostEstimator::calibrate_fa`]
+//! fits it by probing a synthetic instance, mirroring how a real
+//! optimizer would maintain statistics. Estimates are priced through a
+//! [`CostModel`], so the §6 request for "a more realistic cost measure"
+//! is honored: re-pricing random accesses changes which plan wins.
+
+use fmdb_core::scoring::tnorms::Min;
+use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
+use fmdb_middleware::algorithms::TopKAlgorithm;
+use fmdb_middleware::source::GradedSource;
+use fmdb_middleware::stats::CostModel;
+use fmdb_middleware::workload::independent_uniform;
+
+use crate::planner::PlanKind;
+
+/// Statistics a plan estimate needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanContext {
+    /// Universe size.
+    pub n: usize,
+    /// Number of conjuncts.
+    pub m: usize,
+    /// Answers requested.
+    pub k: usize,
+    /// Per-crisp-conjunct match counts, with the running intersection
+    /// bound in `crisp_survivors` (None when no crisp conjunct).
+    pub crisp_survivors: Option<u64>,
+    /// Number of crisp conjuncts.
+    pub crisp_count: usize,
+}
+
+impl PlanContext {
+    /// Context for a fully fuzzy query.
+    pub fn fuzzy(n: usize, m: usize, k: usize) -> PlanContext {
+        PlanContext {
+            n,
+            m,
+            k,
+            crisp_survivors: None,
+            crisp_count: 0,
+        }
+    }
+}
+
+/// Estimates the (priced) database access cost of each plan kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimator {
+    /// The constant in A₀'s `c·N^((m−1)/m)·k^(1/m)` law. The default
+    /// 4.0 sits in the band measured by experiment E3 on independent
+    /// uniform grades.
+    pub fa_constant: f64,
+    /// Access pricing.
+    pub cost_model: CostModel,
+}
+
+impl Default for CostEstimator {
+    fn default() -> Self {
+        CostEstimator {
+            fa_constant: 4.0,
+            cost_model: CostModel::UNIFORM,
+        }
+    }
+}
+
+impl CostEstimator {
+    /// Calibrates the A₀ constant by probing a synthetic independent
+    /// instance of size `probe_n` (the statistics-gathering step a
+    /// production optimizer would run offline).
+    pub fn calibrate_fa(&mut self, probe_n: usize, m: usize, k: usize, seed: u64) {
+        let probe_n = probe_n.max(64);
+        let k = k.max(1).min(probe_n);
+        let m = m.max(2);
+        let mut sources = independent_uniform(probe_n, m, seed);
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        let result = FaginsAlgorithm
+            .top_k(&mut refs, &Min, k)
+            .expect("probe configuration is valid");
+        let law =
+            (probe_n as f64).powf((m as f64 - 1.0) / m as f64) * (k as f64).powf(1.0 / m as f64);
+        self.fa_constant = result.stats.database_access_cost() as f64 / law;
+    }
+
+    /// The estimated priced cost of running `kind` under `ctx`, or
+    /// `None` when the plan does not apply (crisp filter without a
+    /// crisp conjunct).
+    pub fn estimate(&self, kind: PlanKind, ctx: &PlanContext) -> Option<f64> {
+        let n = ctx.n as f64;
+        let m = ctx.m as f64;
+        let k = ctx.k.min(ctx.n) as f64;
+        let price = |sorted: f64, random: f64| {
+            sorted * self.cost_model.sorted_unit + random * self.cost_model.random_unit
+        };
+        match kind {
+            PlanKind::CrispFilter => {
+                let survivors = ctx.crisp_survivors? as f64;
+                let fuzzy = (ctx.m - ctx.crisp_count) as f64;
+                // Stream each crisp prefix (+1 to see it end), then
+                // random-access every fuzzy conjunct per survivor.
+                let sorted = ctx.crisp_count as f64 * (survivors + 1.0);
+                let random = survivors * fuzzy;
+                Some(price(sorted, random))
+            }
+            PlanKind::FaginA0 => {
+                let total = self.fa_constant * n.powf((m - 1.0) / m) * k.powf(1.0 / m);
+                // E5's raw counts: plain A₀ splits roughly evenly.
+                Some(price(total / 2.0, total / 2.0))
+            }
+            PlanKind::MaxMerge => Some(price(m * k, 0.0)),
+            PlanKind::FullScan => Some(price(m * n, 0.0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_reproduce_the_paper_formulas() {
+        let e = CostEstimator::default();
+        let ctx = PlanContext::fuzzy(10_000, 2, 10);
+        assert_eq!(e.estimate(PlanKind::FullScan, &ctx), Some(20_000.0));
+        assert_eq!(e.estimate(PlanKind::MaxMerge, &ctx), Some(20.0));
+        let fa = e.estimate(PlanKind::FaginA0, &ctx).unwrap();
+        assert!((fa - 4.0 * (10_000.0f64 * 10.0).sqrt()).abs() < 1e-9);
+        // No crisp conjunct → no crisp-filter estimate.
+        assert_eq!(e.estimate(PlanKind::CrispFilter, &ctx), None);
+    }
+
+    #[test]
+    fn crisp_filter_estimate_tracks_selectivity() {
+        let e = CostEstimator::default();
+        let mut ctx = PlanContext::fuzzy(10_000, 2, 10);
+        ctx.crisp_survivors = Some(50);
+        ctx.crisp_count = 1;
+        // (50+1) sorted + 50·1 random = 101.
+        assert_eq!(e.estimate(PlanKind::CrispFilter, &ctx), Some(101.0));
+        ctx.crisp_survivors = Some(5_000);
+        assert_eq!(e.estimate(PlanKind::CrispFilter, &ctx), Some(10_001.0));
+    }
+
+    #[test]
+    fn pricing_changes_the_winner() {
+        let mut e = CostEstimator::default();
+        let mut ctx = PlanContext::fuzzy(1_000, 2, 10);
+        ctx.crisp_survivors = Some(400);
+        ctx.crisp_count = 1;
+        // Uniform pricing: crisp filter (801) beats A₀ (4·√10⁴ = 400)…
+        // actually A₀ wins here; raise the random price and the
+        // random-heavy plans lose ground to the scan.
+        let fa_uniform = e.estimate(PlanKind::FaginA0, &ctx).unwrap();
+        let scan_uniform = e.estimate(PlanKind::FullScan, &ctx).unwrap();
+        assert!(fa_uniform < scan_uniform);
+        e.cost_model = CostModel::random_to_sorted_ratio(50.0).expect("valid ratio");
+        let fa_pricey = e.estimate(PlanKind::FaginA0, &ctx).unwrap();
+        let scan_pricey = e.estimate(PlanKind::FullScan, &ctx).unwrap();
+        assert!(
+            fa_pricey > scan_pricey,
+            "expensive random access must favor the scan: {fa_pricey} vs {scan_pricey}"
+        );
+    }
+
+    #[test]
+    fn calibration_fits_the_observed_constant() {
+        let mut e = CostEstimator::default();
+        e.calibrate_fa(4_096, 2, 10, 7);
+        assert!(
+            (1.0..=8.0).contains(&e.fa_constant),
+            "calibrated constant {} outside plausible band",
+            e.fa_constant
+        );
+        // The calibrated estimate should predict a same-size run well.
+        let ctx = PlanContext::fuzzy(4_096, 2, 10);
+        let predicted = e.estimate(PlanKind::FaginA0, &ctx).unwrap();
+        let mut sources = independent_uniform(4_096, 2, 13);
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        let actual = FaginsAlgorithm
+            .top_k(&mut refs, &Min, 10)
+            .expect("valid run")
+            .stats
+            .database_access_cost() as f64;
+        assert!(
+            (predicted - actual).abs() / actual < 0.5,
+            "prediction {predicted} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn k_is_capped_by_n() {
+        let e = CostEstimator::default();
+        let ctx = PlanContext::fuzzy(5, 2, 100);
+        let merge = e.estimate(PlanKind::MaxMerge, &ctx).unwrap();
+        assert_eq!(merge, 10.0); // m·min(k, N) = 2·5
+    }
+}

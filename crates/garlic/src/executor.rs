@@ -1,0 +1,722 @@
+//! The query executor: runs planner-chosen strategies against catalog
+//! sources, metering every database access.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use fmdb_core::graded_set::GradedSet;
+use fmdb_core::query::{AtomicQuery, Query, QueryError};
+use fmdb_core::score::{Score, ScoredObject};
+use fmdb_core::scoring::conorms::Max;
+use fmdb_core::scoring::{ConormScoring, ScoringFunction};
+use fmdb_middleware::algorithms::fa::{FaginsAlgorithm, OwnedFaSession};
+use fmdb_middleware::algorithms::max_merge::MaxMerge;
+use fmdb_middleware::algorithms::naive::Naive;
+use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
+use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
+use fmdb_middleware::algorithms::{AlgoError, TopKAlgorithm};
+use fmdb_middleware::source::{GradedSource, VecSource};
+use fmdb_middleware::stats::AccessStats;
+
+use crate::catalog::{Catalog, CatalogError};
+use crate::cost::CostEstimator;
+use crate::object::{Oid, SubObjectIndex};
+use crate::planner::{plan, plan_costed, Combiner, FlatQuery, PlanKind};
+
+/// Which top-k algorithm executes flat monotone plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlgoChoice {
+    /// Let the planner decide (A₀ for conjunctions).
+    #[default]
+    Auto,
+    /// Force plain A₀.
+    Fa,
+    /// Force A₀ with pruned random access.
+    PrunedFa,
+    /// Force the Threshold Algorithm (extension).
+    Ta,
+    /// Force the naive full drain.
+    Naive,
+}
+
+/// Error raised during execution.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Catalog/repository failure.
+    Catalog(CatalogError),
+    /// Algorithm-level failure.
+    Algo(AlgoError),
+    /// Reference-semantics failure (full scans).
+    Query(QueryError),
+    /// `k` was zero.
+    ZeroK,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Catalog(e) => write!(f, "{e}"),
+            ExecError::Algo(e) => write!(f, "{e}"),
+            ExecError::Query(e) => write!(f, "{e}"),
+            ExecError::ZeroK => write!(f, "k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<CatalogError> for ExecError {
+    fn from(e: CatalogError) -> Self {
+        ExecError::Catalog(e)
+    }
+}
+
+impl From<AlgoError> for ExecError {
+    fn from(e: AlgoError) -> Self {
+        ExecError::Algo(e)
+    }
+}
+
+impl From<QueryError> for ExecError {
+    fn from(e: QueryError) -> Self {
+        ExecError::Query(e)
+    }
+}
+
+/// The answers, cost, and plan of one executed query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Top-k answers, descending grade (ties by ascending oid).
+    pub answers: Vec<ScoredObject<Oid>>,
+    /// Total database accesses across all sources and rounds.
+    pub stats: AccessStats,
+    /// The strategy that produced the result.
+    pub plan: PlanKind,
+    /// The planner's explanation.
+    pub explanation: String,
+}
+
+impl QueryResult {
+    /// The answers as a graded set.
+    pub fn graded_set(&self) -> GradedSet<Oid> {
+        self.answers.iter().map(|a| (a.id, a.grade)).collect()
+    }
+}
+
+/// An adapter exposing a [`Combiner`] as a [`ScoringFunction`] for the
+/// middleware algorithms.
+struct CombinerScoring<'a>(&'a Combiner);
+
+impl ScoringFunction for CombinerScoring<'_> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn combine(&self, scores: &[Score]) -> Score {
+        self.0.combine(scores)
+    }
+    fn is_strict(&self) -> bool {
+        false // conservative; strictness is not needed for execution
+    }
+    fn is_monotone(&self) -> bool {
+        self.0.is_monotone()
+    }
+}
+
+/// Owned variant of [`CombinerScoring`] for long-lived cursors.
+struct OwnedCombiner(Combiner);
+
+impl ScoringFunction for OwnedCombiner {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn combine(&self, scores: &[Score]) -> Score {
+        self.0.combine(scores)
+    }
+    fn is_strict(&self) -> bool {
+        false
+    }
+    fn is_monotone(&self) -> bool {
+        self.0.is_monotone()
+    }
+}
+
+/// A resumable top-k cursor over one query; see [`Garlic::cursor`].
+pub struct QueryCursor {
+    session: OwnedFaSession,
+}
+
+impl QueryCursor {
+    /// The next `batch` best answers (those ranked after everything
+    /// already returned), with cumulative session statistics.
+    pub fn next_batch(&mut self, batch: usize) -> Result<QueryResult, ExecError> {
+        let result = self.session.next_k(batch)?;
+        Ok(QueryResult {
+            answers: result.answers,
+            stats: result.stats,
+            plan: PlanKind::FaginA0,
+            explanation: "resumable A0 session (continue where we left off)".to_owned(),
+        })
+    }
+
+    /// Answers already returned across batches.
+    pub fn emitted(&self) -> usize {
+        self.session.emitted()
+    }
+}
+
+/// The Garlic facade: a catalog plus query execution.
+pub struct Garlic {
+    catalog: Catalog,
+}
+
+impl fmt::Debug for Garlic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Garlic({:?})", self.catalog)
+    }
+}
+
+impl Garlic {
+    /// Wraps a catalog.
+    pub fn new(catalog: Catalog) -> Garlic {
+        Garlic { catalog }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Explains how a query would be executed, without running it.
+    pub fn explain(&self, query: &Query) -> String {
+        let p = plan(query, &self.catalog);
+        format!("{}: {}", p.kind, p.explanation)
+    }
+
+    /// Finds the top `k` answers, choosing the strategy automatically.
+    pub fn top_k(&self, query: &Query, k: usize) -> Result<QueryResult, ExecError> {
+        self.top_k_with(query, k, AlgoChoice::Auto)
+    }
+
+    /// Finds the top `k` answers with a **cost-based** plan choice
+    /// (§4.2's optimizer): strategies are priced through `estimator`
+    /// and the cheapest valid one runs.
+    pub fn top_k_optimized(
+        &self,
+        query: &Query,
+        k: usize,
+        estimator: &CostEstimator,
+    ) -> Result<QueryResult, ExecError> {
+        if k == 0 {
+            return Err(ExecError::ZeroK);
+        }
+        let p = plan_costed(query, &self.catalog, k, estimator);
+        self.execute_plan(p, query, k)
+    }
+
+    /// Finds the top `k` answers with an explicit algorithm override
+    /// for flat monotone queries (used by the experiments).
+    pub fn top_k_with(
+        &self,
+        query: &Query,
+        k: usize,
+        choice: AlgoChoice,
+    ) -> Result<QueryResult, ExecError> {
+        if k == 0 {
+            return Err(ExecError::ZeroK);
+        }
+        let p = plan(query, &self.catalog);
+        match (p.kind, choice) {
+            (PlanKind::FullScan, _) => self.full_scan(query, k, p.explanation),
+            (_, AlgoChoice::Naive) => {
+                let flat = p.flat.expect("non-FullScan plans carry a flat query");
+                self.run_flat(
+                    &flat,
+                    k,
+                    &Naive,
+                    PlanKind::FaginA0,
+                    "forced naive".to_owned(),
+                )
+            }
+            (_, AlgoChoice::Auto) => self.execute_plan(p, query, k),
+            (_, choice) => {
+                let flat = p.flat.expect("non-FullScan plans carry a flat query");
+                let pruned = PrunedFa::default();
+                let (algo, label): (&dyn TopKAlgorithm, &str) = match choice {
+                    AlgoChoice::PrunedFa => (&pruned, "forced pruned A0"),
+                    AlgoChoice::Ta => (&ThresholdAlgorithm, "forced TA"),
+                    _ => (&FaginsAlgorithm, "algorithm A0"),
+                };
+                self.run_flat(&flat, k, algo, PlanKind::FaginA0, label.to_owned())
+            }
+        }
+    }
+
+    /// Runs a planner-selected plan.
+    fn execute_plan(
+        &self,
+        p: crate::planner::Plan,
+        query: &Query,
+        k: usize,
+    ) -> Result<QueryResult, ExecError> {
+        match p.kind {
+            PlanKind::FullScan => self.full_scan(query, k, p.explanation),
+            PlanKind::MaxMerge => {
+                let flat = p.flat.expect("max-merge plans carry a flat query");
+                self.run_max_merge(&flat, k, p.explanation)
+            }
+            PlanKind::CrispFilter => {
+                let flat = p.flat.expect("crisp-filter plans carry a flat query");
+                self.run_crisp_filter(&flat, k, p.explanation)
+            }
+            PlanKind::FaginA0 => {
+                let flat = p.flat.expect("A0 plans carry a flat query");
+                self.run_flat(&flat, k, &FaginsAlgorithm, PlanKind::FaginA0, p.explanation)
+            }
+        }
+    }
+
+    /// Builds global-id sources for each atom of a flat query.
+    fn build_sources(&self, flat: &FlatQuery) -> Result<Vec<VecSource>, ExecError> {
+        flat.atoms
+            .iter()
+            .map(|a| self.catalog.source_for(a).map_err(ExecError::from))
+            .collect()
+    }
+
+    fn run_flat(
+        &self,
+        flat: &FlatQuery,
+        k: usize,
+        algo: &dyn TopKAlgorithm,
+        kind: PlanKind,
+        explanation: String,
+    ) -> Result<QueryResult, ExecError> {
+        let mut sources = self.build_sources(flat)?;
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        let scoring = CombinerScoring(&flat.combiner);
+        let result = algo.top_k(&mut refs, &scoring, k)?;
+        Ok(QueryResult {
+            answers: result.answers,
+            stats: result.stats,
+            plan: kind,
+            explanation,
+        })
+    }
+
+    fn run_max_merge(
+        &self,
+        flat: &FlatQuery,
+        k: usize,
+        explanation: String,
+    ) -> Result<QueryResult, ExecError> {
+        let mut sources = self.build_sources(flat)?;
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        // The planner probed max-likeness; run the merge under the
+        // canonical max so the middleware's own probe also accepts it.
+        let result = MaxMerge.top_k(&mut refs, &ConormScoring(Max), k)?;
+        Ok(QueryResult {
+            answers: result.answers,
+            stats: result.stats,
+            plan: PlanKind::MaxMerge,
+            explanation,
+        })
+    }
+
+    /// The Beatles strategy (§4.1): resolve crisp conjuncts to a match
+    /// set S, then random-access only S's fuzzy grades.
+    fn run_crisp_filter(
+        &self,
+        flat: &FlatQuery,
+        k: usize,
+        explanation: String,
+    ) -> Result<QueryResult, ExecError> {
+        let mut stats = AccessStats::ZERO;
+        let mut survivors: Option<HashSet<Oid>> = None;
+        let mut crisp_positions = Vec::new();
+        for (i, atom) in flat.atoms.iter().enumerate() {
+            if let Some(matches) = self.catalog.crisp_matches(atom)? {
+                // Cost model: streaming the grade-1 prefix under sorted
+                // access costs |matches| accesses, plus one more to
+                // observe the stream dropping to grade 0.
+                let universe = self
+                    .catalog
+                    .repository_for(&atom.attribute)?
+                    .universe_size() as u64;
+                stats.sorted += (matches.len() as u64 + 1).min(universe);
+                let set: HashSet<Oid> = matches.into_iter().collect();
+                survivors = Some(match survivors {
+                    None => set,
+                    Some(prev) => prev.intersection(&set).copied().collect(),
+                });
+                crisp_positions.push(i);
+            }
+        }
+        let survivors = survivors.expect("crisp-filter plans have ≥ 1 crisp conjunct");
+
+        // Random-access every fuzzy conjunct for each survivor.
+        let mut fuzzy_sources: HashMap<usize, VecSource> = HashMap::new();
+        for (i, atom) in flat.atoms.iter().enumerate() {
+            if !crisp_positions.contains(&i) {
+                fuzzy_sources.insert(i, self.catalog.source_for(atom)?);
+            }
+        }
+        let mut answers: Vec<ScoredObject<Oid>> = Vec::with_capacity(survivors.len());
+        let mut grades = vec![Score::ONE; flat.atoms.len()];
+        let mut ordered: Vec<Oid> = survivors.iter().copied().collect();
+        ordered.sort_unstable();
+        for oid in ordered {
+            for (i, grade) in grades.iter_mut().enumerate() {
+                if let Some(src) = fuzzy_sources.get_mut(&i) {
+                    *grade = src.random_access(oid);
+                    stats.random += 1;
+                } else {
+                    *grade = Score::ONE; // crisp conjunct matched
+                }
+            }
+            answers.push(ScoredObject::new(oid, flat.combiner.combine(&grades)));
+        }
+        answers.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.id.cmp(&b.id)));
+        answers.truncate(k);
+
+        // If the filter kept fewer than k objects, pad with grade-0
+        // objects from outside S (the combiner is zero-absorbing, so
+        // their overall grade is exactly 0). Padding costs a drain of
+        // one crisp source's universe.
+        if answers.len() < k {
+            let crisp_atom = &flat.atoms[crisp_positions[0]];
+            let mut src = self.catalog.source_for(crisp_atom)?;
+            src.rewind();
+            let mut seen_ids: HashSet<Oid> = answers.iter().map(|a| a.id).collect();
+            while answers.len() < k {
+                let Some(so) = src.sorted_next() else { break };
+                stats.sorted += 1;
+                if seen_ids.insert(so.id) && !survivors.contains(&so.id) {
+                    answers.push(ScoredObject::new(so.id, Score::ZERO));
+                }
+            }
+        }
+
+        Ok(QueryResult {
+            answers,
+            stats,
+            plan: PlanKind::CrispFilter,
+            explanation,
+        })
+    }
+
+    /// Reference-semantics full scan: supports arbitrary Boolean
+    /// structure including negation.
+    fn full_scan(
+        &self,
+        query: &Query,
+        k: usize,
+        explanation: String,
+    ) -> Result<QueryResult, ExecError> {
+        let mut stats = AccessStats::ZERO;
+        let atoms: Vec<&AtomicQuery> = query.atoms();
+        // Per-atom grade maps (atoms may repeat; build each once).
+        let mut grade_maps: Vec<(AtomicQuery, HashMap<Oid, Score>)> = Vec::new();
+        let mut universe: HashSet<Oid> = HashSet::new();
+        for atom in &atoms {
+            if grade_maps.iter().any(|(a, _)| a == *atom) {
+                continue;
+            }
+            let mut src = self.catalog.source_for(atom)?;
+            src.rewind();
+            let mut map = HashMap::with_capacity(src.universe_size());
+            while let Some(so) = src.sorted_next() {
+                stats.sorted += 1;
+                map.insert(so.id, so.grade);
+                universe.insert(so.id);
+            }
+            grade_maps.push(((*atom).clone(), map));
+        }
+
+        let mut answers: Vec<ScoredObject<Oid>> = Vec::with_capacity(universe.len());
+        for &oid in &universe {
+            let grade = query.grade(&|atom: &AtomicQuery| {
+                grade_maps
+                    .iter()
+                    .find(|(a, _)| a == atom)
+                    // Objects absent from a source have grade 0 there.
+                    .map(|(_, m)| m.get(&oid).copied().unwrap_or(Score::ZERO))
+            })?;
+            answers.push(ScoredObject::new(oid, grade));
+        }
+        answers.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.id.cmp(&b.id)));
+        answers.truncate(k);
+        Ok(QueryResult {
+            answers,
+            stats,
+            plan: PlanKind::FullScan,
+            explanation,
+        })
+    }
+
+    /// Opens a **resumable cursor** over a flat monotone query: each
+    /// [`QueryCursor::next_batch`] call returns the next best answers,
+    /// continuing the underlying A₀ session where it left off — the
+    /// paper's "ask the subsystem for, say, the top 10 objects …, then
+    /// request the next 10, etc." (§4), powered by A₀'s "continue where
+    /// we left off" property (§4.1).
+    ///
+    /// Queries that cannot be flattened (negation, nesting) are
+    /// rejected; run them through [`Garlic::top_k`] instead.
+    pub fn cursor(&self, query: &Query) -> Result<QueryCursor, ExecError> {
+        let Some(flat) = crate::planner::flatten(query) else {
+            return Err(ExecError::Algo(AlgoError::UnsupportedScoring {
+                algorithm: "cursor",
+                requirement: "a flat monotone combination of atomic queries",
+                scoring: query.to_string(),
+            }));
+        };
+        let sources = self.build_sources(&flat)?;
+        let boxed: Vec<Box<dyn GradedSource>> = sources
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn GradedSource>)
+            .collect();
+        let session = OwnedFaSession::new(boxed, Box::new(OwnedCombiner(flat.combiner)))?;
+        Ok(QueryCursor { session })
+    }
+
+    /// Lifts a sub-object result to parent objects (§4.2's
+    /// Advertisement/AdPhoto case): a parent's grade is the max over
+    /// its sub-objects' grades under `role`; shared sub-objects
+    /// contribute to every parent.
+    pub fn lift_to_parents(
+        result: &QueryResult,
+        index: &SubObjectIndex,
+        role: &str,
+        k: usize,
+    ) -> Vec<ScoredObject<Oid>> {
+        let mut best: HashMap<Oid, Score> = HashMap::new();
+        for sub in &result.answers {
+            for &parent in index.parents_of(role, sub.id) {
+                let entry = best.entry(parent).or_insert(Score::ZERO);
+                *entry = (*entry).max(sub.grade);
+            }
+        }
+        let mut out: Vec<ScoredObject<Oid>> = best
+            .into_iter()
+            .map(|(id, grade)| ScoredObject::new(id, grade))
+            .collect();
+        out.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.id.cmp(&b.id)));
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Value;
+    use crate::repository::{QbicRepository, TableRepository};
+    use fmdb_core::query::Target;
+    use fmdb_media::synth::{SynthConfig, SyntheticDb};
+
+    fn demo_garlic(n: usize) -> Garlic {
+        let db = SyntheticDb::generate(&SynthConfig {
+            count: n,
+            bins_per_channel: 3,
+            seed: 5,
+            ..SynthConfig::default()
+        });
+        let mut table = TableRepository::new("cds", n as u64);
+        for i in 0..n as u64 {
+            let artist = if i % 5 == 0 { "Beatles" } else { "Various" };
+            table.set(i, "Artist", Value::text(artist));
+        }
+        let mut catalog = Catalog::new();
+        catalog.register(Box::new(table)).unwrap();
+        catalog
+            .register(Box::new(QbicRepository::new("qbic", db)))
+            .unwrap();
+        Garlic::new(catalog)
+    }
+
+    fn beatles_and_red() -> Query {
+        Query::and(vec![
+            Query::atomic("Artist", Target::Text("Beatles".into())),
+            Query::atomic("Color", Target::Similar("red".into())),
+        ])
+    }
+
+    #[test]
+    fn crisp_filter_returns_only_beatles_with_color_order() {
+        let g = demo_garlic(50);
+        let r = g.top_k(&beatles_and_red(), 5).unwrap();
+        assert_eq!(r.plan, PlanKind::CrispFilter);
+        assert_eq!(r.answers.len(), 5);
+        // (a) nonzero grades only for Beatles albums,
+        for a in &r.answers {
+            if a.grade > Score::ZERO {
+                assert_eq!(a.id % 5, 0, "object {} is not a Beatles album", a.id);
+            }
+        }
+        // (b) descending by color grade.
+        for w in r.answers.windows(2) {
+            assert!(w[0].grade >= w[1].grade);
+        }
+    }
+
+    #[test]
+    fn crisp_filter_agrees_with_full_reference_scan() {
+        let g = demo_garlic(40);
+        let q = beatles_and_red();
+        let fast = g.top_k(&q, 6).unwrap();
+        let slow = g.top_k_with(&q, 6, AlgoChoice::Naive).unwrap();
+        let fg: Vec<Score> = fast.answers.iter().map(|a| a.grade).collect();
+        let sg: Vec<Score> = slow.answers.iter().map(|a| a.grade).collect();
+        assert_eq!(fg, sg);
+        assert!(
+            fast.stats.database_access_cost() < slow.stats.database_access_cost(),
+            "crisp filter {} should beat naive {}",
+            fast.stats,
+            slow.stats
+        );
+    }
+
+    #[test]
+    fn fuzzy_conjunction_runs_a0_and_matches_naive() {
+        let g = demo_garlic(40);
+        let q = Query::and(vec![
+            Query::atomic("Color", Target::Similar("red".into())),
+            Query::atomic("Shape", Target::Similar("round".into())),
+        ]);
+        let fa = g.top_k(&q, 5).unwrap();
+        assert_eq!(fa.plan, PlanKind::FaginA0);
+        let naive = g.top_k_with(&q, 5, AlgoChoice::Naive).unwrap();
+        assert_eq!(fa.answers, naive.answers);
+        for choice in [AlgoChoice::PrunedFa, AlgoChoice::Ta] {
+            let alt = g.top_k_with(&q, 5, choice).unwrap();
+            let alt_g: Vec<Score> = alt.answers.iter().map(|a| a.grade).collect();
+            let ref_g: Vec<Score> = naive.answers.iter().map(|a| a.grade).collect();
+            assert_eq!(alt_g, ref_g, "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn disjunction_uses_max_merge() {
+        let g = demo_garlic(40);
+        let q = Query::or(vec![
+            Query::atomic("Color", Target::Similar("red".into())),
+            Query::atomic("Color", Target::Similar("blue".into())),
+        ]);
+        let r = g.top_k(&q, 5).unwrap();
+        assert_eq!(r.plan, PlanKind::MaxMerge);
+        // m·k sorted accesses, no random.
+        assert_eq!(r.stats.sorted, 10);
+        assert_eq!(r.stats.random, 0);
+    }
+
+    #[test]
+    fn negated_query_full_scans_with_correct_semantics() {
+        let g = demo_garlic(30);
+        let q = Query::not(Query::atomic("Color", Target::Similar("red".into())));
+        let r = g.top_k(&q, 3).unwrap();
+        assert_eq!(r.plan, PlanKind::FullScan);
+        // The best anti-red object has grade = 1 − (lowest red grade).
+        let red = g
+            .top_k(&Query::atomic("Color", Target::Similar("red".into())), 30)
+            .unwrap();
+        let least_red = red.answers.last().unwrap();
+        assert!(r.answers[0].grade.approx_eq(least_red.grade.negate(), 1e-9));
+    }
+
+    #[test]
+    fn explain_names_the_plan() {
+        let g = demo_garlic(20);
+        assert!(g.explain(&beatles_and_red()).starts_with("crisp-filter"));
+        let neg = Query::not(beatles_and_red());
+        assert!(g.explain(&neg).starts_with("full-scan"));
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let g = demo_garlic(10);
+        assert!(matches!(
+            g.top_k(&beatles_and_red(), 0),
+            Err(ExecError::ZeroK)
+        ));
+    }
+
+    #[test]
+    fn crisp_filter_pads_when_selectivity_is_too_low() {
+        let db = SyntheticDb::generate(&SynthConfig {
+            count: 10,
+            bins_per_channel: 3,
+            seed: 5,
+            ..SynthConfig::default()
+        });
+        let mut table = TableRepository::new("cds", 10);
+        table.set(0, "Artist", Value::text("Beatles")); // just one match
+        let mut catalog = Catalog::new();
+        catalog.register(Box::new(table)).unwrap();
+        catalog
+            .register(Box::new(QbicRepository::new("qbic", db)))
+            .unwrap();
+        let g = Garlic::new(catalog);
+        let r = g.top_k(&beatles_and_red(), 4).unwrap();
+        assert_eq!(r.answers.len(), 4);
+        assert!(r.answers[0].grade > Score::ZERO);
+        assert!(r.answers[1..].iter().all(|a| a.grade == Score::ZERO));
+    }
+
+    #[test]
+    fn cursor_batches_stitch_into_the_one_shot_ranking() {
+        let g = demo_garlic(40);
+        let q = Query::and(vec![
+            Query::atomic("Color", Target::Similar("red".into())),
+            Query::atomic("Shape", Target::Similar("round".into())),
+        ]);
+        let mut cursor = g.cursor(&q).unwrap();
+        let b1 = cursor.next_batch(4).unwrap();
+        let b2 = cursor.next_batch(4).unwrap();
+        assert_eq!(cursor.emitted(), 8);
+        let stitched: Vec<_> = b1.answers.iter().chain(&b2.answers).cloned().collect();
+        let oneshot = g.top_k_with(&q, 8, AlgoChoice::Fa).unwrap();
+        assert_eq!(stitched, oneshot.answers);
+        // Batches never overlap and are globally ordered.
+        for w in stitched.windows(2) {
+            assert!(w[0].grade >= w[1].grade);
+        }
+    }
+
+    #[test]
+    fn cursor_rejects_non_flat_queries() {
+        let g = demo_garlic(10);
+        let q = Query::not(Query::atomic("Color", Target::Similar("red".into())));
+        assert!(g.cursor(&q).is_err());
+    }
+
+    #[test]
+    fn lift_to_parents_takes_max_over_shared_subs() {
+        use crate::object::ComplexObject;
+        let mut ad1 = ComplexObject::new(100);
+        ad1.attach("AdPhoto", 0);
+        ad1.attach("AdPhoto", 1);
+        let mut ad2 = ComplexObject::new(200);
+        ad2.attach("AdPhoto", 1); // shared with ad1
+        let idx = SubObjectIndex::build([&ad1, &ad2]);
+        let result = QueryResult {
+            answers: vec![
+                ScoredObject::new(0, Score::clamped(0.4)),
+                ScoredObject::new(1, Score::clamped(0.9)),
+            ],
+            stats: AccessStats::ZERO,
+            plan: PlanKind::MaxMerge,
+            explanation: String::new(),
+        };
+        let parents = Garlic::lift_to_parents(&result, &idx, "AdPhoto", 10);
+        assert_eq!(parents.len(), 2);
+        assert_eq!(parents[0].id, 100); // max(0.4, 0.9) = 0.9, ties → lower oid
+        assert!(parents[0].grade.approx_eq(Score::clamped(0.9), 1e-12));
+        assert!(parents[1].grade.approx_eq(Score::clamped(0.9), 1e-12));
+    }
+}

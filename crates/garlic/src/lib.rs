@@ -1,0 +1,59 @@
+//! # fmdb-garlic — the multimedia middleware layer
+//!
+//! The Garlic-like integration layer (§4) of the reproduction of
+//! Fagin, *"Fuzzy Queries in Multimedia Database Systems"*
+//! (PODS 1998): autonomous repositories behind a catalog, a planner
+//! choosing between the crisp-filter strategy, algorithm A₀, the m·k
+//! disjunction merge, and reference-semantics full scans, and an
+//! executor that meters every database access.
+//!
+//! * [`object`] — global ids, values, complex objects
+//!   (Advertisement/AdPhoto) with shared sub-objects;
+//! * [`idmap`] — enforced one-to-one id mappings across subsystems;
+//! * [`repository`] — the relational table and QBIC-style image
+//!   repositories;
+//! * [`catalog`] — attribute routing + id translation;
+//! * [`planner`] — strategy selection with numeric property probes,
+//!   plus a cost-based optimizer mode (§4.2's cost-modeling issue);
+//! * [`cost`] — calibratable per-plan cost estimates;
+//! * [`executor`] — the [`executor::Garlic`] facade;
+//! * [`sql`] — a small SQL-ish query syntax (extension);
+//! * [`demo`] — the paper's CD-store and advertisement examples,
+//!   prebuilt.
+//!
+//! ```
+//! use fmdb_garlic::demo::cd_store;
+//! use fmdb_garlic::sql::parse;
+//!
+//! let garlic = cd_store(60, 42);
+//! let stmt = parse("SELECT TOP 5 WHERE Artist='Beatles' AND Color~'red'").unwrap();
+//! let result = garlic.top_k(&stmt.query, stmt.k).unwrap();
+//! assert_eq!(result.answers.len(), 5);
+//! println!("plan: {} cost: {}", result.plan, result.stats);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod cost;
+pub mod demo;
+pub mod executor;
+pub mod idmap;
+pub mod object;
+pub mod planner;
+pub mod repository;
+pub mod sql;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::catalog::Catalog;
+    pub use crate::cost::{CostEstimator, PlanContext};
+    pub use crate::demo::{ad_database, cd_store};
+    pub use crate::executor::{AlgoChoice, ExecError, Garlic, QueryCursor, QueryResult};
+    pub use crate::idmap::IdMapper;
+    pub use crate::object::{ComplexObject, Oid, SubObjectIndex, Value};
+    pub use crate::planner::{plan, plan_costed, PlanKind};
+    pub use crate::repository::{named_color, QbicRepository, Repository, TableRepository};
+    pub use crate::sql::parse;
+}

@@ -1,0 +1,165 @@
+//! Objects, values, and complex objects (§4.2).
+//!
+//! Garlic "deals with complex objects. … let us assume that the system
+//! contains information about Advertisements, which are complex objects
+//! with AdPhotos among their sub-objects. … this is complicated by the
+//! fact that different multimedia objects can share the same component
+//! objects." [`ComplexObject`] and [`SubObjectIndex`] model exactly
+//! that: parents reference sub-objects by role, sub-objects may be
+//! shared, and the index answers the question algorithm A₀ needs —
+//! *which parents does this sub-object belong to?*
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Global object identity (one per conceptual entity; per-subsystem
+/// identities are translated by [`crate::idmap::IdMapper`]).
+pub type Oid = u64;
+
+/// A crisp attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Text value.
+    Text(String),
+    /// Integer value.
+    Int(i64),
+}
+
+impl Value {
+    /// Text helper.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A complex object: a parent entity whose roles reference sub-objects
+/// (possibly shared with other parents).
+#[derive(Debug, Clone)]
+pub struct ComplexObject {
+    /// The parent's global id.
+    pub id: Oid,
+    /// Role name → sub-object ids (e.g. `"AdPhoto" → [17, 21]`).
+    pub sub_objects: HashMap<String, Vec<Oid>>,
+}
+
+impl ComplexObject {
+    /// A parent with no sub-objects yet.
+    pub fn new(id: Oid) -> ComplexObject {
+        ComplexObject {
+            id,
+            sub_objects: HashMap::new(),
+        }
+    }
+
+    /// Attaches a sub-object under `role`.
+    pub fn attach(&mut self, role: impl Into<String>, sub: Oid) {
+        self.sub_objects.entry(role.into()).or_default().push(sub);
+    }
+
+    /// The sub-objects under `role`.
+    pub fn subs(&self, role: &str) -> &[Oid] {
+        self.sub_objects.get(role).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Reverse index from sub-object to parents, per role — the lookup
+/// Garlic "may not have easily available (e.g., through an index)";
+/// here we build it eagerly so the executor can lift sub-object grades
+/// to parent grades.
+#[derive(Debug, Clone, Default)]
+pub struct SubObjectIndex {
+    /// role → (sub oid → parent oids).
+    parents: HashMap<String, HashMap<Oid, Vec<Oid>>>,
+}
+
+impl SubObjectIndex {
+    /// Builds the reverse index over a set of complex objects.
+    pub fn build<'a>(objects: impl IntoIterator<Item = &'a ComplexObject>) -> SubObjectIndex {
+        let mut parents: HashMap<String, HashMap<Oid, Vec<Oid>>> = HashMap::new();
+        for obj in objects {
+            for (role, subs) in &obj.sub_objects {
+                let role_map = parents.entry(role.clone()).or_default();
+                for &sub in subs {
+                    let v = role_map.entry(sub).or_default();
+                    if !v.contains(&obj.id) {
+                        v.push(obj.id);
+                    }
+                }
+            }
+        }
+        for role_map in parents.values_mut() {
+            for v in role_map.values_mut() {
+                v.sort_unstable();
+            }
+        }
+        SubObjectIndex { parents }
+    }
+
+    /// The parents of `sub` under `role` (empty if unknown).
+    pub fn parents_of(&self, role: &str, sub: Oid) -> &[Oid] {
+        self.parents
+            .get(role)
+            .and_then(|m| m.get(&sub))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// True if `sub` is shared by more than one parent under `role`.
+    pub fn is_shared(&self, role: &str, sub: Oid) -> bool {
+        self.parents_of(role, sub).len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_and_lookup() {
+        let mut ad = ComplexObject::new(1);
+        ad.attach("AdPhoto", 10);
+        ad.attach("AdPhoto", 11);
+        ad.attach("Logo", 20);
+        assert_eq!(ad.subs("AdPhoto"), &[10, 11]);
+        assert_eq!(ad.subs("Logo"), &[20]);
+        assert!(ad.subs("Missing").is_empty());
+    }
+
+    #[test]
+    fn reverse_index_finds_parents() {
+        let mut a = ComplexObject::new(1);
+        a.attach("AdPhoto", 10);
+        let mut b = ComplexObject::new(2);
+        b.attach("AdPhoto", 10); // shared photo
+        b.attach("AdPhoto", 11);
+        let idx = SubObjectIndex::build([&a, &b]);
+        assert_eq!(idx.parents_of("AdPhoto", 10), &[1, 2]);
+        assert_eq!(idx.parents_of("AdPhoto", 11), &[2]);
+        assert!(idx.is_shared("AdPhoto", 10));
+        assert!(!idx.is_shared("AdPhoto", 11));
+        assert!(idx.parents_of("Logo", 10).is_empty());
+    }
+
+    #[test]
+    fn duplicate_attachments_do_not_duplicate_parents() {
+        let mut a = ComplexObject::new(1);
+        a.attach("AdPhoto", 10);
+        a.attach("AdPhoto", 10);
+        let idx = SubObjectIndex::build([&a]);
+        assert_eq!(idx.parents_of("AdPhoto", 10), &[1]);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::text("Beatles").to_string(), "'Beatles'");
+        assert_eq!(Value::Int(7).to_string(), "7");
+    }
+}

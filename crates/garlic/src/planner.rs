@@ -1,0 +1,483 @@
+//! Query planning (§4.1–§4.2).
+//!
+//! Garlic's implementers "ultimately decided to treat A₀ as a join";
+//! picking the right physical strategy for a fuzzy query is exactly a
+//! planning problem, and the paper describes three regimes:
+//!
+//! * a conjunction with a selective **crisp** conjunct (the Beatles
+//!   example): evaluate the crisp predicate first, then random-access
+//!   the fuzzy grades of the survivors — cost proportional to the
+//!   selectivity, not to N^(1/2);
+//! * a monotone conjunction of fuzzy conjuncts: **algorithm A₀**;
+//! * a disjunction under max: the **m·k merge**;
+//! * anything else (negation, nested mixes, non-monotone scoring):
+//!   fall back to a **full scan** with reference semantics.
+//!
+//! The planner cannot introspect a user-supplied scoring function
+//! symbolically, so — like Garlic, which had to "somehow guarantee
+//! monotonicity" — it *probes* the function numerically before
+//! committing to a plan that depends on an algebraic property.
+
+use fmdb_core::query::{AtomicQuery, Query, ScoringHandle};
+use fmdb_core::score::Score;
+use fmdb_core::scoring::ScoringFunction;
+use fmdb_core::weights::Weighting;
+
+use crate::catalog::Catalog;
+use crate::cost::{CostEstimator, PlanContext};
+use crate::repository::AttributeKind;
+
+/// How the flat query combines its atoms' grades.
+#[derive(Clone)]
+pub enum Combiner {
+    /// Plain m-ary scoring function.
+    Plain(ScoringHandle),
+    /// Fagin–Wimmers weighted rule.
+    Weighted(ScoringHandle, Weighting),
+}
+
+impl Combiner {
+    /// Evaluates the combiner on a grade tuple.
+    pub fn combine(&self, grades: &[Score]) -> Score {
+        match self {
+            Combiner::Plain(f) => f.combine(grades),
+            Combiner::Weighted(f, theta) => {
+                fmdb_core::weights::weighted_combine(&**f, theta, grades)
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Combiner::Plain(f) => f.name(),
+            Combiner::Weighted(f, theta) => {
+                format!("weighted({}, {:?})", f.name(), theta.weights())
+            }
+        }
+    }
+
+    /// Monotonicity as declared by the underlying function.
+    pub fn is_monotone(&self) -> bool {
+        match self {
+            Combiner::Plain(f) => f.is_monotone(),
+            Combiner::Weighted(f, _) => f.is_monotone(),
+        }
+    }
+}
+
+/// A query flattened to one combination level over atomic children.
+#[derive(Clone)]
+pub struct FlatQuery {
+    /// The atomic subqueries in positional order.
+    pub atoms: Vec<AtomicQuery>,
+    /// The grade combiner.
+    pub combiner: Combiner,
+}
+
+/// Flattens a query if it is a single And/Or/Weighted (or bare atom)
+/// over atomic children; returns `None` for nested or negated shapes.
+pub fn flatten(query: &Query) -> Option<FlatQuery> {
+    let (children, combiner) = match query {
+        Query::Atomic(a) => {
+            return Some(FlatQuery {
+                atoms: vec![a.clone()],
+                combiner: Combiner::Plain(std::sync::Arc::new(fmdb_core::scoring::tnorms::Min)),
+            })
+        }
+        Query::And { children, scoring } | Query::Or { children, scoring } => {
+            (children, Combiner::Plain(scoring.clone()))
+        }
+        Query::Weighted {
+            children,
+            scoring,
+            weighting,
+        } => (
+            children,
+            Combiner::Weighted(scoring.clone(), weighting.clone()),
+        ),
+        Query::Not(_) => return None,
+    };
+    let atoms = children
+        .iter()
+        .map(|c| match c {
+            Query::Atomic(a) => Some(a.clone()),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()?;
+    if atoms.is_empty() {
+        return None;
+    }
+    Some(FlatQuery { atoms, combiner })
+}
+
+/// The physical strategies the executor implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Crisp conjuncts filter; fuzzy grades fetched by random access.
+    CrispFilter,
+    /// Algorithm A₀ over all conjuncts.
+    FaginA0,
+    /// The m·k disjunction merge.
+    MaxMerge,
+    /// Full scan with reference semantics.
+    FullScan,
+}
+
+impl std::fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanKind::CrispFilter => write!(f, "crisp-filter"),
+            PlanKind::FaginA0 => write!(f, "fagin-a0"),
+            PlanKind::MaxMerge => write!(f, "max-merge"),
+            PlanKind::FullScan => write!(f, "full-scan"),
+        }
+    }
+}
+
+/// A chosen plan plus the flattened query it applies to (absent for
+/// full scans of non-flat queries).
+pub struct Plan {
+    /// The strategy.
+    pub kind: PlanKind,
+    /// The flattened query, when one exists.
+    pub flat: Option<FlatQuery>,
+    /// Human-readable explanation of the choice.
+    pub explanation: String,
+}
+
+/// Sample grid used by the numeric probes.
+const PROBE_SAMPLES: [f64; 4] = [0.15, 0.5, 0.85, 1.0];
+
+/// Probes whether a grade of 0 in any position forces the combined
+/// grade to 0 — the property the crisp-filter plan needs (true for
+/// every t-norm, false for means and for weighted rules with unequal
+/// weights).
+pub fn probe_zero_absorbing(combiner: &Combiner, arity: usize) -> bool {
+    if arity == 0 {
+        return false;
+    }
+    let mut args = vec![Score::ZERO; arity];
+    for pos in 0..arity {
+        for &fill in &PROBE_SAMPLES {
+            for (i, a) in args.iter_mut().enumerate() {
+                *a = if i == pos {
+                    Score::ZERO
+                } else {
+                    Score::clamped(fill)
+                };
+            }
+            if combiner.combine(&args) != Score::ZERO {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Probes whether the combiner behaves like max (the disjunction merge
+/// requirement).
+pub fn probe_max_like(combiner: &Combiner, arity: usize) -> bool {
+    if arity == 0 {
+        return false;
+    }
+    let mut args = vec![Score::ZERO; arity];
+    for &hi in &PROBE_SAMPLES {
+        for pos in 0..arity {
+            for (i, a) in args.iter_mut().enumerate() {
+                *a = if i == pos {
+                    Score::clamped(hi)
+                } else {
+                    Score::clamped(hi * 0.4)
+                };
+            }
+            let expect = args.iter().copied().fold(Score::ZERO, Score::max);
+            if !combiner.combine(&args).approx_eq(expect, 1e-9) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Chooses a plan for `query` against `catalog`.
+pub fn plan(query: &Query, catalog: &Catalog) -> Plan {
+    let Some(flat) = flatten(query) else {
+        return Plan {
+            kind: PlanKind::FullScan,
+            flat: None,
+            explanation: "query is nested or negated; falling back to full scan".to_owned(),
+        };
+    };
+    let arity = flat.atoms.len();
+
+    if !flat.combiner.is_monotone() {
+        return Plan {
+            kind: PlanKind::FullScan,
+            flat: Some(flat),
+            explanation: "scoring function is not monotone; A0 would be incorrect".to_owned(),
+        };
+    }
+
+    if probe_max_like(&flat.combiner, arity) {
+        return Plan {
+            kind: PlanKind::MaxMerge,
+            flat: Some(flat),
+            explanation: format!("disjunction under max: m·k merge over {arity} lists"),
+        };
+    }
+
+    // Crisp filter applies when some conjunct is crisp and a 0 grade
+    // annihilates the combination.
+    let has_crisp = flat
+        .atoms
+        .iter()
+        .any(|a| catalog.attribute_kind(&a.attribute) == Some(AttributeKind::Crisp));
+    if has_crisp && arity > 1 && probe_zero_absorbing(&flat.combiner, arity) {
+        return Plan {
+            kind: PlanKind::CrispFilter,
+            flat: Some(flat),
+            explanation:
+                "selective crisp conjunct filters candidates; fuzzy grades fetched by random access"
+                    .to_owned(),
+        };
+    }
+
+    Plan {
+        kind: PlanKind::FaginA0,
+        flat: Some(flat),
+        explanation: format!("monotone combination of {arity} graded lists: algorithm A0"),
+    }
+}
+
+/// Chooses a plan by *estimated cost* (§4.2's optimizer): enumerates
+/// the strategies that are valid for the query, estimates each through
+/// `estimator`, and picks the cheapest. Falls back to [`plan`]'s
+/// heuristics when the query is not flat.
+pub fn plan_costed(query: &Query, catalog: &Catalog, k: usize, estimator: &CostEstimator) -> Plan {
+    let Some(flat) = flatten(query) else {
+        return plan(query, catalog);
+    };
+    if !flat.combiner.is_monotone() {
+        return plan(query, catalog);
+    }
+    let arity = flat.atoms.len();
+    // An empty catalog makes every estimate 0; keep the formulas
+    // meaningful with a floor of one object.
+    let n = catalog.universe_size().max(1);
+
+    // Gather crisp statistics (a real optimizer would consult stored
+    // statistics; our in-memory repositories can afford exact counts,
+    // and these optimizer-time probes are not charged to the query).
+    let mut crisp_count = 0usize;
+    let mut survivors: Option<u64> = None;
+    for atom in &flat.atoms {
+        if catalog.attribute_kind(&atom.attribute) == Some(AttributeKind::Crisp) {
+            if let Ok(Some(matches)) = catalog.crisp_matches(atom) {
+                crisp_count += 1;
+                let count = matches.len() as u64;
+                survivors = Some(survivors.map_or(count, |s| s.min(count)));
+            }
+        }
+    }
+    let ctx = PlanContext {
+        n,
+        m: arity,
+        k,
+        crisp_survivors: survivors,
+        crisp_count,
+    };
+
+    // Valid strategies for this query shape.
+    let mut candidates: Vec<PlanKind> = vec![PlanKind::FaginA0, PlanKind::FullScan];
+    if probe_max_like(&flat.combiner, arity) {
+        candidates.push(PlanKind::MaxMerge);
+    }
+    if crisp_count > 0 && arity > 1 && probe_zero_absorbing(&flat.combiner, arity) {
+        candidates.push(PlanKind::CrispFilter);
+    }
+
+    let mut best = PlanKind::FaginA0;
+    let mut best_cost = f64::INFINITY;
+    let mut detail = String::new();
+    for kind in candidates {
+        if let Some(cost) = estimator.estimate(kind, &ctx) {
+            detail.push_str(&format!("{kind}≈{cost:.0} "));
+            if cost < best_cost {
+                best_cost = cost;
+                best = kind;
+            }
+        }
+    }
+    Plan {
+        kind: best,
+        flat: Some(flat),
+        explanation: format!("cost-based choice (estimates: {}→ {best})", detail),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Value;
+    use crate::repository::TableRepository;
+    use fmdb_core::query::Target;
+    use fmdb_core::scoring::conorms::Max;
+    use fmdb_core::scoring::means::ArithmeticMean;
+    use fmdb_core::scoring::tnorms::Min;
+    use fmdb_core::scoring::ConormScoring;
+    use std::sync::Arc;
+
+    fn catalog_with_crisp_artist() -> Catalog {
+        let mut t = TableRepository::new("cds", 3);
+        t.set(0, "Artist", Value::text("Beatles"));
+        let mut c = Catalog::new();
+        c.register(Box::new(t)).unwrap();
+        c
+    }
+
+    fn artist() -> Query {
+        Query::atomic("Artist", Target::Text("Beatles".into()))
+    }
+
+    fn color() -> Query {
+        Query::atomic("AlbumColor", Target::Similar("red".into()))
+    }
+
+    #[test]
+    fn beatles_query_gets_crisp_filter() {
+        let c = catalog_with_crisp_artist();
+        let q = Query::and(vec![artist(), color()]);
+        let p = plan(&q, &c);
+        assert_eq!(p.kind, PlanKind::CrispFilter);
+    }
+
+    #[test]
+    fn fuzzy_conjunction_gets_fa() {
+        let c = Catalog::new();
+        let q = Query::and(vec![
+            color(),
+            Query::atomic("Shape", Target::Similar("round".into())),
+        ]);
+        assert_eq!(plan(&q, &c).kind, PlanKind::FaginA0);
+    }
+
+    #[test]
+    fn mean_conjunction_with_crisp_cannot_use_crisp_filter() {
+        // The arithmetic mean is not zero-absorbing, so filtering on
+        // the crisp conjunct would drop objects with positive grades.
+        let c = catalog_with_crisp_artist();
+        let q = Query::and_with(vec![artist(), color()], Arc::new(ArithmeticMean));
+        assert_eq!(plan(&q, &c).kind, PlanKind::FaginA0);
+    }
+
+    #[test]
+    fn weighted_min_cannot_use_crisp_filter() {
+        let c = catalog_with_crisp_artist();
+        let theta = Weighting::from_ratios(&[2.0, 1.0]).unwrap();
+        let q = Query::weighted(vec![artist(), color()], Arc::new(Min), theta).unwrap();
+        // f_θ(0.9, 0) > 0 under weighted min, so crisp filtering is
+        // unsound; the planner must pick A0 instead.
+        assert_eq!(plan(&q, &c).kind, PlanKind::FaginA0);
+    }
+
+    #[test]
+    fn uniform_weighted_min_is_zero_absorbing_again() {
+        let c = catalog_with_crisp_artist();
+        let theta = Weighting::uniform(2).unwrap();
+        let q = Query::weighted(vec![artist(), color()], Arc::new(Min), theta).unwrap();
+        assert_eq!(plan(&q, &c).kind, PlanKind::CrispFilter);
+    }
+
+    #[test]
+    fn disjunction_gets_max_merge() {
+        let c = Catalog::new();
+        let q = Query::or(vec![color(), artist()]);
+        assert_eq!(plan(&q, &c).kind, PlanKind::MaxMerge);
+    }
+
+    #[test]
+    fn non_max_disjunction_gets_fa() {
+        let c = Catalog::new();
+        let q = Query::or_with(
+            vec![color(), artist()],
+            Arc::new(ConormScoring(fmdb_core::scoring::conorms::ProbabilisticSum)),
+        );
+        assert_eq!(plan(&q, &c).kind, PlanKind::FaginA0);
+    }
+
+    #[test]
+    fn negation_and_nesting_get_full_scan() {
+        let c = Catalog::new();
+        assert_eq!(plan(&Query::not(color()), &c).kind, PlanKind::FullScan);
+        let nested = Query::and(vec![color(), Query::or(vec![artist(), color()])]);
+        assert_eq!(plan(&nested, &c).kind, PlanKind::FullScan);
+    }
+
+    #[test]
+    fn bare_atom_is_planned_as_single_list_merge() {
+        // At arity 1 every monotone combiner degenerates to the
+        // identity, which the max probe accepts — and the m·k merge is
+        // then exactly "read the top k of the one list", the cheapest
+        // correct plan.
+        let c = Catalog::new();
+        let p = plan(&color(), &c);
+        assert_eq!(p.kind, PlanKind::MaxMerge);
+        assert_eq!(p.flat.unwrap().atoms.len(), 1);
+    }
+
+    #[test]
+    fn costed_planner_picks_crisp_filter_only_when_selective() {
+        let estimator = CostEstimator::default();
+        // Selective crisp conjunct (1 of 3 objects): crisp filter wins.
+        let c = catalog_with_crisp_artist();
+        let q = Query::and(vec![artist(), color()]);
+        let p = plan_costed(&q, &c, 2, &estimator);
+        assert_eq!(p.kind, PlanKind::CrispFilter, "{}", p.explanation);
+
+        // Unselective crisp conjunct (everything matches): A0 or scan
+        // should win over filtering. Build a catalog where all rows are
+        // Beatles.
+        let mut t = TableRepository::new("cds", 1000);
+        for i in 0..1000 {
+            t.set(i, "Artist", Value::text("Beatles"));
+        }
+        let mut c2 = Catalog::new();
+        c2.register(Box::new(t)).unwrap();
+        let p2 = plan_costed(&q, &c2, 2, &estimator);
+        assert_ne!(p2.kind, PlanKind::CrispFilter, "{}", p2.explanation);
+    }
+
+    #[test]
+    fn costed_planner_prefers_merge_for_disjunctions() {
+        let estimator = CostEstimator::default();
+        // A realistic universe: the m·k merge (10 accesses) must beat
+        // A0's ≈ 4·√(kN) estimate.
+        let mut c = Catalog::new();
+        c.register(Box::new(TableRepository::new("rows", 1000)))
+            .unwrap();
+        let q = Query::or(vec![color(), artist()]);
+        let p = plan_costed(&q, &c, 5, &estimator);
+        assert_eq!(p.kind, PlanKind::MaxMerge, "{}", p.explanation);
+    }
+
+    #[test]
+    fn costed_planner_falls_back_for_non_flat_queries() {
+        let estimator = CostEstimator::default();
+        let c = Catalog::new();
+        let q = Query::not(color());
+        assert_eq!(plan_costed(&q, &c, 5, &estimator).kind, PlanKind::FullScan);
+    }
+
+    #[test]
+    fn probes_classify_shipped_functions() {
+        let min = Combiner::Plain(Arc::new(Min));
+        assert!(probe_zero_absorbing(&min, 3));
+        assert!(!probe_max_like(&min, 3));
+        let mean = Combiner::Plain(Arc::new(ArithmeticMean));
+        assert!(!probe_zero_absorbing(&mean, 3));
+        let max = Combiner::Plain(Arc::new(ConormScoring(Max)));
+        assert!(probe_max_like(&max, 3));
+        assert!(!probe_zero_absorbing(&max, 3));
+    }
+}

@@ -1,0 +1,334 @@
+//! Filter-and-refine k-NN over histograms using the \[HSE+95\]
+//! distance-bounding filter (§2.1).
+//!
+//! "We see from (2) that we can restrict our attention to objects whose
+//! short color vector ŷ is close to the short color vector x̂.
+//! Intuitively, x̂ is being used as a 'filter' to eliminate from
+//! consideration objects … where d̂(ŷ, x̂) is too large."
+//!
+//! Search: compute the cheap lower bound `d̂` to every object (O(k) per
+//! object), then refine candidates in ascending `d̂` order with the
+//! expensive O(k²) quadratic-form distance, stopping as soon as the
+//! next lower bound exceeds the current k-th best exact distance. The
+//! lower-bound property guarantees **zero false dismissals**; the
+//! fraction of full-distance computations avoided is experiment E7's
+//! headline number.
+
+use std::fmt;
+
+use fmdb_media::bounding::{BoundError, BoundedDistance, ShortVector};
+use fmdb_media::color::{ColorHistogram, ColorSpace};
+use fmdb_media::distance::{DistanceError, HistogramDistance};
+
+use crate::geometry::GeometryError;
+use crate::rtree::RTree;
+
+/// Error raised by the filter-refine index.
+#[derive(Debug, Clone)]
+pub enum FilterError {
+    /// Distance bounding failed.
+    Bound(BoundError),
+    /// Exact distance failed.
+    Distance(DistanceError),
+    /// Short-vector index failure.
+    Index(GeometryError),
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::Bound(e) => write!(f, "{e}"),
+            FilterError::Distance(e) => write!(f, "{e}"),
+            FilterError::Index(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+impl From<BoundError> for FilterError {
+    fn from(e: BoundError) -> Self {
+        FilterError::Bound(e)
+    }
+}
+
+impl From<DistanceError> for FilterError {
+    fn from(e: DistanceError) -> Self {
+        FilterError::Distance(e)
+    }
+}
+
+impl From<GeometryError> for FilterError {
+    fn from(e: GeometryError) -> Self {
+        FilterError::Index(e)
+    }
+}
+
+/// Per-query cost of a filter-refine search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Cheap lower-bound evaluations — equal to the number of objects
+    /// for the linear filter; far fewer with the short-vector index.
+    pub filter_evaluations: u64,
+    /// Expensive full-distance evaluations actually performed.
+    pub full_evaluations: u64,
+    /// Short-vector index nodes visited (0 for the linear filter).
+    pub index_nodes: u64,
+}
+
+impl FilterStats {
+    /// Fraction of full distances avoided relative to a plain scan.
+    pub fn savings(&self) -> f64 {
+        if self.filter_evaluations == 0 {
+            0.0
+        } else {
+            1.0 - self.full_evaluations as f64 / self.filter_evaluations as f64
+        }
+    }
+}
+
+/// A filter-refine index over a fixed set of histograms.
+#[derive(Debug, Clone)]
+pub struct FilterRefineIndex {
+    bounded: BoundedDistance,
+    histograms: Vec<ColorHistogram>,
+    shorts: Vec<ShortVector>,
+    /// 3-dim R-tree over the short vectors — "we could potentially have
+    /// a multidimensional index on short color vectors" (§2.1).
+    short_index: RTree,
+}
+
+impl FilterRefineIndex {
+    /// Builds the index: derives the filter for `space` and projects
+    /// every histogram to its short vector.
+    pub fn build(
+        space: &ColorSpace,
+        histograms: Vec<ColorHistogram>,
+    ) -> Result<FilterRefineIndex, FilterError> {
+        let bounded = BoundedDistance::for_space(space)?;
+        let shorts = histograms
+            .iter()
+            .map(|h| bounded.filter.project(h))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut short_index = RTree::new(3)?;
+        for (i, s) in shorts.iter().enumerate() {
+            short_index.insert(&s.coords, i as u64)?;
+        }
+        Ok(FilterRefineIndex {
+            bounded,
+            histograms,
+            shorts,
+            short_index,
+        })
+    }
+
+    /// Exact k-NN through the short-vector **R-tree**: candidates are
+    /// streamed by ascending lower bound from the 3-dim index instead
+    /// of sorting all N lower bounds — the fully indexed version of
+    /// [`FilterRefineIndex::knn`].
+    pub fn knn_indexed(
+        &self,
+        query: &ColorHistogram,
+        k: usize,
+    ) -> Result<(Vec<(usize, f64)>, FilterStats), FilterError> {
+        let mut stats = FilterStats::default();
+        if k == 0 || self.histograms.is_empty() {
+            return Ok((Vec::new(), stats));
+        }
+        let q_short = self.bounded.filter.project(query)?;
+        let mut stream = self.short_index.nearest_iter(&q_short.coords)?;
+
+        let mut result: Vec<(usize, f64)> = Vec::new();
+        let mut kth = f64::INFINITY;
+        for neighbor in stream.by_ref() {
+            // neighbor.distance IS d̂ (the scale is baked into the
+            // stored coordinates).
+            if result.len() == k && neighbor.distance > kth {
+                break;
+            }
+            let i = neighbor.id as usize;
+            let d = self.bounded.full.distance(query, &self.histograms[i])?;
+            stats.full_evaluations += 1;
+            if result.len() < k || d < kth {
+                result.push((i, d));
+                result.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("finite distances")
+                        .then(a.0.cmp(&b.0))
+                });
+                result.truncate(k);
+                if result.len() == k {
+                    kth = result[k - 1].1;
+                }
+            }
+        }
+        let access = stream.access();
+        stats.index_nodes = access.nodes_visited;
+        stats.filter_evaluations = access.distance_computations;
+        Ok((result, stats))
+    }
+
+    /// Number of indexed histograms.
+    pub fn len(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty()
+    }
+
+    /// The `k` nearest histograms to `query` under the exact
+    /// quadratic-form distance, answered with filter-and-refine.
+    ///
+    /// Returns `(index, exact_distance)` pairs in ascending distance,
+    /// plus the cost statistics.
+    pub fn knn(
+        &self,
+        query: &ColorHistogram,
+        k: usize,
+    ) -> Result<(Vec<(usize, f64)>, FilterStats), FilterError> {
+        let mut stats = FilterStats::default();
+        if k == 0 || self.histograms.is_empty() {
+            return Ok((Vec::new(), stats));
+        }
+        let q_short = self.bounded.filter.project(query)?;
+        // Filter phase: lower bounds to every object.
+        let mut order: Vec<(f64, usize)> = self
+            .shorts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (q_short.distance(s), i))
+            .collect();
+        stats.filter_evaluations = order.len() as u64;
+        order.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite bounds")
+                .then(a.1.cmp(&b.1))
+        });
+
+        // Refine phase in ascending lower-bound order.
+        let mut result: Vec<(usize, f64)> = Vec::new();
+        let mut kth = f64::INFINITY;
+        for (lower, i) in order {
+            if result.len() == k && lower > kth {
+                break; // d ≥ d̂ > kth for everything that follows.
+            }
+            let d = self.bounded.full.distance(query, &self.histograms[i])?;
+            stats.full_evaluations += 1;
+            if result.len() < k || d < kth {
+                result.push((i, d));
+                result.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("finite distances")
+                        .then(a.0.cmp(&b.0))
+                });
+                result.truncate(k);
+                if result.len() == k {
+                    kth = result[k - 1].1;
+                }
+            }
+        }
+        Ok((result, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmdb_media::color::Rgb;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_histograms(space: &ColorSpace, n: usize, seed: u64) -> Vec<ColorHistogram> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                // Concentrated around a dominant color, like real images.
+                let dominant = Rgb::new(rng.gen(), rng.gen(), rng.gen());
+                let colors: Vec<Rgb> = (0..60)
+                    .map(|_| {
+                        Rgb::new(
+                            dominant.r + rng.gen_range(-0.15..0.15),
+                            dominant.g + rng.gen_range(-0.15..0.15),
+                            dominant.b + rng.gen_range(-0.15..0.15),
+                        )
+                    })
+                    .collect();
+                ColorHistogram::from_colors(space, &colors).expect("non-empty colors")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_false_dismissals_vs_brute_force() {
+        let space = ColorSpace::rgb_grid(3).unwrap();
+        let hists = random_histograms(&space, 150, 5);
+        let index = FilterRefineIndex::build(&space, hists.clone()).unwrap();
+        let queries = random_histograms(&space, 10, 77);
+        for q in &queries {
+            let (got, _) = index.knn(q, 5).unwrap();
+            // Brute-force reference.
+            let mut expect: Vec<(usize, f64)> = hists
+                .iter()
+                .enumerate()
+                .map(|(i, h)| (i, index.bounded.full.distance(q, h).unwrap()))
+                .collect();
+            expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            expect.truncate(5);
+            let got_d: Vec<f64> = got.iter().map(|&(_, d)| d).collect();
+            let exp_d: Vec<f64> = expect.iter().map(|&(_, d)| d).collect();
+            for (g, e) in got_d.iter().zip(&exp_d) {
+                assert!((g - e).abs() < 1e-9, "distance mismatch {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_avoids_some_full_distances() {
+        let space = ColorSpace::rgb_grid(3).unwrap();
+        let hists = random_histograms(&space, 300, 9);
+        let index = FilterRefineIndex::build(&space, hists).unwrap();
+        let q = random_histograms(&space, 1, 123).pop().unwrap();
+        let (_, stats) = index.knn(&q, 5).unwrap();
+        assert_eq!(stats.filter_evaluations, 300);
+        assert!(stats.full_evaluations < 300, "no savings at all: {stats:?}");
+        assert!(stats.savings() > 0.0);
+    }
+
+    #[test]
+    fn indexed_knn_matches_linear_knn() {
+        let space = ColorSpace::rgb_grid(3).unwrap();
+        let hists = random_histograms(&space, 250, 12);
+        let index = FilterRefineIndex::build(&space, hists).unwrap();
+        let queries = random_histograms(&space, 8, 99);
+        for q in &queries {
+            let (linear, _) = index.knn(q, 6).unwrap();
+            let (indexed, stats) = index.knn_indexed(q, 6).unwrap();
+            let ld: Vec<f64> = linear.iter().map(|&(_, d)| d).collect();
+            let id: Vec<f64> = indexed.iter().map(|&(_, d)| d).collect();
+            for (a, b) in ld.iter().zip(&id) {
+                assert!((a - b).abs() < 1e-9, "{ld:?} vs {id:?}");
+            }
+            // The index must examine far fewer short vectors than N.
+            assert!(
+                stats.filter_evaluations < 250,
+                "index did not prune: {stats:?}"
+            );
+            assert!(stats.index_nodes > 0);
+        }
+    }
+
+    #[test]
+    fn edge_cases() {
+        let space = ColorSpace::rgb_grid(3).unwrap();
+        let hists = random_histograms(&space, 10, 3);
+        let index = FilterRefineIndex::build(&space, hists).unwrap();
+        let q = random_histograms(&space, 1, 4).pop().unwrap();
+        assert!(index.knn(&q, 0).unwrap().0.is_empty());
+        assert_eq!(index.knn(&q, 100).unwrap().0.len(), 10);
+        assert!(index.knn_indexed(&q, 0).unwrap().0.is_empty());
+        assert_eq!(index.knn_indexed(&q, 100).unwrap().0.len(), 10);
+        assert_eq!(index.len(), 10);
+    }
+}

@@ -1,0 +1,528 @@
+//! Small dense linear algebra for feature distances.
+//!
+//! The quadratic-form color distance (eq. (1) of the paper) needs a
+//! symmetric `k×k` similarity matrix and a few spectral quantities for
+//! the distance-bounding filter of \[HSE+95\]: the smallest eigenvalue of
+//! `A` on the histogram-difference subspace and the largest singular
+//! value of the 3×k average-color map. `k` is 64–256, so naive dense
+//! operations and power iteration are entirely adequate — no external
+//! linear-algebra crate is warranted.
+
+use std::fmt;
+
+/// Error for malformed matrix construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Data length does not match the requested dimensions.
+    ShapeMismatch {
+        /// Expected number of entries.
+        expected: usize,
+        /// Provided number of entries.
+        got: usize,
+    },
+    /// A dimension was zero.
+    EmptyDimension,
+    /// The data was not symmetric (for [`SymMatrix`]).
+    NotSymmetric,
+    /// A non-finite entry was supplied.
+    NotFinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, got } => {
+                write!(f, "expected {expected} entries, got {got}")
+            }
+            LinalgError::EmptyDimension => write!(f, "matrix dimensions must be positive"),
+            LinalgError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            LinalgError::NotFinite => write!(f, "matrix entries must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense symmetric matrix stored in full row-major form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SymMatrix {
+    /// Builds from row-major data; verifies symmetry and finiteness.
+    pub fn from_rows(n: usize, data: Vec<f64>) -> Result<SymMatrix, LinalgError> {
+        if n == 0 {
+            return Err(LinalgError::EmptyDimension);
+        }
+        if data.len() != n * n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: n * n,
+                got: data.len(),
+            });
+        }
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NotFinite);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (data[i * n + j] - data[j * n + i]).abs() > 1e-9 {
+                    return Err(LinalgError::NotSymmetric);
+                }
+            }
+        }
+        Ok(SymMatrix { n, data })
+    }
+
+    /// Builds by evaluating `f(i, j)` for the upper triangle and
+    /// mirroring (always symmetric by construction).
+    pub fn from_fn(
+        n: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Result<SymMatrix, LinalgError> {
+        if n == 0 {
+            return Err(LinalgError::EmptyDimension);
+        }
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = f(i, j);
+                if !v.is_finite() {
+                    return Err(LinalgError::NotFinite);
+                }
+                data[i * n + j] = v;
+                data[j * n + i] = v;
+            }
+        }
+        Ok(SymMatrix { n, data })
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> SymMatrix {
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        SymMatrix { n, data }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// `y = A·x`.
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        debug_assert_eq!(y.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// The quadratic form `xᵀ·A·x`.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.n);
+        let mut total = 0.0;
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            let rowsum: f64 = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            total += x[i] * rowsum;
+        }
+        total
+    }
+
+    /// Largest eigenvalue estimate by power iteration (symmetric
+    /// matrices: converges to `max |λ|`; callers needing `λ_max` of a
+    /// matrix with possibly-larger negative spectrum should shift
+    /// first). Deterministic start vector.
+    pub fn spectral_radius(&self, iterations: usize) -> f64 {
+        let mut v = deterministic_unit(self.n);
+        let mut w = vec![0.0; self.n];
+        for _ in 0..iterations {
+            self.mul_vec(&v, &mut w);
+            let norm = norm2(&w);
+            if norm < 1e-300 {
+                return 0.0;
+            }
+            for (vi, wi) in v.iter_mut().zip(&w) {
+                *vi = wi / norm;
+            }
+        }
+        // Rayleigh quotient refines the final estimate.
+        self.mul_vec(&v, &mut w);
+        dot(&v, &w)
+    }
+
+    /// Smallest eigenvalue of `A` restricted to the zero-sum subspace
+    /// `{z : Σzᵢ = 0}` — the subspace where differences of normalized
+    /// histograms live.
+    ///
+    /// Computed by power iteration on `σI − A` with the all-ones
+    /// direction projected out every step (`σ` = an upper bound on the
+    /// spectrum), so the dominant eigenpair of the shifted operator is
+    /// the *minimal* eigenpair of `A` on the subspace.
+    pub fn min_eigenvalue_zero_sum(&self, iterations: usize) -> f64 {
+        let n = self.n;
+        // Gershgorin upper bound for the spectrum.
+        let sigma = (0..n)
+            .map(|i| (0..n).map(|j| self.get(i, j).abs()).sum::<f64>())
+            .fold(0.0_f64, f64::max)
+            .max(1e-12);
+
+        let mut v = deterministic_unit(n);
+        project_zero_sum(&mut v);
+        renormalize(&mut v);
+        let mut w = vec![0.0; n];
+        for _ in 0..iterations {
+            // w = (σI − A)·v
+            self.mul_vec(&v, &mut w);
+            for (wi, vi) in w.iter_mut().zip(&v) {
+                *wi = sigma * vi - *wi;
+            }
+            project_zero_sum(&mut w);
+            let norm = norm2(&w);
+            if norm < 1e-300 {
+                break;
+            }
+            for (vi, wi) in v.iter_mut().zip(&w) {
+                *vi = wi / norm;
+            }
+        }
+        // Rayleigh quotient of A at the converged direction.
+        self.mul_vec(&v, &mut w);
+        dot(&v, &w)
+    }
+}
+
+impl SymMatrix {
+    /// `self + factor·other` (dimension-checked).
+    pub fn add_scaled(&self, other: &SymMatrix, factor: f64) -> Result<SymMatrix, LinalgError> {
+        if self.n != other.n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: self.n * self.n,
+                got: other.n * other.n,
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + factor * b)
+            .collect();
+        Ok(SymMatrix { n: self.n, data })
+    }
+
+    /// `P·self·P + J` where `P = I − (1/n)·11ᵀ` projects onto the
+    /// zero-sum subspace and `J = (1/n)·11ᵀ` re-inflates the projected
+    /// out direction with eigenvalue 1.
+    ///
+    /// The result is positive definite **iff** `self` is positive
+    /// definite on the zero-sum subspace — the form checked by
+    /// [`SymMatrix::is_positive_definite`] when deriving filter
+    /// constants.
+    pub fn project_zero_sum_with_ridge(&self) -> SymMatrix {
+        let n = self.n;
+        let nf = n as f64;
+        // Row and column means, grand mean.
+        let mut row_mean = vec![0.0; n];
+        for (i, rm) in row_mean.iter_mut().enumerate() {
+            *rm = (0..n).map(|j| self.get(i, j)).sum::<f64>() / nf;
+        }
+        let grand = row_mean.iter().sum::<f64>() / nf;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                // (PAP)_{ij} = a_ij − r_i − r_j + g; J_{ij} = 1/n.
+                data[i * n + j] = self.get(i, j) - row_mean[i] - row_mean[j] + grand + 1.0 / nf;
+            }
+        }
+        SymMatrix { n, data }
+    }
+
+    /// Attempts a Cholesky factorization; `true` iff the matrix is
+    /// (numerically) positive definite. Does not allocate the factor.
+    pub fn is_positive_definite(&self) -> bool {
+        let n = self.n;
+        let mut l = self.data.clone();
+        for j in 0..n {
+            let mut d = l[j * n + j];
+            for k in 0..j {
+                let v = l[j * n + k];
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return false;
+            }
+            let d_sqrt = d.sqrt();
+            l[j * n + j] = d_sqrt;
+            for i in (j + 1)..n {
+                let mut s = l[i * n + j];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                l[i * n + j] = s / d_sqrt;
+            }
+        }
+        true
+    }
+}
+
+/// A dense rectangular matrix (row-major), used for the 3×k
+/// average-color map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Builds from row-major data.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Matrix, LinalgError> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::EmptyDimension);
+        }
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(LinalgError::NotFinite);
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// `y = M·x` (`x` has `cols` entries, `y` has `rows`).
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+
+    /// The Gram matrix `MᵀM` (`cols × cols`).
+    pub fn gram(&self) -> SymMatrix {
+        let c = self.cols;
+        let mut data = vec![0.0; c * c];
+        for i in 0..c {
+            for j in i..c {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self.get(r, i) * self.get(r, j);
+                }
+                data[i * c + j] = s;
+                data[j * c + i] = s;
+            }
+        }
+        SymMatrix { n: c, data }
+    }
+
+    /// The largest singular value `σ_max(M)`, via power iteration on
+    /// the small Gram matrix `M·Mᵀ` (`rows × rows`).
+    pub fn max_singular_value(&self, iterations: usize) -> f64 {
+        let r = self.rows;
+        let mut gram = vec![0.0; r * r];
+        for i in 0..r {
+            for j in i..r {
+                let mut s = 0.0;
+                for c in 0..self.cols {
+                    s += self.get(i, c) * self.get(j, c);
+                }
+                gram[i * r + j] = s;
+                gram[j * r + i] = s;
+            }
+        }
+        let g = SymMatrix { n: r, data: gram };
+        // M·Mᵀ is PSD, so the spectral radius is λ_max = σ_max².
+        g.spectral_radius(iterations).max(0.0).sqrt()
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Dot product.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Removes the component along the all-ones direction.
+fn project_zero_sum(v: &mut [f64]) {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    for vi in v.iter_mut() {
+        *vi -= mean;
+    }
+}
+
+fn renormalize(v: &mut [f64]) {
+    let n = norm2(v);
+    if n > 1e-300 {
+        for vi in v.iter_mut() {
+            *vi /= n;
+        }
+    }
+}
+
+/// A deterministic, well-spread unit start vector for power iteration.
+fn deterministic_unit(n: usize) -> Vec<f64> {
+    // A fixed quasi-random sequence avoids pathological alignment with
+    // eigenvectors of structured matrices (and keeps runs reproducible).
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| (((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 1000.0) - 0.5 + 1e-3)
+        .collect();
+    renormalize(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            SymMatrix::from_rows(0, vec![]),
+            Err(LinalgError::EmptyDimension)
+        ));
+        assert!(matches!(
+            SymMatrix::from_rows(2, vec![1.0; 3]),
+            Err(LinalgError::ShapeMismatch {
+                expected: 4,
+                got: 3
+            })
+        ));
+        assert!(matches!(
+            SymMatrix::from_rows(2, vec![1.0, 2.0, 3.0, 4.0]),
+            Err(LinalgError::NotSymmetric)
+        ));
+        assert!(matches!(
+            SymMatrix::from_rows(2, vec![1.0, f64::NAN, f64::NAN, 1.0]),
+            Err(LinalgError::NotFinite)
+        ));
+        assert!(SymMatrix::from_rows(2, vec![1.0, 2.0, 2.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn quadratic_form_matches_direct_computation() {
+        let a = SymMatrix::from_rows(2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = [1.0, -2.0];
+        // 2·1 + 1·(1·-2)·2 + 3·4 = 2 − 4 + 12 = 10
+        assert!((a.quadratic_form(&x) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_quadratic_form_is_norm_squared() {
+        let a = SymMatrix::identity(3);
+        assert!((a.quadratic_form(&[1.0, 2.0, 2.0]) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_matches_by_hand() {
+        let a = SymMatrix::from_rows(2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let mut y = [0.0; 2];
+        a.mul_vec(&[1.0, 1.0], &mut y);
+        assert_eq!(y, [3.0, 4.0]);
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal() {
+        let a = SymMatrix::from_rows(3, vec![5.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+        let r = a.spectral_radius(200);
+        assert!((r - 5.0).abs() < 1e-6, "got {r}");
+    }
+
+    #[test]
+    fn min_eigenvalue_on_zero_sum_subspace() {
+        // A = I: every subspace eigenvalue is 1.
+        let a = SymMatrix::identity(4);
+        let lam = a.min_eigenvalue_zero_sum(300);
+        assert!((lam - 1.0).abs() < 1e-6, "got {lam}");
+
+        // A = I + 10·(1/n)·J: on the zero-sum subspace J vanishes, so
+        // the restricted minimum is still 1 even though λ_min over the
+        // full space direction 1 is 11.
+        let n = 4;
+        let b = SymMatrix::from_fn(n, |i, j| (if i == j { 1.0 } else { 0.0 }) + 10.0 / n as f64)
+            .unwrap();
+        let lam_b = b.min_eigenvalue_zero_sum(300);
+        assert!((lam_b - 1.0).abs() < 1e-6, "got {lam_b}");
+    }
+
+    #[test]
+    fn min_eigenvalue_detects_small_directions() {
+        // diag(1, 1, ε): the zero-sum subspace contains directions with
+        // large weight on coordinate 3, so the restricted minimum is
+        // close to ε-ish but at least min over subspace ≥ λ_min = ε.
+        let eps = 0.01;
+        let a = SymMatrix::from_rows(3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, eps]).unwrap();
+        let lam = a.min_eigenvalue_zero_sum(500);
+        assert!(lam >= eps - 1e-6, "got {lam}");
+        assert!(lam <= 1.0, "got {lam}");
+    }
+
+    #[test]
+    fn matrix_mul_and_singular_value() {
+        // M = [[3, 0], [0, 4]] has σ_max = 4.
+        let m = Matrix::from_rows(2, 2, vec![3.0, 0.0, 0.0, 4.0]).unwrap();
+        let mut y = [0.0; 2];
+        m.mul_vec(&[1.0, 2.0], &mut y);
+        assert_eq!(y, [3.0, 8.0]);
+        let s = m.max_singular_value(200);
+        assert!((s - 4.0).abs() < 1e-6, "got {s}");
+    }
+
+    #[test]
+    fn rectangular_singular_value_bounds_image_norm() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 0.5, -1.0, 0.0, 2.0]).unwrap();
+        let s = m.max_singular_value(300);
+        // Check ‖Mx‖ ≤ σ_max‖x‖ for a few probes.
+        for x in [[1.0, 0.0, 0.0], [0.3, -0.7, 0.2], [1.0, 1.0, 1.0]] {
+            let mut y = [0.0; 2];
+            m.mul_vec(&x, &mut y);
+            assert!(norm2(&y) <= s * norm2(&x) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn matrix_construction_validation() {
+        assert!(matches!(
+            Matrix::from_rows(2, 0, vec![]),
+            Err(LinalgError::EmptyDimension)
+        ));
+        assert!(matches!(
+            Matrix::from_rows(2, 2, vec![0.0; 3]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,163 @@
+//! Converting distances into grades.
+//!
+//! Atomic multimedia queries return grades in `[0, 1]` (§2–§3), but
+//! feature modules compute *distances* in `[0, ∞)`. A [`DistanceScorer`]
+//! is the bridge; both shipped scorers are strictly decreasing in the
+//! distance, so a subsystem's sorted-by-grade stream is exactly its
+//! sorted-by-distance stream (what QBIC actually produces).
+
+use std::fmt;
+
+use fmdb_core::score::Score;
+
+/// Maps a nonnegative distance to a grade, monotonically decreasing.
+pub trait DistanceScorer {
+    /// The grade for distance `d ≥ 0`. Implementations must map 0 to 1
+    /// and be non-increasing in `d`.
+    fn score(&self, d: f64) -> Score;
+
+    /// A short display name.
+    fn name(&self) -> String;
+}
+
+/// Exponential decay: `score = exp(−d/σ)`.
+///
+/// Never reaches 0, so it preserves strict distance order everywhere —
+/// the right default for ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpDecay {
+    sigma: f64,
+}
+
+impl ExpDecay {
+    /// Creates the scorer; `σ` is the distance at which the grade falls
+    /// to `1/e`. Returns `None` unless `σ > 0` and finite.
+    pub fn new(sigma: f64) -> Option<ExpDecay> {
+        (sigma > 0.0 && sigma.is_finite()).then_some(ExpDecay { sigma })
+    }
+
+    /// The decay scale σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl DistanceScorer for ExpDecay {
+    fn score(&self, d: f64) -> Score {
+        if d.is_nan() || d < 0.0 {
+            // NaN or negative distances indicate an upstream bug but
+            // must not poison grades; treat as "no match".
+            return Score::ZERO;
+        }
+        Score::clamped((-d / self.sigma).exp())
+    }
+
+    fn name(&self) -> String {
+        format!("exp-decay(σ={})", self.sigma)
+    }
+}
+
+/// Linear cutoff: `score = max(0, 1 − d/d_max)`.
+///
+/// Reaches exactly 0 at `d_max` — handy when grades should vanish at a
+/// known maximum distance (e.g. the similarity-matrix diameter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearCutoff {
+    d_max: f64,
+}
+
+impl LinearCutoff {
+    /// Creates the scorer. Returns `None` unless `d_max > 0`, finite.
+    pub fn new(d_max: f64) -> Option<LinearCutoff> {
+        (d_max > 0.0 && d_max.is_finite()).then_some(LinearCutoff { d_max })
+    }
+
+    /// The zero-crossing distance.
+    pub fn d_max(&self) -> f64 {
+        self.d_max
+    }
+}
+
+impl DistanceScorer for LinearCutoff {
+    fn score(&self, d: f64) -> Score {
+        if d.is_nan() || d < 0.0 {
+            return Score::ZERO;
+        }
+        Score::clamped(1.0 - d / self.d_max)
+    }
+
+    fn name(&self) -> String {
+        format!("linear-cutoff(dmax={})", self.d_max)
+    }
+}
+
+impl fmt::Display for ExpDecay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", DistanceScorer::name(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scorers() -> Vec<Box<dyn DistanceScorer>> {
+        vec![
+            Box::new(ExpDecay::new(0.5).unwrap()),
+            Box::new(LinearCutoff::new(2.0).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn zero_distance_is_a_perfect_match() {
+        for s in scorers() {
+            assert_eq!(s.score(0.0), Score::ONE, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn scores_decrease_with_distance() {
+        for s in scorers() {
+            let mut prev = s.score(0.0);
+            for i in 1..=40 {
+                let cur = s.score(i as f64 * 0.1);
+                assert!(cur <= prev, "{} increased at {i}", s.name());
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn linear_cutoff_vanishes_at_dmax() {
+        let s = LinearCutoff::new(2.0).unwrap();
+        assert_eq!(s.score(2.0), Score::ZERO);
+        assert_eq!(s.score(5.0), Score::ZERO);
+        assert_eq!(s.score(1.0), Score::HALF);
+    }
+
+    #[test]
+    fn exp_decay_never_reaches_zero() {
+        let s = ExpDecay::new(1.0).unwrap();
+        assert!(s.score(20.0) > Score::ZERO);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(ExpDecay::new(0.0).is_none());
+        assert!(ExpDecay::new(f64::NAN).is_none());
+        assert!(LinearCutoff::new(-1.0).is_none());
+        for s in scorers() {
+            assert_eq!(s.score(f64::NAN), Score::ZERO, "{}", s.name());
+            assert_eq!(s.score(-1.0), Score::ZERO, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn strictly_decreasing_scorers_preserve_distance_order() {
+        let s = ExpDecay::new(0.7).unwrap();
+        let distances = [0.0, 0.2, 0.5, 1.3, 2.2];
+        for w in distances.windows(2) {
+            assert!(s.score(w[0]) > s.score(w[1]));
+        }
+    }
+}

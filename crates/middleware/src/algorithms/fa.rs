@@ -1,0 +1,482 @@
+//! Algorithm A₀ — "Fagin's Algorithm" (§4.1, from \[Fa96\]).
+//!
+//! Three phases:
+//!
+//! 1. **Sorted access.** Stream all `m` lists in parallel (round-robin)
+//!    until there is a set `L` of at least `k` objects that *every*
+//!    list has output.
+//! 2. **Random access.** For every object seen by any list, fetch its
+//!    missing grades from the other lists.
+//! 3. **Computation.** Combine each seen object's grades with the
+//!    monotone scoring function `t`; output the best `k`.
+//!
+//! Correctness (sketch, as in the paper): an unseen object `y` has
+//! `μᵢ(y) ≤ μᵢ(z)` for every list `i` and every `z ∈ L` (z was output,
+//! y wasn't), so by monotonicity `μ(y) ≤ μ(z)` — at least `k` seen
+//! objects tie or beat every unseen one.
+//!
+//! For independent lists the database access cost is
+//! `O(N^((m−1)/m)·k^(1/m))` with arbitrarily high probability
+//! (Theorem 4.1), matching the lower bound for strict monotone queries
+//! (Theorem 4.2). Experiments E1/E3 reproduce both.
+//!
+//! [`FaSession`] additionally exposes the paper's "nice feature that
+//! after finding the top k answers, in order to find the next k best
+//! answers we can continue where we left off".
+
+use std::collections::HashMap;
+
+use fmdb_core::score::{Score, ScoredObject};
+use fmdb_core::scoring::ScoringFunction;
+
+use crate::algorithms::{finalize, validate, AlgoError, TopKAlgorithm, TopKResult};
+use crate::source::{GradedSource, Oid};
+use crate::stats::AccessStats;
+
+/// Algorithm A₀.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaginsAlgorithm;
+
+/// Mutable working state shared by the one-shot and resumable variants.
+#[derive(Debug, Default)]
+struct FaState {
+    /// Per-object slot vector: `Some(grade)` once list `i` has revealed
+    /// the grade (by either access kind).
+    seen: HashMap<Oid, Vec<Option<Score>>>,
+    /// Objects every list has output under *sorted* access (the set L).
+    matches: usize,
+    /// Which lists are fully drained.
+    exhausted: Vec<bool>,
+    stats: AccessStats,
+}
+
+impl FaState {
+    fn new(m: usize) -> FaState {
+        FaState {
+            seen: HashMap::new(),
+            matches: 0,
+            exhausted: vec![false; m],
+            stats: AccessStats::ZERO,
+        }
+    }
+
+    /// Phase 1: round-robin sorted access until `|L| ≥ target` or all
+    /// lists are drained. `sorted_seen` tracking rides on the slot
+    /// vectors: a slot filled during phase 1 counts toward L.
+    fn sorted_phase(&mut self, sources: &mut [&mut dyn GradedSource], target: usize) {
+        let m = sources.len();
+        if self.matches >= target {
+            return;
+        }
+        loop {
+            let mut progressed = false;
+            for i in 0..m {
+                if self.exhausted[i] {
+                    continue;
+                }
+                match sources[i].sorted_next() {
+                    Some(so) => {
+                        self.stats.sorted += 1;
+                        progressed = true;
+                        let slots = self.seen.entry(so.id).or_insert_with(|| vec![None; m]);
+                        if slots[i].is_none() {
+                            slots[i] = Some(so.grade);
+                            if slots.iter().all(Option::is_some) {
+                                self.matches += 1;
+                            }
+                        }
+                    }
+                    None => self.exhausted[i] = true,
+                }
+                if self.matches >= target {
+                    return;
+                }
+            }
+            if !progressed {
+                // Every list drained: L is as large as it will get.
+                return;
+            }
+        }
+    }
+
+    /// Phase 2: random access for every missing slot of every seen
+    /// object.
+    fn random_phase(&mut self, sources: &mut [&mut dyn GradedSource]) {
+        for (&oid, slots) in self.seen.iter_mut() {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = Some(sources[i].random_access(oid));
+                    self.stats.random += 1;
+                }
+            }
+        }
+    }
+
+    /// Phase 3: combine every fully-graded object.
+    fn combine(&self, scoring: &dyn ScoringFunction) -> Vec<ScoredObject<Oid>> {
+        let mut buf = Vec::with_capacity(self.seen.len());
+        let mut grades = Vec::new();
+        for (&oid, slots) in &self.seen {
+            grades.clear();
+            grades.extend(
+                slots
+                    .iter()
+                    .map(|&slot| slot.expect("phase 2 filled all slots")),
+            );
+            buf.push(ScoredObject::new(oid, scoring.combine(&grades)));
+        }
+        buf
+    }
+}
+
+impl TopKAlgorithm for FaginsAlgorithm {
+    fn name(&self) -> &'static str {
+        "fagin-a0"
+    }
+
+    fn top_k(
+        &self,
+        sources: &mut [&mut dyn GradedSource],
+        scoring: &dyn ScoringFunction,
+        k: usize,
+    ) -> Result<TopKResult, AlgoError> {
+        validate(sources, scoring, k)?;
+        for source in sources.iter_mut() {
+            source.rewind();
+        }
+        let mut state = FaState::new(sources.len());
+        state.sorted_phase(sources, k);
+        state.random_phase(sources);
+        let combined = state.combine(scoring);
+        Ok(finalize(combined, k, state.stats))
+    }
+}
+
+/// A resumable A₀ run: each [`FaSession::next_k`] call returns the next
+/// best batch of answers, continuing sorted access where the previous
+/// call left off (§4.1's "continue where we left off").
+///
+/// The session owns its sources for the duration of the query.
+pub struct FaSession<'a> {
+    sources: Vec<&'a mut dyn GradedSource>,
+    scoring: &'a dyn ScoringFunction,
+    state: FaState,
+    /// Objects already returned by earlier batches.
+    emitted: Vec<Oid>,
+    /// Cumulative number of answers requested so far.
+    requested: usize,
+}
+
+impl<'a> FaSession<'a> {
+    /// Starts a session. Rewinds the sources.
+    pub fn new(
+        mut sources: Vec<&'a mut dyn GradedSource>,
+        scoring: &'a dyn ScoringFunction,
+    ) -> Result<FaSession<'a>, AlgoError> {
+        if sources.is_empty() {
+            return Err(AlgoError::NoSources);
+        }
+        if !scoring.is_monotone() {
+            return Err(AlgoError::NonMonotoneScoring(scoring.name()));
+        }
+        for source in sources.iter_mut() {
+            source.rewind();
+        }
+        let m = sources.len();
+        Ok(FaSession {
+            sources,
+            scoring,
+            state: FaState::new(m),
+            emitted: Vec::new(),
+            requested: 0,
+        })
+    }
+
+    /// Returns the next `k` best answers (those ranked
+    /// `requested+1 ..= requested+k` overall), with exact grades.
+    ///
+    /// The cumulative access stats of the whole session so far are
+    /// reported in the result — resuming is cheaper than starting over,
+    /// which experiment E1's `resume` column quantifies.
+    pub fn next_k(&mut self, k: usize) -> Result<TopKResult, AlgoError> {
+        if k == 0 {
+            return Err(AlgoError::ZeroK);
+        }
+        self.requested += k;
+        // The top (requested) answers require |L| ≥ requested, by the
+        // same correctness argument as the one-shot run.
+        self.state.sorted_phase(&mut self.sources, self.requested);
+        self.state.random_phase(&mut self.sources);
+        let mut combined = self.state.combine(self.scoring);
+        combined.retain(|so| !self.emitted.contains(&so.id));
+        let result = finalize(combined, k, self.state.stats);
+        self.emitted.extend(result.answers.iter().map(|a| a.id));
+        Ok(result)
+    }
+
+    /// Cumulative access statistics for the session.
+    pub fn stats(&self) -> AccessStats {
+        self.state.stats
+    }
+}
+
+/// An **owning** resumable A₀ session: like [`FaSession`] but holding
+/// its sources (and scoring function) by value, so it can be stored in
+/// long-lived query cursors (the Garlic layer's "top 10, then the next
+/// 10" interaction from §4).
+pub struct OwnedFaSession {
+    sources: Vec<Box<dyn GradedSource>>,
+    scoring: Box<dyn ScoringFunction>,
+    state: FaState,
+    emitted: Vec<Oid>,
+    requested: usize,
+}
+
+impl OwnedFaSession {
+    /// Starts a session over owned sources. Rewinds them.
+    pub fn new(
+        mut sources: Vec<Box<dyn GradedSource>>,
+        scoring: Box<dyn ScoringFunction>,
+    ) -> Result<OwnedFaSession, AlgoError> {
+        if sources.is_empty() {
+            return Err(AlgoError::NoSources);
+        }
+        if !scoring.is_monotone() {
+            return Err(AlgoError::NonMonotoneScoring(scoring.name()));
+        }
+        for source in sources.iter_mut() {
+            source.rewind();
+        }
+        let m = sources.len();
+        Ok(OwnedFaSession {
+            sources,
+            scoring,
+            state: FaState::new(m),
+            emitted: Vec::new(),
+            requested: 0,
+        })
+    }
+
+    /// Returns the next `k` best answers; see [`FaSession::next_k`].
+    pub fn next_k(&mut self, k: usize) -> Result<TopKResult, AlgoError> {
+        if k == 0 {
+            return Err(AlgoError::ZeroK);
+        }
+        self.requested += k;
+        let mut refs: Vec<&mut dyn GradedSource> = self
+            .sources
+            .iter_mut()
+            .map(|b| b.as_mut() as &mut dyn GradedSource)
+            .collect();
+        self.state.sorted_phase(&mut refs, self.requested);
+        self.state.random_phase(&mut refs);
+        let mut combined = self.state.combine(self.scoring.as_ref());
+        combined.retain(|so| !self.emitted.contains(&so.id));
+        let result = finalize(combined, k, self.state.stats);
+        self.emitted.extend(result.answers.iter().map(|a| a.id));
+        Ok(result)
+    }
+
+    /// Cumulative access statistics for the session.
+    pub fn stats(&self) -> AccessStats {
+        self.state.stats
+    }
+
+    /// Number of answers already returned.
+    pub fn emitted(&self) -> usize {
+        self.emitted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive::Naive;
+    use crate::source::{CountingSource, VecSource};
+    use fmdb_core::scoring::tnorms::{Min, Product};
+
+    fn s(v: f64) -> Score {
+        Score::clamped(v)
+    }
+
+    /// 6-object, 2-list fixture with distinct min-grades.
+    fn fixture() -> (VecSource, VecSource) {
+        let a = VecSource::from_dense("color", &[s(0.9), s(0.8), s(0.3), s(0.6), s(0.1), s(0.5)]);
+        let b = VecSource::from_dense("shape", &[s(0.2), s(0.7), s(0.9), s(0.5), s(0.8), s(0.4)]);
+        (a, b)
+    }
+
+    #[test]
+    fn agrees_with_naive_on_fixture() {
+        for k in 1..=6 {
+            let (mut a, mut b) = fixture();
+            let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+            let fa = FaginsAlgorithm.top_k(&mut srcs, &Min, k).unwrap();
+
+            let (mut a2, mut b2) = fixture();
+            let mut srcs2: Vec<&mut dyn GradedSource> = vec![&mut a2, &mut b2];
+            let naive = Naive.top_k(&mut srcs2, &Min, k).unwrap();
+            assert_eq!(fa.answers, naive.answers, "k={k}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_under_product() {
+        let (mut a, mut b) = fixture();
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        let fa = FaginsAlgorithm.top_k(&mut srcs, &Product, 3).unwrap();
+        let (mut a2, mut b2) = fixture();
+        let mut srcs2: Vec<&mut dyn GradedSource> = vec![&mut a2, &mut b2];
+        let naive = Naive.top_k(&mut srcs2, &Product, 3).unwrap();
+        assert_eq!(fa.answers, naive.answers);
+    }
+
+    #[test]
+    fn self_reported_stats_match_observed() {
+        let (a, b) = fixture();
+        let mut ca = CountingSource::new(a);
+        let mut cb = CountingSource::new(b);
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut ca, &mut cb];
+        let r = FaginsAlgorithm.top_k(&mut srcs, &Min, 2).unwrap();
+        assert_eq!(r.stats.sorted, ca.sorted_accesses() + cb.sorted_accesses());
+        assert_eq!(r.stats.random, ca.random_accesses() + cb.random_accesses());
+    }
+
+    #[test]
+    fn costs_less_than_naive_on_large_independent_lists() {
+        // Deterministic pseudo-random grades; N = 400.
+        let n = 400u64;
+        let g1: Vec<Score> = (0..n)
+            .map(|i| s((i * 7919 % 1000) as f64 / 1000.0))
+            .collect();
+        let g2: Vec<Score> = (0..n)
+            .map(|i| s((i * 104729 % 1000) as f64 / 1000.0))
+            .collect();
+        let mut a = VecSource::from_dense("a", &g1);
+        let mut b = VecSource::from_dense("b", &g2);
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        let fa = FaginsAlgorithm.top_k(&mut srcs, &Min, 5).unwrap();
+        assert!(
+            fa.stats.database_access_cost() < 2 * n,
+            "FA cost {} should beat naive {}",
+            fa.stats,
+            2 * n
+        );
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let (mut a, _) = fixture();
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a];
+        assert_eq!(
+            FaginsAlgorithm.top_k(&mut srcs, &Min, 0),
+            Err(AlgoError::ZeroK)
+        );
+        let mut none: Vec<&mut dyn GradedSource> = vec![];
+        assert_eq!(
+            FaginsAlgorithm.top_k(&mut none, &Min, 3),
+            Err(AlgoError::NoSources)
+        );
+    }
+
+    #[test]
+    fn k_at_universe_size_degrades_to_full_scan_result() {
+        let (mut a, mut b) = fixture();
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        let r = FaginsAlgorithm.top_k(&mut srcs, &Min, 6).unwrap();
+        assert_eq!(r.answers.len(), 6);
+        // Grades still exact and descending.
+        for w in r.answers.windows(2) {
+            assert!(w[0].grade >= w[1].grade);
+        }
+    }
+
+    #[test]
+    fn k_beyond_universe_returns_all() {
+        let (mut a, mut b) = fixture();
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        let r = FaginsAlgorithm.top_k(&mut srcs, &Min, 100).unwrap();
+        assert_eq!(r.answers.len(), 6);
+    }
+
+    #[test]
+    fn session_batches_match_one_shot_ordering() {
+        let (mut a, mut b) = fixture();
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        let all = FaginsAlgorithm.top_k(&mut srcs, &Min, 6).unwrap();
+
+        let (mut a2, mut b2) = fixture();
+        let srcs2: Vec<&mut dyn GradedSource> = vec![&mut a2, &mut b2];
+        let mut session = FaSession::new(srcs2, &Min).unwrap();
+        let first = session.next_k(2).unwrap();
+        let second = session.next_k(2).unwrap();
+        let third = session.next_k(2).unwrap();
+        let stitched: Vec<_> = first
+            .answers
+            .into_iter()
+            .chain(second.answers)
+            .chain(third.answers)
+            .collect();
+        assert_eq!(stitched, all.answers);
+    }
+
+    #[test]
+    fn session_resume_is_cheaper_than_restart() {
+        let n = 400u64;
+        let g1: Vec<Score> = (0..n)
+            .map(|i| s((i * 7919 % 1000) as f64 / 1000.0))
+            .collect();
+        let g2: Vec<Score> = (0..n)
+            .map(|i| s((i * 104729 % 1000) as f64 / 1000.0))
+            .collect();
+
+        // Session: 5 then 5 more.
+        let mut a = VecSource::from_dense("a", &g1);
+        let mut b = VecSource::from_dense("b", &g2);
+        let srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        let mut session = FaSession::new(srcs, &Min).unwrap();
+        session.next_k(5).unwrap();
+        session.next_k(5).unwrap();
+        let resumed_cost = session.stats().database_access_cost();
+
+        // Two independent runs: top-5 and top-10 from scratch.
+        let mut a2 = VecSource::from_dense("a", &g1);
+        let mut b2 = VecSource::from_dense("b", &g2);
+        let mut srcs2: Vec<&mut dyn GradedSource> = vec![&mut a2, &mut b2];
+        let run5 = FaginsAlgorithm.top_k(&mut srcs2, &Min, 5).unwrap();
+        let mut a3 = VecSource::from_dense("a", &g1);
+        let mut b3 = VecSource::from_dense("b", &g2);
+        let mut srcs3: Vec<&mut dyn GradedSource> = vec![&mut a3, &mut b3];
+        let run10 = FaginsAlgorithm.top_k(&mut srcs3, &Min, 10).unwrap();
+        let restart_cost = run5.stats.database_access_cost() + run10.stats.database_access_cost();
+        assert!(
+            resumed_cost < restart_cost,
+            "resumed {resumed_cost} vs restart {restart_cost}"
+        );
+    }
+
+    #[test]
+    fn owned_session_matches_borrowing_session() {
+        let (a, b) = fixture();
+        let boxed: Vec<Box<dyn GradedSource>> = vec![Box::new(a), Box::new(b)];
+        let mut owned = OwnedFaSession::new(boxed, Box::new(Min)).unwrap();
+        let batch1 = owned.next_k(2).unwrap();
+        let batch2 = owned.next_k(2).unwrap();
+        assert_eq!(owned.emitted(), 4);
+
+        let (mut a2, mut b2) = fixture();
+        let refs: Vec<&mut dyn GradedSource> = vec![&mut a2, &mut b2];
+        let mut borrowed = FaSession::new(refs, &Min).unwrap();
+        assert_eq!(batch1.answers, borrowed.next_k(2).unwrap().answers);
+        assert_eq!(batch2.answers, borrowed.next_k(2).unwrap().answers);
+        assert_eq!(owned.stats(), borrowed.stats());
+    }
+
+    #[test]
+    fn session_rejects_zero_k() {
+        let (mut a, mut b) = fixture();
+        let srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        let mut session = FaSession::new(srcs, &Min).unwrap();
+        assert_eq!(session.next_k(0), Err(AlgoError::ZeroK));
+    }
+}

@@ -1,0 +1,183 @@
+//! The disjunction special case (§4.1, end).
+//!
+//! "If the scoring function t is not strict, then A₀ is not necessarily
+//! optimal. An interesting example arises when t is max … In this case
+//! there is a simple algorithm whose database access cost is only
+//! `m·k`, *independent of the size N of the database*!"
+//!
+//! The algorithm: take the top `k` of each list under sorted access
+//! (`m·k` accesses) and return the best `k` of those candidates by
+//! their best observed grade.
+//!
+//! Why the observed grades are exact for the returned objects: suppose a
+//! returned object `z` had a higher grade in some list `j` where it
+//! missed the top `k`. Then `k` objects of list `j` grade at least
+//! `μ_j(z) = μ(z)`, and all of them are candidates whose observed grade
+//! is at least `μ(z)` — strictly above `z`'s observed grade — so `z`
+//! could not have been among the `k` best observed candidates.
+//! Contradiction; hence observed = true for everything returned, and by
+//! the same argument the returned set is a valid top-k.
+
+use std::collections::HashMap;
+
+use fmdb_core::score::{Score, ScoredObject};
+use fmdb_core::scoring::ScoringFunction;
+
+use crate::algorithms::{finalize, validate, AlgoError, TopKAlgorithm, TopKResult};
+use crate::source::{GradedSource, Oid};
+use crate::stats::AccessStats;
+
+/// The `m·k` disjunction (max) algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxMerge;
+
+/// Probes whether `scoring` behaves like max at a few sample points.
+///
+/// A grid probe cannot *prove* max semantics, but it reliably rejects
+/// every other shipped scoring function, and MaxMerge is only correct
+/// for max — silently accepting min would return wrong answers.
+fn behaves_like_max(scoring: &dyn ScoringFunction, arity: usize) -> bool {
+    let samples = [0.0, 0.3, 0.5, 0.8, 1.0];
+    let mut args = vec![Score::ZERO; arity];
+    for &hi in &samples {
+        for pos in 0..arity {
+            for (i, arg) in args.iter_mut().enumerate() {
+                *arg = if i == pos {
+                    Score::clamped(hi)
+                } else {
+                    Score::clamped(hi * 0.5)
+                };
+            }
+            let expect = args.iter().copied().fold(Score::ZERO, Score::max);
+            if !scoring.combine(&args).approx_eq(expect, 1e-9) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+impl TopKAlgorithm for MaxMerge {
+    fn name(&self) -> &'static str {
+        "max-merge"
+    }
+
+    fn top_k(
+        &self,
+        sources: &mut [&mut dyn GradedSource],
+        scoring: &dyn ScoringFunction,
+        k: usize,
+    ) -> Result<TopKResult, AlgoError> {
+        validate(sources, scoring, k)?;
+        if !behaves_like_max(scoring, sources.len()) {
+            return Err(AlgoError::UnsupportedScoring {
+                algorithm: "max-merge",
+                requirement: "max (standard disjunction) semantics",
+                scoring: scoring.name(),
+            });
+        }
+
+        let mut stats = AccessStats::ZERO;
+        let mut best: HashMap<Oid, Score> = HashMap::new();
+        for source in sources.iter_mut() {
+            source.rewind();
+            for _ in 0..k {
+                match source.sorted_next() {
+                    Some(so) => {
+                        stats.sorted += 1;
+                        let entry = best.entry(so.id).or_insert(Score::ZERO);
+                        *entry = (*entry).max(so.grade);
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        let combined: Vec<ScoredObject<Oid>> = best
+            .into_iter()
+            .map(|(oid, g)| ScoredObject::new(oid, g))
+            .collect();
+        Ok(finalize(combined, k, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive::Naive;
+    use crate::source::VecSource;
+    use fmdb_core::scoring::conorms::Max;
+    use fmdb_core::scoring::tnorms::Min;
+    use fmdb_core::scoring::ConormScoring;
+
+    fn s(v: f64) -> Score {
+        Score::clamped(v)
+    }
+
+    fn fixture() -> (VecSource, VecSource) {
+        let a = VecSource::from_dense("color", &[s(0.9), s(0.8), s(0.3), s(0.6), s(0.1), s(0.5)]);
+        let b = VecSource::from_dense("shape", &[s(0.2), s(0.7), s(0.95), s(0.5), s(0.85), s(0.4)]);
+        (a, b)
+    }
+
+    #[test]
+    fn agrees_with_naive_under_max() {
+        for k in 1..=6 {
+            let (mut a, mut b) = fixture();
+            let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+            let mm = MaxMerge.top_k(&mut srcs, &ConormScoring(Max), k).unwrap();
+
+            let (mut a2, mut b2) = fixture();
+            let mut srcs2: Vec<&mut dyn GradedSource> = vec![&mut a2, &mut b2];
+            let naive = Naive.top_k(&mut srcs2, &ConormScoring(Max), k).unwrap();
+            assert_eq!(mm.answers, naive.answers, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cost_is_m_times_k_independent_of_n() {
+        for n in [100usize, 1000, 5000] {
+            let grades: Vec<Score> = (0..n).map(|i| s((i * 31 % n) as f64 / n as f64)).collect();
+            let mut a = VecSource::from_dense("a", &grades);
+            let mut b = VecSource::from_dense("b", &grades);
+            let mut c = VecSource::from_dense("c", &grades);
+            let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b, &mut c];
+            let k = 10;
+            let r = MaxMerge.top_k(&mut srcs, &ConormScoring(Max), k).unwrap();
+            assert_eq!(r.stats.sorted, (3 * k) as u64, "n={n}");
+            assert_eq!(r.stats.random, 0);
+        }
+    }
+
+    #[test]
+    fn rejects_min_scoring() {
+        let (mut a, mut b) = fixture();
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        assert!(matches!(
+            MaxMerge.top_k(&mut srcs, &Min, 2),
+            Err(AlgoError::UnsupportedScoring { .. })
+        ));
+    }
+
+    #[test]
+    fn returned_grades_are_exact_even_for_cross_list_objects() {
+        // Object 0 is top of list a with 0.9 but also graded 0.2 in b;
+        // object 2 is low in a (0.3) but top of b (0.95). Max grades
+        // must reflect the best of *all* lists for returned objects.
+        let (mut a, mut b) = fixture();
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        let r = MaxMerge.top_k(&mut srcs, &ConormScoring(Max), 2).unwrap();
+        assert_eq!(r.answers[0], ScoredObject::new(2, s(0.95)));
+        assert_eq!(r.answers[1], ScoredObject::new(0, s(0.9)));
+    }
+
+    #[test]
+    fn short_universe_is_handled() {
+        let mut a = VecSource::from_dense("a", &[s(0.4)]);
+        let mut b = VecSource::from_dense("b", &[s(0.6)]);
+        let mut srcs: Vec<&mut dyn GradedSource> = vec![&mut a, &mut b];
+        let r = MaxMerge.top_k(&mut srcs, &ConormScoring(Max), 5).unwrap();
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.answers[0].grade, s(0.6));
+    }
+}

@@ -1,0 +1,160 @@
+//! Top-k query evaluation algorithms over sorted/random-access sources
+//! (§4.1).
+//!
+//! | Algorithm | Paper role | Cost (independent lists) |
+//! |-----------|------------|--------------------------|
+//! | [`naive::Naive`] | the obvious baseline: drain every list | `m·N` sorted |
+//! | [`fa::FaginsAlgorithm`] | algorithm A₀ of \[Fa96\] | `O(N^((m−1)/m)·k^(1/m))`, optimal for strict monotone queries (Thms 4.1/4.2) |
+//! | [`max_merge::MaxMerge`] | the disjunction (max) special case | `m·k`, independent of `N` |
+//! | [`pruned_fa::PrunedFa`] | A₀ + the random-access pruning improvements sketched in \[Fa96\] | ≤ A₀ |
+//! | [`ta::ThresholdAlgorithm`] | extension: the successor algorithm (open problem of §6) | instance optimal |
+//! | [`nra::Nra`] | extension: no-random-access regime (§4.2's missing id mappings) | sorted access only |
+//! | [`cg_filter::CgFilter`] | Chaudhuri–Gravano \[CG96\] filter-condition simulation | τ-schedule dependent |
+//!
+//! All algorithms consume [`GradedSource`]s, meter every access into an
+//! [`AccessStats`], and return answers with **exact** grades — returning
+//! an object with an under- or over-stated grade counts as wrong, and
+//! the test suites verify results against a brute-force oracle.
+
+pub mod cg_filter;
+pub mod fa;
+pub mod max_merge;
+pub mod naive;
+pub mod nra;
+pub mod pruned_fa;
+pub mod ta;
+
+use std::fmt;
+
+use fmdb_core::score::ScoredObject;
+use fmdb_core::scoring::ScoringFunction;
+
+use crate::source::{GradedSource, Oid};
+use crate::stats::AccessStats;
+
+/// The answers and metered cost of one top-k evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// The top `k` objects with their exact overall grades, descending
+    /// (ties by ascending oid). Shorter than `k` only if the universe is.
+    pub answers: Vec<ScoredObject<Oid>>,
+    /// The database accesses performed.
+    pub stats: AccessStats,
+}
+
+/// Errors a top-k algorithm can raise before touching any source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgoError {
+    /// The query shipped no subqueries/sources.
+    NoSources,
+    /// `k` was zero.
+    ZeroK,
+    /// The scoring function declared itself non-monotone; A₀-family
+    /// algorithms are only correct for monotone functions (§4.1), so —
+    /// like Garlic — the middleware refuses to run.
+    NonMonotoneScoring(String),
+    /// The algorithm requires a specific scoring behaviour the supplied
+    /// function does not exhibit (e.g. [`max_merge::MaxMerge`] needs
+    /// max; [`cg_filter::CgFilter`] needs `combine ≤ min`).
+    UnsupportedScoring {
+        /// Algorithm name.
+        algorithm: &'static str,
+        /// What was required.
+        requirement: &'static str,
+        /// The offending function's name.
+        scoring: String,
+    },
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::NoSources => write!(f, "no sources supplied"),
+            AlgoError::ZeroK => write!(f, "k must be at least 1"),
+            AlgoError::NonMonotoneScoring(name) => {
+                write!(f, "scoring function '{name}' is not monotone")
+            }
+            AlgoError::UnsupportedScoring {
+                algorithm,
+                requirement,
+                scoring,
+            } => write!(f, "{algorithm} requires {requirement}, but got '{scoring}'"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}
+
+/// A top-k evaluation strategy.
+///
+/// Contract:
+/// * all sources grade the same universe of objects;
+/// * the algorithm may consume sorted access from the sources' current
+///   cursors — every implementation here calls
+///   [`GradedSource::rewind`] first, except explicit resumption
+///   sessions ([`fa::FaSession`]);
+/// * answers carry exact grades, sorted by descending grade then
+///   ascending oid; at most `k` answers, fewer only when the universe
+///   holds fewer objects.
+pub trait TopKAlgorithm {
+    /// The algorithm's display name.
+    fn name(&self) -> &'static str;
+
+    /// Finds the top `k` answers to the query whose `i`-th conjunct is
+    /// evaluated by `sources[i]`, combining grades with `scoring`.
+    fn top_k(
+        &self,
+        sources: &mut [&mut dyn GradedSource],
+        scoring: &dyn ScoringFunction,
+        k: usize,
+    ) -> Result<TopKResult, AlgoError>;
+}
+
+/// Shared argument validation for the A₀ family.
+fn validate(
+    sources: &[&mut dyn GradedSource],
+    scoring: &dyn ScoringFunction,
+    k: usize,
+) -> Result<(), AlgoError> {
+    if sources.is_empty() {
+        return Err(AlgoError::NoSources);
+    }
+    if k == 0 {
+        return Err(AlgoError::ZeroK);
+    }
+    if !scoring.is_monotone() {
+        return Err(AlgoError::NonMonotoneScoring(scoring.name()));
+    }
+    Ok(())
+}
+
+/// Sorts combined `(oid, grade)` pairs into output order and truncates
+/// to `k`.
+fn finalize(mut combined: Vec<ScoredObject<Oid>>, k: usize, stats: AccessStats) -> TopKResult {
+    combined.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.id.cmp(&b.id)));
+    combined.truncate(k);
+    TopKResult {
+        answers: combined,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(AlgoError::NoSources.to_string().contains("no sources"));
+        assert!(AlgoError::ZeroK.to_string().contains("k"));
+        assert!(AlgoError::NonMonotoneScoring("f".into())
+            .to_string()
+            .contains("monotone"));
+        let e = AlgoError::UnsupportedScoring {
+            algorithm: "max-merge",
+            requirement: "max semantics",
+            scoring: "min".into(),
+        };
+        assert!(e.to_string().contains("max-merge"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # fmdb-middleware — sorted/random access and top-k algorithms
+//!
+//! The middleware layer of the reproduction of Fagin, *"Fuzzy Queries
+//! in Multimedia Database Systems"* (PODS 1998), §4: a multimedia
+//! system is middleware over autonomous subsystems that expose grades
+//! through **sorted access** and **random access** only.
+//!
+//! * [`source`] — the [`source::GradedSource`] access model and
+//!   in-memory sources;
+//! * [`stats`] — database access cost accounting and charged cost
+//!   models;
+//! * [`algorithms`] — the evaluation strategies: naive, **A₀ (Fagin's
+//!   Algorithm)** with resumable sessions, the `m·k` max-merge
+//!   disjunction, pruned A₀, the Threshold Algorithm (extension), and
+//!   Chaudhuri–Gravano filter-condition simulation;
+//! * [`oracle`] — brute-force reference grading and top-k validity
+//!   checking (used pervasively in tests);
+//! * [`paging`] — a paged-I/O cost simulation with an LRU buffer pool
+//!   (§6's "more realistic cost measure");
+//! * [`workload`] — synthetic grade distributions: independent
+//!   (Theorem 4.1's model), correlated, and the adversarial
+//!   linear-lower-bound instance.
+//!
+//! ```
+//! use fmdb_core::scoring::tnorms::Min;
+//! use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
+//! use fmdb_middleware::algorithms::TopKAlgorithm;
+//! use fmdb_middleware::source::GradedSource;
+//! use fmdb_middleware::workload::independent_uniform;
+//!
+//! let mut sources = independent_uniform(10_000, 2, 42);
+//! let mut refs: Vec<&mut dyn GradedSource> = sources
+//!     .iter_mut()
+//!     .map(|s| s as &mut dyn GradedSource)
+//!     .collect();
+//! let result = FaginsAlgorithm.top_k(&mut refs, &Min, 10).unwrap();
+//! assert_eq!(result.answers.len(), 10);
+//! // Far below the naive cost of 2N = 20,000 (Theorem 4.1):
+//! assert!(result.stats.database_access_cost() < 10_000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algorithms;
+pub mod oracle;
+pub mod paging;
+pub mod source;
+pub mod stats;
+pub mod workload;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::algorithms::cg_filter::CgFilter;
+    pub use crate::algorithms::fa::{FaSession, FaginsAlgorithm, OwnedFaSession};
+    pub use crate::algorithms::max_merge::MaxMerge;
+    pub use crate::algorithms::naive::Naive;
+    pub use crate::algorithms::nra::{BoundedAnswer, Nra, NraResult};
+    pub use crate::algorithms::pruned_fa::PrunedFa;
+    pub use crate::algorithms::ta::ThresholdAlgorithm;
+    pub use crate::algorithms::{AlgoError, TopKAlgorithm, TopKResult};
+    pub use crate::oracle::verify_top_k;
+    pub use crate::paging::{PageConfig, PageIo, PagedSource};
+    pub use crate::source::{GradedSource, Oid, SourceViolation, ValidatingSource, VecSource};
+    pub use crate::stats::{AccessStats, CostModel};
+}

@@ -1,0 +1,528 @@
+//! The middleware access model (§4).
+//!
+//! A multimedia middleware system (Garlic) sits "on top of" autonomous
+//! subsystems (QBIC, a relational DBMS, …) and can obtain grades from
+//! them in exactly two ways:
+//!
+//! * **sorted access** — the subsystem streams `(object, grade)` pairs
+//!   one by one in descending grade order until told to stop, and can
+//!   later resume where it left off;
+//! * **random access** — the subsystem reports the grade of one given
+//!   object.
+//!
+//! [`GradedSource`] captures this interface. Everything the paper's
+//! algorithms are allowed to learn about a subquery flows through it,
+//! which is what makes the *database access cost* (sorted accesses +
+//! random accesses) a meaningful complexity measure.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use fmdb_core::score::{Score, ScoredObject};
+
+/// Object identity, assumed (as Garlic had to ensure, §4.2) to be a
+/// one-to-one mapping across all subsystems participating in a query.
+pub type Oid = u64;
+
+/// A subsystem evaluating one atomic subquery, exposing sorted and
+/// random access (§4).
+///
+/// Implementations grade a fixed universe of `universe_size()` objects;
+/// objects the subsystem has no opinion about have grade 0 and still
+/// appear (last) in the sorted stream, exactly like a crisp predicate
+/// grading non-matching rows with 0.
+pub trait GradedSource {
+    /// Returns the next object under sorted access, or `None` when all
+    /// objects have been streamed.
+    ///
+    /// Grades are non-increasing across successive calls; ties are
+    /// broken by ascending object id so runs are deterministic.
+    fn sorted_next(&mut self) -> Option<ScoredObject<Oid>>;
+
+    /// Random access: the grade of `oid` under this subquery.
+    ///
+    /// An `oid` outside the universe grades 0 (the subsystem has never
+    /// heard of the object, so the query is false about it).
+    fn random_access(&mut self, oid: Oid) -> Score;
+
+    /// Restarts sorted access from the highest grade.
+    fn rewind(&mut self);
+
+    /// The number of objects in this subsystem's universe (the paper's
+    /// `N` — all sources in one query share the same universe).
+    fn universe_size(&self) -> usize;
+
+    /// A short label for diagnostics ("Color='red'", …).
+    fn label(&self) -> String {
+        "source".to_owned()
+    }
+}
+
+impl fmt::Debug for dyn GradedSource + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GradedSource({})", self.label())
+    }
+}
+
+/// An in-memory [`GradedSource`] over an explicit grade assignment.
+///
+/// This is both the test double for the algorithms and the adapter the
+/// Garlic layer uses to expose repository attributes.
+#[derive(Debug, Clone)]
+pub struct VecSource {
+    label: String,
+    /// `(oid, grade)` sorted by descending grade, then ascending oid.
+    sorted: Vec<ScoredObject<Oid>>,
+    /// Random-access index.
+    by_oid: HashMap<Oid, Score>,
+    cursor: usize,
+}
+
+impl VecSource {
+    /// Builds a source from `(oid, grade)` pairs.
+    ///
+    /// Duplicate oids keep the *last* grade given. Objects of the
+    /// universe that are absent from `grades` are treated as grade 0 on
+    /// random access but are **not** streamed by sorted access; use
+    /// [`VecSource::from_dense`] when every object should be streamed.
+    pub fn new(label: impl Into<String>, grades: Vec<(Oid, Score)>) -> VecSource {
+        let mut by_oid = HashMap::with_capacity(grades.len());
+        for (oid, g) in grades {
+            by_oid.insert(oid, g);
+        }
+        let mut sorted: Vec<ScoredObject<Oid>> = by_oid
+            .iter()
+            .map(|(&oid, &grade)| ScoredObject::new(oid, grade))
+            .collect();
+        sorted.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.id.cmp(&b.id)));
+        VecSource {
+            label: label.into(),
+            sorted,
+            by_oid,
+            cursor: 0,
+        }
+    }
+
+    /// Builds a source grading the dense universe `0..grades.len()`,
+    /// object `i` getting `grades[i]`.
+    pub fn from_dense(label: impl Into<String>, grades: &[Score]) -> VecSource {
+        VecSource::new(
+            label,
+            grades
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (i as Oid, g))
+                .collect(),
+        )
+    }
+
+    /// Builds a source from a [`GradedSet`] over oids — the natural
+    /// bridge when a subsystem's answer was materialized as a fuzzy set
+    /// (§3) and must now be re-exposed through the access model (§4).
+    pub fn from_graded_set(
+        label: impl Into<String>,
+        set: &fmdb_core::graded_set::GradedSet<Oid>,
+    ) -> VecSource {
+        VecSource::new(label, set.iter().map(|(&oid, g)| (oid, g)).collect())
+    }
+
+    /// The grade of the last object that would be streamed (the
+    /// smallest grade in the source), if any.
+    pub fn min_grade(&self) -> Option<Score> {
+        self.sorted.last().map(|s| s.grade)
+    }
+}
+
+impl GradedSource for VecSource {
+    fn sorted_next(&mut self) -> Option<ScoredObject<Oid>> {
+        let item = self.sorted.get(self.cursor).copied();
+        if item.is_some() {
+            self.cursor += 1;
+        }
+        item
+    }
+
+    fn random_access(&mut self, oid: Oid) -> Score {
+        self.by_oid.get(&oid).copied().unwrap_or(Score::ZERO)
+    }
+
+    fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn universe_size(&self) -> usize {
+        self.sorted.len()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A wrapper that independently counts the accesses made to an inner
+/// source.
+///
+/// The algorithms report their own access statistics; tests wrap their
+/// sources in `CountingSource` to confirm the self-reported numbers
+/// match what the sources actually observed (no unmetered peeking).
+#[derive(Debug)]
+pub struct CountingSource<S> {
+    inner: S,
+    sorted_accesses: u64,
+    random_accesses: u64,
+}
+
+impl<S: GradedSource> CountingSource<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> CountingSource<S> {
+        CountingSource {
+            inner,
+            sorted_accesses: 0,
+            random_accesses: 0,
+        }
+    }
+
+    /// Observed number of sorted accesses.
+    pub fn sorted_accesses(&self) -> u64 {
+        self.sorted_accesses
+    }
+
+    /// Observed number of random accesses.
+    pub fn random_accesses(&self) -> u64 {
+        self.random_accesses
+    }
+
+    /// Unwraps the inner source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: GradedSource> GradedSource for CountingSource<S> {
+    fn sorted_next(&mut self) -> Option<ScoredObject<Oid>> {
+        let item = self.inner.sorted_next();
+        if item.is_some() {
+            self.sorted_accesses += 1;
+        }
+        item
+    }
+
+    fn random_access(&mut self, oid: Oid) -> Score {
+        self.random_accesses += 1;
+        self.inner.random_access(oid)
+    }
+
+    fn rewind(&mut self) {
+        self.inner.rewind();
+    }
+
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
+
+/// Error emitted by [`ValidatingSource`] when a subsystem misbehaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceViolation {
+    /// Sorted access produced a grade higher than its predecessor.
+    OutOfOrder {
+        /// Grade of the previous item.
+        previous: Score,
+        /// The offending (higher) grade.
+        current: Score,
+    },
+    /// Sorted access yielded the same object twice.
+    DuplicateObject(Oid),
+    /// Random access disagreed with what sorted access reported.
+    InconsistentGrade {
+        /// The object.
+        oid: Oid,
+        /// Grade seen under sorted access.
+        sorted: Score,
+        /// Grade seen under random access.
+        random: Score,
+    },
+}
+
+impl fmt::Display for SourceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceViolation::OutOfOrder { previous, current } => {
+                write!(f, "sorted stream rose from {previous} to {current}")
+            }
+            SourceViolation::DuplicateObject(oid) => {
+                write!(f, "object {oid} streamed twice")
+            }
+            SourceViolation::InconsistentGrade {
+                oid,
+                sorted,
+                random,
+            } => write!(
+                f,
+                "object {oid}: sorted access said {sorted}, random access said {random}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SourceViolation {}
+
+/// A wrapper that checks the sorted/random access *contract* (§4) as a
+/// query runs: grades must be non-increasing under sorted access, no
+/// object may stream twice, and random access must agree with sorted
+/// access.
+///
+/// Garlic cannot inspect an autonomous subsystem's internals, but it
+/// *can* watch the stream it produces — every violation here would
+/// silently corrupt A₀'s answers if it went unnoticed (the correctness
+/// proof leans on descending order). Violations are recorded rather
+/// than panicking; the middleware can inspect them after the run.
+#[derive(Debug)]
+pub struct ValidatingSource<S> {
+    inner: S,
+    last_grade: Option<Score>,
+    seen: std::collections::HashMap<Oid, Score>,
+    violations: Vec<SourceViolation>,
+}
+
+impl<S: GradedSource> ValidatingSource<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> ValidatingSource<S> {
+        ValidatingSource {
+            inner,
+            last_grade: None,
+            seen: std::collections::HashMap::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Violations observed so far.
+    pub fn violations(&self) -> &[SourceViolation] {
+        &self.violations
+    }
+
+    /// True if the contract held for everything observed so far.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl<S: GradedSource> GradedSource for ValidatingSource<S> {
+    fn sorted_next(&mut self) -> Option<ScoredObject<Oid>> {
+        let item = self.inner.sorted_next()?;
+        if let Some(prev) = self.last_grade {
+            if item.grade > prev {
+                self.violations.push(SourceViolation::OutOfOrder {
+                    previous: prev,
+                    current: item.grade,
+                });
+            }
+        }
+        self.last_grade = Some(item.grade);
+        if self.seen.insert(item.id, item.grade).is_some() {
+            self.violations
+                .push(SourceViolation::DuplicateObject(item.id));
+        }
+        Some(item)
+    }
+
+    fn random_access(&mut self, oid: Oid) -> Score {
+        let grade = self.inner.random_access(oid);
+        if let Some(&sorted_grade) = self.seen.get(&oid) {
+            if !grade.approx_eq(sorted_grade, 1e-9) {
+                self.violations.push(SourceViolation::InconsistentGrade {
+                    oid,
+                    sorted: sorted_grade,
+                    random: grade,
+                });
+            }
+        }
+        grade
+    }
+
+    fn rewind(&mut self) {
+        self.inner.rewind();
+        self.last_grade = None;
+        self.seen.clear();
+    }
+
+    fn universe_size(&self) -> usize {
+        self.inner.universe_size()
+    }
+
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: f64) -> Score {
+        Score::clamped(v)
+    }
+
+    #[test]
+    fn sorted_access_streams_descending() {
+        let mut src = VecSource::new(
+            "t",
+            vec![(0, s(0.2)), (1, s(0.9)), (2, s(0.5)), (3, s(0.9))],
+        );
+        let order: Vec<Oid> = std::iter::from_fn(|| src.sorted_next())
+            .map(|o| o.id)
+            .collect();
+        // ties (oid 1 and 3 at 0.9) broken by ascending oid
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert_eq!(src.sorted_next(), None);
+    }
+
+    #[test]
+    fn rewind_restarts_the_stream() {
+        let mut src = VecSource::new("t", vec![(0, s(0.2)), (1, s(0.9))]);
+        assert_eq!(src.sorted_next().unwrap().id, 1);
+        src.rewind();
+        assert_eq!(src.sorted_next().unwrap().id, 1);
+    }
+
+    #[test]
+    fn random_access_unknown_oid_grades_zero() {
+        let mut src = VecSource::new("t", vec![(0, s(0.2))]);
+        assert_eq!(src.random_access(0), s(0.2));
+        assert_eq!(src.random_access(999), Score::ZERO);
+    }
+
+    #[test]
+    fn duplicate_oids_keep_last_grade() {
+        let mut src = VecSource::new("t", vec![(7, s(0.1)), (7, s(0.8))]);
+        assert_eq!(src.universe_size(), 1);
+        assert_eq!(src.random_access(7), s(0.8));
+    }
+
+    #[test]
+    fn from_graded_set_roundtrips() {
+        let mut set = fmdb_core::graded_set::GradedSet::new();
+        set.insert(3u64, s(0.4));
+        set.insert(9u64, s(0.8));
+        let mut src = VecSource::from_graded_set("t", &set);
+        assert_eq!(src.universe_size(), 2);
+        assert_eq!(src.sorted_next().unwrap().id, 9);
+        assert_eq!(src.random_access(3), s(0.4));
+    }
+
+    #[test]
+    fn min_grade_reports_the_stream_floor() {
+        let src = VecSource::from_dense("t", &[s(0.3), s(0.7), s(0.1)]);
+        assert_eq!(src.min_grade(), Some(s(0.1)));
+        let empty = VecSource::new("t", vec![]);
+        assert_eq!(empty.min_grade(), None);
+    }
+
+    #[test]
+    fn from_dense_assigns_positional_oids() {
+        let mut src = VecSource::from_dense("t", &[s(0.3), s(0.7)]);
+        assert_eq!(src.universe_size(), 2);
+        assert_eq!(src.random_access(1), s(0.7));
+    }
+
+    /// A deliberately broken source for validating the validator.
+    struct BrokenSource {
+        items: Vec<ScoredObject<Oid>>,
+        cursor: usize,
+        random_lies: bool,
+    }
+
+    impl GradedSource for BrokenSource {
+        fn sorted_next(&mut self) -> Option<ScoredObject<Oid>> {
+            let item = self.items.get(self.cursor).copied();
+            self.cursor += 1;
+            item
+        }
+        fn random_access(&mut self, oid: Oid) -> Score {
+            if self.random_lies {
+                Score::clamped(0.123)
+            } else {
+                self.items
+                    .iter()
+                    .find(|i| i.id == oid)
+                    .map_or(Score::ZERO, |i| i.grade)
+            }
+        }
+        fn rewind(&mut self) {
+            self.cursor = 0;
+        }
+        fn universe_size(&self) -> usize {
+            self.items.len()
+        }
+    }
+
+    #[test]
+    fn validating_source_passes_clean_streams() {
+        let mut v = ValidatingSource::new(VecSource::from_dense("t", &[s(0.3), s(0.9), s(0.5)]));
+        while let Some(so) = v.sorted_next() {
+            let _ = v.random_access(so.id);
+        }
+        assert!(v.is_clean(), "{:?}", v.violations());
+    }
+
+    #[test]
+    fn validating_source_flags_out_of_order_streams() {
+        let mut v = ValidatingSource::new(BrokenSource {
+            items: vec![
+                ScoredObject::new(0, s(0.5)),
+                ScoredObject::new(1, s(0.9)), // rises!
+            ],
+            cursor: 0,
+            random_lies: false,
+        });
+        while v.sorted_next().is_some() {}
+        assert!(matches!(
+            v.violations()[0],
+            SourceViolation::OutOfOrder { .. }
+        ));
+    }
+
+    #[test]
+    fn validating_source_flags_duplicates_and_lies() {
+        let mut v = ValidatingSource::new(BrokenSource {
+            items: vec![
+                ScoredObject::new(7, s(0.9)),
+                ScoredObject::new(7, s(0.9)), // duplicate
+            ],
+            cursor: 0,
+            random_lies: true,
+        });
+        while v.sorted_next().is_some() {}
+        let _ = v.random_access(7); // lies: 0.123 != 0.9
+        assert!(v
+            .violations()
+            .iter()
+            .any(|x| matches!(x, SourceViolation::DuplicateObject(7))));
+        assert!(v
+            .violations()
+            .iter()
+            .any(|x| matches!(x, SourceViolation::InconsistentGrade { oid: 7, .. })));
+        // Rewind clears the tracking state.
+        v.rewind();
+        assert_eq!(v.universe_size(), 2);
+    }
+
+    #[test]
+    fn counting_source_meters_accesses() {
+        let mut src = CountingSource::new(VecSource::from_dense("t", &[s(0.3), s(0.7)]));
+        let _ = src.sorted_next();
+        let _ = src.random_access(0);
+        let _ = src.random_access(1);
+        assert_eq!(src.sorted_accesses(), 1);
+        assert_eq!(src.random_accesses(), 2);
+        // Exhausted stream returns don't count as accesses.
+        let _ = src.sorted_next();
+        let _ = src.sorted_next();
+        let _ = src.sorted_next();
+        assert_eq!(src.sorted_accesses(), 2);
+    }
+}

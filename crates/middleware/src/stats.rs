@@ -1,0 +1,155 @@
+//! Database access cost accounting (§4).
+//!
+//! "The *sorted access cost* is the total number of objects obtained
+//! from the database under sorted access. … the *random access cost* is
+//! the total number of objects obtained from the database under random
+//! access. The *database access cost* is the sum."
+//!
+//! The paper flags this uniform measure as "somewhat controversial"
+//! (a sorted access is probably much more expensive than a random one,
+//! or vice versa depending on the subsystem), and \[WHTB98\] studied the
+//! algorithm under "a broad range of access costs". [`CostModel`]
+//! provides that broad range: a pair of unit prices that converts an
+//! [`AccessStats`] into a *charged* cost, used by experiment E5.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counts of the two access kinds an algorithm performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Objects obtained under sorted access, summed over all sources.
+    pub sorted: u64,
+    /// Objects obtained under random access, summed over all sources.
+    pub random: u64,
+}
+
+impl AccessStats {
+    /// No accesses.
+    pub const ZERO: AccessStats = AccessStats {
+        sorted: 0,
+        random: 0,
+    };
+
+    /// Creates explicit stats.
+    pub fn new(sorted: u64, random: u64) -> AccessStats {
+        AccessStats { sorted, random }
+    }
+
+    /// The paper's database access cost: `sorted + random`.
+    pub fn database_access_cost(&self) -> u64 {
+        self.sorted + self.random
+    }
+
+    /// The charged cost under a [`CostModel`].
+    pub fn charged(&self, model: &CostModel) -> f64 {
+        self.sorted as f64 * model.sorted_unit + self.random as f64 * model.random_unit
+    }
+}
+
+impl Add for AccessStats {
+    type Output = AccessStats;
+    fn add(self, rhs: AccessStats) -> AccessStats {
+        AccessStats {
+            sorted: self.sorted + rhs.sorted,
+            random: self.random + rhs.random,
+        }
+    }
+}
+
+impl AddAssign for AccessStats {
+    fn add_assign(&mut self, rhs: AccessStats) {
+        self.sorted += rhs.sorted;
+        self.random += rhs.random;
+    }
+}
+
+impl fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} sorted + {} random)",
+            self.database_access_cost(),
+            self.sorted,
+            self.random
+        )
+    }
+}
+
+/// Unit prices for the two access kinds — the "more realistic cost
+/// measure" the paper's open problems call for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Price of obtaining one object under sorted access.
+    pub sorted_unit: f64,
+    /// Price of obtaining one object under random access.
+    pub random_unit: f64,
+}
+
+impl CostModel {
+    /// The paper's uniform measure: both kinds cost 1.
+    pub const UNIFORM: CostModel = CostModel {
+        sorted_unit: 1.0,
+        random_unit: 1.0,
+    };
+
+    /// A model where a random access costs `ratio` times a sorted one.
+    ///
+    /// Returns `None` for non-finite or non-positive ratios.
+    pub fn random_to_sorted_ratio(ratio: f64) -> Option<CostModel> {
+        (ratio.is_finite() && ratio > 0.0).then_some(CostModel {
+            sorted_unit: 1.0,
+            random_unit: ratio,
+        })
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::UNIFORM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_access_cost_is_the_sum() {
+        // The paper's example: top 100 from one list + top 20 from the
+        // other = sorted access cost 120.
+        let stats = AccessStats::new(120, 35);
+        assert_eq!(stats.database_access_cost(), 155);
+    }
+
+    #[test]
+    fn charged_cost_respects_the_model() {
+        let stats = AccessStats::new(10, 4);
+        assert_eq!(stats.charged(&CostModel::UNIFORM), 14.0);
+        let expensive_random = CostModel::random_to_sorted_ratio(10.0).unwrap();
+        assert_eq!(stats.charged(&expensive_random), 50.0);
+        let cheap_random = CostModel::random_to_sorted_ratio(0.1).unwrap();
+        assert!((stats.charged(&cheap_random) - 10.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_ratios_rejected() {
+        assert!(CostModel::random_to_sorted_ratio(0.0).is_none());
+        assert!(CostModel::random_to_sorted_ratio(-1.0).is_none());
+        assert!(CostModel::random_to_sorted_ratio(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn stats_add_componentwise() {
+        let mut a = AccessStats::new(1, 2);
+        a += AccessStats::new(3, 4);
+        assert_eq!(a, AccessStats::new(4, 6));
+        assert_eq!(a + AccessStats::ZERO, a);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = AccessStats::new(2, 3).to_string();
+        assert!(s.contains("5 accesses"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Synthetic grade workloads for the algorithms' cost experiments.
+//!
+//! Theorem 4.1's analysis assumes the conjuncts' grade lists are
+//! **independent**; §6 notes a "(somewhat artificial) case where the
+//! database access cost is necessarily linear". These generators cover
+//! the whole spectrum:
+//!
+//! * [`independent_uniform`] — the theorem's model: i.i.d. uniform
+//!   grades per list;
+//! * [`correlated_pair`] — two lists whose grades are mixed toward
+//!   agreement (ρ → 1) or disagreement (ρ → −1);
+//! * [`adversarial_anti`] — the linear-lower-bound instance: the second
+//!   list is exactly the reversal of the first, so under min the two
+//!   sorted streams only meet in the middle.
+
+use fmdb_core::score::Score;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::source::VecSource;
+
+/// `m` independent lists of `n` i.i.d. uniform grades (the model of
+/// Theorem 4.1). Deterministic in `seed`.
+pub fn independent_uniform(n: usize, m: usize, seed: u64) -> Vec<VecSource> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|i| {
+            let grades: Vec<Score> = (0..n).map(|_| Score::clamped(rng.gen::<f64>())).collect();
+            VecSource::from_dense(format!("uniform-{i}"), &grades)
+        })
+        .collect()
+}
+
+/// Two lists over `n` objects with correlation knob `rho ∈ [−1, 1]`.
+///
+/// The second list's grade is a convex mixture: for `rho ≥ 0`,
+/// `g₂ = rho·g₁ + (1−rho)·u`; for `rho < 0`,
+/// `g₂ = |rho|·(1−g₁) + (1−|rho|)·u`, with `u` fresh uniform noise.
+/// At `rho = 0` the lists are independent; at `±1` they agree/oppose
+/// deterministically. (The mixture changes the marginal of `g₂` away
+/// from uniform at intermediate `rho`; experiments E11 only need the
+/// monotone sweep between the regimes, which this provides.)
+///
+/// # Panics
+/// Panics if `rho` is outside `[−1, 1]` (caller bug, not data).
+pub fn correlated_pair(n: usize, rho: f64, seed: u64) -> Vec<VecSource> {
+    assert!(
+        (-1.0..=1.0).contains(&rho),
+        "correlation must lie in [-1, 1], got {rho}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g1: Vec<Score> = (0..n).map(|_| Score::clamped(rng.gen::<f64>())).collect();
+    let g2: Vec<Score> = g1
+        .iter()
+        .map(|&g| {
+            let u: f64 = rng.gen();
+            let base = if rho >= 0.0 {
+                g.value()
+            } else {
+                1.0 - g.value()
+            };
+            Score::clamped(rho.abs() * base + (1.0 - rho.abs()) * u)
+        })
+        .collect();
+    vec![
+        VecSource::from_dense("corr-1", &g1),
+        VecSource::from_dense("corr-2", &g2),
+    ]
+}
+
+/// The adversarial instance behind the paper's linear lower bound:
+/// object `i` grades `(i+1)/n` in list 1 and `1 − i/n` in list 2.
+///
+/// Under min, the best object sits at grade ≈ ½ — the *bottom middle*
+/// of both sorted streams — so any algorithm limited to sorted/random
+/// access must pay Ω(n) accesses before the first match appears in
+/// both streams.
+pub fn adversarial_anti(n: usize) -> Vec<VecSource> {
+    let g1: Vec<Score> = (0..n)
+        .map(|i| Score::clamped((i + 1) as f64 / n as f64))
+        .collect();
+    let g2: Vec<Score> = (0..n)
+        .map(|i| Score::clamped(1.0 - i as f64 / n as f64))
+        .collect();
+    vec![
+        VecSource::from_dense("anti-1", &g1),
+        VecSource::from_dense("anti-2", &g2),
+    ]
+}
+
+/// `m` lists where a fraction `selectivity` of objects grade 1 and the
+/// rest grade 0 in the *first* list (a crisp predicate like
+/// `Artist='Beatles'`), while the remaining lists carry uniform fuzzy
+/// grades. Models the paper's CD-store example for the planner
+/// experiments (E10).
+pub fn crisp_plus_fuzzy(n: usize, m: usize, selectivity: f64, seed: u64) -> Vec<VecSource> {
+    assert!(
+        (0.0..=1.0).contains(&selectivity),
+        "selectivity must lie in [0, 1], got {selectivity}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let crisp: Vec<Score> = (0..n)
+        .map(|_| Score::crisp(rng.gen::<f64>() < selectivity))
+        .collect();
+    let mut out = vec![VecSource::from_dense("crisp", &crisp)];
+    for i in 1..m {
+        let grades: Vec<Score> = (0..n).map(|_| Score::clamped(rng.gen::<f64>())).collect();
+        out.push(VecSource::from_dense(format!("fuzzy-{i}"), &grades));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::GradedSource;
+
+    #[test]
+    fn independent_uniform_is_deterministic_in_seed() {
+        let mut a = independent_uniform(20, 2, 42);
+        let mut b = independent_uniform(20, 2, 42);
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            assert_eq!(x.random_access(7), y.random_access(7));
+        }
+        let mut c = independent_uniform(20, 2, 43);
+        let same = (0..20).all(|i| a[0].random_access(i) == c[0].random_access(i));
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn correlated_extremes() {
+        let mut pair = correlated_pair(50, 1.0, 1);
+        for i in 0..50 {
+            assert_eq!(pair[0].random_access(i), pair[1].random_access(i));
+        }
+        let mut anti = correlated_pair(50, -1.0, 1);
+        for i in 0..50 {
+            let sum = anti[0].random_access(i).value() + anti[1].random_access(i).value();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adversarial_grades_are_reversals() {
+        let mut srcs = adversarial_anti(10);
+        for i in 0..10u64 {
+            let g1 = srcs[0].random_access(i).value();
+            let g2 = srcs[1].random_access(i).value();
+            assert!((g1 - (i + 1) as f64 / 10.0).abs() < 1e-12);
+            assert!((g2 - (1.0 - i as f64 / 10.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn crisp_selectivity_roughly_holds() {
+        let mut srcs = crisp_plus_fuzzy(1000, 2, 0.1, 7);
+        let matches = (0..1000u64)
+            .filter(|&i| srcs[0].random_access(i) == Score::ONE)
+            .count();
+        assert!((50..200).contains(&matches), "got {matches}");
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation")]
+    fn correlation_out_of_range_panics() {
+        let _ = correlated_pair(10, 1.5, 0);
+    }
+}

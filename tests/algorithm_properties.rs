@@ -1,0 +1,154 @@
+//! Property-based tests: every top-k algorithm returns a *valid* top-k
+//! (per the paper's definition — exact grades, nothing better left
+//! behind) on arbitrary randomly-shaped instances.
+
+use proptest::prelude::*;
+
+use fuzzymm::core::scoring::means::ArithmeticMean;
+use fuzzymm::core::scoring::tnorms::{Lukasiewicz, Product};
+use fuzzymm::middleware::algorithms::cg_filter::CgFilter;
+use fuzzymm::middleware::oracle::verify_top_k;
+use fuzzymm::prelude::*;
+
+/// Strategy: m grade lists over a shared dense universe.
+fn grade_lists(max_n: usize, max_m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..=max_m, 1usize..=max_n).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..=1.0, n..=n), m..=m)
+    })
+}
+
+fn to_sources(lists: &[Vec<f64>]) -> Vec<VecSource> {
+    lists
+        .iter()
+        .enumerate()
+        .map(|(i, grades)| {
+            let scores: Vec<Score> = grades.iter().map(|&g| Score::clamped(g)).collect();
+            VecSource::from_dense(format!("list-{i}"), &scores)
+        })
+        .collect()
+}
+
+fn check_valid(
+    algo: &dyn TopKAlgorithm,
+    lists: &[Vec<f64>],
+    scoring: &dyn ScoringFunction,
+    k: usize,
+) {
+    let mut sources = to_sources(lists);
+    let mut refs: Vec<&mut dyn GradedSource> = sources
+        .iter_mut()
+        .map(|s| s as &mut dyn GradedSource)
+        .collect();
+    let result = algo
+        .top_k(&mut refs, scoring, k)
+        .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+    let mut refs2: Vec<&mut dyn GradedSource> = sources
+        .iter_mut()
+        .map(|s| s as &mut dyn GradedSource)
+        .collect();
+    verify_top_k(&mut refs2, scoring, &result.answers, k)
+        .unwrap_or_else(|v| panic!("{} returned an invalid top-k: {v}", algo.name()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fa_is_always_valid_under_min(lists in grade_lists(60, 4), k in 1usize..=8) {
+        check_valid(&FaginsAlgorithm, &lists, &Min, k);
+    }
+
+    #[test]
+    fn fa_is_always_valid_under_product(lists in grade_lists(40, 3), k in 1usize..=5) {
+        check_valid(&FaginsAlgorithm, &lists, &Product, k);
+    }
+
+    #[test]
+    fn pruned_fa_is_always_valid(lists in grade_lists(60, 4), k in 1usize..=8) {
+        check_valid(&PrunedFa::default(), &lists, &Min, k);
+        check_valid(&PrunedFa::default(), &lists, &ArithmeticMean, k);
+    }
+
+    #[test]
+    fn ta_is_always_valid(lists in grade_lists(60, 4), k in 1usize..=8) {
+        check_valid(&ThresholdAlgorithm, &lists, &Min, k);
+        check_valid(&ThresholdAlgorithm, &lists, &ArithmeticMean, k);
+    }
+
+    #[test]
+    fn naive_is_always_valid(lists in grade_lists(60, 4), k in 1usize..=8) {
+        check_valid(&Naive, &lists, &Lukasiewicz, k);
+    }
+
+    #[test]
+    fn cg_filter_is_always_valid_for_tnorms(lists in grade_lists(40, 3), k in 1usize..=5) {
+        check_valid(&CgFilter::default(), &lists, &Min, k);
+        check_valid(&CgFilter::default(), &lists, &Product, k);
+    }
+
+    #[test]
+    fn fa_cost_never_exceeds_naive(lists in grade_lists(60, 3), k in 1usize..=5) {
+        let m = lists.len() as u64;
+        let n = lists[0].len() as u64;
+        let mut sources = to_sources(&lists);
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        let fa = FaginsAlgorithm.top_k(&mut refs, &Min, k).expect("valid run");
+        // A0's sorted phase can touch at most every list fully, and the
+        // random phase at most fills every hole: cost ≤ 2·m·N.
+        prop_assert!(fa.stats.database_access_cost() <= 2 * m * n);
+    }
+
+    #[test]
+    fn pruned_fa_never_costs_more_than_fa(lists in grade_lists(60, 3), k in 1usize..=5) {
+        let mut s1 = to_sources(&lists);
+        let mut r1: Vec<&mut dyn GradedSource> =
+            s1.iter_mut().map(|s| s as &mut dyn GradedSource).collect();
+        let fa = FaginsAlgorithm.top_k(&mut r1, &Min, k).expect("valid run");
+        let mut s2 = to_sources(&lists);
+        let mut r2: Vec<&mut dyn GradedSource> =
+            s2.iter_mut().map(|s| s as &mut dyn GradedSource).collect();
+        let pruned = PrunedFa::default().top_k(&mut r2, &Min, k).expect("valid run");
+        prop_assert_eq!(pruned.stats.sorted, fa.stats.sorted);
+        prop_assert!(pruned.stats.random <= fa.stats.random);
+    }
+
+    #[test]
+    fn max_merge_matches_naive_grades(lists in grade_lists(60, 4), k in 1usize..=8) {
+        let scoring = ConormScoring(fuzzymm::core::scoring::conorms::Max);
+        let mut s1 = to_sources(&lists);
+        let mut r1: Vec<&mut dyn GradedSource> =
+            s1.iter_mut().map(|s| s as &mut dyn GradedSource).collect();
+        let merge = MaxMerge.top_k(&mut r1, &scoring, k).expect("valid run");
+        let mut r2: Vec<&mut dyn GradedSource> =
+            s1.iter_mut().map(|s| s as &mut dyn GradedSource).collect();
+        verify_top_k(&mut r2, &scoring, &merge.answers, k)
+            .unwrap_or_else(|v| panic!("max-merge invalid: {v}"));
+        // And its cost promise: at most m·k sorted accesses.
+        prop_assert!(merge.stats.sorted <= (lists.len() * k) as u64);
+        prop_assert_eq!(merge.stats.random, 0);
+    }
+
+    #[test]
+    fn fa_session_batches_are_disjoint_and_ordered(
+        lists in grade_lists(60, 2),
+        k in 1usize..=4,
+    ) {
+        let mut sources = to_sources(&lists);
+        let refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        let mut session = FaSession::new(refs, &Min).expect("valid session");
+        let first = session.next_k(k).expect("valid batch");
+        let second = session.next_k(k).expect("valid batch");
+        for a in &first.answers {
+            prop_assert!(!second.answers.iter().any(|b| b.id == a.id));
+        }
+        if let (Some(last), Some(next)) = (first.answers.last(), second.answers.first()) {
+            prop_assert!(last.grade >= next.grade);
+        }
+    }
+}

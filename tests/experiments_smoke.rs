@@ -1,0 +1,116 @@
+//! Smoke tests: the cheap experiment harnesses run end-to-end in quick
+//! mode and produce non-degenerate reports. (The heavyweight sweeps
+//! are exercised by `cargo run -p fmdb-bench --bin e00_run_all`.)
+
+use fmdb_bench::experiments;
+use fmdb_bench::report::fit_exponent;
+use fmdb_bench::runners::RunCfg;
+
+fn quick() -> RunCfg {
+    RunCfg::quick()
+}
+
+#[test]
+fn e02_disjunction_cost_is_exactly_mk() {
+    let report = experiments::e02_disjunction::run(&quick());
+    // Every row: merge cost column equals the m·k column.
+    let table = &report.tables[0];
+    assert!(!table.rows.is_empty());
+    for row in &table.rows {
+        assert_eq!(row[3], row[4], "merge cost must equal m·k: {row:?}");
+    }
+}
+
+#[test]
+fn e14_axiom_table_is_complete_and_correct_for_min() {
+    let report = experiments::e14_axiom_table::run(&quick());
+    let table = &report.tables[0];
+    assert!(table.rows.len() >= 15, "expected all shipped functions");
+    let min_row = table
+        .rows
+        .iter()
+        .find(|r| r[0] == "min")
+        .expect("min is audited");
+    // min: ∧-cons yes, monotone yes, idempotent yes, strict yes, t-norm yes.
+    assert_eq!(min_row[1], "yes");
+    assert_eq!(min_row[3], "yes");
+    assert_eq!(min_row[6], "yes");
+    assert_eq!(min_row[7], "yes");
+    assert_eq!(min_row[8], "yes");
+    // Exactly one t-norm is idempotent (Theorem 3.1's uniqueness).
+    let idempotent_tnorms = table
+        .rows
+        .iter()
+        .filter(|r| r[8] == "yes" && r[6] == "yes")
+        .count();
+    assert_eq!(idempotent_tnorms, 1);
+}
+
+#[test]
+fn e15_weighting_laws_hold() {
+    let report = experiments::e15_weighting_laws::run(&quick());
+    let table = &report.tables[0];
+    for row in &table.rows {
+        for violation in &row[1..] {
+            let v: f64 = violation.parse().expect("numeric violation");
+            assert!(v < 1e-9, "desideratum violated: {row:?}");
+        }
+    }
+}
+
+#[test]
+fn e01_exponents_are_sublinear_for_fa() {
+    let report = experiments::e01_fa_scaling::run(&quick());
+    let exponents = &report.tables[1];
+    for row in &exponents.rows {
+        let fitted: f64 = row[2].parse().expect("numeric exponent");
+        assert!(
+            fitted < 0.95,
+            "A0's exponent should be clearly sublinear: {row:?}"
+        );
+    }
+}
+
+#[test]
+fn fit_exponent_is_reexported_and_sane() {
+    let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, (i as f64).powf(0.5))).collect();
+    assert!((fit_exponent(&pts) - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn e18_page_costs_reduce_to_flat_counts_at_page_size_one() {
+    let report = experiments::e18_page_costs::run(&quick());
+    let table = &report.tables[0];
+    // Row 0 is page size 1: reads must equal the flat access counts,
+    // i.e. naive reads = m·N (m = 3 lists fully drained).
+    let first = &table.rows[0];
+    assert_eq!(first[0], "1");
+    let naive_reads: u64 = first[6].parse().expect("numeric");
+    assert_eq!(naive_reads % 3, 0);
+    // In some row with larger pages the naive scan must be cheapest.
+    assert!(
+        table.rows.iter().any(|r| r[8] == "naive"),
+        "expected a naive crossover row"
+    );
+}
+
+#[test]
+fn e19_nra_never_random_accesses_and_stays_close_to_a0() {
+    let report = experiments::e19_no_random_access::run(&quick());
+    let table = &report.tables[0];
+    assert!(!table.rows.is_empty());
+    for row in &table.rows {
+        let ratio: f64 = row[6].parse().expect("numeric ratio");
+        assert!(ratio < 10.0, "NRA blew up: {row:?}");
+    }
+}
+
+#[test]
+fn e16_optimizer_regret_is_small() {
+    let report = experiments::e16_optimizer::run(&quick());
+    let table = &report.tables[0];
+    for row in &table.rows {
+        let regret: f64 = row[6].parse().expect("numeric regret");
+        assert!(regret <= 2.0, "optimizer regret too high: {row:?}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the scoring layer: t-norm/co-norm axioms,
+//! De Morgan duality, and the Fagin–Wimmers desiderata on arbitrary
+//! inputs (the §3/§5 laws, hammered beyond the unit tests' grids).
+
+use proptest::prelude::*;
+
+use fuzzymm::core::scoring::conorms::{BoundedSum, DrasticSum, EinsteinSum, Max, ProbabilisticSum};
+use fuzzymm::core::scoring::negation::{Negation, Standard, Sugeno, YagerNeg};
+use fuzzymm::core::scoring::tnorms::{
+    Drastic, Einstein, Hamacher, Lukasiewicz, Min, Product, Yager,
+};
+use fuzzymm::core::scoring::{Conorm, Dual, TNorm};
+use fuzzymm::prelude::*;
+
+fn score() -> impl Strategy<Value = Score> {
+    (0.0f64..=1.0).prop_map(Score::clamped)
+}
+
+/// A cloneable description of a t-norm (proptest values must be
+/// `Clone + Debug`, which trait objects are not).
+#[derive(Debug, Clone)]
+enum NormSpec {
+    Min,
+    Product,
+    Lukasiewicz,
+    Drastic,
+    Einstein,
+    Hamacher(f64),
+    Yager(f64),
+}
+
+impl NormSpec {
+    fn build(&self) -> Box<dyn TNorm> {
+        match *self {
+            NormSpec::Min => Box::new(Min),
+            NormSpec::Product => Box::new(Product),
+            NormSpec::Lukasiewicz => Box::new(Lukasiewicz),
+            NormSpec::Drastic => Box::new(Drastic),
+            NormSpec::Einstein => Box::new(Einstein),
+            NormSpec::Hamacher(g) => Box::new(Hamacher::new(g).expect("nonnegative gamma")),
+            NormSpec::Yager(p) => Box::new(Yager::new(p).expect("positive p")),
+        }
+    }
+}
+
+fn tnorm() -> impl Strategy<Value = NormSpec> {
+    prop_oneof![
+        Just(NormSpec::Min),
+        Just(NormSpec::Product),
+        Just(NormSpec::Lukasiewicz),
+        Just(NormSpec::Drastic),
+        Just(NormSpec::Einstein),
+        (0.0f64..5.0).prop_map(NormSpec::Hamacher),
+        (0.5f64..6.0).prop_map(NormSpec::Yager),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tnorm_axioms_hold_for_random_arguments(spec in tnorm(), a in score(), b in score(), c in score()) {
+        let norm = spec.build();
+        // Boundary: t(x, 1) = x.
+        prop_assert!(norm.t(a, Score::ONE).approx_eq(a, 1e-9));
+        // Commutativity.
+        prop_assert!(norm.t(a, b).approx_eq(norm.t(b, a), 1e-9));
+        // Associativity.
+        let left = norm.t(norm.t(a, b), c);
+        let right = norm.t(a, norm.t(b, c));
+        prop_assert!(left.approx_eq(right, 1e-7), "{}: {left} vs {right}", norm.norm_name());
+        // Bounded above by min.
+        prop_assert!(norm.t(a, b).value() <= a.min(b).value() + 1e-9);
+    }
+
+    #[test]
+    fn tnorm_monotone_in_first_argument(spec in tnorm(), a in score(), a2 in score(), b in score()) {
+        let norm = spec.build();
+        let (lo, hi) = if a <= a2 { (a, a2) } else { (a2, a) };
+        prop_assert!(norm.t(lo, b).value() <= norm.t(hi, b).value() + 1e-9);
+    }
+
+    #[test]
+    fn de_morgan_duality(spec in tnorm(), a in score(), b in score()) {
+        let norm = spec.build();
+        // s(x, y) = 1 − t(1−x, 1−y) satisfies the co-norm boundary and
+        // the generalized De Morgan law with standard negation.
+        let dual = Dual(&*norm);
+        prop_assert!(dual.s(a, Score::ZERO).approx_eq(a, 1e-9));
+        let lhs = dual.s(a, b);
+        let rhs = norm.t(a.negate(), b.negate()).negate();
+        prop_assert!(lhs.approx_eq(rhs, 1e-9));
+    }
+
+    #[test]
+    fn shipped_conorms_are_bounded_below_by_max(a in score(), b in score()) {
+        let conorms: Vec<Box<dyn Conorm>> = vec![
+            Box::new(Max),
+            Box::new(ProbabilisticSum),
+            Box::new(BoundedSum),
+            Box::new(DrasticSum),
+            Box::new(EinsteinSum),
+        ];
+        for s in &conorms {
+            prop_assert!(s.s(a, b).value() >= a.max(b).value() - 1e-9, "{}", s.conorm_name());
+        }
+    }
+
+    #[test]
+    fn negations_are_involutive(x in score(), lambda in -0.9f64..4.0, w in 0.3f64..4.0) {
+        let negs: Vec<Box<dyn Negation>> = vec![
+            Box::new(Standard),
+            Box::new(Sugeno::new(lambda).expect("lambda > -1")),
+            Box::new(YagerNeg::new(w).expect("w > 0")),
+        ];
+        for n in &negs {
+            prop_assert!(n.n(n.n(x)).approx_eq(x, 1e-7), "{}", n.negation_name());
+        }
+    }
+
+    #[test]
+    fn fw_weighting_is_a_convex_combination_of_prefix_values(
+        xs in proptest::collection::vec(0.0f64..=1.0, 2..6),
+        ratios in proptest::collection::vec(0.01f64..10.0, 2..6),
+    ) {
+        // The weighted value always lies between the min and max of the
+        // prefix values f(x₁), f(x₁,x₂), … (they're convexly combined).
+        let m = xs.len().min(ratios.len());
+        let xs: Vec<Score> = xs[..m].iter().map(|&v| Score::clamped(v)).collect();
+        let theta = Weighting::from_ratios(&ratios[..m]).expect("positive ratios");
+        let value = weighted_combine(&Min, &theta, &xs).value();
+
+        // Compute prefix values in weight-descending order.
+        let mut pairs: Vec<(f64, Score)> = theta
+            .weights()
+            .iter()
+            .copied()
+            .zip(xs.iter().copied())
+            .collect();
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        let mut prefix = Vec::new();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, x) in &pairs {
+            prefix.push(*x);
+            let v = Min.combine(&prefix).value();
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        prop_assert!(value >= lo - 1e-9 && value <= hi + 1e-9);
+    }
+
+    #[test]
+    fn fw_weighting_is_monotone_in_every_argument(
+        xs in proptest::collection::vec(0.0f64..=1.0, 3..=3),
+        bump in 0.0f64..=1.0,
+        pos in 0usize..3,
+        ratios in proptest::collection::vec(0.01f64..10.0, 3..=3),
+    ) {
+        let theta = Weighting::from_ratios(&ratios).expect("positive ratios");
+        let base: Vec<Score> = xs.iter().map(|&v| Score::clamped(v)).collect();
+        let mut bumped = base.clone();
+        bumped[pos] = Score::clamped((xs[pos] + bump).min(1.0));
+        let before = weighted_combine(&Min, &theta, &base).value();
+        let after = weighted_combine(&Min, &theta, &bumped).value();
+        prop_assert!(after >= before - 1e-9);
+    }
+
+    #[test]
+    fn graded_set_ops_respect_zadeh_rules(
+        grades_a in proptest::collection::vec(0.0f64..=1.0, 1..20),
+        grades_b in proptest::collection::vec(0.0f64..=1.0, 1..20),
+    ) {
+        let a: GradedSet<usize> = grades_a
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (i, Score::clamped(g)))
+            .collect();
+        let b: GradedSet<usize> = grades_b
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (i, Score::clamped(g)))
+            .collect();
+        let inter = a.intersect(&b, &Min);
+        let union = a.union(&b, &Max);
+        for i in 0..grades_a.len().max(grades_b.len()) {
+            let ga = a.grade_or_zero(&i);
+            let gb = b.grade_or_zero(&i);
+            prop_assert_eq!(inter.grade_or_zero(&i), ga.min(gb));
+            prop_assert_eq!(union.grade_or_zero(&i), ga.max(gb));
+        }
+    }
+}
