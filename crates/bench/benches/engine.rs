@@ -1,0 +1,163 @@
+//! Criterion benchmarks: the batched, parallel [`Engine`] vs scalar A₀.
+//!
+//! In-memory `VecSource` accesses cost nanoseconds, so the engine's
+//! value shows where it matters: against *remote* subsystems — the
+//! paper's actual setting, Garlic middleware over autonomous systems
+//! like QBIC (§4). [`RemoteSource`] models that: every sorted-access
+//! call is one subsystem round-trip (a real `thread::sleep`, so
+//! overlapping it genuinely helps), while random access is a local
+//! index probe (§4.2's "through an index"). Scalar A₀ pays one
+//! round-trip per object; the engine fetches whole batches per
+//! round-trip and its per-stream workers keep the `m = 4` streams'
+//! round-trips in flight concurrently.
+//!
+//! The raw in-memory case is also measured so the engine's overhead on
+//! trivially cheap sources stays visible. This is a wall-clock
+//! companion, *not* an access-count claim: engine and scalar charge
+//! identical `sorted`/`random` counts by construction (the equivalence
+//! suite enforces it).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmdb_core::score::{Score, ScoredObject};
+use fmdb_core::scoring::tnorms::Min;
+use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
+use fmdb_middleware::algorithms::TopKAlgorithm;
+use fmdb_middleware::engine::{Engine, EngineConfig};
+use fmdb_middleware::request::TopKRequest;
+use fmdb_middleware::source::{GradedSource, Oid, SourceInfo, VecSource};
+use fmdb_middleware::workload::independent_uniform;
+
+const N: usize = 1 << 16; // 65,536
+const M: usize = 4;
+const K: usize = 10;
+
+/// One subsystem round-trip. `thread::sleep` granularity means the
+/// effective delay lands near 70µs — a LAN round-trip.
+const ROUND_TRIP: Duration = Duration::from_micros(5);
+
+/// A [`VecSource`] behind a simulated network: each sorted-access
+/// *call* — scalar or batched — costs one round-trip, so a batch of
+/// `n` objects amortizes the latency `n`-fold, exactly the economics
+/// that make middleware batch. Random access probes a local index and
+/// pays no round-trip.
+struct RemoteSource {
+    inner: VecSource,
+}
+
+impl RemoteSource {
+    fn new(inner: VecSource) -> RemoteSource {
+        RemoteSource { inner }
+    }
+}
+
+impl GradedSource for RemoteSource {
+    fn sorted_next(&mut self) -> Option<ScoredObject<Oid>> {
+        std::thread::sleep(ROUND_TRIP);
+        self.inner.sorted_next()
+    }
+
+    fn random_access(&mut self, oid: Oid) -> Score {
+        self.inner.random_access(oid)
+    }
+
+    fn rewind(&mut self) {
+        self.inner.rewind();
+    }
+
+    fn info(&self) -> SourceInfo {
+        self.inner.info()
+    }
+
+    fn sorted_batch(&mut self, n: usize) -> Vec<ScoredObject<Oid>> {
+        std::thread::sleep(ROUND_TRIP);
+        // One round-trip returns the whole batch; the per-object
+        // accounting (one sorted access each) is unchanged.
+        self.inner.sorted_batch(n)
+    }
+}
+
+fn remote_request() -> TopKRequest {
+    let mut builder = TopKRequest::builder();
+    for source in independent_uniform(N, M, 7) {
+        builder = builder.source(RemoteSource::new(source));
+    }
+    builder.scoring(Min).k(K).build().expect("valid request")
+}
+
+fn bench_remote(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_remote");
+    // Scalar A₀ pays ~30k round-trips per run (seconds); keep the
+    // sample count low.
+    group.sample_size(3);
+
+    group.bench_function(BenchmarkId::new("scalar_fa", "remote"), |b| {
+        let mut sources: Vec<RemoteSource> = independent_uniform(N, M, 7)
+            .into_iter()
+            .map(RemoteSource::new)
+            .collect();
+        b.iter(|| {
+            let mut refs: Vec<&mut dyn GradedSource> = sources
+                .iter_mut()
+                .map(|s| s as &mut dyn GradedSource)
+                .collect();
+            FaginsAlgorithm
+                .top_k(&mut refs, &Min, K)
+                .expect("valid run")
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("engine_batched", "remote"), |b| {
+        let engine = Engine::new(EngineConfig::serial());
+        let request = remote_request();
+        b.iter(|| engine.run(&request).expect("valid run"));
+    });
+
+    group.bench_function(BenchmarkId::new("engine_parallel", "remote"), |b| {
+        let engine = Engine::default();
+        let request = remote_request();
+        b.iter(|| engine.run(&request).expect("valid run"));
+    });
+
+    group.finish();
+}
+
+fn bench_in_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_mem");
+    group.sample_size(10);
+
+    // Raw in-memory sources: accesses are ~free, so this measures the
+    // engine's own overhead (threads, channels, mutexes).
+    group.bench_function(BenchmarkId::new("scalar_fa", "mem"), |b| {
+        let mut sources = independent_uniform(N, M, 7);
+        b.iter(|| {
+            let mut refs: Vec<&mut dyn GradedSource> = sources
+                .iter_mut()
+                .map(|s| s as &mut dyn GradedSource)
+                .collect();
+            FaginsAlgorithm
+                .top_k(&mut refs, &Min, K)
+                .expect("valid run")
+        });
+    });
+
+    group.bench_function(BenchmarkId::new("engine_parallel", "mem"), |b| {
+        let engine = Engine::new(EngineConfig {
+            cache_capacity: 0,
+            ..EngineConfig::DEFAULT
+        });
+        let request = TopKRequest::builder()
+            .sources(independent_uniform(N, M, 7))
+            .scoring(Min)
+            .k(K)
+            .build()
+            .expect("valid request");
+        b.iter(|| engine.run(&request).expect("valid run"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote, bench_in_memory);
+criterion_main!(benches);

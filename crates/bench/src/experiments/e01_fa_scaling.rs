@@ -2,9 +2,12 @@
 //! `Θ(N^((m−1)/m) · k^(1/m))` on independent lists, against the naive
 //! algorithm's `m·N`.
 
+use std::sync::Arc;
+
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
 use fmdb_middleware::algorithms::naive::Naive;
+use fmdb_middleware::request::SharedScoring;
 use fmdb_middleware::workload::independent_uniform;
 
 use crate::report::{f3, fit_exponent, int, Report, Table};
@@ -12,6 +15,7 @@ use crate::runners::{mean_cost, RunCfg};
 
 /// Runs the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    let min: SharedScoring = Arc::new(Min);
     let mut report = Report::new(
         "E1",
         "A0 cost scaling vs database size",
@@ -39,10 +43,10 @@ pub fn run(cfg: &RunCfg) -> Report {
             let mut fa_points = Vec::new();
             let mut naive_points = Vec::new();
             for &n in &ns {
-                let fa = mean_cost(&FaginsAlgorithm, &Min, k, cfg.seeds, |seed| {
+                let fa = mean_cost(&FaginsAlgorithm, &min, k, cfg.seeds, |seed| {
                     independent_uniform(n, m, seed)
                 });
-                let naive = mean_cost(&Naive, &Min, k, cfg.seeds, |seed| {
+                let naive = mean_cost(&Naive, &min, k, cfg.seeds, |seed| {
                     independent_uniform(n, m, seed)
                 });
                 let fc = fa.database_access_cost();

@@ -1,10 +1,13 @@
 //! E2 — the disjunction special case (§4.1): under max there is an
 //! algorithm with database access cost `m·k`, *independent of N*.
 
+use std::sync::Arc;
+
 use fmdb_core::scoring::conorms::Max;
 use fmdb_core::scoring::ConormScoring;
 use fmdb_middleware::algorithms::max_merge::MaxMerge;
 use fmdb_middleware::algorithms::naive::Naive;
+use fmdb_middleware::request::SharedScoring;
 use fmdb_middleware::workload::independent_uniform;
 
 use crate::report::{int, Report, Table};
@@ -22,7 +25,7 @@ pub fn run(cfg: &RunCfg) -> Report {
     } else {
         vec![1 << 10, 1 << 13, 1 << 16, 1 << 18]
     };
-    let scoring = ConormScoring(Max);
+    let scoring: SharedScoring = Arc::new(ConormScoring(Max));
     let mut t = Table::new(
         "max-merge vs naive on A1 ∨ … ∨ Am",
         &["m", "k", "N", "merge cost", "m·k", "naive cost"],

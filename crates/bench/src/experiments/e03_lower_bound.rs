@@ -2,10 +2,12 @@
 //! queries no algorithm beats `c′·N^((m−1)/m)·k^(1/m)`, so even the
 //! pruned A₀ variant's savings are confined to the constant factor.
 
+use std::sync::Arc;
+
 use fmdb_core::scoring::tnorms::{Lukasiewicz, Min, Product};
-use fmdb_core::scoring::TNorm;
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
 use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
+use fmdb_middleware::request::SharedScoring;
 use fmdb_middleware::workload::independent_uniform;
 
 use crate::report::{f3, fit_exponent, int, Report, Table};
@@ -26,10 +28,10 @@ pub fn run(cfg: &RunCfg) -> Report {
     };
     let k = 10usize;
     let m = 2usize;
-    let norms: Vec<(&str, Box<dyn TNorm>)> = vec![
-        ("min", Box::new(Min)),
-        ("product", Box::new(Product)),
-        ("lukasiewicz", Box::new(Lukasiewicz)),
+    let norms: Vec<(&str, SharedScoring)> = vec![
+        ("min", Arc::new(Min)),
+        ("product", Arc::new(Product)),
+        ("lukasiewicz", Arc::new(Lukasiewicz)),
     ];
     let mut t = Table::new(
         "cost and normalized cost c = cost/√(kN), m = 2, k = 10",

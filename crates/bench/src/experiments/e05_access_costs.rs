@@ -3,11 +3,14 @@
 //! re-prices sorted and random accesses across three orders of
 //! magnitude and shows where each algorithm wins.
 
+use std::sync::Arc;
+
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
 use fmdb_middleware::algorithms::naive::Naive;
 use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
 use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
+use fmdb_middleware::request::SharedScoring;
 use fmdb_middleware::stats::CostModel;
 use fmdb_middleware::workload::independent_uniform;
 
@@ -16,6 +19,7 @@ use crate::runners::{mean_cost, RunCfg};
 
 /// Runs the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    let min: SharedScoring = Arc::new(Min);
     let mut report = Report::new(
         "E5",
         "charged cost under varying random:sorted price ratios",
@@ -28,16 +32,16 @@ pub fn run(cfg: &RunCfg) -> Report {
     let ratios = [0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0];
 
     // Collect raw stats once per algorithm; prices are applied after.
-    let fa = mean_cost(&FaginsAlgorithm, &Min, k, cfg.seeds, |seed| {
+    let fa = mean_cost(&FaginsAlgorithm, &min, k, cfg.seeds, |seed| {
         independent_uniform(n, m, seed)
     });
-    let pruned = mean_cost(&PrunedFa::default(), &Min, k, cfg.seeds, |seed| {
+    let pruned = mean_cost(&PrunedFa::default(), &min, k, cfg.seeds, |seed| {
         independent_uniform(n, m, seed)
     });
-    let ta = mean_cost(&ThresholdAlgorithm, &Min, k, cfg.seeds, |seed| {
+    let ta = mean_cost(&ThresholdAlgorithm, &min, k, cfg.seeds, |seed| {
         independent_uniform(n, m, seed)
     });
-    let naive = mean_cost(&Naive, &Min, k, cfg.seeds, |seed| {
+    let naive = mean_cost(&Naive, &min, k, cfg.seeds, |seed| {
         independent_uniform(n, m, seed)
     });
 

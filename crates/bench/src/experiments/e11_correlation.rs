@@ -3,9 +3,12 @@
 //! artificial) case where the database access cost is necessarily
 //! linear in the database size".
 
+use std::sync::Arc;
+
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
 use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
+use fmdb_middleware::request::SharedScoring;
 use fmdb_middleware::workload::{adversarial_anti, correlated_pair};
 
 use crate::report::{f3, fit_exponent, int, Report, Table};
@@ -13,6 +16,7 @@ use crate::runners::{mean_cost, RunCfg};
 
 /// Runs the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    let min: SharedScoring = Arc::new(Min);
     let mut report = Report::new(
         "E11",
         "correlation sensitivity and the adversarial linear-cost instance",
@@ -27,10 +31,10 @@ pub fn run(cfg: &RunCfg) -> Report {
         &["rho", "A0 cost", "TA cost", "A0 cost/√(kN)"],
     );
     for &rho in &[-1.0f64, -0.75, -0.5, 0.0, 0.5, 0.75, 1.0] {
-        let fa = mean_cost(&FaginsAlgorithm, &Min, k, cfg.seeds, |seed| {
+        let fa = mean_cost(&FaginsAlgorithm, &min, k, cfg.seeds, |seed| {
             correlated_pair(n, rho, seed)
         });
-        let ta = mean_cost(&ThresholdAlgorithm, &Min, k, cfg.seeds, |seed| {
+        let ta = mean_cost(&ThresholdAlgorithm, &min, k, cfg.seeds, |seed| {
             correlated_pair(n, rho, seed)
         });
         corr.row(vec![
@@ -54,9 +58,9 @@ pub fn run(cfg: &RunCfg) -> Report {
     let mut fa_pts = Vec::new();
     for &n in &ns {
         let mut sources = adversarial_anti(n);
-        let fa = crate::runners::run_algo(&FaginsAlgorithm, &mut sources, &Min, k).stats;
+        let fa = crate::runners::run_algo(&FaginsAlgorithm, &mut sources, &min, k).stats;
         let mut sources = adversarial_anti(n);
-        let ta = crate::runners::run_algo(&ThresholdAlgorithm, &mut sources, &Min, k).stats;
+        let ta = crate::runners::run_algo(&ThresholdAlgorithm, &mut sources, &min, k).stats;
         fa_pts.push((n as f64, fa.database_access_cost() as f64));
         adv.row(vec![
             n.to_string(),

@@ -2,9 +2,12 @@
 //! simulating A₀ with "the color score is at least .2"-style filter
 //! queries; the τ schedule trades restarts against over-fetching.
 
+use std::sync::Arc;
+
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_middleware::algorithms::cg_filter::CgFilter;
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
+use fmdb_middleware::request::SharedScoring;
 use fmdb_middleware::source::GradedSource;
 use fmdb_middleware::workload::independent_uniform;
 
@@ -13,6 +16,7 @@ use crate::runners::{mean_cost, RunCfg};
 
 /// Runs the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    let min: SharedScoring = Arc::new(Min);
     let mut report = Report::new(
         "E12",
         "filter-condition simulation of A0",
@@ -21,7 +25,7 @@ pub fn run(cfg: &RunCfg) -> Report {
     );
     let n = cfg.pick(1 << 14, 1 << 10);
     let k = 10usize;
-    let fa_cost = mean_cost(&FaginsAlgorithm, &Min, k, cfg.seeds, |seed| {
+    let fa_cost = mean_cost(&FaginsAlgorithm, &min, k, cfg.seeds, |seed| {
         independent_uniform(n, 2, seed)
     })
     .database_access_cost();

@@ -2,10 +2,13 @@
 //! headroom left by §6's open problem ("finding efficient algorithms in
 //! various natural cases") that Fagin–Lotem–Naor later closed.
 
+use std::sync::Arc;
+
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
 use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
 use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
+use fmdb_middleware::request::SharedScoring;
 use fmdb_middleware::source::VecSource;
 use fmdb_middleware::workload::{adversarial_anti, correlated_pair, independent_uniform};
 
@@ -14,6 +17,7 @@ use crate::runners::{mean_cost, RunCfg};
 
 /// Runs the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    let min: SharedScoring = Arc::new(Min);
     let mut report = Report::new(
         "E13",
         "Threshold Algorithm vs the A0 family",
@@ -43,9 +47,9 @@ pub fn run(cfg: &RunCfg) -> Report {
         &["workload", "A0", "pruned A0", "TA", "TA/A0"],
     );
     for (name, make) in &workloads {
-        let fa = mean_cost(&FaginsAlgorithm, &Min, k, cfg.seeds, &**make);
-        let pr = mean_cost(&PrunedFa::default(), &Min, k, cfg.seeds, &**make);
-        let ta = mean_cost(&ThresholdAlgorithm, &Min, k, cfg.seeds, &**make);
+        let fa = mean_cost(&FaginsAlgorithm, &min, k, cfg.seeds, &**make);
+        let pr = mean_cost(&PrunedFa::default(), &min, k, cfg.seeds, &**make);
+        let ta = mean_cost(&ThresholdAlgorithm, &min, k, cfg.seeds, &**make);
         t.row(vec![
             (*name).to_owned(),
             int(fa.database_access_cost()),

@@ -6,6 +6,8 @@
 //! 2. the **pruned-A₀ random-access optimizations**: skip-prune alone
 //!    vs skip + intra-object short-circuit vs no pruning.
 
+use std::sync::Arc;
+
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_media::bounding::DistanceBound;
 use fmdb_media::color::ColorHistogram;
@@ -13,6 +15,7 @@ use fmdb_media::distance::{HistogramDistance, QuadraticFormDistance};
 use fmdb_media::synth::{SynthConfig, SyntheticDb};
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
 use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
+use fmdb_middleware::request::SharedScoring;
 use fmdb_middleware::workload::independent_uniform;
 
 use crate::report::{f3, int, Report, Table};
@@ -20,6 +23,7 @@ use crate::runners::{mean_cost, RunCfg};
 
 /// Runs the experiment.
 pub fn run(cfg: &RunCfg) -> Report {
+    let min: SharedScoring = Arc::new(Min);
     let mut report = Report::new(
         "E17",
         "ablations: filter constant and pruning components",
@@ -91,17 +95,17 @@ pub fn run(cfg: &RunCfg) -> Report {
         ],
     );
     for &m in &[2usize, 3, 4] {
-        let plain = mean_cost(&FaginsAlgorithm, &Min, k, cfg.seeds, |seed| {
+        let plain = mean_cost(&FaginsAlgorithm, &min, k, cfg.seeds, |seed| {
             independent_uniform(n2, m, seed)
         });
         let skip_only = mean_cost(
             &PrunedFa::without_short_circuit(),
-            &Min,
+            &min,
             k,
             cfg.seeds,
             |seed| independent_uniform(n2, m, seed),
         );
-        let full = mean_cost(&PrunedFa::default(), &Min, k, cfg.seeds, |seed| {
+        let full = mean_cost(&PrunedFa::default(), &min, k, cfg.seeds, |seed| {
             independent_uniform(n2, m, seed)
         });
         pruning.row(vec![

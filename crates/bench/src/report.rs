@@ -1,10 +1,8 @@
 //! Experiment reporting: aligned text tables, JSON dumps, and the
 //! log-log exponent fits used to check the paper's asymptotic claims.
 
-use serde::Serialize;
-
 /// One formatted table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table caption.
     pub title: String,
@@ -73,7 +71,7 @@ impl Table {
 }
 
 /// A full experiment report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment id ("E1", …).
     pub id: String,
@@ -127,17 +125,87 @@ impl Report {
         out
     }
 
+    /// Serializes the report as one JSON object (hand-rolled — the
+    /// report shape is strings all the way down, so a serializer
+    /// dependency is not warranted).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json_field(&mut out, "id", &self.id);
+        out.push(',');
+        json_field(&mut out, "title", &self.title);
+        out.push(',');
+        json_field(&mut out, "claim", &self.claim);
+        out.push_str(",\"tables\":[");
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_field(&mut out, "title", &t.title);
+            out.push_str(",\"headers\":");
+            json_string_array(&mut out, &t.headers);
+            out.push_str(",\"rows\":[");
+            for (j, row) in t.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string_array(&mut out, row);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"notes\":");
+        json_string_array(&mut out, &self.notes);
+        out.push('}');
+        out
+    }
+
     /// Prints to stdout (and a JSON line to stderr when
     /// `FMDB_JSON=1`, for tooling).
     pub fn print(&self) {
         println!("{}", self.render());
         if std::env::var_os("FMDB_JSON").is_some() {
-            eprintln!(
-                "{}",
-                serde_json::to_string(self).expect("reports are serializable")
-            );
+            eprintln!("{}", self.to_json());
         }
     }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    out.push_str(&json_escape(value));
+    out.push('"');
+}
+
+fn json_string_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(item));
+        out.push('"');
+    }
+    out.push(']');
 }
 
 /// Fits `y = c·x^e` by least squares on (ln x, ln y); returns the
@@ -209,6 +277,22 @@ mod tests {
         assert!(fit_exponent(&[]).is_nan());
         assert!(fit_exponent(&[(1.0, 1.0)]).is_nan());
         assert!(fit_exponent(&[(0.0, 5.0), (-1.0, 2.0)]).is_nan());
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let mut r = Report::new("E0", "demo \"quoted\"", "claim\nwith newline");
+        let mut t = Table::new("t", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        r.table(t);
+        r.note("note");
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""id":"E0""#));
+        assert!(j.contains(r#"demo \"quoted\""#));
+        assert!(j.contains(r#"claim\nwith newline"#));
+        assert!(j.contains(r#""rows":[["1","2"]]"#));
+        assert!(j.contains(r#""notes":["note"]"#));
     }
 
     #[test]

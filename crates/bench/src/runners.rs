@@ -1,8 +1,18 @@
 //! Shared helpers for the experiment binaries.
+//!
+//! Every experiment routes its top-k runs through one process-wide
+//! [`Engine`] behind the unified [`TopKRequest`] API: sorted access is
+//! batched and prefetched on worker threads, random access flows
+//! through the shared grade cache. The engine is bit-identical to the
+//! scalar algorithms — same answers, same charged `sorted`/`random`
+//! counts — so the reproduced numbers are unaffected by the plumbing.
 
-use fmdb_core::scoring::ScoringFunction;
+use std::sync::{Arc, OnceLock};
+
 use fmdb_middleware::algorithms::{TopKAlgorithm, TopKResult};
-use fmdb_middleware::source::{GradedSource, VecSource};
+use fmdb_middleware::engine::Engine;
+use fmdb_middleware::request::{SharedScoring, TopKRequest};
+use fmdb_middleware::source::VecSource;
 use fmdb_middleware::stats::AccessStats;
 
 /// Global run configuration for experiments.
@@ -44,7 +54,15 @@ impl RunCfg {
     }
 }
 
-/// Runs `algo` over fresh mutable references to `sources`.
+/// The experiments' shared execution engine (default configuration:
+/// batched sorted access, one prefetch worker per stream, LRU grade
+/// cache).
+pub fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::default)
+}
+
+/// Runs `algo` through the shared [`engine`] over copies of `sources`.
 ///
 /// # Panics
 /// Panics if the algorithm rejects the query — experiments only pass
@@ -52,14 +70,17 @@ impl RunCfg {
 pub fn run_algo(
     algo: &dyn TopKAlgorithm,
     sources: &mut [VecSource],
-    scoring: &dyn ScoringFunction,
+    scoring: &SharedScoring,
     k: usize,
 ) -> TopKResult {
-    let mut refs: Vec<&mut dyn GradedSource> = sources
-        .iter_mut()
-        .map(|s| s as &mut dyn GradedSource)
-        .collect();
-    algo.top_k(&mut refs, scoring, k)
+    let request = TopKRequest::builder()
+        .sources(sources.iter().cloned())
+        .shared_scoring(Arc::clone(scoring))
+        .k(k)
+        .build()
+        .unwrap_or_else(|e| panic!("{} rejected request: {e}", algo.name()));
+    engine()
+        .run_algorithm(algo, &request)
         .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
 }
 
@@ -67,7 +88,7 @@ pub fn run_algo(
 /// sources per seed via `make_sources`.
 pub fn mean_cost(
     algo: &dyn TopKAlgorithm,
-    scoring: &dyn ScoringFunction,
+    scoring: &SharedScoring,
     k: usize,
     seeds: u64,
     mut make_sources: impl FnMut(u64) -> Vec<VecSource>,
@@ -77,10 +98,7 @@ pub fn mean_cost(
         let mut sources = make_sources(seed);
         total += run_algo(algo, &mut sources, scoring, k).stats;
     }
-    AccessStats {
-        sorted: total.sorted / seeds,
-        random: total.random / seeds,
-    }
+    AccessStats::new(total.sorted / seeds, total.random / seeds)
 }
 
 #[cfg(test)]
@@ -92,11 +110,31 @@ mod tests {
 
     #[test]
     fn mean_cost_averages_over_seeds() {
-        let stats = mean_cost(&FaginsAlgorithm, &Min, 3, 3, |seed| {
+        let min: SharedScoring = Arc::new(Min);
+        let stats = mean_cost(&FaginsAlgorithm, &min, 3, 3, |seed| {
             independent_uniform(200, 2, seed)
         });
         assert!(stats.database_access_cost() > 0);
         assert!(stats.database_access_cost() < 400);
+    }
+
+    #[test]
+    fn engine_routing_matches_direct_scalar_run() {
+        use fmdb_core::scoring::ScoringFunction;
+        use fmdb_middleware::source::GradedSource;
+        let min: SharedScoring = Arc::new(Min);
+        let mut sources = independent_uniform(300, 3, 17);
+        let engine_result = run_algo(&FaginsAlgorithm, &mut sources, &min, 7);
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        let scalar = FaginsAlgorithm
+            .top_k(&mut refs, &Min as &dyn ScoringFunction, 7)
+            .unwrap();
+        assert_eq!(engine_result.answers, scalar.answers);
+        assert_eq!(engine_result.stats.sorted, scalar.stats.sorted);
+        assert_eq!(engine_result.stats.random, scalar.stats.random);
     }
 
     #[test]

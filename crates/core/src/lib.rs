@@ -13,7 +13,10 @@
 //! * [`weights`] — the Fagin–Wimmers formula for weighting the
 //!   importance of subqueries (§5, \[FW97\]);
 //! * [`query`] — the query AST (atomic queries and their Boolean
-//!   combinations) with reference grading semantics.
+//!   combinations) with reference grading semantics;
+//! * [`request`] — validated, source-independent top-k request
+//!   parameters ([`request::TopKSpec`]), bound to concrete sources by
+//!   the middleware's `TopKRequest`.
 //!
 //! Algorithms that *evaluate* queries against subsystems with sorted
 //! and random access live in the `fmdb-middleware` crate; this crate is
@@ -43,6 +46,7 @@
 
 pub mod graded_set;
 pub mod query;
+pub mod request;
 pub mod score;
 pub mod scoring;
 pub mod weights;
@@ -51,6 +55,7 @@ pub mod weights;
 pub mod prelude {
     pub use crate::graded_set::GradedSet;
     pub use crate::query::{AtomicQuery, Query, Target};
+    pub use crate::request::TopKSpec;
     pub use crate::score::{Score, ScoredObject};
     pub use crate::scoring::conorms::Max;
     pub use crate::scoring::means::ArithmeticMean;

@@ -1,0 +1,123 @@
+//! Source-independent top-k request parameters.
+//!
+//! A top-k query is "give me the `k` best objects, optionally weighting
+//! the subqueries' importance" (§5). Those two parameters are pure
+//! semantics — no access model involved — so they live here in the
+//! core crate as [`TopKSpec`]; the middleware's `TopKRequest` binds a
+//! spec to concrete graded sources and a scoring function.
+
+use std::fmt;
+
+use crate::weights::{Weighting, WeightingError};
+
+/// Error raised while validating a [`TopKSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// `k` was zero — "the best zero objects" is never what was meant.
+    ZeroK,
+    /// The weight vector was rejected (empty, negative, all-zero, …).
+    Weights(WeightingError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::ZeroK => write!(f, "k must be at least 1"),
+            SpecError::Weights(e) => write!(f, "invalid weights: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<WeightingError> for SpecError {
+    fn from(e: WeightingError) -> SpecError {
+        SpecError::Weights(e)
+    }
+}
+
+/// The validated, source-independent part of a top-k request: how many
+/// answers, and (optionally) how to weight the subqueries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKSpec {
+    k: usize,
+    weights: Option<Weighting>,
+}
+
+impl TopKSpec {
+    /// An unweighted spec asking for the best `k` objects.
+    pub fn new(k: usize) -> Result<TopKSpec, SpecError> {
+        if k == 0 {
+            return Err(SpecError::ZeroK);
+        }
+        Ok(TopKSpec { k, weights: None })
+    }
+
+    /// A weighted spec: `weights[i]` is the relative importance of the
+    /// `i`-th subquery (normalized via [`Weighting::from_ratios`]).
+    pub fn weighted(k: usize, weights: &[f64]) -> Result<TopKSpec, SpecError> {
+        let mut spec = TopKSpec::new(k)?;
+        spec.weights = Some(Weighting::from_ratios(weights)?);
+        Ok(spec)
+    }
+
+    /// How many answers are requested.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The normalized subquery weighting, if any.
+    pub fn weights(&self) -> Option<&Weighting> {
+        self.weights.as_ref()
+    }
+
+    /// True when the spec fits a query of `m` subqueries (an
+    /// unweighted spec fits any arity; a weighted one only its own).
+    pub fn fits_arity(&self, m: usize) -> bool {
+        match &self.weights {
+            None => true,
+            Some(w) => w.arity() == m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_k_is_rejected() {
+        assert_eq!(TopKSpec::new(0), Err(SpecError::ZeroK));
+        assert!(TopKSpec::new(1).is_ok());
+    }
+
+    #[test]
+    fn weighted_spec_normalizes_ratios() {
+        let spec = TopKSpec::weighted(5, &[2.0, 1.0, 1.0]).unwrap();
+        let w = spec.weights().unwrap();
+        assert_eq!(w.arity(), 3);
+        assert!((w.weights()[0] - 0.5).abs() < 1e-12);
+        assert!(spec.fits_arity(3));
+        assert!(!spec.fits_arity(2));
+    }
+
+    #[test]
+    fn unweighted_spec_fits_any_arity() {
+        let spec = TopKSpec::new(3).unwrap();
+        assert!(spec.fits_arity(1));
+        assert!(spec.fits_arity(17));
+        assert!(spec.weights().is_none());
+    }
+
+    #[test]
+    fn bad_weights_are_rejected() {
+        assert!(matches!(
+            TopKSpec::weighted(1, &[]),
+            Err(SpecError::Weights(_))
+        ));
+        assert!(matches!(
+            TopKSpec::weighted(1, &[-1.0, 2.0]),
+            Err(SpecError::Weights(_))
+        ));
+    }
+}

@@ -154,12 +154,12 @@ impl Catalog {
         let repo = self.repository_for(&query.attribute)?;
         let mut local = repo.source_for(query)?;
         let name = repo.name().to_owned();
-        let mut grades: Vec<(Oid, Score)> = Vec::with_capacity(local.universe_size());
+        let mut grades: Vec<(Oid, Score)> = Vec::with_capacity(local.info().universe_size);
         local.rewind();
         while let Some(so) = local.sorted_next() {
             grades.push((self.mapper.to_global(&name, so.id)?, so.grade));
         }
-        Ok(VecSource::new(local.label(), grades))
+        Ok(VecSource::new(local.info().label, grades))
     }
 
     /// The crisp match set (global ids) for a crisp atomic query, or

@@ -15,6 +15,8 @@ use fmdb_middleware::algorithms::naive::Naive;
 use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
 use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
 use fmdb_middleware::algorithms::{AlgoError, TopKAlgorithm};
+use fmdb_middleware::engine::{Engine, EngineConfig};
+use fmdb_middleware::request::TopKRequest;
 use fmdb_middleware::source::{GradedSource, VecSource};
 use fmdb_middleware::stats::AccessStats;
 
@@ -104,25 +106,7 @@ impl QueryResult {
 }
 
 /// An adapter exposing a [`Combiner`] as a [`ScoringFunction`] for the
-/// middleware algorithms.
-struct CombinerScoring<'a>(&'a Combiner);
-
-impl ScoringFunction for CombinerScoring<'_> {
-    fn name(&self) -> String {
-        self.0.name()
-    }
-    fn combine(&self, scores: &[Score]) -> Score {
-        self.0.combine(scores)
-    }
-    fn is_strict(&self) -> bool {
-        false // conservative; strictness is not needed for execution
-    }
-    fn is_monotone(&self) -> bool {
-        self.0.is_monotone()
-    }
-}
-
-/// Owned variant of [`CombinerScoring`] for long-lived cursors.
+/// middleware algorithms and the engine's shared requests.
 struct OwnedCombiner(Combiner);
 
 impl ScoringFunction for OwnedCombiner {
@@ -133,7 +117,7 @@ impl ScoringFunction for OwnedCombiner {
         self.0.combine(scores)
     }
     fn is_strict(&self) -> bool {
-        false
+        false // conservative; strictness is not needed for execution
     }
     fn is_monotone(&self) -> bool {
         self.0.is_monotone()
@@ -165,8 +149,13 @@ impl QueryCursor {
 }
 
 /// The Garlic facade: a catalog plus query execution.
+///
+/// Flat monotone plans are evaluated through the middleware's batched,
+/// parallel [`Engine`]; answers and charged access counts are
+/// bit-identical to the scalar algorithms.
 pub struct Garlic {
     catalog: Catalog,
+    engine: Engine,
 }
 
 impl fmt::Debug for Garlic {
@@ -176,14 +165,28 @@ impl fmt::Debug for Garlic {
 }
 
 impl Garlic {
-    /// Wraps a catalog.
+    /// Wraps a catalog, executing through a default-configured engine.
     pub fn new(catalog: Catalog) -> Garlic {
-        Garlic { catalog }
+        Garlic::with_engine_config(catalog, EngineConfig::default())
+    }
+
+    /// Wraps a catalog with an explicit engine configuration (batch
+    /// size, parallelism, grade-cache capacity).
+    pub fn with_engine_config(catalog: Catalog, config: EngineConfig) -> Garlic {
+        Garlic {
+            catalog,
+            engine: Engine::new(config),
+        }
     }
 
     /// The catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The execution engine serving this facade's flat plans.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Explains how a query would be executed, without running it.
@@ -291,13 +294,12 @@ impl Garlic {
         kind: PlanKind,
         explanation: String,
     ) -> Result<QueryResult, ExecError> {
-        let mut sources = self.build_sources(flat)?;
-        let mut refs: Vec<&mut dyn GradedSource> = sources
-            .iter_mut()
-            .map(|s| s as &mut dyn GradedSource)
-            .collect();
-        let scoring = CombinerScoring(&flat.combiner);
-        let result = algo.top_k(&mut refs, &scoring, k)?;
+        let request = TopKRequest::builder()
+            .sources(self.build_sources(flat)?)
+            .scoring(OwnedCombiner(flat.combiner.clone()))
+            .k(k)
+            .build()?;
+        let result = self.engine.run_algorithm(algo, &request)?;
         Ok(QueryResult {
             answers: result.answers,
             stats: result.stats,
@@ -312,14 +314,14 @@ impl Garlic {
         k: usize,
         explanation: String,
     ) -> Result<QueryResult, ExecError> {
-        let mut sources = self.build_sources(flat)?;
-        let mut refs: Vec<&mut dyn GradedSource> = sources
-            .iter_mut()
-            .map(|s| s as &mut dyn GradedSource)
-            .collect();
         // The planner probed max-likeness; run the merge under the
         // canonical max so the middleware's own probe also accepts it.
-        let result = MaxMerge.top_k(&mut refs, &ConormScoring(Max), k)?;
+        let request = TopKRequest::builder()
+            .sources(self.build_sources(flat)?)
+            .scoring(ConormScoring(Max))
+            .k(k)
+            .build()?;
+        let result = self.engine.run_algorithm(&MaxMerge, &request)?;
         Ok(QueryResult {
             answers: result.answers,
             stats: result.stats,
@@ -429,7 +431,7 @@ impl Garlic {
             }
             let mut src = self.catalog.source_for(atom)?;
             src.rewind();
-            let mut map = HashMap::with_capacity(src.universe_size());
+            let mut map = HashMap::with_capacity(src.info().universe_size);
             while let Some(so) = src.sorted_next() {
                 stats.sorted += 1;
                 map.insert(so.id, so.grade);

@@ -470,7 +470,7 @@ mod tests {
         t.set(2, "Artist", Value::text("Beatles"));
         let q = atom("Artist", Target::Text("Beatles".into()));
         let mut src = t.source_for(&q).unwrap();
-        assert_eq!(src.universe_size(), 4);
+        assert_eq!(src.info().universe_size, 4);
         assert_eq!(src.random_access(0), Score::ONE);
         assert_eq!(src.random_access(1), Score::ZERO);
         assert_eq!(src.random_access(3), Score::ZERO); // no value set
@@ -625,7 +625,7 @@ mod tests {
         let src = repo
             .source_for(&atom("Color", Target::Feature(masses)))
             .unwrap();
-        assert_eq!(src.universe_size(), 40);
+        assert_eq!(src.info().universe_size, 40);
     }
 
     #[test]
@@ -649,7 +649,7 @@ mod tests {
         let src = covers
             .source_for(&atom("AlbumColor", Target::Similar("red".into())))
             .unwrap();
-        assert_eq!(src.universe_size(), 20);
+        assert_eq!(src.info().universe_size, 20);
         assert!(matches!(
             covers.source_for(&atom("Color", Target::Similar("red".into()))),
             Err(RepoError::UnknownAttribute { .. })

@@ -29,6 +29,7 @@ use std::fmt;
 use fmdb_core::score::ScoredObject;
 use fmdb_core::scoring::ScoringFunction;
 
+use crate::request::TopKRequest;
 use crate::source::{GradedSource, Oid};
 use crate::stats::AccessStats;
 
@@ -64,6 +65,9 @@ pub enum AlgoError {
         /// The offending function's name.
         scoring: String,
     },
+    /// A [`TopKRequest`] could not be assembled (missing scoring
+    /// function, malformed weights, weight/source arity mismatch, …).
+    InvalidRequest(String),
 }
 
 impl fmt::Display for AlgoError {
@@ -79,6 +83,7 @@ impl fmt::Display for AlgoError {
                 requirement,
                 scoring,
             } => write!(f, "{algorithm} requires {requirement}, but got '{scoring}'"),
+            AlgoError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
         }
     }
 }
@@ -108,6 +113,48 @@ pub trait TopKAlgorithm {
         scoring: &dyn ScoringFunction,
         k: usize,
     ) -> Result<TopKResult, AlgoError>;
+}
+
+/// The unified evaluation interface: any strategy that can answer a
+/// [`TopKRequest`].
+///
+/// Every [`TopKAlgorithm`] implements this automatically (the blanket
+/// impl locks the request's shared sources and runs the scalar code
+/// path unchanged); strategies with richer native results — like
+/// [`nra::Nra`]'s grade intervals — implement it directly. The batched
+/// parallel engine ([`crate::engine::Engine`]) accepts the same
+/// requests, so callers pick a strategy without changing how they
+/// describe the query.
+pub trait Algorithm {
+    /// The strategy's display name.
+    fn name(&self) -> &'static str;
+
+    /// Answers `request`, consuming sorted/random access from its
+    /// sources' current cursors (implementations rewind first).
+    fn run(&mut self, request: &TopKRequest) -> Result<TopKResult, AlgoError>;
+}
+
+impl<T: TopKAlgorithm> Algorithm for T {
+    fn name(&self) -> &'static str {
+        TopKAlgorithm::name(self)
+    }
+
+    fn run(&mut self, request: &TopKRequest) -> Result<TopKResult, AlgoError> {
+        let scoring = request.scoring();
+        request.with_sources(|refs| self.top_k(refs, &scoring, request.k()))
+    }
+}
+
+/// Runs a scalar algorithm with the pre-`TopKRequest` calling
+/// convention.
+#[deprecated(note = "build a `TopKRequest` and call `Algorithm::run` instead")]
+pub fn run_scalar(
+    algorithm: &dyn TopKAlgorithm,
+    sources: &mut [&mut dyn GradedSource],
+    scoring: &dyn ScoringFunction,
+    k: usize,
+) -> Result<TopKResult, AlgoError> {
+    algorithm.top_k(sources, scoring, k)
 }
 
 /// Shared argument validation for the A₀ family.

@@ -19,7 +19,8 @@ use std::collections::HashMap;
 use fmdb_core::score::Score;
 use fmdb_core::scoring::ScoringFunction;
 
-use crate::algorithms::{validate, AlgoError};
+use crate::algorithms::{validate, AlgoError, Algorithm, TopKResult};
+use crate::request::TopKRequest;
 use crate::source::{GradedSource, Oid};
 use crate::stats::AccessStats;
 
@@ -141,6 +142,31 @@ impl Nra {
                 });
             }
         }
+    }
+}
+
+impl Algorithm for Nra {
+    fn name(&self) -> &'static str {
+        "nra"
+    }
+
+    /// Runs NRA against a [`TopKRequest`], flattening each
+    /// [`BoundedAnswer`] to its certified **lower** bound. The answer
+    /// *set* is a valid top-k set; reported grades may understate the
+    /// truth wherever the interval had not collapsed — that is the
+    /// price of the no-random-access regime. Callers needing the
+    /// intervals should use [`Nra::top_k`] directly.
+    fn run(&mut self, request: &TopKRequest) -> Result<TopKResult, AlgoError> {
+        let scoring = request.scoring();
+        let result = request.with_sources(|refs| Nra::top_k(self, refs, &scoring, request.k()))?;
+        Ok(TopKResult {
+            answers: result
+                .answers
+                .iter()
+                .map(|b| fmdb_core::score::ScoredObject::new(b.id, b.lower))
+                .collect(),
+            stats: result.stats,
+        })
     }
 }
 

@@ -1,0 +1,826 @@
+//! The batched, parallel top-k execution engine.
+//!
+//! The paper's algorithms are specified — and implemented in
+//! [`crate::algorithms`] — as strictly sequential consumers of sorted
+//! and random access. A real middleware system (Garlic over QBIC et
+//! al., §4) would not call a remote subsystem one object at a time: it
+//! would *batch* sorted access, *overlap* the `m` independent streams,
+//! and *cache* random-access grades it has already paid for. The
+//! [`Engine`] adds exactly those three mechanics **without changing a
+//! single answer or a single charged access**:
+//!
+//! * **Batched sorted access** — each stream is drained through
+//!   [`GradedSource::sorted_batch`] in configurable chunks instead of
+//!   per-object calls.
+//! * **Worker threads** — with [`EngineConfig::parallel`] set, one
+//!   prefetch worker per source keeps a bounded channel of batches full
+//!   while the algorithm consumes them; the merge itself stays the
+//!   existing scalar algorithm, so correctness is inherited.
+//! * **A bounded LRU grade cache** — random-access grades are memoized
+//!   in a [`GradeCache`] shared by every request the engine serves.
+//!   A hit skips the subsystem probe but is *still charged* as one
+//!   random access: the paper's cost measure counts what the algorithm
+//!   asked for, not how the middleware happened to serve it. The
+//!   hit/miss split is folded into
+//!   [`AccessStats::cache_hits`]/[`AccessStats::cache_misses`].
+//!
+//! Because batching preserves per-stream order, prefetching only moves
+//! *when* items are fetched (never *which* or *in what order* the
+//! algorithm consumes them), and cache hits return the same grade the
+//! probe would (grades are immutable snapshots in the paper's model),
+//! the engine's results are **bit-identical** to the scalar reference:
+//! same answer ids, same grades, same `sorted`/`random` counts.
+//!
+//! One engine value serves any number of concurrent [`TopKRequest`]s —
+//! `run` takes `&self`, and [`Engine::run_many`] evaluates a batch of
+//! requests on parallel threads against the shared cache.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
+use std::thread;
+
+use fmdb_core::score::{Score, ScoredObject};
+
+use crate::algorithms::fa::FaginsAlgorithm;
+use crate::algorithms::{AlgoError, Algorithm, TopKAlgorithm, TopKResult};
+use crate::request::{SharedSource, TopKRequest};
+use crate::source::{GradedSource, Oid, SourceInfo};
+
+/// How many prefetched batches a worker may buffer ahead of the
+/// consumer (per stream) before it blocks.
+const PREFETCH_DEPTH: usize = 2;
+
+/// Tuning knobs for the [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Objects fetched per [`GradedSource::sorted_batch`] call.
+    /// Clamped to at least 1.
+    pub batch_size: usize,
+    /// Spawn one prefetch worker thread per sorted stream. When false
+    /// the engine still batches, but fetches lazily on the caller's
+    /// thread.
+    pub parallel: bool,
+    /// Capacity (entries) of the shared random-access [`GradeCache`];
+    /// 0 disables caching entirely.
+    pub cache_capacity: usize,
+}
+
+impl EngineConfig {
+    /// The default: batches of 64, parallel prefetch, 4096 cached
+    /// grades.
+    pub const DEFAULT: EngineConfig = EngineConfig {
+        batch_size: 64,
+        parallel: true,
+        cache_capacity: 4096,
+    };
+
+    /// A single-threaded configuration (batched access, no workers).
+    pub fn serial() -> EngineConfig {
+        EngineConfig {
+            parallel: false,
+            ..EngineConfig::DEFAULT
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::DEFAULT
+    }
+}
+
+/// Cache key: the registered identity of the shared source handle
+/// ([`SourceRegistry`]) plus the oid.
+///
+/// Keying by handle identity means two requests holding clones of the
+/// same [`SharedSource`] share each other's cached grades, while
+/// distinct sources never collide — even when a later source's
+/// allocation lands on a dead source's address, because identities are
+/// never reissued.
+type CacheKey = (u64, Oid);
+
+/// Issues a stable, never-reused identity per [`SharedSource`].
+///
+/// A raw `Arc::as_ptr` key is unsound across requests: once a source
+/// dies, its cache entries linger, and a *new* source allocated at the
+/// recycled address would hit them and be served another subsystem's
+/// grades. The registry therefore keeps a [`Weak`] per known address —
+/// which also pins the allocation, so an address cannot be recycled
+/// while it is still mapped — and hands out a fresh id whenever the
+/// address's previous occupant is gone. Stale entries for dead ids
+/// simply age out of the LRU cache.
+#[derive(Debug, Default)]
+struct SourceRegistry {
+    next_id: u64,
+    by_ptr: HashMap<usize, (Weak<Mutex<dyn GradedSource + Send>>, u64)>,
+}
+
+impl SourceRegistry {
+    fn identify(&mut self, source: &SharedSource) -> u64 {
+        let ptr = Arc::as_ptr(source) as *const () as usize;
+        if let Some((weak, id)) = self.by_ptr.get(&ptr) {
+            if weak
+                .upgrade()
+                .is_some_and(|live| Arc::ptr_eq(&live, source))
+            {
+                return *id;
+            }
+        }
+        if self.by_ptr.len() >= 4096 {
+            self.by_ptr.retain(|_, (weak, _)| weak.strong_count() > 0);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_ptr.insert(ptr, (Arc::downgrade(source), id));
+        id
+    }
+}
+
+/// A bounded LRU memo of random-access grades.
+///
+/// The paper's model makes grades immutable for the duration of a
+/// query ("repeated random access for the same object returns the same
+/// grade"), so memoization is safe. The cache tracks cumulative
+/// [`GradeCache::hits`]/[`GradeCache::misses`] across every request it
+/// served.
+#[derive(Debug)]
+pub struct GradeCache {
+    capacity: usize,
+    /// key → (grade, last-use stamp).
+    entries: HashMap<CacheKey, (Score, u64)>,
+    /// Recency queue with lazy deletion: stale stamps are skipped at
+    /// eviction time.
+    queue: VecDeque<(CacheKey, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl GradeCache {
+    /// Creates a cache holding at most `capacity` grades.
+    pub fn new(capacity: usize) -> GradeCache {
+        GradeCache {
+            capacity,
+            entries: HashMap::new(),
+            queue: VecDeque::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of grades currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative lookups that had to go to the subsystem.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached grade (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.queue.clear();
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    fn get(&mut self, key: CacheKey) -> Option<Score> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&key) {
+            Some((grade, stamp)) => {
+                *stamp = tick;
+                let grade = *grade;
+                self.queue.push_back((key, tick));
+                self.hits += 1;
+                self.maybe_compact();
+                Some(grade)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a grade, evicting the least recently used
+    /// entries beyond capacity.
+    fn insert(&mut self, key: CacheKey, grade: Score) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.entries.insert(key, (grade, self.tick));
+        self.queue.push_back((key, self.tick));
+        while self.entries.len() > self.capacity {
+            match self.queue.pop_front() {
+                Some((old, stamp)) => {
+                    // Lazy deletion: only a queue entry carrying the
+                    // key's *current* stamp represents its true
+                    // recency.
+                    if self.entries.get(&old).is_some_and(|&(_, s)| s == stamp) {
+                        self.entries.remove(&old);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.maybe_compact();
+    }
+
+    /// Bounds the lazy queue: when stale entries dominate, rebuild it
+    /// from the live entries in recency order.
+    fn maybe_compact(&mut self) {
+        if self.queue.len() <= self.capacity.saturating_mul(4) + 8 {
+            return;
+        }
+        let mut live: Vec<(CacheKey, u64)> = self
+            .entries
+            .iter()
+            .map(|(&key, &(_, stamp))| (key, stamp))
+            .collect();
+        live.sort_by_key(|&(_, stamp)| stamp);
+        self.queue = live.into();
+    }
+}
+
+/// The feed behind one proxied stream: either lazily batch-fetched on
+/// the consumer's thread, or streamed from a prefetch worker.
+enum Feed {
+    Serial {
+        batch: usize,
+    },
+    Parallel {
+        rx: Receiver<Vec<ScoredObject<Oid>>>,
+    },
+}
+
+/// The engine's view of one source: sorted access is served from
+/// prefetched batches; random access is routed through the grade
+/// cache. Implements [`GradedSource`], so the scalar algorithms run on
+/// top of it unchanged — and charge exactly the accesses they would
+/// charge against the raw source.
+struct EngineSource<'a> {
+    underlying: &'a SharedSource,
+    info: SourceInfo,
+    key: u64,
+    buffer: VecDeque<ScoredObject<Oid>>,
+    drained: bool,
+    feed: Feed,
+    cache: Option<&'a Mutex<GradeCache>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> EngineSource<'a> {
+    fn new(
+        underlying: &'a SharedSource,
+        info: SourceInfo,
+        key: u64,
+        feed: Feed,
+        cache: Option<&'a Mutex<GradeCache>>,
+    ) -> EngineSource<'a> {
+        EngineSource {
+            key,
+            underlying,
+            info,
+            buffer: VecDeque::new(),
+            drained: false,
+            feed,
+            cache,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Refills the buffer with the next batch, if any remains.
+    fn refill(&mut self) {
+        while self.buffer.is_empty() && !self.drained {
+            match &self.feed {
+                Feed::Serial { batch } => {
+                    let items = lock(self.underlying).sorted_batch(*batch);
+                    if items.len() < *batch {
+                        self.drained = true;
+                    }
+                    self.buffer.extend(items);
+                }
+                Feed::Parallel { rx } => match rx.recv() {
+                    Ok(items) => self.buffer.extend(items),
+                    Err(_) => self.drained = true,
+                },
+            }
+        }
+    }
+}
+
+impl GradedSource for EngineSource<'_> {
+    fn sorted_next(&mut self) -> Option<ScoredObject<Oid>> {
+        self.refill();
+        self.buffer.pop_front()
+    }
+
+    fn random_access(&mut self, oid: Oid) -> Score {
+        let Some(cache) = self.cache else {
+            return lock(self.underlying).random_access(oid);
+        };
+        let key = (self.key, oid);
+        if let Some(grade) = lock_cache(cache).get(key) {
+            self.hits += 1;
+            return grade;
+        }
+        // Probe outside the cache lock: the subsystem may be slow, and
+        // prefetch workers contend on the same source mutex.
+        let grade = lock(self.underlying).random_access(oid);
+        self.misses += 1;
+        lock_cache(cache).insert(key, grade);
+        grade
+    }
+
+    /// The engine rewinds the underlying sources before constructing
+    /// its proxies, so the initial `rewind()` every algorithm issues is
+    /// a no-op here. Mid-run rewinds are only honoured on the serial
+    /// feed (a parallel prefetch stream cannot be replayed).
+    fn rewind(&mut self) {
+        if let Feed::Serial { .. } = self.feed {
+            if self.drained || !self.buffer.is_empty() {
+                lock(self.underlying).rewind();
+            }
+            self.buffer.clear();
+            self.drained = false;
+        }
+    }
+
+    fn info(&self) -> SourceInfo {
+        self.info.clone()
+    }
+}
+
+fn lock(source: &SharedSource) -> std::sync::MutexGuard<'_, dyn GradedSource + Send + 'static> {
+    source.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_cache(cache: &Mutex<GradeCache>) -> std::sync::MutexGuard<'_, GradeCache> {
+    cache.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One prefetch worker: drains a source in batches into a bounded
+/// channel until the stream ends or the consumer hangs up.
+fn prefetch_worker(source: SharedSource, tx: SyncSender<Vec<ScoredObject<Oid>>>, batch: usize) {
+    loop {
+        // Fetch under the lock, send after releasing it: a blocking
+        // send must never hold the source mutex (random access needs
+        // it).
+        let items = {
+            let mut guard = source.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.sorted_batch(batch)
+        };
+        let last = items.len() < batch;
+        if tx.send(items).is_err() || last {
+            break;
+        }
+    }
+}
+
+/// The batched, parallel execution engine. See the [module
+/// docs](crate::engine) for the design.
+///
+/// `run` takes `&self`: share one engine (e.g. behind an `Arc`) and
+/// issue any number of requests concurrently — they cooperate through
+/// the same bounded grade cache.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: Mutex<GradeCache>,
+    registry: Mutex<SourceRegistry>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new(EngineConfig::DEFAULT)
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            cache: Mutex::new(GradeCache::new(config.cache_capacity)),
+            registry: Mutex::new(SourceRegistry::default()),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Cumulative cache (hits, misses) over every request served.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        let cache = lock_cache(&self.cache);
+        (cache.hits(), cache.misses())
+    }
+
+    /// Evaluates a request with the default merge strategy, Fagin's A₀
+    /// — batched, optionally parallel, bit-identical to
+    /// [`FaginsAlgorithm`] run scalar.
+    pub fn run(&self, request: &TopKRequest) -> Result<TopKResult, AlgoError> {
+        self.run_algorithm(&FaginsAlgorithm, request)
+    }
+
+    /// Evaluates a request with any scalar [`TopKAlgorithm`] as the
+    /// merge strategy. The algorithm's code path is unchanged — it
+    /// consumes engine-buffered proxies instead of raw sources — so the
+    /// result (answers *and* charged `sorted`/`random` counts) is
+    /// bit-identical to the scalar run; the engine only adds the
+    /// [`AccessStats::cache_hits`]/[`AccessStats::cache_misses`] split.
+    pub fn run_algorithm(
+        &self,
+        algorithm: &dyn TopKAlgorithm,
+        request: &TopKRequest,
+    ) -> Result<TopKResult, AlgoError> {
+        let scoring = request.scoring();
+        let k = request.k();
+        let batch = self.config.batch_size.max(1);
+        // Rewind and snapshot metadata before any worker starts
+        // pulling, so every stream begins at the top grade.
+        let infos: Vec<SourceInfo> = request
+            .sources()
+            .iter()
+            .map(|s| {
+                let mut guard = lock(s);
+                guard.rewind();
+                guard.info()
+            })
+            .collect();
+        let cache = (self.config.cache_capacity > 0).then_some(&self.cache);
+        let keys: Vec<u64> = {
+            let mut registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+            request
+                .sources()
+                .iter()
+                .map(|s| registry.identify(s))
+                .collect()
+        };
+
+        let (mut result, hits, misses) = if self.config.parallel {
+            thread::scope(|scope| {
+                let mut proxies: Vec<EngineSource> = Vec::with_capacity(infos.len());
+                for ((source, info), &key) in request.sources().iter().zip(&infos).zip(&keys) {
+                    let (tx, rx) = sync_channel(PREFETCH_DEPTH);
+                    let worker_source = Arc::clone(source);
+                    scope.spawn(move || prefetch_worker(worker_source, tx, batch));
+                    proxies.push(EngineSource::new(
+                        source,
+                        info.clone(),
+                        key,
+                        Feed::Parallel { rx },
+                        cache,
+                    ));
+                }
+                run_over(algorithm, &mut proxies, &*scoring, k)
+                // Proxies (and their receivers) drop here; workers
+                // observe the hang-up and exit before the scope joins.
+            })
+        } else {
+            let mut proxies: Vec<EngineSource> = request
+                .sources()
+                .iter()
+                .zip(&infos)
+                .zip(&keys)
+                .map(|((source, info), &key)| {
+                    EngineSource::new(source, info.clone(), key, Feed::Serial { batch }, cache)
+                })
+                .collect();
+            run_over(algorithm, &mut proxies, &*scoring, k)
+        }?;
+
+        result.stats.cache_hits = hits;
+        result.stats.cache_misses = misses;
+        Ok(result)
+    }
+
+    /// Evaluates several requests concurrently (one thread each),
+    /// sharing the engine's grade cache. Results are returned in
+    /// request order.
+    pub fn run_many(&self, requests: &[TopKRequest]) -> Vec<Result<TopKResult, AlgoError>> {
+        thread::scope(|scope| {
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|request| scope.spawn(move || self.run(request)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        })
+    }
+}
+
+/// Runs the scalar algorithm over the proxies and folds the proxies'
+/// cache counters into the outcome.
+fn run_over(
+    algorithm: &dyn TopKAlgorithm,
+    proxies: &mut [EngineSource<'_>],
+    scoring: &dyn fmdb_core::scoring::ScoringFunction,
+    k: usize,
+) -> Result<(TopKResult, u64, u64), AlgoError> {
+    let mut refs: Vec<&mut dyn GradedSource> = proxies
+        .iter_mut()
+        .map(|p| p as &mut dyn GradedSource)
+        .collect();
+    let result = algorithm.top_k(&mut refs, scoring, k)?;
+    drop(refs);
+    let hits = proxies.iter().map(|p| p.hits).sum();
+    let misses = proxies.iter().map(|p| p.misses).sum();
+    Ok((result, hits, misses))
+}
+
+impl Algorithm for Engine {
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn run(&mut self, request: &TopKRequest) -> Result<TopKResult, AlgoError> {
+        Engine::run(self, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::naive::Naive;
+    use crate::algorithms::ta::ThresholdAlgorithm;
+    use crate::oracle::verify_top_k;
+    use crate::request::shared_source;
+    use crate::workload::independent_uniform;
+    use fmdb_core::scoring::tnorms::Min;
+
+    /// Scalar reference run over a fresh copy of the same workload.
+    fn scalar(algo: &dyn TopKAlgorithm, n: usize, m: usize, seed: u64, k: usize) -> TopKResult {
+        let mut sources = independent_uniform(n, m, seed);
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        algo.top_k(&mut refs, &Min, k).unwrap()
+    }
+
+    fn request(n: usize, m: usize, seed: u64, k: usize) -> TopKRequest {
+        TopKRequest::builder()
+            .sources(independent_uniform(n, m, seed))
+            .scoring(Min)
+            .k(k)
+            .build()
+            .unwrap()
+    }
+
+    /// Regression: one long-lived engine serving a run of short-lived
+    /// requests. Each round's sources die before the next round's are
+    /// allocated, so without registered source identities the new
+    /// allocations can land on cached addresses and be served the
+    /// *previous* workload's grades (observed as nondeterministic TA
+    /// costs in the e13 experiment binary).
+    #[test]
+    fn fresh_sources_never_see_stale_cached_grades() {
+        let engine = Engine::default();
+        for round in 0..25u64 {
+            let result = engine.run(&request(300, 3, round, 10)).unwrap();
+            let reference = scalar(&FaginsAlgorithm, 300, 3, round, 10);
+            assert_eq!(result.answers, reference.answers, "round {round}");
+            assert_eq!(result.stats.sorted, reference.stats.sorted, "round {round}");
+            assert_eq!(result.stats.random, reference.stats.random, "round {round}");
+        }
+    }
+
+    #[test]
+    fn registry_reuses_ids_for_live_sources_only() {
+        let mut registry = SourceRegistry::default();
+        let a = shared_source(independent_uniform(10, 1, 1).remove(0));
+        let id_a = registry.identify(&a);
+        assert_eq!(registry.identify(&a), id_a, "same handle, same id");
+        assert_eq!(registry.identify(&Arc::clone(&a)), id_a, "clone, same id");
+        let b = shared_source(independent_uniform(10, 1, 2).remove(0));
+        assert_ne!(registry.identify(&b), id_a, "distinct handle, fresh id");
+        drop(a);
+        // While the registry's weak handle pins the dead allocation, no
+        // new source can occupy its address, so ids never alias.
+        let c = shared_source(independent_uniform(10, 1, 3).remove(0));
+        let id_c = registry.identify(&c);
+        assert_ne!(id_c, id_a);
+    }
+
+    #[test]
+    fn engine_fa_is_bit_identical_to_scalar_fa() {
+        for &(n, m, k) in &[(500usize, 2usize, 5usize), (300, 3, 10), (200, 4, 7)] {
+            let reference = scalar(&FaginsAlgorithm, n, m, 99, k);
+            for config in [
+                EngineConfig::DEFAULT,
+                EngineConfig::serial(),
+                EngineConfig {
+                    batch_size: 1,
+                    parallel: true,
+                    cache_capacity: 8,
+                },
+                EngineConfig {
+                    batch_size: 1000,
+                    parallel: false,
+                    cache_capacity: 0,
+                },
+            ] {
+                let engine = Engine::new(config);
+                let got = engine.run(&request(n, m, 99, k)).unwrap();
+                assert_eq!(got.answers, reference.answers, "{config:?}");
+                assert_eq!(got.stats.sorted, reference.stats.sorted, "{config:?}");
+                assert_eq!(got.stats.random, reference.stats.random, "{config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_results_verify_against_the_oracle() {
+        let engine = Engine::default();
+        let result = engine.run(&request(400, 3, 7, 12)).unwrap();
+        let mut sources = independent_uniform(400, 3, 7);
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        verify_top_k(&mut refs, &Min, &result.answers, 12).unwrap();
+    }
+
+    #[test]
+    fn cache_split_accounts_for_every_random_access() {
+        let engine = Engine::default();
+        let result = engine.run(&request(400, 2, 3, 8)).unwrap();
+        assert_eq!(
+            result.stats.cache_hits + result.stats.cache_misses,
+            result.stats.random,
+            "with the cache on, every random access is a hit or a miss"
+        );
+    }
+
+    #[test]
+    fn shared_sources_hit_the_cache_across_requests() {
+        // Two requests over the *same* shared handles: the second run's
+        // random accesses were all probed (and cached) by the first.
+        let handles: Vec<SharedSource> = independent_uniform(500, 2, 11)
+            .into_iter()
+            .map(shared_source)
+            .collect();
+        let build = || {
+            let mut b = TopKRequest::builder();
+            for h in &handles {
+                b = b.shared_source(Arc::clone(h));
+            }
+            b.scoring(Min).k(6).build().unwrap()
+        };
+        let engine = Engine::default();
+        let first = engine.run(&build()).unwrap();
+        let second = engine.run(&build()).unwrap();
+        // Logical charges are unaffected by caching …
+        assert_eq!(first.answers, second.answers);
+        assert_eq!(first.stats.sorted, second.stats.sorted);
+        assert_eq!(first.stats.random, second.stats.random);
+        // … but the second run is served from the cache.
+        assert_eq!(second.stats.cache_hits, second.stats.random);
+        assert_eq!(second.stats.cache_misses, 0);
+        let (hits, misses) = engine.cache_counters();
+        assert_eq!(hits, second.stats.cache_hits);
+        assert_eq!(misses, first.stats.cache_misses);
+    }
+
+    #[test]
+    fn disabled_cache_reports_no_counters() {
+        let engine = Engine::new(EngineConfig {
+            cache_capacity: 0,
+            ..EngineConfig::DEFAULT
+        });
+        let result = engine.run(&request(200, 2, 5, 4)).unwrap();
+        assert!(result.stats.random > 0);
+        assert_eq!(result.stats.cache_hits, 0);
+        assert_eq!(result.stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn other_merge_strategies_run_through_the_engine() {
+        for algo in [&Naive as &dyn TopKAlgorithm, &ThresholdAlgorithm] {
+            let reference = scalar(algo, 250, 3, 5, 9);
+            let engine = Engine::default();
+            let got = engine.run_algorithm(algo, &request(250, 3, 5, 9)).unwrap();
+            assert_eq!(got.answers, reference.answers, "{}", algo.name());
+            assert_eq!(got.stats.sorted, reference.stats.sorted);
+            assert_eq!(got.stats.random, reference.stats.random);
+        }
+    }
+
+    #[test]
+    fn run_many_serves_concurrent_requests() {
+        let engine = Engine::default();
+        let requests: Vec<TopKRequest> = (0..6).map(|i| request(300, 2, i as u64, 1 + i)).collect();
+        let results = engine.run_many(&requests);
+        assert_eq!(results.len(), 6);
+        for (i, result) in results.into_iter().enumerate() {
+            let reference = scalar(&FaginsAlgorithm, 300, 2, i as u64, 1 + i);
+            assert_eq!(result.unwrap().answers, reference.answers, "request {i}");
+        }
+    }
+
+    #[test]
+    fn engine_implements_the_algorithm_trait() {
+        let mut engine = Engine::default();
+        let strategy: &mut dyn Algorithm = &mut engine;
+        assert_eq!(strategy.name(), "engine");
+        let result = strategy.run(&request(100, 2, 1, 3)).unwrap();
+        assert_eq!(result.answers.len(), 3);
+    }
+
+    #[test]
+    fn engine_propagates_validation_errors() {
+        #[derive(Debug)]
+        struct NotMonotone;
+        impl fmdb_core::scoring::ScoringFunction for NotMonotone {
+            fn name(&self) -> String {
+                "not-monotone".into()
+            }
+            fn combine(&self, grades: &[Score]) -> Score {
+                grades.first().copied().unwrap_or(Score::ZERO)
+            }
+            fn is_strict(&self) -> bool {
+                false
+            }
+            fn is_monotone(&self) -> bool {
+                false
+            }
+        }
+        let engine = Engine::default();
+        let non_monotone = TopKRequest::builder()
+            .sources(independent_uniform(50, 2, 1))
+            .scoring(NotMonotone)
+            .k(3)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.run(&non_monotone),
+            Err(AlgoError::NonMonotoneScoring(_))
+        ));
+    }
+
+    #[test]
+    fn grade_cache_is_bounded_and_lru() {
+        let mut cache = GradeCache::new(2);
+        let g = Score::clamped(0.5);
+        cache.insert((0, 1), g);
+        cache.insert((0, 2), g);
+        assert_eq!(cache.len(), 2);
+        // Touch key 1 so key 2 becomes the eviction victim.
+        assert!(cache.get((0, 1)).is_some());
+        cache.insert((0, 3), g);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get((0, 1)).is_some(), "recently used survives");
+        assert!(cache.get((0, 2)).is_none(), "LRU victim evicted");
+        assert!(cache.get((0, 3)).is_some());
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    fn grade_cache_queue_stays_bounded_under_churn() {
+        let mut cache = GradeCache::new(4);
+        let g = Score::clamped(0.1);
+        for i in 0..10_000u64 {
+            cache.insert((0, i % 16), g);
+            let _ = cache.get((0, i % 16));
+        }
+        assert!(cache.len() <= 4);
+        assert!(
+            cache.queue.len() <= 4 * 4 + 8,
+            "lazy queue compacted (len {})",
+            cache.queue.len()
+        );
+    }
+}

@@ -13,6 +13,11 @@
 //!   Algorithm)** with resumable sessions, the `m·k` max-merge
 //!   disjunction, pruned A₀, the Threshold Algorithm (extension), and
 //!   Chaudhuri–Gravano filter-condition simulation;
+//! * [`request`] — the unified [`request::TopKRequest`] builder and
+//!   shared source handles every strategy accepts;
+//! * [`engine`] — the batched, parallel execution engine: worker
+//!   threads per sorted stream, batched access, and an LRU grade cache,
+//!   bit-identical to the scalar algorithms;
 //! * [`oracle`] — brute-force reference grading and top-k validity
 //!   checking (used pervasively in tests);
 //! * [`paging`] — a paged-I/O cost simulation with an LRU buffer pool
@@ -43,8 +48,10 @@
 #![forbid(unsafe_code)]
 
 pub mod algorithms;
+pub mod engine;
 pub mod oracle;
 pub mod paging;
+pub mod request;
 pub mod source;
 pub mod stats;
 pub mod workload;
@@ -58,9 +65,13 @@ pub mod prelude {
     pub use crate::algorithms::nra::{BoundedAnswer, Nra, NraResult};
     pub use crate::algorithms::pruned_fa::PrunedFa;
     pub use crate::algorithms::ta::ThresholdAlgorithm;
-    pub use crate::algorithms::{AlgoError, TopKAlgorithm, TopKResult};
+    pub use crate::algorithms::{AlgoError, Algorithm, TopKAlgorithm, TopKResult};
+    pub use crate::engine::{Engine, EngineConfig, GradeCache};
     pub use crate::oracle::verify_top_k;
     pub use crate::paging::{PageConfig, PageIo, PagedSource};
-    pub use crate::source::{GradedSource, Oid, SourceViolation, ValidatingSource, VecSource};
+    pub use crate::request::{shared_source, SharedScoring, SharedSource, TopKRequest};
+    pub use crate::source::{
+        GradedSource, Oid, SourceInfo, SourceViolation, ValidatingSource, VecSource,
+    };
     pub use crate::stats::{AccessStats, CostModel};
 }

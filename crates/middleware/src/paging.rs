@@ -23,7 +23,7 @@ use std::collections::{HashSet, VecDeque};
 
 use fmdb_core::score::{Score, ScoredObject};
 
-use crate::source::{GradedSource, Oid};
+use crate::source::{GradedSource, Oid, SourceInfo};
 
 /// Physical layout parameters for one simulated subsystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,7 +152,8 @@ impl<S: GradedSource> PagedSource<S> {
 
     fn random_pages(&self) -> usize {
         self.inner
-            .universe_size()
+            .info()
+            .universe_size
             .div_ceil(self.config.page_size)
             .max(1)
     }
@@ -188,13 +189,13 @@ impl<S: GradedSource> GradedSource for PagedSource<S> {
         self.stream_pos = 0;
     }
 
-    fn universe_size(&self) -> usize {
-        self.inner.universe_size()
+    fn info(&self) -> SourceInfo {
+        self.inner.info()
     }
 
-    fn label(&self) -> String {
-        self.inner.label()
-    }
+    // Batched access inherits the defaults: every item is routed
+    // through the scalar methods above so each one is charged to the
+    // page model individually.
 }
 
 #[cfg(test)]
@@ -310,6 +311,6 @@ mod tests {
         assert_eq!(plain.random_access(3), paged.random_access(3));
         paged.rewind();
         assert!(paged.sorted_next().is_some());
-        assert_eq!(paged.universe_size(), 30);
+        assert_eq!(paged.info().universe_size, 30);
     }
 }

@@ -1,0 +1,353 @@
+//! The unified top-k request: one description of a query that every
+//! algorithm — and the batched parallel [`crate::engine::Engine`] —
+//! accepts.
+//!
+//! Historically each evaluation strategy had its own ad-hoc signature
+//! (`FaginsAlgorithm::top_k`, `Nra::top_k`, `CgFilter::run`, …), so
+//! neither the Garlic planner nor a service layer could drive them
+//! uniformly. [`TopKRequest`] packages the four ingredients — graded
+//! sources, a scoring function, `k`, and optional Fagin–Wimmers
+//! weights — behind a builder, and the
+//! [`Algorithm`](crate::algorithms::Algorithm) trait runs any strategy
+//! against it.
+//!
+//! Sources are held as [`SharedSource`] (`Arc<Mutex<…>>`) so one
+//! request can be executed by worker threads that each drive a
+//! different source; scalar algorithms simply lock all sources up
+//! front and run exactly as before.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use fmdb_core::request::{SpecError, TopKSpec};
+use fmdb_core::scoring::ScoringFunction;
+use fmdb_core::weights::{Weighted, Weighting};
+
+use crate::algorithms::AlgoError;
+use crate::source::GradedSource;
+
+/// A shareable, lockable handle to one graded source.
+pub type SharedSource = Arc<Mutex<dyn GradedSource + Send>>;
+
+/// A shareable scoring function.
+pub type SharedScoring = Arc<dyn ScoringFunction + Send + Sync>;
+
+/// Wraps a concrete source into a [`SharedSource`] handle.
+pub fn shared_source(source: impl GradedSource + Send + 'static) -> SharedSource {
+    Arc::new(Mutex::new(source))
+}
+
+/// One fully-specified top-k query: `m` graded sources, the scoring
+/// function combining their grades, how many answers, and optional
+/// subquery weights.
+///
+/// Build with [`TopKRequest::builder`]. When weights are present the
+/// scoring function exposed by [`TopKRequest::scoring`] is already the
+/// Fagin–Wimmers weighted combination (§5), so algorithms need no
+/// weight-awareness of their own.
+#[derive(Clone)]
+pub struct TopKRequest {
+    sources: Vec<SharedSource>,
+    scoring: SharedScoring,
+    spec: TopKSpec,
+}
+
+impl std::fmt::Debug for TopKRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKRequest")
+            .field("sources", &self.sources.len())
+            .field("scoring", &self.scoring.name())
+            .field("k", &self.k())
+            .field("weights", &self.weights().map(Weighting::weights))
+            .finish()
+    }
+}
+
+impl TopKRequest {
+    /// Starts building a request.
+    pub fn builder() -> TopKRequestBuilder {
+        TopKRequestBuilder::default()
+    }
+
+    /// The source handles, in conjunct order.
+    pub fn sources(&self) -> &[SharedSource] {
+        &self.sources
+    }
+
+    /// The number of conjuncts `m`.
+    pub fn arity(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// How many answers are requested.
+    pub fn k(&self) -> usize {
+        self.spec.k()
+    }
+
+    /// The normalized subquery weights, if the request is weighted.
+    pub fn weights(&self) -> Option<&Weighting> {
+        self.spec.weights().filter(|w| !w.is_uniform())
+    }
+
+    /// The effective scoring function: the one supplied to the
+    /// builder, wrapped in the Fagin–Wimmers weighting when weights
+    /// were given.
+    pub fn scoring(&self) -> SharedScoring {
+        Arc::clone(&self.scoring)
+    }
+
+    /// Locks every source and hands the scalar view `&mut [&mut dyn
+    /// GradedSource]` to `f` — the bridge from the shared, thread-safe
+    /// representation to the paper's sequential access model.
+    pub fn with_sources<R>(&self, f: impl FnOnce(&mut [&mut dyn GradedSource]) -> R) -> R {
+        let mut guards: Vec<_> = self
+            .sources
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        let mut refs: Vec<&mut dyn GradedSource> = guards
+            .iter_mut()
+            .map(|g| &mut **g as &mut dyn GradedSource)
+            .collect();
+        f(&mut refs)
+    }
+}
+
+/// Builder for [`TopKRequest`]; see [`TopKRequest::builder`].
+#[derive(Default)]
+pub struct TopKRequestBuilder {
+    sources: Vec<SharedSource>,
+    scoring: Option<SharedScoring>,
+    k: usize,
+    weights: Option<Vec<f64>>,
+}
+
+impl TopKRequestBuilder {
+    /// Appends one owned source as the next conjunct.
+    pub fn source(mut self, source: impl GradedSource + Send + 'static) -> Self {
+        self.sources.push(shared_source(source));
+        self
+    }
+
+    /// Appends an already-shared source handle (e.g. one also held by
+    /// another concurrent request).
+    pub fn shared_source(mut self, source: SharedSource) -> Self {
+        self.sources.push(source);
+        self
+    }
+
+    /// Appends every source of an iterator.
+    pub fn sources<S: GradedSource + Send + 'static>(
+        mut self,
+        sources: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.sources.extend(
+            sources
+                .into_iter()
+                .map(|s| shared_source(s) as SharedSource),
+        );
+        self
+    }
+
+    /// Sets the scoring function combining conjunct grades.
+    pub fn scoring(mut self, scoring: impl ScoringFunction + Send + Sync + 'static) -> Self {
+        self.scoring = Some(Arc::new(scoring));
+        self
+    }
+
+    /// Sets an already-shared scoring function.
+    pub fn shared_scoring(mut self, scoring: SharedScoring) -> Self {
+        self.scoring = Some(scoring);
+        self
+    }
+
+    /// Sets how many answers to return.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Weights the conjuncts' importance (arbitrary nonnegative
+    /// ratios; normalized at build time). One weight per source.
+    pub fn weights(mut self, ratios: &[f64]) -> Self {
+        self.weights = Some(ratios.to_vec());
+        self
+    }
+
+    /// Validates and assembles the request.
+    pub fn build(self) -> Result<TopKRequest, AlgoError> {
+        if self.sources.is_empty() {
+            return Err(AlgoError::NoSources);
+        }
+        let spec = match &self.weights {
+            None => TopKSpec::new(self.k),
+            Some(ratios) => TopKSpec::weighted(self.k, ratios),
+        }
+        .map_err(|e| match e {
+            SpecError::ZeroK => AlgoError::ZeroK,
+            SpecError::Weights(w) => AlgoError::InvalidRequest(format!("invalid weights: {w}")),
+        })?;
+        if !spec.fits_arity(self.sources.len()) {
+            return Err(AlgoError::InvalidRequest(format!(
+                "{} weights for {} sources",
+                spec.weights().map_or(0, Weighting::arity),
+                self.sources.len()
+            )));
+        }
+        let base = self
+            .scoring
+            .ok_or_else(|| AlgoError::InvalidRequest("no scoring function supplied".to_owned()))?;
+        let scoring = match spec.weights() {
+            // Uniform weights are the unweighted rule (property D1) —
+            // skip the wrapper so counts and grades match the plain
+            // scoring exactly.
+            Some(w) if !w.is_uniform() => Arc::new(Weighted::new(base, w.clone())) as SharedScoring,
+            _ => base,
+        };
+        Ok(TopKRequest {
+            sources: self.sources,
+            scoring,
+            spec,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+    use fmdb_core::score::Score;
+    use fmdb_core::scoring::tnorms::Min;
+
+    fn s(v: f64) -> Score {
+        Score::clamped(v)
+    }
+
+    fn src(grades: &[f64]) -> VecSource {
+        let scores: Vec<Score> = grades.iter().map(|&g| s(g)).collect();
+        VecSource::from_dense("t", &scores)
+    }
+
+    #[test]
+    fn builder_assembles_a_request() {
+        let req = TopKRequest::builder()
+            .source(src(&[0.1, 0.9]))
+            .source(src(&[0.8, 0.2]))
+            .scoring(Min)
+            .k(2)
+            .build()
+            .unwrap();
+        assert_eq!(req.arity(), 2);
+        assert_eq!(req.k(), 2);
+        assert!(req.weights().is_none());
+        assert_eq!(req.scoring().name(), "min");
+    }
+
+    #[test]
+    fn builder_rejects_bad_requests() {
+        assert!(matches!(
+            TopKRequest::builder().scoring(Min).k(1).build(),
+            Err(AlgoError::NoSources)
+        ));
+        assert!(matches!(
+            TopKRequest::builder()
+                .source(src(&[0.5]))
+                .scoring(Min)
+                .k(0)
+                .build(),
+            Err(AlgoError::ZeroK)
+        ));
+        assert!(matches!(
+            TopKRequest::builder().source(src(&[0.5])).k(1).build(),
+            Err(AlgoError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            TopKRequest::builder()
+                .source(src(&[0.5]))
+                .scoring(Min)
+                .k(1)
+                .weights(&[0.5, 0.5])
+                .build(),
+            Err(AlgoError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            TopKRequest::builder()
+                .source(src(&[0.5]))
+                .scoring(Min)
+                .k(1)
+                .weights(&[-1.0])
+                .build(),
+            Err(AlgoError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn weighted_requests_wrap_the_scoring() {
+        let req = TopKRequest::builder()
+            .source(src(&[0.2, 0.9]))
+            .source(src(&[0.9, 0.3]))
+            .scoring(Min)
+            .k(1)
+            .weights(&[2.0, 1.0])
+            .build()
+            .unwrap();
+        assert!(req.weights().is_some());
+        // Weighted-min of (1.0, 0.0) under θ=(2/3, 1/3): the formula
+        // gives θ₁−θ₂ + 2θ₂·min = 1/3 ≠ plain min = 0.
+        let g = req.scoring().combine(&[s(1.0), s(0.0)]);
+        assert!(g.approx_eq(s(1.0 / 3.0), 1e-9), "{g}");
+    }
+
+    #[test]
+    fn uniform_weights_degrade_to_plain_scoring() {
+        let req = TopKRequest::builder()
+            .source(src(&[0.2]))
+            .source(src(&[0.9]))
+            .scoring(Min)
+            .k(1)
+            .weights(&[1.0, 1.0])
+            .build()
+            .unwrap();
+        // D1: uniform weighting IS the unweighted rule; the request
+        // reports itself unweighted and uses the plain function.
+        assert!(req.weights().is_none());
+        assert_eq!(req.scoring().name(), "min");
+    }
+
+    #[test]
+    fn with_sources_grants_scalar_access() {
+        let req = TopKRequest::builder()
+            .source(src(&[0.1, 0.9]))
+            .scoring(Min)
+            .k(1)
+            .build()
+            .unwrap();
+        let first = req.with_sources(|refs| refs[0].sorted_next().unwrap());
+        assert_eq!(first.id, 1);
+        // The cursor advanced inside the shared handle.
+        let second = req.with_sources(|refs| refs[0].sorted_next().unwrap());
+        assert_eq!(second.id, 0);
+    }
+
+    #[test]
+    fn shared_sources_can_serve_two_requests() {
+        let handle = shared_source(src(&[0.4, 0.6]));
+        let a = TopKRequest::builder()
+            .shared_source(Arc::clone(&handle))
+            .scoring(Min)
+            .k(1)
+            .build()
+            .unwrap();
+        let b = TopKRequest::builder()
+            .shared_source(handle)
+            .scoring(Min)
+            .k(1)
+            .build()
+            .unwrap();
+        a.with_sources(|refs| {
+            let _ = refs[0].sorted_next();
+        });
+        // b sees the same underlying cursor — it is the same source.
+        let next = b.with_sources(|refs| refs[0].sorted_next().unwrap());
+        assert_eq!(next.id, 0);
+    }
+}

@@ -24,13 +24,49 @@ use fmdb_core::score::{Score, ScoredObject};
 /// one-to-one mapping across all subsystems participating in a query.
 pub type Oid = u64;
 
+/// Static metadata a subsystem reports about one graded source.
+///
+/// Returned by [`GradedSource::info`]; replaces the former pair of
+/// stringly `label()` / `universe_size()` trait methods with one
+/// structured answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceInfo {
+    /// A short label for diagnostics ("Color='red'", …).
+    pub label: String,
+    /// The number of objects in this subsystem's universe (the paper's
+    /// `N` — all sources in one query share the same universe).
+    pub universe_size: usize,
+}
+
+impl SourceInfo {
+    /// Builds the metadata record.
+    pub fn new(label: impl Into<String>, universe_size: usize) -> SourceInfo {
+        SourceInfo {
+            label: label.into(),
+            universe_size,
+        }
+    }
+}
+
+impl fmt::Display for SourceInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (N={})", self.label, self.universe_size)
+    }
+}
+
 /// A subsystem evaluating one atomic subquery, exposing sorted and
 /// random access (§4).
 ///
-/// Implementations grade a fixed universe of `universe_size()` objects;
-/// objects the subsystem has no opinion about have grade 0 and still
-/// appear (last) in the sorted stream, exactly like a crisp predicate
-/// grading non-matching rows with 0.
+/// Implementations grade a fixed universe of `info().universe_size`
+/// objects; objects the subsystem has no opinion about have grade 0 and
+/// still appear (last) in the sorted stream, exactly like a crisp
+/// predicate grading non-matching rows with 0.
+///
+/// The batched entry points ([`GradedSource::sorted_batch`],
+/// [`GradedSource::random_batch`]) exist so engines can amortize
+/// per-call overhead; their defaults delegate to the scalar methods
+/// one-for-one, so a batch of `n` costs exactly `n` scalar accesses and
+/// implementations that override them must preserve that accounting.
 pub trait GradedSource {
     /// Returns the next object under sorted access, or `None` when all
     /// objects have been streamed.
@@ -48,19 +84,59 @@ pub trait GradedSource {
     /// Restarts sorted access from the highest grade.
     fn rewind(&mut self);
 
-    /// The number of objects in this subsystem's universe (the paper's
-    /// `N` — all sources in one query share the same universe).
-    fn universe_size(&self) -> usize;
+    /// Metadata about this source: label and universe size.
+    fn info(&self) -> SourceInfo;
 
-    /// A short label for diagnostics ("Color='red'", …).
+    /// Batched sorted access: up to `n` further objects of the sorted
+    /// stream, in stream order. Fewer than `n` items (possibly none)
+    /// means the stream is exhausted.
+    ///
+    /// Equivalent to — and by default implemented as — `n` calls to
+    /// [`GradedSource::sorted_next`], so it costs one sorted access per
+    /// item returned.
+    fn sorted_batch(&mut self, n: usize) -> Vec<ScoredObject<Oid>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.sorted_next() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Batched random access: the grade of each oid in `oids`, in
+    /// order.
+    ///
+    /// Equivalent to — and by default implemented as — one
+    /// [`GradedSource::random_access`] per oid, so it costs
+    /// `oids.len()` random accesses.
+    fn random_batch(&mut self, oids: &[Oid]) -> Vec<Score> {
+        oids.iter().map(|&oid| self.random_access(oid)).collect()
+    }
+
+    /// The universe size, see [`SourceInfo::universe_size`].
+    #[deprecated(note = "use `info().universe_size` instead")]
+    fn universe_size(&self) -> usize {
+        self.info().universe_size
+    }
+
+    /// The diagnostic label, see [`SourceInfo::label`].
+    #[deprecated(note = "use `info().label` instead")]
     fn label(&self) -> String {
-        "source".to_owned()
+        self.info().label
     }
 }
 
 impl fmt::Debug for dyn GradedSource + '_ {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "GradedSource({})", self.label())
+        write!(f, "GradedSource({})", self.info())
+    }
+}
+
+impl fmt::Debug for dyn GradedSource + Send + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GradedSource({})", self.info())
     }
 }
 
@@ -150,12 +226,23 @@ impl GradedSource for VecSource {
         self.cursor = 0;
     }
 
-    fn universe_size(&self) -> usize {
-        self.sorted.len()
+    fn info(&self) -> SourceInfo {
+        SourceInfo::new(self.label.clone(), self.sorted.len())
     }
 
-    fn label(&self) -> String {
-        self.label.clone()
+    // Batched access over the in-memory representation is a slice copy
+    // / a sequence of hash probes — no per-item cursor bookkeeping.
+    fn sorted_batch(&mut self, n: usize) -> Vec<ScoredObject<Oid>> {
+        let end = self.cursor.saturating_add(n).min(self.sorted.len());
+        let out = self.sorted[self.cursor..end].to_vec();
+        self.cursor = end;
+        out
+    }
+
+    fn random_batch(&mut self, oids: &[Oid]) -> Vec<Score> {
+        oids.iter()
+            .map(|oid| self.by_oid.get(oid).copied().unwrap_or(Score::ZERO))
+            .collect()
     }
 }
 
@@ -216,12 +303,21 @@ impl<S: GradedSource> GradedSource for CountingSource<S> {
         self.inner.rewind();
     }
 
-    fn universe_size(&self) -> usize {
-        self.inner.universe_size()
+    fn info(&self) -> SourceInfo {
+        self.inner.info()
     }
 
-    fn label(&self) -> String {
-        self.inner.label()
+    // Forward batches to the inner source's (possibly optimized) batch
+    // entry points while metering them at the documented scalar rate.
+    fn sorted_batch(&mut self, n: usize) -> Vec<ScoredObject<Oid>> {
+        let out = self.inner.sorted_batch(n);
+        self.sorted_accesses += out.len() as u64;
+        out
+    }
+
+    fn random_batch(&mut self, oids: &[Oid]) -> Vec<Score> {
+        self.random_accesses += oids.len() as u64;
+        self.inner.random_batch(oids)
     }
 }
 
@@ -350,13 +446,13 @@ impl<S: GradedSource> GradedSource for ValidatingSource<S> {
         self.seen.clear();
     }
 
-    fn universe_size(&self) -> usize {
-        self.inner.universe_size()
+    fn info(&self) -> SourceInfo {
+        self.inner.info()
     }
 
-    fn label(&self) -> String {
-        self.inner.label()
-    }
+    // The default batch implementations route through the scalar
+    // methods above, so batched access is validated item by item; no
+    // overrides here on purpose.
 }
 
 #[cfg(test)]
@@ -399,7 +495,7 @@ mod tests {
     #[test]
     fn duplicate_oids_keep_last_grade() {
         let mut src = VecSource::new("t", vec![(7, s(0.1)), (7, s(0.8))]);
-        assert_eq!(src.universe_size(), 1);
+        assert_eq!(src.info().universe_size, 1);
         assert_eq!(src.random_access(7), s(0.8));
     }
 
@@ -409,7 +505,7 @@ mod tests {
         set.insert(3u64, s(0.4));
         set.insert(9u64, s(0.8));
         let mut src = VecSource::from_graded_set("t", &set);
-        assert_eq!(src.universe_size(), 2);
+        assert_eq!(src.info().universe_size, 2);
         assert_eq!(src.sorted_next().unwrap().id, 9);
         assert_eq!(src.random_access(3), s(0.4));
     }
@@ -425,7 +521,7 @@ mod tests {
     #[test]
     fn from_dense_assigns_positional_oids() {
         let mut src = VecSource::from_dense("t", &[s(0.3), s(0.7)]);
-        assert_eq!(src.universe_size(), 2);
+        assert_eq!(src.info().universe_size, 2);
         assert_eq!(src.random_access(1), s(0.7));
     }
 
@@ -455,8 +551,8 @@ mod tests {
         fn rewind(&mut self) {
             self.cursor = 0;
         }
-        fn universe_size(&self) -> usize {
-            self.items.len()
+        fn info(&self) -> SourceInfo {
+            SourceInfo::new("broken", self.items.len())
         }
     }
 
@@ -508,7 +604,74 @@ mod tests {
             .any(|x| matches!(x, SourceViolation::InconsistentGrade { oid: 7, .. })));
         // Rewind clears the tracking state.
         v.rewind();
-        assert_eq!(v.universe_size(), 2);
+        assert_eq!(v.info().universe_size, 2);
+    }
+
+    #[test]
+    fn sorted_batch_matches_scalar_stream() {
+        let grades: Vec<Score> = (0..17).map(|i| s(i as f64 / 17.0)).collect();
+        let mut scalar = VecSource::from_dense("t", &grades);
+        let mut batched = VecSource::from_dense("t", &grades);
+        let mut scalar_items = Vec::new();
+        while let Some(x) = scalar.sorted_next() {
+            scalar_items.push(x);
+        }
+        let mut batched_items = Vec::new();
+        loop {
+            let chunk = batched.sorted_batch(5);
+            if chunk.is_empty() {
+                break;
+            }
+            batched_items.extend(chunk);
+        }
+        assert_eq!(scalar_items, batched_items);
+        // The final (partial) batch signals exhaustion by coming short.
+        assert!(batched.sorted_batch(5).is_empty());
+    }
+
+    #[test]
+    fn random_batch_matches_scalar_probes() {
+        let mut src = VecSource::new("t", vec![(2, s(0.4)), (9, s(0.9))]);
+        let oids = [9, 2, 77, 9];
+        let batch = src.random_batch(&oids);
+        let scalar: Vec<Score> = oids.iter().map(|&o| src.random_access(o)).collect();
+        assert_eq!(batch, scalar);
+        assert_eq!(batch, vec![s(0.9), s(0.4), Score::ZERO, s(0.9)]);
+    }
+
+    #[test]
+    fn default_batch_impls_charge_scalar_counts() {
+        // A source that does NOT override the batch methods: counts
+        // must equal one access per item, exactly as scalar.
+        let mut counted = CountingSource::new(VecSource::from_dense(
+            "t",
+            &[s(0.1), s(0.5), s(0.9), s(0.7)],
+        ));
+        let got = counted.sorted_batch(3);
+        assert_eq!(got.len(), 3);
+        assert_eq!(counted.sorted_accesses(), 3);
+        let _ = counted.random_batch(&[0, 1, 2, 3, 99]);
+        assert_eq!(counted.random_accesses(), 5);
+        // Over-asking past exhaustion charges only what was produced.
+        let rest = counted.sorted_batch(10);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(counted.sorted_accesses(), 4);
+    }
+
+    #[test]
+    fn source_info_reports_label_and_universe() {
+        let src = VecSource::from_dense("Color='red'", &[s(0.3), s(0.7)]);
+        let info = src.info();
+        assert_eq!(info, SourceInfo::new("Color='red'", 2));
+        assert_eq!(info.to_string(), "Color='red' (N=2)");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_info() {
+        let src = VecSource::from_dense("legacy", &[s(0.3)]);
+        assert_eq!(src.universe_size(), 1);
+        assert_eq!(src.label(), "legacy");
     }
 
     #[test]

@@ -15,13 +15,26 @@
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
-/// Counts of the two access kinds an algorithm performed.
+/// Counts of the two access kinds an algorithm performed, plus the
+/// engine's grade-cache counters.
+///
+/// `sorted`/`random` are the paper's *logical* measure: a random access
+/// answered from the engine's grade cache still counts as one random
+/// access (the algorithm asked the question; caching is a physical
+/// optimization). The `cache_hits`/`cache_misses` pair records how many
+/// of those `random` accesses were absorbed by the cache — they split
+/// `random`, they never add to it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessStats {
     /// Objects obtained under sorted access, summed over all sources.
     pub sorted: u64,
     /// Objects obtained under random access, summed over all sources.
     pub random: u64,
+    /// Random accesses served from the engine's grade cache.
+    pub cache_hits: u64,
+    /// Random accesses that went through to the subsystem (only
+    /// metered when a cache is in play; 0 means "no cache involved").
+    pub cache_misses: u64,
 }
 
 impl AccessStats {
@@ -29,14 +42,23 @@ impl AccessStats {
     pub const ZERO: AccessStats = AccessStats {
         sorted: 0,
         random: 0,
+        cache_hits: 0,
+        cache_misses: 0,
     };
 
-    /// Creates explicit stats.
+    /// Creates explicit stats (no cache activity).
     pub fn new(sorted: u64, random: u64) -> AccessStats {
-        AccessStats { sorted, random }
+        AccessStats {
+            sorted,
+            random,
+            ..AccessStats::ZERO
+        }
     }
 
     /// The paper's database access cost: `sorted + random`.
+    ///
+    /// Cache counters do not contribute: they describe *how* the
+    /// random accesses were served, not additional accesses.
     pub fn database_access_cost(&self) -> u64 {
         self.sorted + self.random
     }
@@ -53,14 +75,15 @@ impl Add for AccessStats {
         AccessStats {
             sorted: self.sorted + rhs.sorted,
             random: self.random + rhs.random,
+            cache_hits: self.cache_hits + rhs.cache_hits,
+            cache_misses: self.cache_misses + rhs.cache_misses,
         }
     }
 }
 
 impl AddAssign for AccessStats {
     fn add_assign(&mut self, rhs: AccessStats) {
-        self.sorted += rhs.sorted;
-        self.random += rhs.random;
+        *self = *self + rhs;
     }
 }
 

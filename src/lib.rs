@@ -62,8 +62,10 @@ pub mod prelude {
         SynthConfig, SyntheticDb,
     };
     pub use fmdb_middleware::prelude::{
-        AccessStats, CostModel, FaSession, FaginsAlgorithm, GradedSource, MaxMerge, Naive, Nra,
-        Oid, OwnedFaSession, PageConfig, PagedSource, PrunedFa, ThresholdAlgorithm, TopKAlgorithm,
-        ValidatingSource, VecSource,
+        AccessStats, AlgoError, Algorithm, CostModel, Engine, EngineConfig, FaSession,
+        FaginsAlgorithm, GradeCache, GradedSource, MaxMerge, Naive, Nra, Oid, OwnedFaSession,
+        PageConfig, PagedSource, PrunedFa, SharedScoring, SourceInfo, ThresholdAlgorithm,
+        TopKAlgorithm, TopKRequest, TopKResult, ValidatingSource, VecSource,
     };
+    pub use fmdb_middleware::workload::independent_uniform;
 }

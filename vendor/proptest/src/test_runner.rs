@@ -1,0 +1,268 @@
+//! Case execution: config, RNG, and the runner behind `proptest!`.
+
+/// How many cases to run, and under what seed.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Base RNG seed; each case derives its own stream from it.
+    pub rng_seed: u64,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let rng_seed = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x9E3779B97F4A7C15);
+        ProptestConfig {
+            cases: 256,
+            rng_seed,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The inputs were rejected by `prop_assume!`; the case is retried
+    /// with fresh inputs rather than counted as a failure.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructs a rejection (used by `prop_assume!`).
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// Constructs a failure (used by `prop_assert!`).
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+        }
+    }
+}
+
+/// The RNG handed to strategies — xoshiro256++ seeded via SplitMix64,
+/// matching the workspace's vendored `rand` stub.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds a generator deterministically from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "empty usize range");
+        let span = (hi - lo) as u128 + 1;
+        lo + (self.next_u64() as u128 % span) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[0, 1]`.
+    pub fn unit_f64_inclusive(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+    }
+}
+
+/// Drives the cases for one `proptest!` item.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+/// Bound on consecutive `prop_assume!` rejections before the runner
+/// gives up (mirrors upstream's global rejection cap in spirit).
+const MAX_REJECTS: u32 = 65_536;
+
+impl TestRunner {
+    /// A runner for the given config.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Runs `config.cases` cases: each generates inputs with `strategy`
+    /// and executes `test`. Panics (failing the surrounding `#[test]`)
+    /// on the first assertion failure or panic, reporting the
+    /// offending inputs and the seed that reproduces them.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: std::fmt::Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < self.config.cases {
+            // Each (seed, case, attempt) triple gets its own stream so
+            // rejected attempts draw fresh inputs.
+            let stream = self
+                .config
+                .rng_seed
+                .wrapping_add((case as u64) << 20)
+                .wrapping_add(rejects as u64);
+            let mut rng = TestRng::seed_from_u64(stream);
+            let value = strategy.generate(&mut rng);
+            let desc = format!("{value:?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => {
+                    case += 1;
+                    rejects = 0;
+                }
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < MAX_REJECTS,
+                        "proptest: too many prop_assume! rejections ({MAX_REJECTS}) \
+                         at case {case}"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "proptest case {case} failed: {msg}\n  inputs: {desc}\n  \
+                         reproduce with PROPTEST_RNG_SEED={}",
+                        self.config.rng_seed
+                    );
+                }
+                Err(panic_payload) => {
+                    let msg = panic_message(&panic_payload);
+                    panic!(
+                        "proptest case {case} panicked: {msg}\n  inputs: {desc}\n  \
+                         reproduce with PROPTEST_RNG_SEED={}",
+                        self.config.rng_seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run(&(0u64..100), |v| {
+            if v >= 100 {
+                return Err(TestCaseError::fail("out of range"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn runner_reports_failure_with_inputs() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(64));
+        runner.run(&(0u64..100), |v| {
+            if v > 2 {
+                return Err(TestCaseError::fail("values above 2 exist"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn rejects_retry_with_fresh_inputs() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32));
+        runner.run(&(0u64..100), |v| {
+            if v % 2 == 1 {
+                return Err(TestCaseError::reject("odd"));
+            }
+            assert_eq!(v % 2, 0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_generation_per_seed() {
+        let cfg = ProptestConfig {
+            cases: 8,
+            rng_seed: 1234,
+        };
+        let strat = 0u64..1_000_000;
+        let collect = |cfg: &ProptestConfig| {
+            let mut out = Vec::new();
+            for case in 0..cfg.cases {
+                let stream = cfg.rng_seed.wrapping_add((case as u64) << 20);
+                let mut rng = TestRng::seed_from_u64(stream);
+                out.push(strat.generate(&mut rng));
+            }
+            out
+        };
+        assert_eq!(collect(&cfg), collect(&cfg));
+    }
+}
