@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e20_embedding`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e20_embedding::run(&cfg).print();
+}

@@ -20,6 +20,7 @@ pub mod e16_optimizer;
 pub mod e17_ablations;
 pub mod e18_page_costs;
 pub mod e19_no_random_access;
+pub mod e20_embedding;
 
 use crate::report::Report;
 use crate::runners::RunCfg;
@@ -46,5 +47,6 @@ pub fn run_all(cfg: &RunCfg) -> Vec<Report> {
         e17_ablations::run(cfg),
         e18_page_costs::run(cfg),
         e19_no_random_access::run(cfg),
+        e20_embedding::run(cfg),
     ]
 }

@@ -18,7 +18,8 @@ use std::fmt;
 use fmdb_core::query::{AtomicQuery, Target};
 use fmdb_core::score::Score;
 use fmdb_media::color::{ColorError, ColorHistogram, Rgb};
-use fmdb_media::distance::{DistanceError, HistogramDistance, QuadraticFormDistance};
+use fmdb_media::distance::DistanceError;
+use fmdb_media::embed::{EmbedError, EmbeddedCorpus, EmbeddedSpace};
 use fmdb_media::shape::{turning_distance, Polygon};
 use fmdb_media::synth::SyntheticDb;
 use fmdb_media::texture::named_texture;
@@ -59,6 +60,8 @@ pub enum RepoError {
     Color(ColorError),
     /// Distance-layer failure.
     Distance(DistanceError),
+    /// Embedding-kernel failure.
+    Embed(EmbedError),
 }
 
 impl fmt::Display for RepoError {
@@ -78,6 +81,7 @@ impl fmt::Display for RepoError {
             } => write!(f, "attribute '{attribute}' expects {expected}"),
             RepoError::Color(e) => write!(f, "{e}"),
             RepoError::Distance(e) => write!(f, "{e}"),
+            RepoError::Embed(e) => write!(f, "{e}"),
         }
     }
 }
@@ -93,6 +97,12 @@ impl From<ColorError> for RepoError {
 impl From<DistanceError> for RepoError {
     fn from(e: DistanceError) -> Self {
         RepoError::Distance(e)
+    }
+}
+
+impl From<EmbedError> for RepoError {
+    fn from(e: EmbedError) -> Self {
+        RepoError::Embed(e)
     }
 }
 
@@ -218,7 +228,10 @@ impl Repository for TableRepository {
 pub struct QbicRepository {
     name: String,
     db: SyntheticDb,
-    color_distance: QuadraticFormDistance,
+    /// Pre-embedded color histograms: `Color` queries cost one O(k²)
+    /// query embedding plus n O(k) norms instead of n O(k²) quadratic
+    /// forms.
+    color_corpus: EmbeddedCorpus,
     /// Named shape prototypes ("round", "boxy", "spiky", …).
     shape_prototypes: HashMap<String, Polygon>,
     /// Resampling resolution for turning-function comparisons.
@@ -263,7 +276,12 @@ pub fn named_color(name: &str) -> Option<Rgb> {
 impl QbicRepository {
     /// Wraps a synthetic image database.
     pub fn new(name: impl Into<String>, db: SyntheticDb) -> QbicRepository {
-        let color_distance = QuadraticFormDistance::new(db.space.similarity_matrix());
+        let space = EmbeddedSpace::for_space(&db.space)
+            .expect("QBIC similarity matrix embeds (PD after zero-sum projection)");
+        let histograms: Vec<ColorHistogram> =
+            db.objects.iter().map(|o| o.histogram.clone()).collect();
+        let color_corpus = EmbeddedCorpus::build(space, &histograms)
+            .expect("database histograms share the space's dimension");
         let mut shape_prototypes = HashMap::new();
         shape_prototypes.insert(
             "round".to_owned(),
@@ -280,7 +298,7 @@ impl QbicRepository {
         QbicRepository {
             name: name.into(),
             db,
-            color_distance,
+            color_corpus,
             shape_prototypes,
             turning_samples: 64,
             attribute_prefix: String::new(),
@@ -332,12 +350,7 @@ impl QbicRepository {
                 })
             }
         };
-        let distances: Vec<f64> = self
-            .db
-            .objects
-            .iter()
-            .map(|o| self.color_distance.distance(&o.histogram, &target_hist))
-            .collect::<Result<_, _>>()?;
+        let distances = self.color_corpus.distances(&target_hist)?;
         Ok(self.source_from_distances(query, &distances))
     }
 

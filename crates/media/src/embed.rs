@@ -1,0 +1,759 @@
+//! The Cholesky-embedded Euclidean distance kernel (§2.1).
+//!
+//! The quadratic-form color distance of eq. (1),
+//! `d(x, y) = √((x−y)ᵀA(x−y))`, costs O(k²) per pair — the cost §2.1
+//! is all about avoiding. Following the \[HSE+95\]-style preprocessing
+//! idea, factor `A = L·Lᵀ` **once** (O(k³)) and embed every histogram
+//! as `x′ = Lᵀx` (O(k²), once per object). Then for any pair
+//!
+//! ```text
+//! d(x, y)² = (x−y)ᵀ L Lᵀ (x−y) = ‖x′ − y′‖²,
+//! ```
+//!
+//! a plain squared Euclidean norm: O(k) per pair with a branch-free,
+//! cache-friendly inner loop.
+//!
+//! The QBIC similarity matrix is only positive *semi*definite on the
+//! full space (it is PD on the zero-sum subspace where differences of
+//! normalized histograms live), so `A` itself has no Cholesky factor.
+//! [`EmbeddedSpace`] instead factors the ridge-projected matrix
+//! `M = P·A·P + J` of [`SymMatrix::project_zero_sum_with_ridge`]: for
+//! any zero-sum `z`, `zᵀMz = zᵀAz` **exactly** (`Pz = z` and
+//! `zᵀJz = (Σzᵢ)²/n = 0`), so the embedded distance equals the
+//! quadratic-form distance up to float round-off — no approximation is
+//! involved. If even `M` is numerically on the PSD boundary, a tiny
+//! relative ridge `εI` is added (ε ≤ 1e-8·max diag), which perturbs
+//! squared distances by at most `ε·‖z‖²`.
+//!
+//! [`EmbeddedCorpus`] carries the idea to whole databases: a flat
+//! structure-of-arrays column store of pre-embedded coordinates with a
+//! batched kNN scan that (1) first prunes via the §2.1 short-vector
+//! bounding filter, then (2) **early-abandons** the running squared
+//! sum against the current k-th best distance, and (3) optionally
+//! fans the scan out over worker threads. The abandon invariant: the
+//! running sum of squares is monotone non-decreasing, so once a
+//! partial sum strictly exceeds the current k-th best *squared*
+//! distance the object's final distance is strictly larger too and it
+//! can never enter the top k — results are identical to the
+//! brute-force scan, bit for bit.
+
+use std::fmt;
+use std::ops::Range;
+use std::thread;
+
+use crate::bounding::{BoundError, DistanceBound, ShortVector};
+use crate::color::{ColorHistogram, ColorSpace};
+use crate::distance::{DistanceError, HistogramDistance};
+use crate::linalg::{Cholesky, LinalgError, SymMatrix};
+
+/// Relative ridge magnitudes tried (in order) when the projected
+/// matrix is numerically on the PSD boundary.
+const RIDGE_STEPS: [f64; 3] = [1e-12, 1e-10, 1e-8];
+
+/// How many accumulated dimensions between early-abandon checks. The
+/// sum is accumulated strictly left-to-right regardless, so abandoned
+/// and completed evaluations agree bitwise with the plain scan.
+const ABANDON_STRIDE: usize = 16;
+
+/// Error raised by the embedding kernel.
+#[derive(Debug, Clone)]
+pub enum EmbedError {
+    /// The (projected, ridged) similarity matrix never became
+    /// positive definite — no embedding exists.
+    NotPositiveDefinite {
+        /// The largest relative ridge that was tried.
+        max_ridge: f64,
+    },
+    /// A histogram's bin count does not match the embedded space.
+    DimensionMismatch {
+        /// The space's dimension `k`.
+        expected: usize,
+        /// The offending dimension.
+        got: usize,
+    },
+    /// Deriving the §2.1 bounding filter failed.
+    Bound(BoundError),
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::NotPositiveDefinite { max_ridge } => write!(
+                f,
+                "similarity matrix is not PD on the zero-sum subspace (ridge up to {max_ridge:e})"
+            ),
+            EmbedError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            EmbedError::Bound(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+impl From<BoundError> for EmbedError {
+    fn from(e: BoundError) -> Self {
+        EmbedError::Bound(e)
+    }
+}
+
+/// The squared Euclidean distance between two embedded coordinate
+/// slices, accumulated strictly left-to-right.
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
+}
+
+/// The Euclidean distance between two embedded coordinate slices.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// A one-time Cholesky embedding of a similarity matrix: the O(k³)
+/// factorization is paid at construction, after which
+/// [`EmbeddedSpace::embed`] maps any histogram into the space where
+/// the quadratic-form distance is plain Euclidean.
+#[derive(Debug, Clone)]
+pub struct EmbeddedSpace {
+    k: usize,
+    factor: Cholesky,
+    ridge: f64,
+}
+
+impl EmbeddedSpace {
+    /// Builds the embedding for an arbitrary similarity matrix that is
+    /// PD on the zero-sum subspace (ridge-projecting it first; see the
+    /// module docs for why that preserves histogram distances
+    /// exactly).
+    pub fn for_matrix(a: &SymMatrix) -> Result<EmbeddedSpace, EmbedError> {
+        let k = a.dim();
+        let projected = a.project_zero_sum_with_ridge();
+        let mut ridge = 0.0;
+        let mut attempt = projected.cholesky();
+        if attempt.is_err() {
+            let diag_max = (0..k).map(|i| projected.get(i, i)).fold(1e-12, f64::max);
+            for eps in RIDGE_STEPS {
+                ridge = eps * diag_max;
+                let jittered = projected
+                    .add_scaled(&SymMatrix::identity(k), ridge)
+                    .expect("identity has matching dimension");
+                attempt = jittered.cholesky();
+                if attempt.is_ok() {
+                    break;
+                }
+            }
+        }
+        match attempt {
+            Ok(factor) => Ok(EmbeddedSpace { k, factor, ridge }),
+            Err(LinalgError::NotPositiveDefinite { .. }) => Err(EmbedError::NotPositiveDefinite {
+                max_ridge: RIDGE_STEPS[RIDGE_STEPS.len() - 1],
+            }),
+            Err(_) => unreachable!("cholesky only fails with NotPositiveDefinite"),
+        }
+    }
+
+    /// Builds the embedding for a color space's QBIC similarity
+    /// matrix.
+    pub fn for_space(space: &ColorSpace) -> Result<EmbeddedSpace, EmbedError> {
+        EmbeddedSpace::for_matrix(&space.similarity_matrix())
+    }
+
+    /// The embedded dimension `k` (equal to the histogram bin count).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The ridge that was added to reach positive definiteness (0 for
+    /// every well-conditioned QBIC matrix).
+    pub fn ridge(&self) -> f64 {
+        self.ridge
+    }
+
+    /// Embeds raw bin masses: `out = Lᵀ·bins`. O(k²).
+    pub fn embed_into(&self, bins: &[f64], out: &mut [f64]) -> Result<(), EmbedError> {
+        if bins.len() != self.k || out.len() != self.k {
+            return Err(EmbedError::DimensionMismatch {
+                expected: self.k,
+                got: if bins.len() != self.k {
+                    bins.len()
+                } else {
+                    out.len()
+                },
+            });
+        }
+        self.factor.transpose_mul_vec(bins, out);
+        Ok(())
+    }
+
+    /// Embeds a histogram into the Euclidean space. O(k²).
+    pub fn embed(&self, hist: &ColorHistogram) -> Result<Vec<f64>, EmbedError> {
+        let mut out = vec![0.0; self.k];
+        self.embed_into(hist.bins(), &mut out)?;
+        Ok(out)
+    }
+}
+
+/// [`HistogramDistance`] through the embedding: numerically equal to
+/// [`crate::distance::QuadraticFormDistance`] on normalized
+/// histograms (see the module docs for the zero-sum argument and the
+/// property suite in `tests/embed_equivalence.rs`).
+///
+/// Each call embeds both histograms (O(k²)), so this adapter is for
+/// drop-in trait compatibility; the O(k) fast path needs pre-embedded
+/// coordinates — use [`EmbeddedSpace::embed`] once per object and
+/// [`euclidean`] per pair, or an [`EmbeddedCorpus`].
+#[derive(Debug, Clone)]
+pub struct EmbeddedDistance {
+    space: EmbeddedSpace,
+}
+
+impl EmbeddedDistance {
+    /// Wraps an embedded space.
+    pub fn new(space: EmbeddedSpace) -> EmbeddedDistance {
+        EmbeddedDistance { space }
+    }
+
+    /// The underlying embedding.
+    pub fn space(&self) -> &EmbeddedSpace {
+        &self.space
+    }
+}
+
+impl HistogramDistance for EmbeddedDistance {
+    fn distance(&self, x: &ColorHistogram, y: &ColorHistogram) -> Result<f64, DistanceError> {
+        let check = |h: &ColorHistogram| -> Result<(), DistanceError> {
+            if h.k() != self.space.k() {
+                return Err(DistanceError::DimensionMismatch {
+                    expected: self.space.k(),
+                    got: h.k(),
+                });
+            }
+            Ok(())
+        };
+        check(x)?;
+        check(y)?;
+        let ex = self.space.embed(x).expect("dimensions checked above");
+        let ey = self.space.embed(y).expect("dimensions checked above");
+        Ok(euclidean(&ex, &ey))
+    }
+
+    fn name(&self) -> String {
+        format!("embedded(k={})", self.space.k())
+    }
+}
+
+/// Cost counters for one [`EmbeddedCorpus`] kNN scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Objects skipped by the §2.1 short-vector bounding filter
+    /// without touching their embedded coordinates.
+    pub filter_pruned: u64,
+    /// Objects whose distance evaluation was cut short by the running
+    /// sum exceeding the k-th best.
+    pub abandoned: u64,
+    /// Objects whose O(k) distance ran to completion.
+    pub completed: u64,
+}
+
+impl ScanStats {
+    /// Fraction of objects that never paid the full O(k) loop.
+    pub fn savings(&self) -> f64 {
+        let total = self.filter_pruned + self.abandoned + self.completed;
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.completed as f64 / total as f64
+        }
+    }
+}
+
+impl std::ops::AddAssign for ScanStats {
+    fn add_assign(&mut self, rhs: ScanStats) {
+        self.filter_pruned += rhs.filter_pruned;
+        self.abandoned += rhs.abandoned;
+        self.completed += rhs.completed;
+    }
+}
+
+/// A flat column store of pre-embedded histogram coordinates
+/// (structure of arrays: one contiguous `n×k` coordinate block, one
+/// `n×3` short-vector block), with batched early-abandoning kNN.
+#[derive(Debug, Clone)]
+pub struct EmbeddedCorpus {
+    space: EmbeddedSpace,
+    n: usize,
+    k: usize,
+    /// Object-major embedded coordinates (`n·k` entries; object `i`
+    /// owns `coords[i·k .. (i+1)·k]`).
+    coords: Vec<f64>,
+    /// The §2.1 first-stage filter, when derivable: the bound plus a
+    /// flat `n·3` block of short vectors.
+    filter: Option<CorpusFilter>,
+}
+
+#[derive(Debug, Clone)]
+struct CorpusFilter {
+    bound: DistanceBound,
+    /// Flat `n·3` scaled short-vector coordinates.
+    shorts: Vec<f64>,
+}
+
+impl EmbeddedCorpus {
+    /// Embeds every histogram into `space` (O(n·k²) once). No bounding
+    /// filter — every scan pays at least the abandon loop per object.
+    pub fn build(
+        space: EmbeddedSpace,
+        hists: &[ColorHistogram],
+    ) -> Result<EmbeddedCorpus, EmbedError> {
+        let k = space.k();
+        let mut coords = vec![0.0; hists.len() * k];
+        for (h, chunk) in hists.iter().zip(coords.chunks_mut(k)) {
+            space.embed_into(h.bins(), chunk)?;
+        }
+        Ok(EmbeddedCorpus {
+            space,
+            n: hists.len(),
+            k,
+            coords,
+            filter: None,
+        })
+    }
+
+    /// Builds the corpus for a color space **with** the §2.1
+    /// short-vector bounding filter as the scan's first stage.
+    pub fn build_filtered(
+        color_space: &ColorSpace,
+        hists: &[ColorHistogram],
+    ) -> Result<EmbeddedCorpus, EmbedError> {
+        let space = EmbeddedSpace::for_space(color_space)?;
+        let mut corpus = EmbeddedCorpus::build(space, hists)?;
+        let bound = DistanceBound::for_space(color_space)?;
+        let mut shorts = vec![0.0; hists.len() * 3];
+        for (h, chunk) in hists.iter().zip(shorts.chunks_mut(3)) {
+            let s = bound.project(h)?;
+            chunk.copy_from_slice(&s.coords);
+        }
+        corpus.filter = Some(CorpusFilter { bound, shorts });
+        Ok(corpus)
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the corpus holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The embedded dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The embedding shared by all stored objects.
+    pub fn space(&self) -> &EmbeddedSpace {
+        &self.space
+    }
+
+    /// Whether the §2.1 bounding filter is active as the scan's first
+    /// stage.
+    pub fn has_filter(&self) -> bool {
+        self.filter.is_some()
+    }
+
+    /// The embedded coordinates of object `i`.
+    pub fn embedded(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.k..(i + 1) * self.k]
+    }
+
+    /// The exact quadratic-form distance between stored objects `i`
+    /// and `j` — O(k) instead of O(k²).
+    pub fn distance_between(&self, i: usize, j: usize) -> f64 {
+        euclidean(self.embedded(i), self.embedded(j))
+    }
+
+    /// Early-abandoning squared distance from an embedded query `q`
+    /// (see [`EmbeddedSpace::embed`]) to stored object `i`: `None` as
+    /// soon as the running sum strictly exceeds `threshold_sq`, else
+    /// the exact squared distance.
+    ///
+    /// The sum is accumulated strictly left-to-right, so a completed
+    /// evaluation is bitwise identical to [`squared_euclidean`];
+    /// `threshold_sq = f64::INFINITY` never abandons.
+    pub fn squared_distance_abandoning(
+        &self,
+        q: &[f64],
+        i: usize,
+        threshold_sq: f64,
+    ) -> Option<f64> {
+        debug_assert_eq!(q.len(), self.k);
+        let coords = self.embedded(i);
+        let mut sum = 0.0;
+        let mut offset = 0;
+        for (qc, cc) in q.chunks(ABANDON_STRIDE).zip(coords.chunks(ABANDON_STRIDE)) {
+            for (x, y) in qc.iter().zip(cc) {
+                let d = x - y;
+                sum += d * d;
+            }
+            offset += qc.len();
+            if sum > threshold_sq && offset < self.k {
+                return None;
+            }
+        }
+        Some(sum)
+    }
+
+    /// The exact distance from `query` to every stored object: one
+    /// O(k²) embedding, then n O(k) norms.
+    pub fn distances(&self, query: &ColorHistogram) -> Result<Vec<f64>, EmbedError> {
+        let q = self.embed_query(query)?;
+        Ok((0..self.n)
+            .map(|i| euclidean(&q, self.embedded(i)))
+            .collect())
+    }
+
+    fn embed_query(&self, query: &ColorHistogram) -> Result<Vec<f64>, EmbedError> {
+        self.space.embed(query)
+    }
+
+    /// The `k_nearest` objects closest to `query` under the exact
+    /// quadratic-form distance, by early-abandoning scan (plus the
+    /// bounding-filter first stage when built with
+    /// [`EmbeddedCorpus::build_filtered`]).
+    ///
+    /// Returns `(index, distance)` pairs in ascending
+    /// `(distance, index)` order — identical to the brute-force
+    /// [`EmbeddedCorpus::knn_brute`] oracle.
+    pub fn knn(
+        &self,
+        query: &ColorHistogram,
+        k_nearest: usize,
+    ) -> Result<(Vec<(usize, f64)>, ScanStats), EmbedError> {
+        let q = self.embed_query(query)?;
+        let q_short = self.query_short(query)?;
+        let (heap, stats) = self.scan_range(&q, q_short.as_ref(), 0..self.n, k_nearest, true);
+        Ok((finalize(heap), stats))
+    }
+
+    /// The brute-force oracle: every distance run to completion, no
+    /// filter, no abandoning. Same ordering contract as
+    /// [`EmbeddedCorpus::knn`].
+    pub fn knn_brute(
+        &self,
+        query: &ColorHistogram,
+        k_nearest: usize,
+    ) -> Result<(Vec<(usize, f64)>, ScanStats), EmbedError> {
+        let q = self.embed_query(query)?;
+        let (heap, stats) = self.scan_range(&q, None, 0..self.n, k_nearest, false);
+        Ok((finalize(heap), stats))
+    }
+
+    /// [`EmbeddedCorpus::knn`] fanned out over `threads` worker
+    /// threads scanning contiguous chunks (the engine's
+    /// scoped-thread/worker idiom). Each worker early-abandons against
+    /// its own running k-th best; the merged result is identical to
+    /// the serial scan.
+    pub fn knn_parallel(
+        &self,
+        query: &ColorHistogram,
+        k_nearest: usize,
+        threads: usize,
+    ) -> Result<(Vec<(usize, f64)>, ScanStats), EmbedError> {
+        let threads = threads.max(1).min(self.n.max(1));
+        if threads == 1 {
+            return self.knn(query, k_nearest);
+        }
+        let q = self.embed_query(query)?;
+        let q_short = self.query_short(query)?;
+        let chunk = self.n.div_ceil(threads);
+        let results: Vec<(Vec<(f64, usize)>, ScanStats)> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let q = &q;
+                    let q_short = q_short.as_ref();
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(self.n);
+                    scope.spawn(move || self.scan_range(q, q_short, lo..hi, k_nearest, true))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
+        let mut stats = ScanStats::default();
+        let mut merged: Vec<(f64, usize)> = Vec::with_capacity(threads * k_nearest);
+        for (local, local_stats) in results {
+            stats += local_stats;
+            merged.extend(local);
+        }
+        sort_candidates(&mut merged);
+        merged.truncate(k_nearest);
+        Ok((finalize(merged), stats))
+    }
+
+    fn query_short(&self, query: &ColorHistogram) -> Result<Option<ShortVector>, EmbedError> {
+        match &self.filter {
+            Some(f) => Ok(Some(f.bound.project(query)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Scans `range`, returning up to `k_nearest` best
+    /// `(squared_distance, index)` candidates in ascending
+    /// `(distance, index)` order plus the cost counters.
+    ///
+    /// Early-abandon invariant: the running sum of squares only grows,
+    /// so `partial > kth_sq` implies the final squared distance
+    /// strictly exceeds the current k-th best and the object can be
+    /// dropped without changing the result. Pruning and abandoning
+    /// only ever engage once `k_nearest` candidates are held.
+    fn scan_range(
+        &self,
+        q: &[f64],
+        q_short: Option<&ShortVector>,
+        range: Range<usize>,
+        k_nearest: usize,
+        abandon: bool,
+    ) -> (Vec<(f64, usize)>, ScanStats) {
+        let mut stats = ScanStats::default();
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(k_nearest.saturating_add(1));
+        if k_nearest == 0 {
+            return (best, stats);
+        }
+        let shorts = self.filter.as_ref().map(|f| f.shorts.as_slice());
+        for i in range {
+            let full = best.len() == k_nearest;
+            let kth_sq = if full {
+                best[k_nearest - 1].0
+            } else {
+                f64::INFINITY
+            };
+            // Stage 1: the §2.1 bounding filter. d ≥ d̂, so
+            // d̂² > kth_sq ⇒ d² > kth_sq and the object cannot improve
+            // the answer.
+            if full {
+                if let (Some(q_s), Some(shorts)) = (q_short, shorts) {
+                    let s = &shorts[i * 3..i * 3 + 3];
+                    let lb_sq = (q_s.coords[0] - s[0]).powi(2)
+                        + (q_s.coords[1] - s[1]).powi(2)
+                        + (q_s.coords[2] - s[2]).powi(2);
+                    if lb_sq > kth_sq {
+                        stats.filter_pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            // Stage 2: running-sum early abandoning.
+            let threshold_sq = if abandon && full {
+                kth_sq
+            } else {
+                f64::INFINITY
+            };
+            let sum = match self.squared_distance_abandoning(q, i, threshold_sq) {
+                Some(sum) => sum,
+                None => {
+                    stats.abandoned += 1;
+                    continue;
+                }
+            };
+            stats.completed += 1;
+            if !full || (sum, i) < (kth_sq, best[k_nearest - 1].1) {
+                best.push((sum, i));
+                sort_candidates(&mut best);
+                best.truncate(k_nearest);
+            }
+        }
+        (best, stats)
+    }
+}
+
+/// Ascending `(squared_distance, index)` with the index tie-break —
+/// the same total order the brute-force oracle sorts by.
+fn sort_candidates(v: &mut [(f64, usize)]) {
+    v.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("squared distances are finite")
+            .then(a.1.cmp(&b.1))
+    });
+}
+
+/// Converts `(squared_distance, index)` candidates into the public
+/// `(index, distance)` answer shape.
+fn finalize(best: Vec<(f64, usize)>) -> Vec<(usize, f64)> {
+    best.into_iter().map(|(d2, i)| (i, d2.sqrt())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Rgb;
+    use crate::distance::QuadraticFormDistance;
+
+    fn space() -> ColorSpace {
+        ColorSpace::rgb_grid(3).unwrap()
+    }
+
+    fn sample_histograms(space: &ColorSpace, count: usize, seed: u64) -> Vec<ColorHistogram> {
+        let k = space.k();
+        (0..count as u64)
+            .map(|s| {
+                let masses: Vec<f64> = (0..k)
+                    .map(|i| {
+                        let h =
+                            (i as u64 + 1).wrapping_mul((s + seed).wrapping_mul(2654435761) + 97);
+                        ((h % 1000) as f64 / 1000.0).powi(2) + 1e-6
+                    })
+                    .collect();
+                ColorHistogram::from_masses(masses).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn embedded_distance_equals_quadratic_form() {
+        let sp = space();
+        let qf = QuadraticFormDistance::new(sp.similarity_matrix());
+        let emb = EmbeddedDistance::new(EmbeddedSpace::for_space(&sp).unwrap());
+        assert_eq!(emb.space().ridge(), 0.0, "QBIC matrix needs no ridge");
+        let hists = sample_histograms(&sp, 12, 5);
+        for x in &hists {
+            for y in &hists {
+                let a = qf.distance(x, y).unwrap();
+                let b = emb.distance(x, y).unwrap();
+                assert!((a - b).abs() < 1e-9, "qf {a} vs embedded {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_distance_checks_dimensions() {
+        let emb = EmbeddedDistance::new(EmbeddedSpace::for_space(&space()).unwrap());
+        let other = ColorHistogram::pure(&ColorSpace::rgb_grid(2).unwrap(), Rgb::RED);
+        let ok = ColorHistogram::pure(&space(), Rgb::RED);
+        assert!(matches!(
+            emb.distance(&ok, &other),
+            Err(DistanceError::DimensionMismatch { .. })
+        ));
+        assert!(emb.name().contains("embedded"));
+    }
+
+    #[test]
+    fn corpus_knn_matches_brute_force_and_counts_work_saved() {
+        let sp = space();
+        let hists = sample_histograms(&sp, 200, 3);
+        let corpus = EmbeddedCorpus::build_filtered(&sp, &hists).unwrap();
+        assert!(corpus.has_filter());
+        let queries = sample_histograms(&sp, 6, 99);
+        for q in &queries {
+            let (brute, bstats) = corpus.knn_brute(q, 7).unwrap();
+            let (fast, fstats) = corpus.knn(q, 7).unwrap();
+            assert_eq!(brute, fast, "early abandoning changed the answer");
+            assert_eq!(bstats.completed, 200);
+            assert_eq!(
+                fstats.filter_pruned + fstats.abandoned + fstats.completed,
+                200
+            );
+            assert!(
+                fstats.filter_pruned + fstats.abandoned > 0,
+                "no work was saved: {fstats:?}"
+            );
+            assert!(fstats.savings() > 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_knn_matches_serial() {
+        let sp = space();
+        let hists = sample_histograms(&sp, 157, 8);
+        let corpus = EmbeddedCorpus::build_filtered(&sp, &hists).unwrap();
+        let q = &sample_histograms(&sp, 1, 41)[0];
+        let (serial, _) = corpus.knn(q, 9).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let (par, stats) = corpus.knn_parallel(q, 9, threads).unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+            assert_eq!(stats.filter_pruned + stats.abandoned + stats.completed, 157);
+        }
+    }
+
+    #[test]
+    fn corpus_distances_match_pairwise_quadratic_form() {
+        let sp = space();
+        let qf = QuadraticFormDistance::new(sp.similarity_matrix());
+        let hists = sample_histograms(&sp, 20, 17);
+        let corpus = EmbeddedCorpus::build(EmbeddedSpace::for_space(&sp).unwrap(), &hists).unwrap();
+        let ds = corpus.distances(&hists[4]).unwrap();
+        for (i, h) in hists.iter().enumerate() {
+            let want = qf.distance(&hists[4], h).unwrap();
+            assert!((ds[i] - want).abs() < 1e-9);
+            let between = corpus.distance_between(4, i);
+            assert!((between - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let sp = space();
+        let hists = sample_histograms(&sp, 5, 2);
+        let corpus = EmbeddedCorpus::build_filtered(&sp, &hists).unwrap();
+        let q = &hists[0];
+        assert!(corpus.knn(q, 0).unwrap().0.is_empty());
+        assert_eq!(corpus.knn(q, 50).unwrap().0.len(), 5);
+        assert_eq!(corpus.knn_parallel(q, 50, 16).unwrap().0.len(), 5);
+        // The query is object 0: it must rank itself first at ~0.
+        let (res, _) = corpus.knn(q, 1).unwrap();
+        assert_eq!(res[0].0, 0);
+        assert!(res[0].1 < 1e-9);
+        // Empty corpus.
+        let empty = EmbeddedCorpus::build(EmbeddedSpace::for_space(&sp).unwrap(), &[]).unwrap();
+        assert!(empty.is_empty());
+        assert!(empty.knn(q, 3).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let sp = space();
+        let corpus = EmbeddedCorpus::build_filtered(&sp, &sample_histograms(&sp, 4, 1)).unwrap();
+        let wrong = ColorHistogram::pure(&ColorSpace::rgb_grid(2).unwrap(), Rgb::RED);
+        assert!(matches!(
+            corpus.knn(&wrong, 2),
+            Err(EmbedError::DimensionMismatch { .. })
+        ));
+        let es = EmbeddedSpace::for_space(&sp).unwrap();
+        let mut out = vec![0.0; 3];
+        assert!(matches!(
+            es.embed_into(&[0.5; 27], &mut out),
+            Err(EmbedError::DimensionMismatch { got: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn synthetic_line_matrix_embeds_too() {
+        // a_ij = 1 − |i−j|/(k−1) is conditionally PD on the zero-sum
+        // subspace (1-D Euclidean distance matrix) — the shape the
+        // distance bench sweeps at arbitrary k.
+        let k = 16;
+        let a = SymMatrix::from_fn(k, |i, j| {
+            1.0 - (i as f64 - j as f64).abs() / (k as f64 - 1.0)
+        })
+        .unwrap();
+        let es = EmbeddedSpace::for_matrix(&a).unwrap();
+        let qf = QuadraticFormDistance::new(a);
+        let x = ColorHistogram::from_masses((1..=k).map(|i| i as f64).collect()).unwrap();
+        let y = ColorHistogram::from_masses((1..=k).rev().map(|i| i as f64).collect()).unwrap();
+        let emb = EmbeddedDistance::new(es);
+        let a_d = qf.distance(&x, &y).unwrap();
+        let b_d = emb.distance(&x, &y).unwrap();
+        assert!((a_d - b_d).abs() < 1e-9, "{a_d} vs {b_d}");
+    }
+}

@@ -14,6 +14,10 @@
 //!   L1/L2/intersection baselines;
 //! * [`bounding`] — the \[HSE+95\] distance-bounding filter (ineq. (2))
 //!   with a spectrally *proved* filter constant;
+//! * [`embed`] — the Cholesky-embedded Euclidean kernel: factor
+//!   `A = LLᵀ` once, embed `x′ = Lᵀx` per object, and every
+//!   quadratic-form distance collapses to an O(k) norm, with batched
+//!   early-abandoning kNN over pre-embedded corpora;
 //! * [`shape`] — turning functions, Fourier descriptors, Hu moments
 //!   over polygons;
 //! * [`texture`] — Tamura-style texture features (coarseness,
@@ -29,6 +33,7 @@
 pub mod bounding;
 pub mod color;
 pub mod distance;
+pub mod embed;
 pub mod linalg;
 pub mod scorer;
 pub mod shape;
@@ -40,6 +45,7 @@ pub mod prelude {
     pub use crate::bounding::{BoundedDistance, DistanceBound, ShortVector};
     pub use crate::color::{ColorHistogram, ColorSpace, Rgb};
     pub use crate::distance::{HistogramDistance, L2Distance, QuadraticFormDistance};
+    pub use crate::embed::{EmbeddedCorpus, EmbeddedDistance, EmbeddedSpace};
     pub use crate::scorer::{DistanceScorer, ExpDecay, LinearCutoff};
     pub use crate::shape::{turning_distance, FourierDescriptor, HuMoments, Polygon};
     pub use crate::synth::{MediaObject, ShapeFamily, SynthConfig, SyntheticDb};

@@ -26,6 +26,12 @@ pub enum LinalgError {
     NotSymmetric,
     /// A non-finite entry was supplied.
     NotFinite,
+    /// Cholesky factorization hit a non-positive pivot: the matrix is
+    /// not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// The column whose pivot failed.
+        pivot: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -37,6 +43,9 @@ impl fmt::Display for LinalgError {
             LinalgError::EmptyDimension => write!(f, "matrix dimensions must be positive"),
             LinalgError::NotSymmetric => write!(f, "matrix is not symmetric"),
             LinalgError::NotFinite => write!(f, "matrix entries must be finite"),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot} ≤ 0)")
+            }
         }
     }
 }
@@ -129,15 +138,26 @@ impl SymMatrix {
     }
 
     /// The quadratic form `xᵀ·A·x`.
+    ///
+    /// Exploits symmetry: `xᵀAx = Σᵢ aᵢᵢxᵢ² + 2·Σᵢ<ⱼ aᵢⱼxᵢxⱼ`, so only
+    /// the diagonal and the strict upper triangle are touched — half
+    /// the multiplies of the naive full-matrix sweep.
     pub fn quadratic_form(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.n);
-        let mut total = 0.0;
+        let mut diag = 0.0;
+        let mut upper = 0.0;
         for i in 0..self.n {
+            let xi = x[i];
             let row = &self.data[i * self.n..(i + 1) * self.n];
-            let rowsum: f64 = row.iter().zip(x).map(|(a, b)| a * b).sum();
-            total += x[i] * rowsum;
+            diag += row[i] * xi * xi;
+            let tail: f64 = row[i + 1..]
+                .iter()
+                .zip(&x[i + 1..])
+                .map(|(a, b)| a * b)
+                .sum();
+            upper += xi * tail;
         }
-        total
+        diag + 2.0 * upper
     }
 
     /// Largest eigenvalue estimate by power iteration (symmetric
@@ -248,9 +268,15 @@ impl SymMatrix {
         SymMatrix { n, data }
     }
 
-    /// Attempts a Cholesky factorization; `true` iff the matrix is
-    /// (numerically) positive definite. Does not allocate the factor.
-    pub fn is_positive_definite(&self) -> bool {
+    /// The Cholesky factorization `A = L·Lᵀ` with `L` lower
+    /// triangular; fails with [`LinalgError::NotPositiveDefinite`] if
+    /// any pivot is non-positive (the matrix is not numerically PD).
+    ///
+    /// This is the one-time O(n³) preprocessing step behind the
+    /// embedded Euclidean distance kernel (see `crate::embed`): once
+    /// `A = LLᵀ` is known, every quadratic form `zᵀAz` collapses to the
+    /// plain squared norm `‖Lᵀz‖²`.
+    pub fn cholesky(&self) -> Result<Cholesky, LinalgError> {
         let n = self.n;
         let mut l = self.data.clone();
         for j in 0..n {
@@ -260,7 +286,7 @@ impl SymMatrix {
                 d -= v * v;
             }
             if d <= 0.0 || !d.is_finite() {
-                return false;
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
             }
             let d_sqrt = d.sqrt();
             l[j * n + j] = d_sqrt;
@@ -272,7 +298,78 @@ impl SymMatrix {
                 l[i * n + j] = s / d_sqrt;
             }
         }
-        true
+        // Zero the (stale) strict upper triangle so `L` is genuinely
+        // lower triangular.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                l[i * n + j] = 0.0;
+            }
+        }
+        Ok(Cholesky { n, l })
+    }
+
+    /// `true` iff the matrix is (numerically) positive definite, by
+    /// attempting a Cholesky factorization.
+    pub fn is_positive_definite(&self) -> bool {
+        self.cholesky().is_ok()
+    }
+}
+
+/// A lower-triangular Cholesky factor `L` with `A = L·Lᵀ`, produced by
+/// [`SymMatrix::cholesky`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    n: usize,
+    /// Row-major `n×n` with zero strict upper triangle.
+    l: Vec<f64>,
+}
+
+impl Cholesky {
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `L[i][j]` (zero for `j > i`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.l[i * self.n + j]
+    }
+
+    /// `y = Lᵀ·x` — the embedding map of the Euclidean kernel:
+    /// `xᵀ(LLᵀ)x = ‖Lᵀx‖²`.
+    pub fn transpose_mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        debug_assert_eq!(y.len(), self.n);
+        y.fill(0.0);
+        // (Lᵀx)ᵢ = Σⱼ≥ᵢ L[j][i]·xⱼ; iterate rows of L so memory access
+        // stays sequential.
+        for (j, &xj) in x.iter().enumerate() {
+            if xj == 0.0 {
+                continue;
+            }
+            let row = &self.l[j * self.n..j * self.n + j + 1];
+            for (yi, lj) in y[..=j].iter_mut().zip(row) {
+                *yi += lj * xj;
+            }
+        }
+    }
+
+    /// Reconstructs `L·Lᵀ` (test/diagnostic helper).
+    pub fn reconstruct(&self) -> SymMatrix {
+        let n = self.n;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    s += self.get(i, k) * self.get(j, k);
+                }
+                data[i * n + j] = s;
+                data[j * n + i] = s;
+            }
+        }
+        SymMatrix { n, data }
     }
 }
 
@@ -439,6 +536,74 @@ mod tests {
         let x = [1.0, -2.0];
         // 2·1 + 1·(1·-2)·2 + 3·4 = 2 − 4 + 12 = 10
         assert!((a.quadratic_form(&x) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_quadratic_form_matches_naive_sweep() {
+        // The production form halves the multiplies via the
+        // diagonal + upper-triangle split; it must agree with the
+        // naive full-matrix xᵀAx to float accuracy.
+        for n in [1usize, 2, 5, 16, 33] {
+            let a = SymMatrix::from_fn(n, |i, j| {
+                1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 0.5 } else { 0.0 }
+            })
+            .unwrap();
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i as f64 * 0.73).sin() - 0.2) * 1.5)
+                .collect();
+            let mut naive = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    naive += x[i] * a.get(i, j) * x[j];
+                }
+            }
+            let fast = a.quadratic_form(&x);
+            assert!(
+                (fast - naive).abs() <= 1e-12 * naive.abs().max(1.0),
+                "n={n}: {fast} vs naive {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn cholesky_factors_and_reconstructs() {
+        // A small explicitly PD matrix.
+        let a = SymMatrix::from_rows(3, vec![4.0, 2.0, 0.0, 2.0, 5.0, 1.0, 0.0, 1.0, 3.0]).unwrap();
+        let chol = a.cholesky().unwrap();
+        let back = chol.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((back.get(i, j) - a.get(i, j)).abs() < 1e-12);
+            }
+            for j in (i + 1)..3 {
+                assert_eq!(chol.get(i, j), 0.0, "upper triangle must be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_transpose_mul_reproduces_quadratic_form() {
+        let a = SymMatrix::from_fn(8, |i, j| {
+            (if i == j { 2.0 } else { 0.0 }) + 1.0 / (1.0 + (i as f64 - j as f64).powi(2))
+        })
+        .unwrap();
+        let chol = a.cholesky().unwrap();
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 * 0.41).cos()).collect();
+        let mut y = vec![0.0; 8];
+        chol.transpose_mul_vec(&x, &mut y);
+        let embedded: f64 = y.iter().map(|v| v * v).sum();
+        let direct = a.quadratic_form(&x);
+        assert!((embedded - direct).abs() < 1e-12 * direct.abs().max(1.0));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_matrices() {
+        let a = SymMatrix::from_rows(2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, −1
+        assert!(matches!(
+            a.cholesky(),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
+        ));
+        assert!(!a.is_positive_definite());
     }
 
     #[test]
