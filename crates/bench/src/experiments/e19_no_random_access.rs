@@ -48,7 +48,7 @@ pub fn run(cfg: &RunCfg) -> Report {
             let mut answers = 0usize;
             for seed in 0..cfg.seeds {
                 let make = |s: u64| {
-                    if rho == 0.0 {
+                    if name == "independent" {
                         independent_uniform(n, 2, s)
                     } else {
                         correlated_pair(n, rho, s)

@@ -5,6 +5,9 @@
 //! PODS 1998:
 //!
 //! * [`score`] — grades in `[0, 1]` ([`score::Score`]);
+//! * [`float`] — the workspace's single float-comparison epsilon and
+//!   approx helpers (raw float `==` is linted away by `cargo xtask
+//!   lint`);
 //! * [`graded_set`] — Zadeh graded ("fuzzy") sets, the common
 //!   generalization of a set and a sorted list;
 //! * [`scoring`] — scoring functions for Boolean combinations: t-norms,
@@ -41,9 +44,11 @@
 //! assert!(grade.approx_eq(Score::clamped(0.83), 1e-12));
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
 
+pub mod float;
 pub mod graded_set;
 pub mod query;
 pub mod request;

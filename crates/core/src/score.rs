@@ -11,6 +11,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+use crate::float;
+
 /// Error returned when constructing a [`Score`] from an invalid `f64`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ScoreError {
@@ -62,7 +64,7 @@ impl Score {
         } else if !(0.0..=1.0).contains(&value) {
             Err(ScoreError::OutOfRange(value))
         } else {
-            Ok(Score(value))
+            Ok(Score(value).debug_checked())
         }
     }
 
@@ -76,8 +78,25 @@ impl Score {
         if value.is_nan() {
             Score::ZERO
         } else {
-            Score(value.clamp(0.0, 1.0))
+            Score(value.clamp(0.0, 1.0)).debug_checked()
         }
+    }
+
+    /// The runtime half of the workspace's invariant story: every
+    /// non-const construction path funnels through this check, so a
+    /// grade that escapes `[0, 1]` (or goes NaN) panics immediately in
+    /// debug/test builds instead of corrupting a top-k answer three
+    /// layers later. Release builds compile it away. What this traps
+    /// dynamically, `cargo xtask lint` complements statically (rules
+    /// `no-panic`, `no-float-eq`).
+    #[inline]
+    fn debug_checked(self) -> Score {
+        debug_assert!(
+            self.0.is_finite() && (0.0..=1.0).contains(&self.0),
+            "Score invariant violated: {} is not a grade in [0, 1]",
+            self.0
+        );
+        self
     }
 
     /// Creates a crisp score from a Boolean: `true` ↦ 1, `false` ↦ 0.
@@ -99,17 +118,23 @@ impl Score {
         self.0
     }
 
-    /// Whether this grade is exactly 0 or exactly 1 (a crisp grade).
+    /// Whether this grade is crisp: within [`float::EPSILON`] of 0
+    /// or 1.
+    ///
+    /// Crisp grades are produced by traditional predicates (§3), but a
+    /// crisp grade that travelled through a scoring function may pick
+    /// up round-off, so the test is tolerant rather than exact (see
+    /// [`crate::float`]).
     #[inline]
     pub fn is_crisp(self) -> bool {
-        self.0 == 0.0 || self.0 == 1.0
+        float::approx_zero(self.0) || float::approx_one(self.0)
     }
 
     /// Standard fuzzy negation `1 − x` (the paper's negation rule, §3).
     #[inline]
     #[must_use]
     pub fn negate(self) -> Score {
-        Score(1.0 - self.0)
+        Score(1.0 - self.0).debug_checked()
     }
 
     /// The smaller of two grades (Zadeh conjunction).
@@ -134,7 +159,9 @@ impl Score {
         }
     }
 
-    /// True if `self` is within `eps` of `other` (for tests on float paths).
+    /// True if `self` is within `eps` of `other` (for tests on float
+    /// paths). For the workspace's standard tolerance use
+    /// [`float::approx_eq`] / [`float::EPSILON`].
     #[inline]
     pub fn approx_eq(self, other: Score, eps: f64) -> bool {
         (self.0 - other.0).abs() <= eps
@@ -153,8 +180,10 @@ impl PartialOrd for Score {
 impl Ord for Score {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
-        // Safe: scores are finite by construction.
-        self.0.partial_cmp(&other.0).expect("scores are never NaN")
+        // Scores are finite and in [0, 1] by construction, where IEEE
+        // total order coincides with the numeric order — so this is
+        // total without any panicking fallback.
+        self.0.total_cmp(&other.0)
     }
 }
 

@@ -137,6 +137,7 @@ pub fn all_conorms() -> Vec<Box<dyn Conorm>> {
         Box::new(BoundedSum),
         Box::new(DrasticSum),
         Box::new(EinsteinSum),
+        // lint:allow(no-panic): constant parameter; YagerSum::new accepts any p >= 1
         Box::new(YagerSum::new(2.0).expect("2 is a valid p")),
     ]
 }

@@ -13,6 +13,8 @@
 //! functions are t-norms, which are merely strict + monotone, which are
 //! neither).
 
+use std::fmt;
+
 use crate::score::Score;
 use crate::scoring::{Conorm, ScoringFunction, TNorm};
 
@@ -61,6 +63,15 @@ pub trait Binary {
 /// Wrapper running a [`TNorm`] through the binary checkers.
 pub struct AsBinaryNorm<'a, N: ?Sized>(pub &'a N);
 
+// The wrapped function need not be `Debug`, so the derive is
+// unavailable; an opaque rendering satisfies the workspace's
+// `missing_debug_implementations` hygiene without constraining N.
+impl<N: ?Sized> fmt::Debug for AsBinaryNorm<'_, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AsBinaryNorm(..)")
+    }
+}
+
 impl<N: TNorm + ?Sized> Binary for AsBinaryNorm<'_, N> {
     fn apply2(&self, a: Score, b: Score) -> Score {
         self.0.t(a, b)
@@ -70,6 +81,15 @@ impl<N: TNorm + ?Sized> Binary for AsBinaryNorm<'_, N> {
 /// Wrapper running a [`Conorm`] through the binary checkers.
 pub struct AsBinaryConorm<'a, S: ?Sized>(pub &'a S);
 
+// The wrapped function need not be `Debug`, so the derive is
+// unavailable; an opaque rendering satisfies the workspace's
+// `missing_debug_implementations` hygiene without constraining S.
+impl<S: ?Sized> fmt::Debug for AsBinaryConorm<'_, S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AsBinaryConorm(..)")
+    }
+}
+
 impl<S: Conorm + ?Sized> Binary for AsBinaryConorm<'_, S> {
     fn apply2(&self, a: Score, b: Score) -> Score {
         self.0.s(a, b)
@@ -78,6 +98,15 @@ impl<S: Conorm + ?Sized> Binary for AsBinaryConorm<'_, S> {
 
 /// Wrapper running any [`ScoringFunction`] at arity 2.
 pub struct AsBinaryScoring<'a, F: ?Sized>(pub &'a F);
+
+// The wrapped function need not be `Debug`, so the derive is
+// unavailable; an opaque rendering satisfies the workspace's
+// `missing_debug_implementations` hygiene without constraining F.
+impl<F: ?Sized> fmt::Debug for AsBinaryScoring<'_, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("AsBinaryScoring(..)")
+    }
+}
 
 impl<F: ScoringFunction + ?Sized> Binary for AsBinaryScoring<'_, F> {
     fn apply2(&self, a: Score, b: Score) -> Score {

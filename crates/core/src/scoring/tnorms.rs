@@ -11,6 +11,7 @@
 //! `Drastic ≤ Lukasiewicz ≤ Einstein ≤ Product ≤ Hamacher(0) ≤ Min`,
 //! with `Min` the largest t-norm and `Drastic` the smallest.
 
+use crate::float;
 use crate::score::Score;
 use crate::scoring::TNorm;
 
@@ -118,8 +119,10 @@ impl TNorm for Hamacher {
     fn t(&self, a: Score, b: Score) -> Score {
         let (x, y) = (a.value(), b.value());
         let denom = self.gamma + (1.0 - self.gamma) * (x + y - x * y);
-        if denom == 0.0 {
-            // Only possible at γ = 0 with x = y = 0; the limit is 0.
+        if float::approx_zero(denom) {
+            // Vanishing denominator: only approachable at γ = 0 with
+            // x, y → 0, where the function's limit is 0 (and the exact
+            // value is within EPSILON of it).
             Score::ZERO
         } else {
             Score::clamped(x * y / denom)
@@ -190,10 +193,14 @@ pub fn all_tnorms() -> Vec<Box<dyn TNorm>> {
         Box::new(Product),
         Box::new(Lukasiewicz),
         Box::new(Drastic),
+        // lint:allow(no-panic): constant parameter; Hamacher::new accepts any gamma >= 0
         Box::new(Hamacher::new(0.0).expect("0 is a valid gamma")),
+        // lint:allow(no-panic): constant parameter; Hamacher::new accepts any gamma >= 0
         Box::new(Hamacher::new(0.5).expect("0.5 is a valid gamma")),
         Box::new(Einstein),
+        // lint:allow(no-panic): constant parameter; Yager::new accepts any p >= 1
         Box::new(Yager::new(2.0).expect("2 is a valid p")),
+        // lint:allow(no-panic): constant parameter; Yager::new accepts any p >= 1
         Box::new(Yager::new(5.0).expect("5 is a valid p")),
     ]
 }

@@ -193,7 +193,9 @@ pub fn weighted_combine<F: ScoringFunction + ?Sized>(
         .copied()
         .zip(scores.iter().copied())
         .collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("weights are finite"));
+    // Weights are validated finite at `Weighting` construction, where
+    // IEEE total order coincides with numeric order.
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     let mut total = 0.0;
     let mut prefix: Vec<Score> = Vec::with_capacity(m);
@@ -201,8 +203,11 @@ pub fn weighted_combine<F: ScoringFunction + ?Sized>(
         prefix.push(pairs[i].1);
         let theta_i = pairs[i].0;
         let theta_next = if i + 1 < m { pairs[i + 1].0 } else { 0.0 };
+        // The pairs are sorted by descending θ, so the coefficient is
+        // never negative; the ordered comparison (not float equality —
+        // see `crate::float`) skips exactly the vanishing terms.
         let coeff = (i + 1) as f64 * (theta_i - theta_next);
-        if coeff != 0.0 {
+        if coeff > 0.0 {
             total += coeff * f.combine(&prefix).value();
         }
     }

@@ -33,9 +33,11 @@ pub fn cd_store(n: usize, seed: u64) -> Garlic {
     let mut catalog = Catalog::new();
     catalog
         .register(Box::new(table))
+        // lint:allow(no-panic): freshly built catalog, attribute names are distinct string literals
         .expect("fresh catalog accepts the table");
     catalog
         .register(Box::new(QbicRepository::new("qbic", db)))
+        // lint:allow(no-panic): freshly built catalog, attribute names are distinct string literals
         .expect("fresh catalog accepts qbic");
     Garlic::new(catalog)
 }
@@ -61,6 +63,7 @@ pub fn ad_database(
     let mut catalog = Catalog::new();
     catalog
         .register(Box::new(QbicRepository::new("photos", db)))
+        // lint:allow(no-panic): freshly built catalog, attribute names are distinct string literals
         .expect("fresh catalog accepts qbic");
     let garlic = Garlic::new(catalog);
 

@@ -15,7 +15,7 @@ use fmdb_middleware::algorithms::naive::Naive;
 use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
 use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
 use fmdb_middleware::algorithms::{AlgoError, TopKAlgorithm};
-use fmdb_middleware::engine::{Engine, EngineConfig};
+use fmdb_middleware::engine::{Engine, EngineConfig, EngineError};
 use fmdb_middleware::request::TopKRequest;
 use fmdb_middleware::source::{GradedSource, VecSource};
 use fmdb_middleware::stats::AccessStats;
@@ -52,6 +52,9 @@ pub enum ExecError {
     Query(QueryError),
     /// `k` was zero.
     ZeroK,
+    /// A planner invariant was violated — a bug in the planner, not
+    /// the query; reported instead of panicking the caller.
+    Internal(&'static str),
 }
 
 impl fmt::Display for ExecError {
@@ -61,6 +64,9 @@ impl fmt::Display for ExecError {
             ExecError::Algo(e) => write!(f, "{e}"),
             ExecError::Query(e) => write!(f, "{e}"),
             ExecError::ZeroK => write!(f, "k must be at least 1"),
+            ExecError::Internal(msg) => {
+                write!(f, "internal planner invariant violated: {msg}")
+            }
         }
     }
 }
@@ -76,6 +82,12 @@ impl From<CatalogError> for ExecError {
 impl From<AlgoError> for ExecError {
     fn from(e: AlgoError) -> Self {
         ExecError::Algo(e)
+    }
+}
+
+impl From<EngineError> for ExecError {
+    fn from(e: EngineError) -> Self {
+        ExecError::Algo(AlgoError::from(e))
     }
 }
 
@@ -125,6 +137,7 @@ impl ScoringFunction for OwnedCombiner {
 }
 
 /// A resumable top-k cursor over one query; see [`Garlic::cursor`].
+#[derive(Debug)]
 pub struct QueryCursor {
     session: OwnedFaSession,
 }
@@ -231,7 +244,9 @@ impl Garlic {
         match (p.kind, choice) {
             (PlanKind::FullScan, _) => self.full_scan(query, k, p.explanation),
             (_, AlgoChoice::Naive) => {
-                let flat = p.flat.expect("non-FullScan plans carry a flat query");
+                let Some(flat) = p.flat else {
+                    return Err(ExecError::Internal("non-FullScan plans carry a flat query"));
+                };
                 self.run_flat(
                     &flat,
                     k,
@@ -242,7 +257,9 @@ impl Garlic {
             }
             (_, AlgoChoice::Auto) => self.execute_plan(p, query, k),
             (_, choice) => {
-                let flat = p.flat.expect("non-FullScan plans carry a flat query");
+                let Some(flat) = p.flat else {
+                    return Err(ExecError::Internal("non-FullScan plans carry a flat query"));
+                };
                 let pruned = PrunedFa::default();
                 let (algo, label): (&dyn TopKAlgorithm, &str) = match choice {
                     AlgoChoice::PrunedFa => (&pruned, "forced pruned A0"),
@@ -264,15 +281,21 @@ impl Garlic {
         match p.kind {
             PlanKind::FullScan => self.full_scan(query, k, p.explanation),
             PlanKind::MaxMerge => {
-                let flat = p.flat.expect("max-merge plans carry a flat query");
+                let Some(flat) = p.flat else {
+                    return Err(ExecError::Internal("max-merge plans carry a flat query"));
+                };
                 self.run_max_merge(&flat, k, p.explanation)
             }
             PlanKind::CrispFilter => {
-                let flat = p.flat.expect("crisp-filter plans carry a flat query");
+                let Some(flat) = p.flat else {
+                    return Err(ExecError::Internal("crisp-filter plans carry a flat query"));
+                };
                 self.run_crisp_filter(&flat, k, p.explanation)
             }
             PlanKind::FaginA0 => {
-                let flat = p.flat.expect("A0 plans carry a flat query");
+                let Some(flat) = p.flat else {
+                    return Err(ExecError::Internal("A0 plans carry a flat query"));
+                };
                 self.run_flat(&flat, k, &FaginsAlgorithm, PlanKind::FaginA0, p.explanation)
             }
         }
@@ -349,6 +372,7 @@ impl Garlic {
                 let universe = self
                     .catalog
                     .repository_for(&atom.attribute)?
+                    // lint:allow(no-deprecated): Repository::universe_size is current API — homonym of the deprecated GradedSource shim
                     .universe_size() as u64;
                 stats.sorted += (matches.len() as u64 + 1).min(universe);
                 let set: HashSet<Oid> = matches.into_iter().collect();
@@ -359,7 +383,11 @@ impl Garlic {
                 crisp_positions.push(i);
             }
         }
-        let survivors = survivors.expect("crisp-filter plans have ≥ 1 crisp conjunct");
+        let Some(survivors) = survivors else {
+            return Err(ExecError::Internal(
+                "crisp-filter plans have >= 1 crisp conjunct",
+            ));
+        };
 
         // Random-access every fuzzy conjunct for each survivor.
         let mut fuzzy_sources: HashMap<usize, VecSource> = HashMap::new();

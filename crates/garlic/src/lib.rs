@@ -32,8 +32,9 @@
 //! println!("plan: {} cost: {}", result.plan, result.stats);
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
 
 pub mod catalog;
 pub mod cost;

@@ -36,6 +36,19 @@ pub enum Combiner {
     Weighted(ScoringHandle, Weighting),
 }
 
+// `ScoringHandle` is a `dyn` function without a `Debug` bound, but it
+// does carry a display name — render that.
+impl std::fmt::Debug for Combiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Combiner::Plain(s) => f.debug_tuple("Plain").field(&s.name()).finish(),
+            Combiner::Weighted(s, w) => {
+                f.debug_tuple("Weighted").field(&s.name()).field(w).finish()
+            }
+        }
+    }
+}
+
 impl Combiner {
     /// Evaluates the combiner on a grade tuple.
     pub fn combine(&self, grades: &[Score]) -> Score {
@@ -67,7 +80,7 @@ impl Combiner {
 }
 
 /// A query flattened to one combination level over atomic children.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct FlatQuery {
     /// The atomic subqueries in positional order.
     pub atoms: Vec<AtomicQuery>,
@@ -137,6 +150,7 @@ impl std::fmt::Display for PlanKind {
 
 /// A chosen plan plus the flattened query it applies to (absent for
 /// full scans of non-flat queries).
+#[derive(Debug)]
 pub struct Plan {
     /// The strategy.
     pub kind: PlanKind,
@@ -264,6 +278,7 @@ pub fn plan_costed(query: &Query, catalog: &Catalog, k: usize, estimator: &CostE
     let arity = flat.atoms.len();
     // An empty catalog makes every estimate 0; keep the formulas
     // meaningful with a floor of one object.
+    // lint:allow(no-deprecated): Catalog::universe_size is current API — homonym of the deprecated GradedSource shim
     let n = catalog.universe_size().max(1);
 
     // Gather crisp statistics (a real optimizer would consult stored

@@ -277,22 +277,27 @@ impl QbicRepository {
     /// Wraps a synthetic image database.
     pub fn new(name: impl Into<String>, db: SyntheticDb) -> QbicRepository {
         let space = EmbeddedSpace::for_space(&db.space)
+            // lint:allow(no-panic): the constant QBIC similarity matrix is PD after zero-sum projection; the embed tests prove it
             .expect("QBIC similarity matrix embeds (PD after zero-sum projection)");
         let histograms: Vec<ColorHistogram> =
             db.objects.iter().map(|o| o.histogram.clone()).collect();
         let color_corpus = EmbeddedCorpus::build(space, &histograms)
+            // lint:allow(no-panic): histograms come from the same SyntheticDb space, so dimensions match by construction
             .expect("database histograms share the space's dimension");
         let mut shape_prototypes = HashMap::new();
         shape_prototypes.insert(
             "round".to_owned(),
+            // lint:allow(no-panic): constant prototype geometry with positive radii
             Polygon::ellipse(0.0, 0.0, 1.0, 1.0, 40).expect("unit circle is valid"),
         );
         shape_prototypes.insert(
             "boxy".to_owned(),
+            // lint:allow(no-panic): constant prototype geometry with positive extent
             Polygon::rectangle(0.0, 0.0, 2.0, 1.0).expect("2x1 rectangle is valid"),
         );
         shape_prototypes.insert(
             "spiky".to_owned(),
+            // lint:allow(no-panic): constant prototype geometry with positive radii
             Polygon::star(6, 1.0, 0.35, 0.0, 0.0).expect("6-spike star is valid"),
         );
         QbicRepository {

@@ -225,6 +225,7 @@ impl Parser {
             parts.push(self.conj()?);
         }
         Ok(if parts.len() == 1 {
+            // lint:allow(no-panic): guarded by the len() == 1 check on the previous line
             parts.pop().expect("non-empty")
         } else {
             Query::or(parts)
@@ -238,6 +239,7 @@ impl Parser {
             parts.push(self.unit()?);
         }
         Ok(if parts.len() == 1 {
+            // lint:allow(no-panic): guarded by the len() == 1 check on the previous line
             parts.pop().expect("non-empty")
         } else {
             Query::and(parts)
@@ -402,6 +404,7 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
             });
         }
         let rule: ScoringHandle = using.unwrap_or_else(|| Arc::new(Min));
+        // lint:allow(no-panic): theta length was validated against children two lines up
         Query::weighted(children, rule, theta).expect("arity checked just above")
     } else {
         query

@@ -237,11 +237,7 @@ impl FilterRefineIndex {
             .map(|(i, s)| (q_short.distance(s), i))
             .collect();
         stats.filter_evaluations = order.len() as u64;
-        order.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("finite bounds")
-                .then(a.1.cmp(&b.1))
-        });
+        order.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
         // Refine phase in ascending lower-bound order, on squared
         // embedded distances with early abandoning.
@@ -280,11 +276,7 @@ impl FilterRefineIndex {
 /// Ascending `(distance, index)` order (distances here are squared,
 /// which sorts identically).
 fn sort_by_distance(v: &mut [(usize, f64)]) {
-    v.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .expect("finite distances")
-            .then(a.0.cmp(&b.0))
-    });
+    v.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
 }
 
 /// Converts internal squared distances to the public distance shape.

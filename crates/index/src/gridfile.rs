@@ -200,7 +200,7 @@ impl GridFile {
                 .iter()
                 .map(|(p, _)| p[d])
                 .collect();
-            coords.sort_by(|a, b| a.partial_cmp(b).expect("finite coords"));
+            coords.sort_by(|a, b| a.total_cmp(b));
             if coords.is_empty() {
                 continue;
             }
@@ -276,7 +276,7 @@ impl GridFile {
                 (d2, cell)
             })
             .collect();
-        order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite dist"));
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut result: Vec<Neighbor> = Vec::new();
         let mut kth = f64::INFINITY;
@@ -293,12 +293,7 @@ impl GridFile {
                         id: *id,
                         distance: d2.sqrt(),
                     });
-                    result.sort_by(|a, b| {
-                        a.distance
-                            .partial_cmp(&b.distance)
-                            .expect("finite dist")
-                            .then(a.id.cmp(&b.id))
-                    });
+                    result.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
                     result.truncate(k);
                     if result.len() == k {
                         kth = result[k - 1].distance * result[k - 1].distance;

@@ -15,8 +15,9 @@
 //!   color histograms (\[HSE+95\], zero false dismissals);
 //! * [`geometry`] — shared MBR/point machinery.
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
 
 pub mod filter_refine;
 pub mod geometry;

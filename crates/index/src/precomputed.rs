@@ -149,13 +149,10 @@ impl PrecomputedDistances {
         }
         let mut all: Vec<(usize, f64)> = (0..self.n)
             .filter(|&j| j != query)
+            // lint:allow(no-panic): both indices were bounds-checked at function entry
             .map(|j| (j, self.distance(query, j).expect("indices validated above")))
             .collect();
-        all.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("stored distances are finite")
-                .then(a.0.cmp(&b.0))
-        });
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         Ok(all)
     }

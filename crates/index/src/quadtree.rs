@@ -263,10 +263,7 @@ impl QuadTree {
                                 distance: pd2.sqrt(),
                             });
                             result.sort_by(|a, b| {
-                                a.distance
-                                    .partial_cmp(&b.distance)
-                                    .expect("finite distances")
-                                    .then(a.id.cmp(&b.id))
+                                a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id))
                             });
                             result.truncate(k);
                             if result.len() == k {

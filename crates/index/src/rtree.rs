@@ -239,10 +239,7 @@ impl RTree {
         impl Ord for Pending<'_> {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Reverse for a min-heap; keys are finite by validation.
-                other
-                    .key
-                    .partial_cmp(&self.key)
-                    .expect("MINDIST is never NaN")
+                other.key.total_cmp(&self.key)
             }
         }
 
@@ -269,10 +266,7 @@ impl RTree {
                                 distance: d2.sqrt(),
                             });
                             result.sort_by(|a, b| {
-                                a.distance
-                                    .partial_cmp(&b.distance)
-                                    .expect("distances are finite")
-                                    .then(a.id.cmp(&b.id))
+                                a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id))
                             });
                             result.truncate(k);
                             if result.len() == k {
@@ -362,12 +356,7 @@ impl RTree {
                 Node::Internal { children, .. } => stack.extend(children.iter()),
             }
         }
-        out.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("distances are finite")
-                .then(a.id.cmp(&b.id))
-        });
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
         Ok((out, access))
     }
 }
@@ -399,8 +388,7 @@ impl Ord for IterEntry<'_> {
         // Reversed: BinaryHeap is a max-heap, we need the smallest key.
         other
             .key
-            .partial_cmp(&self.key)
-            .expect("keys are never NaN")
+            .total_cmp(&self.key)
             // Yield points before nodes at equal keys so results are
             // emitted as early as possible.
             .then_with(|| match (&self.kind, &other.kind) {
@@ -418,6 +406,17 @@ pub struct NearestIter<'a> {
     query: Vec<f64>,
     heap: BinaryHeap<IterEntry<'a>>,
     access: IndexAccess,
+}
+
+// The frontier heap borrows tree internals with no useful rendering;
+// an opaque summary satisfies `missing_debug_implementations`.
+impl std::fmt::Debug for NearestIter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NearestIter")
+            .field("dims", &self.query.len())
+            .field("frontier", &self.heap.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl NearestIter<'_> {
@@ -536,11 +535,7 @@ fn evict_farthest(node: &mut Node) -> Vec<(Vec<f64>, ItemId)> {
             .map(|(a, b)| (a + b) / 2.0)
             .collect()
     };
-    entries.sort_by(|a, b| {
-        dist2(&a.0, &center)
-            .partial_cmp(&dist2(&b.0, &center))
-            .expect("finite coordinates")
-    });
+    entries.sort_by(|a, b| dist2(&a.0, &center).total_cmp(&dist2(&b.0, &center)));
     let evict_count = (((entries.len() as f64) * REINSERT_FRACTION) as usize).max(1);
     let keep = entries.len() - evict_count;
     let evicted = entries.split_off(keep);
@@ -619,11 +614,7 @@ fn split_internal(node: &mut Node) -> Node {
     let mut tagged: Vec<(Vec<f64>, Node)> = centers.into_iter().zip(items).collect();
     let dim = tagged[0].0.len();
     let (axis, split_at) = choose_split(&mut tagged, dim, |t| &t.0);
-    tagged.sort_by(|a, b| {
-        a.0[axis]
-            .partial_cmp(&b.0[axis])
-            .expect("coordinates are finite")
-    });
+    tagged.sort_by(|a, b| a.0[axis].total_cmp(&b.0[axis]));
     let right_items: Vec<Node> = tagged
         .split_off(split_at)
         .into_iter()
@@ -652,11 +643,7 @@ fn split_internal(node: &mut Node) -> Node {
 fn rstar_partition<T>(mut items: Vec<T>, key: impl Fn(&T) -> &[f64] + Copy) -> (Vec<T>, Vec<T>) {
     let dim = key(&items[0]).len();
     let (axis, split_at) = choose_split(&mut items, dim, key);
-    items.sort_by(|a, b| {
-        key(a)[axis]
-            .partial_cmp(&key(b)[axis])
-            .expect("coordinates are finite")
-    });
+    items.sort_by(|a, b| key(a)[axis].total_cmp(&key(b)[axis]));
     let right = items.split_off(split_at);
     (items, right)
 }
@@ -673,11 +660,7 @@ fn choose_split<T>(
     let mut best_axis = 0;
     let mut best_margin = f64::INFINITY;
     for axis in 0..dim {
-        items.sort_by(|a, b| {
-            key(a)[axis]
-                .partial_cmp(&key(b)[axis])
-                .expect("coordinates are finite")
-        });
+        items.sort_by(|a, b| key(a)[axis].total_cmp(&key(b)[axis]));
         let mut margin = 0.0;
         for split in lo..=hi {
             let (ml, mr) = side_mbrs(items, split, key);
@@ -688,11 +671,7 @@ fn choose_split<T>(
             best_axis = axis;
         }
     }
-    items.sort_by(|a, b| {
-        key(a)[best_axis]
-            .partial_cmp(&key(b)[best_axis])
-            .expect("coordinates are finite")
-    });
+    items.sort_by(|a, b| key(a)[best_axis].total_cmp(&key(b)[best_axis]));
     let mut best_split = lo;
     let mut best_key = (f64::INFINITY, f64::INFINITY);
     for split in lo..=hi {

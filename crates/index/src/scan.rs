@@ -70,12 +70,7 @@ impl LinearScan {
                 distance: dist2(p, query).sqrt(),
             })
             .collect();
-        all.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
-                .then(a.id.cmp(&b.id))
-        });
+        all.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
         all.truncate(k);
         let access = IndexAccess {
             nodes_visited: 1,

@@ -144,6 +144,7 @@ impl EmbeddedSpace {
                 ridge = eps * diag_max;
                 let jittered = projected
                     .add_scaled(&SymMatrix::identity(k), ridge)
+                    // lint:allow(no-panic): the identity matrix is built with this projection’s own dimension k
                     .expect("identity has matching dimension");
                 attempt = jittered.cholesky();
                 if attempt.is_ok() {
@@ -240,7 +241,9 @@ impl HistogramDistance for EmbeddedDistance {
         };
         check(x)?;
         check(y)?;
+        // lint:allow(no-panic): check(x) at function entry validated the dimension
         let ex = self.space.embed(x).expect("dimensions checked above");
+        // lint:allow(no-panic): check(y) at function entry validated the dimension
         let ey = self.space.embed(y).expect("dimensions checked above");
         Ok(euclidean(&ex, &ey))
     }
@@ -488,7 +491,7 @@ impl EmbeddedCorpus {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("scan worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
         let mut stats = ScanStats::default();
@@ -581,11 +584,7 @@ impl EmbeddedCorpus {
 /// Ascending `(squared_distance, index)` with the index tie-break —
 /// the same total order the brute-force oracle sorts by.
 fn sort_candidates(v: &mut [(f64, usize)]) {
-    v.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("squared distances are finite")
-            .then(a.1.cmp(&b.1))
-    });
+    v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 }
 
 /// Converts `(squared_distance, index)` candidates into the public

@@ -27,8 +27,9 @@
 //!   image collections);
 //! * [`scorer`] — distance → grade conversion.
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
 
 pub mod bounding;
 pub mod color;

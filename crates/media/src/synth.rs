@@ -104,6 +104,7 @@ impl SyntheticDb {
             "correlation must lie in [0, 1]"
         );
         let space = ColorSpace::rgb_grid(config.bins_per_channel)
+            // lint:allow(no-panic): SynthConfig::validate rejected zero bins before generation starts
             .expect("bins_per_channel must be positive");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut objects = Vec::with_capacity(config.count);
@@ -120,6 +121,7 @@ impl SyntheticDb {
                 })
                 .collect();
             let histogram =
+                // lint:allow(no-panic): the sample loop above always pushes samples_per_object >= 1 colors
                 ColorHistogram::from_colors(&space, &colors).expect("samples are non-empty");
 
             // Redness of the dominant color drives (with probability
@@ -166,17 +168,20 @@ fn sample_shape(family: ShapeFamily, rng: &mut StdRng) -> Polygon {
         ShapeFamily::Round => {
             let a = rng.gen_range(0.8..1.6);
             let b = a * rng.gen_range(0.85..1.0);
+            // lint:allow(no-panic): radii are drawn from strictly positive ranges
             Polygon::ellipse(cx, cy, a, b, 40).expect("ellipse parameters are valid")
         }
         ShapeFamily::Boxy => {
             let w = rng.gen_range(0.8..3.0);
             let h = rng.gen_range(0.5..1.5);
+            // lint:allow(no-panic): extents are drawn from strictly positive ranges
             Polygon::rectangle(cx, cy, w, h).expect("rectangle parameters are valid")
         }
         ShapeFamily::Spiky => {
             let spikes = rng.gen_range(5..9);
             let outer = rng.gen_range(1.0..1.8);
             let inner = outer * rng.gen_range(0.25..0.45);
+            // lint:allow(no-panic): spike count and radii are drawn from strictly positive ranges
             Polygon::star(spikes, outer, inner, cx, cy).expect("star parameters are valid")
         }
     }
@@ -190,6 +195,7 @@ fn sample_texture(rng: &mut StdRng, seed: u64) -> TextureDescriptor {
     let contrast = rng.gen_range(0.1..1.0);
     let noise = rng.gen_range(0.0..0.3);
     let patch = TexturePatch::grating(32, frequency, orientation, contrast, noise, seed)
+        // lint:allow(no-panic): frequency/contrast/noise are drawn from ranges inside the accepted domain
         .expect("generator parameters are valid");
     TextureDescriptor::of(&patch)
 }

@@ -148,7 +148,7 @@ impl CgFilter {
                     answers.push(ScoredObject::new(oid, scoring.combine(&buf)));
                 } else if s.iter().all(Option::is_some) {
                     buf.clear();
-                    buf.extend(s.iter().map(|&g| g.expect("checked")));
+                    buf.extend(s.iter().copied().flatten());
                     answers.push(ScoredObject::new(oid, scoring.combine(&buf)));
                 }
             }

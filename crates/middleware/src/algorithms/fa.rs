@@ -25,6 +25,7 @@
 //! answers we can continue where we left off".
 
 use std::collections::HashMap;
+use std::fmt;
 
 use fmdb_core::score::{Score, ScoredObject};
 use fmdb_core::scoring::ScoringFunction;
@@ -121,6 +122,7 @@ impl FaState {
             grades.extend(
                 slots
                     .iter()
+                    // lint:allow(no-panic): phase 2 random-accesses every missing grade before combine runs
                     .map(|&slot| slot.expect("phase 2 filled all slots")),
             );
             buf.push(ScoredObject::new(oid, scoring.combine(&grades)));
@@ -165,6 +167,18 @@ pub struct FaSession<'a> {
     emitted: Vec<Oid>,
     /// Cumulative number of answers requested so far.
     requested: usize,
+}
+
+// Sessions hold `dyn` sources/scoring with no `Debug` bound; a
+// state-level summary satisfies `missing_debug_implementations`.
+impl fmt::Debug for FaSession<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaSession")
+            .field("arity", &self.sources.len())
+            .field("emitted", &self.emitted.len())
+            .field("requested", &self.requested)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> FaSession<'a> {
@@ -230,6 +244,17 @@ pub struct OwnedFaSession {
     state: FaState,
     emitted: Vec<Oid>,
     requested: usize,
+}
+
+// Same story as [`FaSession`]: boxed `dyn` members, opaque summary.
+impl fmt::Debug for OwnedFaSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OwnedFaSession")
+            .field("arity", &self.sources.len())
+            .field("emitted", &self.emitted.len())
+            .field("requested", &self.requested)
+            .finish_non_exhaustive()
+    }
 }
 
 impl OwnedFaSession {

@@ -68,6 +68,11 @@ pub enum AlgoError {
     /// A [`TopKRequest`] could not be assembled (missing scoring
     /// function, malformed weights, weight/source arity mismatch, …).
     InvalidRequest(String),
+    /// The execution engine failed mid-query (e.g. a prefetch worker
+    /// panicked inside a subsystem). Carries the engine's description
+    /// of the failure; see `crate::engine::EngineError` for the
+    /// structured form.
+    Engine(String),
 }
 
 impl fmt::Display for AlgoError {
@@ -84,6 +89,7 @@ impl fmt::Display for AlgoError {
                 scoring,
             } => write!(f, "{algorithm} requires {requirement}, but got '{scoring}'"),
             AlgoError::InvalidRequest(reason) => write!(f, "invalid request: {reason}"),
+            AlgoError::Engine(reason) => write!(f, "engine failure: {reason}"),
         }
     }
 }

@@ -137,7 +137,7 @@ impl TopKAlgorithm for PrunedFa {
         for (oid, slots) in seen {
             if slots.iter().all(Option::is_some) {
                 buf.clear();
-                buf.extend(slots.iter().map(|&g| g.expect("checked")));
+                buf.extend(slots.iter().copied().flatten());
                 known.push(ScoredObject::new(oid, scoring.combine(&buf)));
             } else {
                 let upper = upper_of(&slots, &mut buf);
@@ -175,6 +175,7 @@ impl TopKAlgorithm for PrunedFa {
                 continue;
             }
             buf.clear();
+            // lint:allow(no-panic): the probe loop above filled every None slot for this object
             buf.extend(slots.iter().map(|&g| g.expect("just filled")));
             known.push(ScoredObject::new(oid, scoring.combine(&buf)));
             tau = kth_best(&known, k);

@@ -36,6 +36,8 @@
 //! requests on parallel threads against the shared cache.
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex, PoisonError, Weak};
 use std::thread;
@@ -50,6 +52,77 @@ use crate::source::{GradedSource, Oid, SourceInfo};
 /// How many prefetched batches a worker may buffer ahead of the
 /// consumer (per stream) before it blocks.
 const PREFETCH_DEPTH: usize = 2;
+
+/// Failures the engine can surface for a request.
+///
+/// The engine must never take down a whole process mid-query: a
+/// subsystem panicking inside a prefetch worker (or a request thread
+/// dying under [`Engine::run_many`]) is reported as a value, so the
+/// caller can fail that one request and keep serving others. This is
+/// the error path the workspace linter's `no-panic` rule points
+/// library code at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Algorithm-level validation or execution error, unchanged from
+    /// the scalar path.
+    Algo(AlgoError),
+    /// A worker thread panicked while the query still needed its
+    /// stream. `stream` names the source (its [`SourceInfo::label`]) or
+    /// the request slot under [`Engine::run_many`]; `message` is the
+    /// panic payload when it was a string.
+    WorkerPanicked {
+        /// Which stream or request died.
+        stream: String,
+        /// The panic message, best effort.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Algo(e) => write!(f, "{e}"),
+            EngineError::WorkerPanicked { stream, message } => {
+                write!(f, "worker for {stream} panicked mid-query: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Algo(e) => Some(e),
+            EngineError::WorkerPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<AlgoError> for EngineError {
+    fn from(e: AlgoError) -> EngineError {
+        EngineError::Algo(e)
+    }
+}
+
+impl From<EngineError> for AlgoError {
+    fn from(e: EngineError) -> AlgoError {
+        match e {
+            EngineError::Algo(e) => e,
+            other @ EngineError::WorkerPanicked { .. } => AlgoError::Engine(other.to_string()),
+        }
+    }
+}
+
+/// Renders a caught panic payload as text, best effort.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Tuning knobs for the [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,7 +342,7 @@ enum Feed {
         batch: usize,
     },
     Parallel {
-        rx: Receiver<Vec<ScoredObject<Oid>>>,
+        rx: Receiver<Result<Vec<ScoredObject<Oid>>, String>>,
     },
 }
 
@@ -288,6 +361,11 @@ struct EngineSource<'a> {
     cache: Option<&'a Mutex<GradeCache>>,
     hits: u64,
     misses: u64,
+    /// Set when the prefetch worker died and the algorithm went on to
+    /// consume the (now truncated) stream: the run's outcome can no
+    /// longer be trusted and is replaced by
+    /// [`EngineError::WorkerPanicked`].
+    failure: Option<String>,
 }
 
 impl<'a> EngineSource<'a> {
@@ -308,6 +386,7 @@ impl<'a> EngineSource<'a> {
             cache,
             hits: 0,
             misses: 0,
+            failure: None,
         }
     }
 
@@ -323,7 +402,16 @@ impl<'a> EngineSource<'a> {
                     self.buffer.extend(items);
                 }
                 Feed::Parallel { rx } => match rx.recv() {
-                    Ok(items) => self.buffer.extend(items),
+                    Ok(Ok(items)) => self.buffer.extend(items),
+                    Ok(Err(message)) => {
+                        // The worker panicked *and* the algorithm asked
+                        // for the batch it was fetching: record the
+                        // failure so the run is rejected, and present
+                        // the stream as drained so the algorithm
+                        // terminates instead of blocking forever.
+                        self.failure = Some(message);
+                        self.drained = true;
+                    }
                     Err(_) => self.drained = true,
                 },
             }
@@ -382,18 +470,31 @@ fn lock_cache(cache: &Mutex<GradeCache>) -> std::sync::MutexGuard<'_, GradeCache
 }
 
 /// One prefetch worker: drains a source in batches into a bounded
-/// channel until the stream ends or the consumer hangs up.
-fn prefetch_worker(source: SharedSource, tx: SyncSender<Vec<ScoredObject<Oid>>>, batch: usize) {
+/// channel until the stream ends, the consumer hangs up, or the
+/// subsystem panics (the panic is caught and forwarded as a value —
+/// a dying worker must fail its request, never the process).
+fn prefetch_worker(
+    source: SharedSource,
+    tx: SyncSender<Result<Vec<ScoredObject<Oid>>, String>>,
+    batch: usize,
+) {
     loop {
         // Fetch under the lock, send after releasing it: a blocking
         // send must never hold the source mutex (random access needs
-        // it).
+        // it). The panic is caught *inside* the guard's scope, so the
+        // mutex is unlocked normally and never poisoned.
         let items = {
             let mut guard = source.lock().unwrap_or_else(PoisonError::into_inner);
-            guard.sorted_batch(batch)
+            match catch_unwind(AssertUnwindSafe(|| guard.sorted_batch(batch))) {
+                Ok(items) => items,
+                Err(payload) => {
+                    let _ = tx.send(Err(panic_message(payload.as_ref())));
+                    return;
+                }
+            }
         };
         let last = items.len() < batch;
-        if tx.send(items).is_err() || last {
+        if tx.send(Ok(items)).is_err() || last {
             break;
         }
     }
@@ -442,7 +543,7 @@ impl Engine {
     /// Evaluates a request with the default merge strategy, Fagin's A₀
     /// — batched, optionally parallel, bit-identical to
     /// [`FaginsAlgorithm`] run scalar.
-    pub fn run(&self, request: &TopKRequest) -> Result<TopKResult, AlgoError> {
+    pub fn run(&self, request: &TopKRequest) -> Result<TopKResult, EngineError> {
         self.run_algorithm(&FaginsAlgorithm, request)
     }
 
@@ -456,7 +557,7 @@ impl Engine {
         &self,
         algorithm: &dyn TopKAlgorithm,
         request: &TopKRequest,
-    ) -> Result<TopKResult, AlgoError> {
+    ) -> Result<TopKResult, EngineError> {
         let scoring = request.scoring();
         let k = request.k();
         let batch = self.config.batch_size.max(1);
@@ -520,8 +621,10 @@ impl Engine {
 
     /// Evaluates several requests concurrently (one thread each),
     /// sharing the engine's grade cache. Results are returned in
-    /// request order.
-    pub fn run_many(&self, requests: &[TopKRequest]) -> Vec<Result<TopKResult, AlgoError>> {
+    /// request order. A request whose thread panics yields
+    /// [`EngineError::WorkerPanicked`] in its slot — one bad request
+    /// never takes down its batch.
+    pub fn run_many(&self, requests: &[TopKRequest]) -> Vec<Result<TopKResult, EngineError>> {
         thread::scope(|scope| {
             let handles: Vec<_> = requests
                 .iter()
@@ -529,9 +632,13 @@ impl Engine {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                .enumerate()
+                .map(|(slot, h)| match h.join() {
+                    Ok(result) => result,
+                    Err(payload) => Err(EngineError::WorkerPanicked {
+                        stream: format!("request {slot}"),
+                        message: panic_message(payload.as_ref()),
+                    }),
                 })
                 .collect()
         })
@@ -540,18 +647,33 @@ impl Engine {
 
 /// Runs the scalar algorithm over the proxies and folds the proxies'
 /// cache counters into the outcome.
+///
+/// A recorded stream failure takes precedence over whatever the
+/// algorithm produced: once a worker died on a batch the algorithm
+/// actually consumed, neither its answers nor its error are
+/// trustworthy. Panics on batches the algorithm never asked for
+/// (speculative read-ahead past the run's needs) leave no trace and
+/// don't fail the request — the scalar reference would not have
+/// fetched them either.
 fn run_over(
     algorithm: &dyn TopKAlgorithm,
     proxies: &mut [EngineSource<'_>],
     scoring: &dyn fmdb_core::scoring::ScoringFunction,
     k: usize,
-) -> Result<(TopKResult, u64, u64), AlgoError> {
+) -> Result<(TopKResult, u64, u64), EngineError> {
     let mut refs: Vec<&mut dyn GradedSource> = proxies
         .iter_mut()
         .map(|p| p as &mut dyn GradedSource)
         .collect();
-    let result = algorithm.top_k(&mut refs, scoring, k)?;
+    let outcome = algorithm.top_k(&mut refs, scoring, k);
     drop(refs);
+    if let Some((stream, message)) = proxies
+        .iter_mut()
+        .find_map(|p| p.failure.take().map(|m| (p.info.label.clone(), m)))
+    {
+        return Err(EngineError::WorkerPanicked { stream, message });
+    }
+    let result = outcome?;
     let hits = proxies.iter().map(|p| p.hits).sum();
     let misses = proxies.iter().map(|p| p.misses).sum();
     Ok((result, hits, misses))
@@ -563,7 +685,7 @@ impl Algorithm for Engine {
     }
 
     fn run(&mut self, request: &TopKRequest) -> Result<TopKResult, AlgoError> {
-        Engine::run(self, request)
+        Engine::run(self, request).map_err(AlgoError::from)
     }
 }
 
@@ -783,8 +905,86 @@ mod tests {
             .unwrap();
         assert!(matches!(
             engine.run(&non_monotone),
-            Err(AlgoError::NonMonotoneScoring(_))
+            Err(EngineError::Algo(AlgoError::NonMonotoneScoring(_)))
         ));
+    }
+
+    /// A subsystem that serves a few batches, then panics mid-stream.
+    #[derive(Debug)]
+    struct ExplodingSource {
+        inner: crate::source::VecSource,
+        served: usize,
+        fuse: usize,
+    }
+
+    impl GradedSource for ExplodingSource {
+        fn sorted_next(&mut self) -> Option<ScoredObject<Oid>> {
+            assert!(self.served < self.fuse, "subsystem exploded mid-stream");
+            self.served += 1;
+            self.inner.sorted_next()
+        }
+        fn random_access(&mut self, oid: Oid) -> Score {
+            self.inner.random_access(oid)
+        }
+        fn rewind(&mut self) {
+            self.inner.rewind();
+        }
+        fn info(&self) -> SourceInfo {
+            self.inner.info()
+        }
+    }
+
+    #[test]
+    fn worker_panic_fails_the_request_not_the_process() {
+        let mut sources = independent_uniform(400, 2, 21);
+        let healthy = sources.pop().expect("workload has two sources");
+        let exploding = ExplodingSource {
+            inner: sources.pop().expect("workload has two sources"),
+            served: 0,
+            fuse: 5,
+        };
+        let bad = TopKRequest::builder()
+            .source(exploding)
+            .source(healthy)
+            .scoring(Min)
+            .k(50)
+            .build()
+            .unwrap();
+        let engine = Engine::default();
+        match engine.run(&bad) {
+            Err(EngineError::WorkerPanicked { message, .. }) => {
+                assert!(message.contains("exploded"), "got: {message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The engine survives and keeps serving healthy requests.
+        let ok = engine.run(&request(300, 2, 1, 5)).unwrap();
+        assert_eq!(ok.answers.len(), 5);
+    }
+
+    #[test]
+    fn run_many_contains_panicking_requests() {
+        let mut sources = independent_uniform(200, 2, 33);
+        let healthy = sources.pop().expect("workload has two sources");
+        let exploding = ExplodingSource {
+            inner: sources.pop().expect("workload has two sources"),
+            served: 0,
+            fuse: 3,
+        };
+        let bad = TopKRequest::builder()
+            .source(exploding)
+            .source(healthy)
+            .scoring(Min)
+            .k(40)
+            .build()
+            .unwrap();
+        let good = request(150, 2, 2, 4);
+        let results = Engine::default().run_many(&[bad, good]);
+        assert!(matches!(
+            results[0],
+            Err(EngineError::WorkerPanicked { .. })
+        ));
+        assert_eq!(results[1].as_ref().unwrap().answers.len(), 4);
     }
 
     #[test]

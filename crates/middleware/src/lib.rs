@@ -44,8 +44,9 @@
 //! assert!(result.stats.database_access_cost() < 10_000);
 //! ```
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
 
 pub mod algorithms;
 pub mod engine;
@@ -66,7 +67,7 @@ pub mod prelude {
     pub use crate::algorithms::pruned_fa::PrunedFa;
     pub use crate::algorithms::ta::ThresholdAlgorithm;
     pub use crate::algorithms::{AlgoError, Algorithm, TopKAlgorithm, TopKResult};
-    pub use crate::engine::{Engine, EngineConfig, GradeCache};
+    pub use crate::engine::{Engine, EngineConfig, EngineError, GradeCache};
     pub use crate::oracle::verify_top_k;
     pub use crate::paging::{PageConfig, PageIo, PagedSource};
     pub use crate::request::{shared_source, SharedScoring, SharedSource, TopKRequest};

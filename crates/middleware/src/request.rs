@@ -121,6 +121,19 @@ pub struct TopKRequestBuilder {
     weights: Option<Vec<f64>>,
 }
 
+// The shared sources/scoring are `dyn` trait objects without a `Debug`
+// bound; a shape summary satisfies `missing_debug_implementations`.
+impl std::fmt::Debug for TopKRequestBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKRequestBuilder")
+            .field("sources", &self.sources.len())
+            .field("has_scoring", &self.scoring.is_some())
+            .field("k", &self.k)
+            .field("weights", &self.weights)
+            .finish()
+    }
+}
+
 impl TopKRequestBuilder {
     /// Appends one owned source as the next conjunct.
     pub fn source(mut self, source: impl GradedSource + Send + 'static) -> Self {

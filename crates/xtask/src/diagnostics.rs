@@ -1,0 +1,168 @@
+//! Diagnostic collection and rendering for `fmdb-lint`.
+//!
+//! Two output formats:
+//!
+//! * rustc-style text — `error[no-panic]: … --> path:line:col` — the
+//!   default, for humans and editors that parse rustc spans;
+//! * `--format json` — one array of objects, for CI and tooling. The
+//!   serializer is hand-rolled (no serde in an offline build); the
+//!   escape rules cover everything a path or message can contain.
+
+use std::fmt;
+use std::path::Path;
+
+/// One finding, tied to a rule and a source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The rule that fired, e.g. `no-panic`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+    /// Optional hint (how to fix or how to suppress).
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic for `rule` at `path:line:col`.
+    pub fn new(
+        rule: &'static str,
+        path: &Path,
+        line: usize,
+        col: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            rule,
+            path: path.display().to_string(),
+            line,
+            col,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attaches a help note rendered under the span.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)?;
+        if let Some(help) = &self.help {
+            write!(f, "\n  help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders diagnostics as a JSON array (stable field order, sorted
+/// input expected). Hand-rolled: the offline image has no serde.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        push_field(&mut out, "rule", d.rule, false);
+        push_field(&mut out, "path", &d.path, false);
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"col\": {}, ", d.col));
+        let last = d.help.is_none();
+        push_field(&mut out, "message", &d.message, last);
+        if let Some(help) = &d.help {
+            push_field(&mut out, "help", help, true);
+        }
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn push_field(out: &mut String, key: &str, value: &str, last: bool) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": \"");
+    out.push_str(&escape_json(value));
+    out.push('"');
+    if !last {
+        out.push_str(", ");
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::new(
+            "no-panic",
+            &PathBuf::from("crates/core/src/x.rs"),
+            3,
+            7,
+            "found `unwrap()`",
+        )
+        .with_help("return a Result, or add `// lint:allow(no-panic): why`")
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        let text = sample().to_string();
+        assert!(text.starts_with("error[no-panic]: found `unwrap()`"));
+        assert!(text.contains("--> crates/core/src/x.rs:3:7"));
+        assert!(text.contains("help:"));
+    }
+
+    #[test]
+    fn json_rendering_is_parseable_shape() {
+        let json = to_json(&[sample()]);
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"rule\": \"no-panic\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"col\": 7"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let d = Diagnostic::new("no-panic", &PathBuf::from("a\\b.rs"), 1, 1, "say \"no\"\n");
+        let json = to_json(&[d]);
+        assert!(json.contains("a\\\\b.rs"));
+        assert!(json.contains("say \\\"no\\\"\\n"));
+    }
+
+    #[test]
+    fn empty_diagnostics_render_as_empty_array() {
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

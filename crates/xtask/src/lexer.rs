@@ -1,0 +1,464 @@
+//! A hand-rolled Rust lexer, sufficient for invariant linting.
+//!
+//! The build environment is fully offline, so the linter cannot lean
+//! on `syn` or `rustc` internals; instead this module tokenizes Rust
+//! source by hand. It understands everything a *lexical* linter needs
+//! to never misfire inside non-code text:
+//!
+//! * line (`//`, `///`, `//!`) and nested block (`/* /* */ */`)
+//!   comments;
+//! * string, raw string (`r#"…"#`, any `#` depth), byte string, char,
+//!   and byte literals, with escapes (`'\''`, `"\\"`);
+//! * the lifetime-vs-char ambiguity (`'a` vs `'a'`);
+//! * numeric literals, distinguishing floats (fraction, exponent, or
+//!   `f32`/`f64` suffix) from integers, without swallowing range
+//!   punctuation (`0.0..=1.0` lexes as float, `..=`, float);
+//! * multi-char operators the rules care about (`==`, `!=`, `::`,
+//!   `->`, `=>`, `..`, `..=`, `&&`, `||`, shifts and compound
+//!   assignments), so a rule can match one token instead of
+//!   reconstructing operator boundaries.
+//!
+//! Doc comments are ordinary comments to the linter: code inside
+//! ```-fenced doctests is exempt from the rules by construction, which
+//! matches the policy (doctests are tests).
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules match on the text).
+    Ident,
+    /// A lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// Integer literal, any base, with or without suffix.
+    Int,
+    /// Float literal: has a fraction, an exponent, or an `f32`/`f64`
+    /// suffix.
+    Float,
+    /// String / raw string / byte-string / char / byte literal.
+    StrLike,
+    /// Punctuation or operator (possibly multi-char, e.g. `==`).
+    Punct,
+    /// Line or block comment, doc or plain. Carries the full text.
+    Comment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: usize,
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenizes `source`. Never fails: malformed trailing constructs are
+/// consumed as best-effort tokens, which is the right behaviour for a
+/// linter (rustc will report the real syntax error).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                let text = self.take_line_comment();
+                self.push(TokenKind::Comment, text, line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                let text = self.take_block_comment();
+                self.push(TokenKind::Comment, text, line, col);
+            } else if c == 'r' && self.raw_string_hashes(1).is_some() {
+                let hashes = self.raw_string_hashes(1).unwrap_or(0);
+                let text = self.take_raw_string(1 + hashes);
+                self.push(TokenKind::StrLike, text, line, col);
+            } else if c == 'b' && self.peek(1) == Some('r') && self.raw_string_hashes(2).is_some() {
+                let hashes = self.raw_string_hashes(2).unwrap_or(0);
+                let text = self.take_raw_string(2 + hashes);
+                self.push(TokenKind::StrLike, text, line, col);
+            } else if c == 'b' && self.peek(1) == Some('"') {
+                let text = self.take_quoted('"', 2);
+                self.push(TokenKind::StrLike, text, line, col);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                let text = self.take_quoted('\'', 2);
+                self.push(TokenKind::StrLike, text, line, col);
+            } else if c == '"' {
+                let text = self.take_quoted('"', 1);
+                self.push(TokenKind::StrLike, text, line, col);
+            } else if c == '\'' {
+                self.lex_quote_or_lifetime(line, col);
+            } else if c.is_ascii_digit() {
+                self.lex_number(line, col);
+            } else if c == '_' || c.is_alphabetic() {
+                let text = self.take_while(|ch| ch == '_' || ch.is_alphanumeric());
+                self.push(TokenKind::Ident, text, line, col);
+            } else {
+                self.lex_punct(line, col);
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize, col: usize) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn take_while(&mut self, keep: impl Fn(char) -> bool) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !keep(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        text
+    }
+
+    fn take_line_comment(&mut self) -> String {
+        self.take_while(|c| c != '\n')
+    }
+
+    fn take_block_comment(&mut self) -> String {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push('*');
+                text.push('/');
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        text
+    }
+
+    /// If position `at` starts `#*"` (zero or more hashes then a
+    /// quote), returns the hash count — i.e. `r` / `br` at `at - 1`
+    /// begins a raw string.
+    fn raw_string_hashes(&self, at: usize) -> Option<usize> {
+        let mut hashes = 0;
+        loop {
+            match self.peek(at + hashes) {
+                Some('#') => hashes += 1,
+                Some('"') => return Some(hashes),
+                _ => return None,
+            }
+        }
+    }
+
+    /// Consumes a raw string whose prefix (`r##` etc.) is `prefix`
+    /// chars long, through the matching `"##…` terminator.
+    fn take_raw_string(&mut self, prefix: usize) -> String {
+        let mut text = String::new();
+        let mut hashes = 0usize;
+        for _ in 0..prefix {
+            if let Some(c) = self.bump() {
+                if c == '#' {
+                    hashes += 1;
+                }
+                text.push(c);
+            }
+        }
+        // `prefix` ended with the opening quote? No: prefix counts
+        // `r`+hashes; the quote is next.
+        if let Some(c) = self.bump() {
+            text.push(c); // the opening `"`
+        }
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    if let Some(h) = self.bump() {
+                        text.push(h);
+                    }
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        text
+    }
+
+    /// Consumes a quoted literal (string/char/byte/byte-string) with
+    /// escape handling. `skip` is the prefix length before the opening
+    /// quote's position (1 for `"`, 2 for `b"`).
+    fn take_quoted(&mut self, quote: char, skip: usize) -> String {
+        let mut text = String::new();
+        for _ in 0..skip {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == quote {
+                break;
+            }
+        }
+        text
+    }
+
+    /// `'` starts either a char literal (`'x'`, `'\n'`) or a lifetime
+    /// (`'a`, `'static`). A quote two-or-three chars ahead (or an
+    /// escape right after) means char literal.
+    fn lex_quote_or_lifetime(&mut self, line: usize, col: usize) {
+        let is_char = match self.peek(1) {
+            Some('\\') => true,
+            Some(_) => self.peek(2) == Some('\''),
+            None => false,
+        };
+        if is_char {
+            let text = self.take_quoted('\'', 1);
+            self.push(TokenKind::StrLike, text, line, col);
+        } else {
+            let mut text = String::new();
+            if let Some(q) = self.bump() {
+                text.push(q);
+            }
+            text.push_str(&self.take_while(|c| c == '_' || c.is_alphanumeric()));
+            self.push(TokenKind::Lifetime, text, line, col);
+        }
+    }
+
+    fn lex_number(&mut self, line: usize, col: usize) {
+        let mut text = String::new();
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            // Radix literal: digits (incl. hex letters) and underscores.
+            text.push_str(&self.take_while(|c| c == '_' || c.is_alphanumeric()));
+            self.push(TokenKind::Int, text, line, col);
+            return;
+        }
+        text.push_str(&self.take_while(|c| c == '_' || c.is_ascii_digit()));
+        // Fraction: a `.` followed by a digit — or a lone trailing `.`
+        // not followed by another `.` (range) or an identifier (method
+        // call on a literal, e.g. `1.max(2)`).
+        if self.peek(0) == Some('.') {
+            let next = self.peek(1);
+            let fraction = match next {
+                Some(c) if c.is_ascii_digit() => true,
+                Some('.') => false,
+                Some(c) if c == '_' || c.is_alphabetic() => false,
+                _ => true, // `1.` at end of expression
+            };
+            if fraction {
+                is_float = true;
+                if let Some(dot) = self.bump() {
+                    text.push(dot);
+                }
+                text.push_str(&self.take_while(|c| c == '_' || c.is_ascii_digit()));
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let (sign_ok, digit_at) = match self.peek(1) {
+                Some('+' | '-') => (true, 2),
+                _ => (false, 1),
+            };
+            if self
+                .peek(digit_at)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false)
+            {
+                is_float = true;
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                if sign_ok {
+                    if let Some(s) = self.bump() {
+                        text.push(s);
+                    }
+                }
+                text.push_str(&self.take_while(|c| c == '_' || c.is_ascii_digit()));
+            }
+        }
+        // Suffix (`f64`, `u32`, …): `f32`/`f64` forces float.
+        if self
+            .peek(0)
+            .map(|c| c == '_' || c.is_alphabetic())
+            .unwrap_or(false)
+        {
+            let suffix = self.take_while(|c| c == '_' || c.is_alphanumeric());
+            if suffix.starts_with("f32") || suffix.starts_with("f64") {
+                is_float = true;
+            }
+            text.push_str(&suffix);
+        }
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.push(kind, text, line, col);
+    }
+
+    fn lex_punct(&mut self, line: usize, col: usize) {
+        for op in OPERATORS {
+            if self.starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, (*op).to_owned(), line, col);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line, col);
+        }
+    }
+
+    fn starts_with(&self, op: &str) -> bool {
+        op.chars()
+            .enumerate()
+            .all(|(i, expected)| self.peek(i) == Some(expected))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn floats_vs_ranges() {
+        let toks = kinds("(0.0..=1.0).contains(&v)");
+        assert!(toks.contains(&(TokenKind::Float, "0.0".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "..=".into())));
+        assert!(toks.contains(&(TokenKind::Float, "1.0".into())));
+    }
+
+    #[test]
+    fn float_forms() {
+        assert_eq!(kinds("1e-9")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("3.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("42")[0].0, TokenKind::Int);
+        assert_eq!(kinds("42u64")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0xff")[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn method_call_on_int_literal_is_not_a_float() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".into()));
+        assert_eq!(toks[2], (TokenKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn lifetimes_and_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::StrLike, "'x'".into())));
+        assert!(toks.contains(&(TokenKind::StrLike, "'\\''".into())));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "a.unwrap() == 1.0";"#);
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::Float));
+    }
+
+    #[test]
+    fn raw_strings() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; x"##);
+        assert_eq!(toks[3].0, TokenKind::StrLike);
+        assert_eq!(toks.last().map(|t| t.1.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn operators_are_single_tokens() {
+        let toks = kinds("a == b != c && d");
+        assert!(toks.contains(&(TokenKind::Punct, "==".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "!=".into())));
+        assert!(toks.contains(&(TokenKind::Punct, "&&".into())));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

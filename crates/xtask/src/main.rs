@@ -1,0 +1,142 @@
+//! `xtask` — workspace automation, home of the **fmdb-lint**
+//! static-analysis driver.
+//!
+//! Run as `cargo xtask lint` (the alias lives in
+//! `.cargo/config.toml`). The linter walks every first-party `.rs`
+//! file, lexes it with a hand-rolled lexer (the build environment is
+//! offline, so no `syn`), and enforces the workspace's invariant
+//! rules:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-panic` | no `unwrap`/`expect`/`panic!`/`todo!` in library code |
+//! | `no-float-eq` | no `==`/`!=` on floating-point expressions |
+//! | `bounded-channels` | no unbounded `mpsc::channel()` in middleware |
+//! | `crate-hygiene` | crate roots carry the baseline inner attributes |
+//! | `no-deprecated` | no calls to workspace-deprecated items |
+//!
+//! Findings print rustc-style (`error[rule]: … --> path:line:col`), or
+//! as a JSON array with `--format json`. Exit status: `0` clean, `1`
+//! violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
+
+mod diagnostics;
+mod lexer;
+mod rules;
+mod workspace;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [--format text|json] [--root PATH]
+      Run the fmdb-lint invariant rules over the workspace.
+      --format json   emit findings as a JSON array (default: text)
+      --root PATH     lint PATH instead of the enclosing workspace
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Output format for diagnostics.
+#[derive(Debug, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!(
+                        "error: --format takes `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match it.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("error: --root takes a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let ws = match workspace::collect(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = rules::run_all(&ws);
+    match format {
+        Format::Json => println!("{}", diagnostics::to_json(&diags)),
+        Format::Text => {
+            for d in &diags {
+                println!("{d}\n");
+            }
+            if diags.is_empty() {
+                println!(
+                    "fmdb-lint: {} files clean ({})",
+                    ws.files.len(),
+                    workspace::RULES.join(", ")
+                );
+            } else {
+                println!("fmdb-lint: {} violation(s)", diags.len());
+            }
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest
+/// (`crates/xtask` → repo root). `--root` overrides for tests.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or(manifest)
+}

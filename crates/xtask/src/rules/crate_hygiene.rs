@@ -1,0 +1,150 @@
+//! Rule `crate-hygiene` (L4): every first-party crate root must carry
+//! the workspace's baseline inner attributes:
+//!
+//! * `#![forbid(unsafe_code)]` — the paper's algorithms never need
+//!   `unsafe`, so the whole workspace forbids it outright;
+//! * `#![deny(missing_debug_implementations)]` — every public type is
+//!   inspectable in logs and test failures;
+//! * `#![warn(missing_docs)]` — public API carries documentation.
+//!
+//! Stricter levels satisfy the requirement (`deny(missing_docs)`
+//! counts for `warn(missing_docs)`, `forbid` counts for `deny`), but
+//! `unsafe_code` must be `forbid` specifically: `deny` can be
+//! overridden by an inner `allow`, `forbid` cannot.
+//!
+//! Scope: `src/lib.rs` / `src/main.rs` of workspace packages.
+//! `vendor/` is excluded by the walker — vendored stubs are not held
+//! to first-party hygiene.
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::SourceFile;
+
+const RULE: &str = "crate-hygiene";
+
+/// `(lint name, minimum level index)` — index into [`LEVELS`].
+const REQUIRED: &[(&str, usize)] = &[
+    ("unsafe_code", 2),
+    ("missing_debug_implementations", 1),
+    ("missing_docs", 0),
+];
+
+/// Lint levels from weakest to strongest.
+const LEVELS: &[&str] = &["warn", "deny", "forbid"];
+
+/// Checks one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if !file.is_crate_root {
+        return Vec::new();
+    }
+    let found = inner_lint_attrs(file);
+    let mut diags = Vec::new();
+    for &(lint, min_level) in REQUIRED {
+        let satisfied = found
+            .iter()
+            .any(|(level, name)| name == lint && *level >= min_level);
+        if !satisfied {
+            let want = if lint == "unsafe_code" {
+                "forbid".to_owned()
+            } else {
+                LEVELS[min_level..].join("` or `#![")
+            };
+            diags.push(
+                Diagnostic::new(
+                    RULE,
+                    &file.rel_path,
+                    1,
+                    1,
+                    format!("crate root lacks `#![{}({lint})]`", LEVELS[min_level]),
+                )
+                .with_help(format!(
+                    "add `#![{want}({lint})]` to the crate root's inner attributes"
+                )),
+            );
+        }
+    }
+    diags
+}
+
+/// Collects `(level index, lint name)` pairs from the crate root's
+/// inner attributes `#![level(lint, lint, …)]`.
+fn inner_lint_attrs(file: &SourceFile) -> Vec<(usize, String)> {
+    let code = &file.code;
+    let mut found = Vec::new();
+    let mut i = 0;
+    while i + 3 < code.len() {
+        // `# ! [ level ( … ) ]`
+        if code[i].text == "#" && code[i + 1].text == "!" && code[i + 2].text == "[" {
+            if let Some(level) = LEVELS.iter().position(|l| *l == code[i + 3].text) {
+                if code.get(i + 4).map(|t| t.text == "(").unwrap_or(false) {
+                    let mut j = i + 5;
+                    while let Some(t) = code.get(j) {
+                        match t.text.as_str() {
+                            ")" => break,
+                            "," => {}
+                            name => found.push((level, name.to_owned())),
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                }
+            }
+        }
+        i += 1;
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::analyze;
+    use std::path::PathBuf;
+
+    fn check_src(path: &str, src: &str) -> Vec<Diagnostic> {
+        check(&analyze(PathBuf::from(path), src))
+    }
+
+    const FULL: &str = "#![forbid(unsafe_code)]\n#![deny(missing_debug_implementations)]\n#![warn(missing_docs)]\npub fn f() {}\n";
+
+    #[test]
+    fn accepts_a_compliant_crate_root() {
+        assert!(check_src("crates/core/src/lib.rs", FULL).is_empty());
+        assert!(check_src("src/lib.rs", FULL).is_empty());
+        assert!(check_src("crates/xtask/src/main.rs", FULL).is_empty());
+    }
+
+    #[test]
+    fn flags_each_missing_attribute() {
+        let diags = check_src("crates/core/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(diags.len(), 3);
+        assert!(diags[0].message.contains("unsafe_code"));
+        assert!(diags[1].message.contains("missing_debug_implementations"));
+        assert!(diags[2].message.contains("missing_docs"));
+    }
+
+    #[test]
+    fn deny_unsafe_code_is_not_enough() {
+        let src = "#![deny(unsafe_code)]\n#![deny(missing_debug_implementations)]\n#![warn(missing_docs)]\n";
+        let diags = check_src("crates/core/src/lib.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unsafe_code"));
+    }
+
+    #[test]
+    fn stricter_levels_satisfy_weaker_requirements() {
+        let src = "#![forbid(unsafe_code)]\n#![forbid(missing_debug_implementations)]\n#![deny(missing_docs)]\n";
+        assert!(check_src("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn grouped_lint_lists_are_understood() {
+        let src =
+            "#![forbid(unsafe_code)]\n#![deny(missing_debug_implementations, missing_docs)]\n";
+        assert!(check_src("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_roots_are_ignored() {
+        assert!(check_src("crates/core/src/score.rs", "pub fn f() {}\n").is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! The lint rules and the driver that applies them.
+//!
+//! Every rule is a pure function from an analyzed [`SourceFile`] (plus
+//! occasionally workspace-wide context) to diagnostics. The driver
+//! here applies scoping policy uniformly: findings inside
+//! `#[cfg(test)]` regions, test/bench/example files, or under a valid
+//! `lint:allow` suppression are dropped **after** the rule runs, so
+//! rules stay simple and the policy lives in one place.
+
+pub mod bounded_channels;
+pub mod crate_hygiene;
+pub mod no_deprecated;
+pub mod no_float_eq;
+pub mod no_panic;
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Runs every rule over the workspace and returns the surviving
+/// diagnostics, sorted by path, line, column.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let deprecated = no_deprecated::collect_deprecated(ws);
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        let mut raw = Vec::new();
+        raw.extend(no_panic::check(file));
+        raw.extend(no_float_eq::check(file));
+        raw.extend(bounded_channels::check(file));
+        raw.extend(crate_hygiene::check(file));
+        raw.extend(no_deprecated::check(file, &deprecated));
+        // Policy gate: suppressions silence findings; malformed
+        // suppressions are findings of their own.
+        diags.extend(raw.into_iter().filter(|d| !file.allowed(d.rule, d.line)));
+        diags.extend(file.suppression_diags.iter().cloned());
+    }
+    diags.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.col.cmp(&b.col))
+    });
+    diags
+}

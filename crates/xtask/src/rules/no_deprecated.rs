@@ -1,0 +1,233 @@
+//! Rule `no-deprecated` (L5): first-party code must not call items the
+//! workspace itself marks `#[deprecated]`.
+//!
+//! Deprecation shims (e.g. `GradedSource::universe_size`, kept so old
+//! call sites compile during a migration) are for *downstream* users;
+//! the workspace itself must be off them, otherwise the shim never
+//! becomes deletable. rustc only warns here — this rule makes it a
+//! gate.
+//!
+//! Mechanism: a workspace-wide pre-pass collects the names of items
+//! carrying `#[deprecated]` (the item keyword's following identifier,
+//! skipping visibility and further attributes). The per-file pass then
+//! flags call-syntax uses of those names — an identifier followed by
+//! `(`, excluding definitions (preceded by `fn`). Lexical matching
+//! can't resolve paths, so an unrelated item that *shares a name* with
+//! a deprecated one needs a `// lint:allow(no-deprecated): …` noting
+//! the homonym.
+
+use std::collections::BTreeSet;
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::{FileClass, SourceFile, Workspace};
+
+const RULE: &str = "no-deprecated";
+
+/// Item keywords whose following identifier names the deprecated item.
+const ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "type", "const", "static", "trait", "mod",
+];
+
+/// Pre-pass: every item name marked `#[deprecated]` anywhere in the
+/// workspace (sorted for deterministic diagnostics).
+pub fn collect_deprecated(ws: &Workspace) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for file in &ws.files {
+        let code = &file.code;
+        for (i, token) in code.iter().enumerate() {
+            // `# [ deprecated` — optionally `(note = …)` — `]`
+            if token.text != "deprecated"
+                || i < 2
+                || code[i - 1].text != "["
+                || code[i - 2].text != "#"
+            {
+                continue;
+            }
+            // Find the end of this attribute, then the item name.
+            let mut j = i;
+            let mut depth = 1usize; // we are inside one `[`
+            while let Some(t) = code.get(j) {
+                match t.text.as_str() {
+                    "[" if j > i => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(name) = item_name_after(code, j + 1) {
+                names.insert(name);
+            }
+        }
+    }
+    names
+}
+
+/// Scans from `start` (just past the `#[deprecated…]` attribute) for
+/// the deprecated item's name: skip further attributes and visibility,
+/// find an item keyword, take the next identifier.
+fn item_name_after(code: &[crate::lexer::Token], start: usize) -> Option<String> {
+    let mut i = start;
+    let mut budget = 32; // an item header is short; don't scan the file
+    while budget > 0 {
+        budget -= 1;
+        let token = code.get(i)?;
+        match token.text.as_str() {
+            "#" if code.get(i + 1).map(|t| t.text == "[").unwrap_or(false) => {
+                let mut depth = 0usize;
+                i += 1;
+                while let Some(t) = code.get(i) {
+                    match t.text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            kw if ITEM_KEYWORDS.contains(&kw) => {
+                return code.get(i + 1).map(|t| t.text.clone());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Per-file pass: flags call-syntax uses of deprecated names.
+pub fn check(file: &SourceFile, deprecated: &BTreeSet<String>) -> Vec<Diagnostic> {
+    if file.class != FileClass::Lib || deprecated.is_empty() {
+        return Vec::new();
+    }
+    let code = &file.code;
+    let mut diags = Vec::new();
+    for (i, token) in code.iter().enumerate() {
+        if !deprecated.contains(&token.text) {
+            continue;
+        }
+        if file.in_test_region(token.line) {
+            continue;
+        }
+        // Call syntax only: `name(`. Definitions (`fn name(`) and the
+        // attribute site itself don't count as uses.
+        let is_call = code.get(i + 1).map(|t| t.text == "(").unwrap_or(false);
+        let is_definition = i
+            .checked_sub(1)
+            .map(|p| code[p].text == "fn")
+            .unwrap_or(false);
+        if is_call && !is_definition {
+            diags.push(
+                Diagnostic::new(
+                    RULE,
+                    &file.rel_path,
+                    token.line,
+                    token.col,
+                    format!("call to deprecated item `{}`", token.text),
+                )
+                .with_help(
+                    "migrate to the replacement named in the `#[deprecated]` note; if this \
+                     is an unrelated item sharing the name, add \
+                     `// lint:allow(no-deprecated): homonym of <the deprecated item>`",
+                ),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::{analyze, Workspace};
+    use std::path::PathBuf;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(p, s)| analyze(PathBuf::from(p), s))
+                .collect(),
+        }
+    }
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = ws(files);
+        let deprecated = collect_deprecated(&ws);
+        ws.files
+            .iter()
+            .flat_map(|f| {
+                check(f, &deprecated)
+                    .into_iter()
+                    .filter(|d| !f.allowed(d.rule, d.line))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    const SHIM: &str = "pub trait S {\n    #[deprecated(note = \"use len\")]\n    fn universe_size(&self) -> usize {\n        0\n    }\n}\n";
+
+    #[test]
+    fn collects_deprecated_item_names() {
+        let w = ws(&[("crates/middleware/src/source.rs", SHIM)]);
+        let names = collect_deprecated(&w);
+        assert!(names.contains("universe_size"));
+    }
+
+    #[test]
+    fn flags_calls_to_deprecated_items() {
+        let user = "fn f(s: &dyn S) -> usize {\n    s.universe_size()\n}\n";
+        let diags = run(&[
+            ("crates/middleware/src/source.rs", SHIM),
+            ("crates/garlic/src/exec.rs", user),
+        ]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn the_definition_site_is_not_a_use() {
+        assert!(run(&[("crates/middleware/src/source.rs", SHIM)]).is_empty());
+    }
+
+    #[test]
+    fn non_call_mentions_are_not_uses() {
+        // A field access or doc mention is not call syntax.
+        let user =
+            "struct Info { universe_size: usize }\nfn f(i: &Info) -> usize { i.universe_size }\n";
+        assert!(run(&[
+            ("crates/middleware/src/source.rs", SHIM),
+            ("crates/garlic/src/info.rs", user),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn tests_may_exercise_deprecated_shims() {
+        let t = "fn t(s: &dyn S) { let _ = s.universe_size(); }\n";
+        assert!(run(&[
+            ("crates/middleware/src/source.rs", SHIM),
+            ("crates/middleware/tests/t.rs", t),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn homonyms_can_be_suppressed() {
+        let user = "fn f(r: &Repo) -> usize {\n    // lint:allow(no-deprecated): Repository::universe_size is current API, homonym of the GradedSource shim\n    r.universe_size()\n}\n";
+        assert!(run(&[
+            ("crates/middleware/src/source.rs", SHIM),
+            ("crates/garlic/src/repo.rs", user),
+        ])
+        .is_empty());
+    }
+}

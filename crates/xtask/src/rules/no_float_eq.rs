@@ -1,0 +1,193 @@
+//! Rule `no-float-eq` (L2): no `==` / `!=` between floating-point
+//! expressions.
+//!
+//! Grades in this codebase are `f64` in `[0, 1]`; exact equality on
+//! them is almost always a round-off bug (the motivating incident:
+//! `denom == 0.0` in the Hamacher t-norm). The shared alternative is
+//! `fmdb_core::float::approx_eq` with its single documented epsilon.
+//!
+//! Detection is a *lexical heuristic*, deliberately biased toward
+//! false negatives over false positives: an `==`/`!=` is flagged only
+//! when the surrounding operand window — tokens scanned outward to the
+//! nearest expression boundary at bracket depth zero — contains
+//! evidence of floatness: a float literal, an `f64`/`f32` token, or a
+//! `.value()` call (the `Score` grade accessor).
+//!
+//! Allowlist: files under a `linalg` module (distance kernels need
+//! bit-exact comparisons in places) and all test/bench/example code.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::{FileClass, SourceFile};
+
+const RULE: &str = "no-float-eq";
+
+/// Tokens that terminate an operand window at depth zero.
+const BOUNDARY: &[&str] = &[
+    ";", ",", "{", "}", "&&", "||", "=", "==", "!=", "return", "if", "while", "match", "let",
+    "else", "->", "=>",
+];
+
+/// Checks one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.class != FileClass::Lib {
+        return Vec::new();
+    }
+    // Allowlist: linear-algebra kernels compare for bit-exactness on
+    // purpose (e.g. checking an input against a cached factorization).
+    if file
+        .rel_path
+        .components()
+        .any(|c| c.as_os_str().to_string_lossy().contains("linalg"))
+    {
+        return Vec::new();
+    }
+    let code = &file.code;
+    let mut diags = Vec::new();
+    for (i, token) in code.iter().enumerate() {
+        if token.kind != TokenKind::Punct || !matches!(token.text.as_str(), "==" | "!=") {
+            continue;
+        }
+        if file.in_test_region(token.line) {
+            continue;
+        }
+        let window = operand_window(code, i);
+        if window.iter().any(|&t| is_float_evidence(code, t)) {
+            diags.push(
+                Diagnostic::new(
+                    RULE,
+                    &file.rel_path,
+                    token.line,
+                    token.col,
+                    format!("`{}` on a floating-point expression", token.text),
+                )
+                .with_help(
+                    "use `fmdb_core::float::approx_eq` (shared epsilon), an ordered \
+                     comparison, or add `// lint:allow(no-float-eq): <why exactness is sound>`",
+                ),
+            );
+        }
+    }
+    diags
+}
+
+/// Collects the indices of tokens in the operand window around the
+/// comparison at `at`: outward in both directions to the nearest
+/// expression boundary at bracket depth zero.
+fn operand_window(code: &[Token], at: usize) -> Vec<usize> {
+    let mut window = Vec::new();
+    // Leftward.
+    let mut depth = 0usize;
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        let text = code[j].text.as_str();
+        match text {
+            ")" | "]" => depth += 1,
+            "(" | "[" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            t if depth == 0 && BOUNDARY.contains(&t) => break,
+            _ => {}
+        }
+        window.push(j);
+    }
+    // Rightward.
+    depth = 0;
+    j = at;
+    while j + 1 < code.len() {
+        j += 1;
+        let text = code[j].text.as_str();
+        match text {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            t if depth == 0 && BOUNDARY.contains(&t) => break,
+            _ => {}
+        }
+        window.push(j);
+    }
+    window
+}
+
+/// Evidence that the token makes its expression floating-point.
+fn is_float_evidence(code: &[Token], i: usize) -> bool {
+    let token = &code[i];
+    match token.kind {
+        TokenKind::Float => true,
+        TokenKind::Ident if matches!(token.text.as_str(), "f64" | "f32") => true,
+        // `.value()` — the Score grade accessor returning f64.
+        TokenKind::Ident if token.text == "value" => {
+            i.checked_sub(1)
+                .map(|p| code[p].text == ".")
+                .unwrap_or(false)
+                && code.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::analyze;
+    use std::path::PathBuf;
+
+    fn check_src(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = analyze(PathBuf::from(path), src);
+        check(&file)
+            .into_iter()
+            .filter(|d| !file.allowed(d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn flags_literal_and_typed_float_comparisons() {
+        let src = "fn f(denom: f64, x: f64) -> bool {\n    let zero = denom == 0.0;\n    let same = (x as f64) != (denom as f64);\n    zero && same\n}\n";
+        let diags = check_src("crates/core/src/f.rs", src);
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn flags_score_value_comparisons() {
+        let src = "fn f(a: Score, b: Score) -> bool {\n    a.value() == b.value()\n}\n";
+        assert_eq!(check_src("crates/core/src/f.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn ignores_integer_and_id_comparisons() {
+        let src = "fn f(a: usize, b: u64) -> bool {\n    a == 3 && b != 4 && a == b as usize\n}\n";
+        assert!(check_src("crates/core/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn windows_stop_at_expression_boundaries() {
+        // The float 1.0 belongs to the *other* side of `&&` — the
+        // id comparison must not inherit it.
+        let src = "fn f(id: usize, g: f64) -> bool {\n    id == 7 && g < 1.0\n}\n";
+        assert!(check_src("crates/core/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn exempts_linalg_and_tests() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }\n";
+        assert!(check_src("crates/core/src/linalg/chol.rs", src).is_empty());
+        assert!(check_src("crates/core/tests/t.rs", src).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod tests {\n    fn t(x: f64) -> bool { x == 0.0 }\n}\n";
+        assert!(check_src("crates/core/src/f.rs", in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn honors_suppressions() {
+        let src = "fn f(x: f64) -> bool {\n    // lint:allow(no-float-eq): sentinel is written verbatim, never computed\n    x == -1.0\n}\n";
+        assert!(check_src("crates/core/src/f.rs", src).is_empty());
+    }
+}

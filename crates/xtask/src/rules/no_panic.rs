@@ -1,0 +1,154 @@
+//! Rule `no-panic` (L1): library code must not contain panicking
+//! shortcuts — `.unwrap()`, `.expect(…)`, `panic!(…)`, `todo!(…)`,
+//! `unimplemented!(…)`.
+//!
+//! Scope policy:
+//!
+//! * only [`FileClass::Lib`](crate::workspace::FileClass) files are
+//!   checked — tests, benches, examples, and build scripts may
+//!   fail fast by design;
+//! * `#[cfg(test)]` regions inside library files are exempt (the
+//!   driver filters those);
+//! * the `bench` crate is exempt wholesale: it is the experiment
+//!   harness, where aborting on a malformed configuration is the
+//!   correct behaviour;
+//! * a justified `// lint:allow(no-panic): …` suppresses a finding
+//!   (e.g. an invariant the type system already guarantees).
+//!
+//! The runtime complement of this rule is `fmdb-core`'s
+//! `debug_assert!` layer: panics that *should* exist (invariant
+//! checks) live there, compiled out of release builds.
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::{FileClass, SourceFile};
+
+const RULE: &str = "no-panic";
+
+/// Crates exempt from this rule (experiment harnesses).
+const EXEMPT_CRATES: &[&str] = &["bench"];
+
+/// Macros that panic by design.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Checks one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    if file.class != FileClass::Lib || EXEMPT_CRATES.contains(&file.crate_dir.as_str()) {
+        return Vec::new();
+    }
+    let code = &file.code;
+    let mut diags = Vec::new();
+    for (i, token) in code.iter().enumerate() {
+        if file.in_test_region(token.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| code.get(p));
+        let next = code.get(i + 1).map(|t| t.text.as_str());
+        match token.text.as_str() {
+            // `.unwrap()` / `.expect(…)`: method-call syntax only, so
+            // idents like `unwrap_or` or attribute `#[expect]` don't
+            // match.
+            "unwrap" | "expect"
+                if prev.map(|t| t.text.as_str()) == Some(".") && next == Some("(") =>
+            {
+                diags.push(
+                    Diagnostic::new(
+                        RULE,
+                        &file.rel_path,
+                        token.line,
+                        token.col,
+                        format!("`.{}()` in library code can panic", token.text),
+                    )
+                    .with_help(
+                        "propagate an error instead, or add \
+                         `// lint:allow(no-panic): <why this cannot fail>`",
+                    ),
+                );
+            }
+            m if PANIC_MACROS.contains(&m) && next == Some("!") => {
+                diags.push(
+                    Diagnostic::new(
+                        RULE,
+                        &file.rel_path,
+                        token.line,
+                        token.col,
+                        format!("`{m}!` in library code aborts the caller"),
+                    )
+                    .with_help(
+                        "return an error, use `debug_assert!` for invariants, or add \
+                         `// lint:allow(no-panic): <justification>`",
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::analyze;
+    use std::path::PathBuf;
+
+    fn check_src(path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = analyze(PathBuf::from(path), src);
+        check(&file)
+            .into_iter()
+            .filter(|d| !file.allowed(d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"msg\");\n    if a == 0 { panic!(\"boom\") }\n    todo!()\n}\n";
+        let diags = check_src("crates/core/src/f.rs", src);
+        assert_eq!(diags.len(), 4);
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[2].message.contains("panic!"));
+    }
+
+    #[test]
+    fn ignores_non_panicking_lookalikes() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or(0)\n}\nfn g() -> u8 { let unwrap = 1; unwrap }\n";
+        assert!(check_src("crates/core/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ignores_strings_and_comments() {
+        let src = "fn f() {\n    // never call x.unwrap() here\n    let s = \"panic!\";\n    let _ = s;\n}\n";
+        assert!(check_src("crates/core/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn exempts_cfg_test_regions() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(check_src("crates/core/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn exempts_test_bench_and_example_files() {
+        let src = "fn t() { Some(1).unwrap(); }\n";
+        assert!(check_src("crates/core/tests/t.rs", src).is_empty());
+        assert!(check_src("crates/core/benches/b.rs", src).is_empty());
+        assert!(check_src("examples/demo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn exempts_the_bench_crate() {
+        let src = "fn harness() { std::fs::read(\"x\").unwrap(); }\n";
+        assert!(check_src("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn honors_justified_suppressions() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic): x is Some by construction two lines up\n    x.unwrap()\n}\n";
+        assert!(check_src("crates/core/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unjustified_suppression_does_not_silence() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // lint:allow(no-panic)\n    x.unwrap()\n}\n";
+        assert_eq!(check_src("crates/core/src/f.rs", src).len(), 1);
+    }
+}

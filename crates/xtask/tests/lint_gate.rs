@@ -1,0 +1,191 @@
+//! End-to-end test of the `fmdb-lint` gate: builds a throwaway
+//! mini-workspace on disk, runs the real `xtask` binary against it
+//! with `--root`, and checks exit status plus diagnostics for every
+//! rule — seeded violations must fail, the cleaned-up twin must pass.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A unique temp directory per test, cleaned up on drop.
+struct TempCrate {
+    root: PathBuf,
+}
+
+impl TempCrate {
+    fn new(tag: &str) -> TempCrate {
+        let root = std::env::temp_dir().join(format!("fmdb-lint-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).expect("create temp workspace");
+        TempCrate { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).expect("create parent dirs");
+        }
+        fs::write(path, contents).expect("write fixture file");
+    }
+}
+
+impl Drop for TempCrate {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xtask"));
+    cmd.arg("lint").arg("--root").arg(root);
+    cmd.args(extra);
+    cmd.output().expect("run xtask lint")
+}
+
+/// A crate root satisfying `crate-hygiene`.
+const CLEAN_ROOT: &str = "#![forbid(unsafe_code)]\n\
+     #![deny(missing_debug_implementations)]\n\
+     #![warn(missing_docs)]\n\
+     //! Fixture crate.\n\
+     pub mod inner;\n";
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let tc = TempCrate::new("clean");
+    tc.write("crates/demo/src/lib.rs", CLEAN_ROOT);
+    tc.write(
+        "crates/demo/src/inner.rs",
+        "//! Inner module.\n/// Doubles.\npub fn double(x: u32) -> u32 { x * 2 }\n",
+    );
+    let out = run_lint(&tc.root, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "expected clean exit, got:\n{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn each_rule_fails_its_seeded_fixture() {
+    let tc = TempCrate::new("seeded");
+    // crate-hygiene: missing attributes on the crate root.
+    tc.write("crates/demo/src/lib.rs", "pub mod inner;\n");
+    // no-panic + no-float-eq in a library module.
+    tc.write(
+        "crates/demo/src/inner.rs",
+        "pub fn f(x: Option<f64>) -> bool {\n    let v = x.unwrap();\n    v == 0.5\n}\n",
+    );
+    // bounded-channels: unbounded channel in middleware lib code.
+    tc.write(
+        "crates/middleware/src/lib.rs",
+        "#![forbid(unsafe_code)]\n#![deny(missing_debug_implementations)]\n#![warn(missing_docs)]\n//! Fixture.\n/// Spawns.\npub fn spawn_pipeline() {\n    let (_tx, _rx) = std::sync::mpsc::channel::<u32>();\n}\n",
+    );
+    // no-deprecated: a shim and a caller.
+    tc.write(
+        "crates/demo/src/dep.rs",
+        "#[deprecated(note = \"use len\")]\npub fn old_len() -> usize { 0 }\npub fn caller() -> usize { old_len() }\n",
+    );
+    let out = run_lint(&tc.root, &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let json = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "no-panic",
+        "no-float-eq",
+        "bounded-channels",
+        "crate-hygiene",
+        "no-deprecated",
+    ] {
+        assert!(
+            json.contains(&format!("\"rule\": \"{rule}\"")),
+            "{rule} missing from:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn justified_suppressions_turn_the_gate_green() {
+    let tc = TempCrate::new("suppressed");
+    tc.write("crates/demo/src/lib.rs", CLEAN_ROOT);
+    tc.write(
+        "crates/demo/src/inner.rs",
+        "//! Inner module.\n\
+         /// Unwraps.\n\
+         pub fn f(x: Option<f64>) -> f64 {\n\
+         \x20   // lint:allow(no-panic): fixture invariant, x is Some in every caller\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    let out = run_lint(&tc.root, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "suppressed finding must pass:\n{stdout}"
+    );
+}
+
+#[test]
+fn unjustified_suppressions_fail_the_gate() {
+    let tc = TempCrate::new("unjustified");
+    tc.write("crates/demo/src/lib.rs", CLEAN_ROOT);
+    tc.write(
+        "crates/demo/src/inner.rs",
+        "//! Inner module.\n\
+         /// Unwraps.\n\
+         pub fn f(x: Option<f64>) -> f64 {\n\
+         \x20   // lint:allow(no-panic)\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    );
+    let out = run_lint(&tc.root, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no justification"), "{stdout}");
+    // The bare marker must not silence the underlying finding either.
+    assert!(stdout.contains("no-panic"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let tc = TempCrate::new("json");
+    tc.write("crates/demo/src/lib.rs", CLEAN_ROOT);
+    tc.write(
+        "crates/demo/src/inner.rs",
+        "//! Inner.\n/// Panics.\npub fn f() { panic!(\"boom\") }\n",
+    );
+    let out = run_lint(&tc.root, &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    let trimmed = json.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "{json}");
+    assert!(json.contains("\"rule\": \"no-panic\""), "{json}");
+    assert!(json.contains("\"line\": 3"), "{json}");
+    assert!(json.contains("inner.rs"), "{json}");
+}
+
+#[test]
+fn vendored_code_is_not_linted() {
+    let tc = TempCrate::new("vendor");
+    tc.write("crates/demo/src/lib.rs", CLEAN_ROOT);
+    tc.write("crates/demo/src/inner.rs", "//! Inner.\n");
+    // A vendored crate root with none of the hygiene attributes and a
+    // panic — must be invisible to the gate.
+    tc.write(
+        "vendor/thirdparty/src/lib.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let out = run_lint(&tc.root, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("frobnicate")
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--format", "yaml"])
+        .output()
+        .expect("run xtask");
+    assert_eq!(out.status.code(), Some(2));
+}

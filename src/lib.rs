@@ -31,6 +31,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+#![warn(missing_docs)]
 
 pub use fmdb_core as core;
 pub use fmdb_garlic as garlic;

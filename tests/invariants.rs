@@ -1,0 +1,86 @@
+//! Tier-1 entry point for the `debug_assert!` invariant suite.
+//!
+//! `fmdb_core::score::Score` carries runtime range checks
+//! (`debug_checked`) that fire in debug builds whenever a grade leaves
+//! `[0, 1]` or goes non-finite; the scoring-function combinators are
+//! the code most likely to trip them. This harness sweeps every
+//! registered t-norm, t-conorm, and negation over a grade grid —
+//! including round-off stressors near the interval's ends — so the
+//! default `cargo test -q` exercises the invariant layer even though
+//! the deeper suite lives in `crates/core/tests/invariants.rs`.
+
+use fuzzymm::core::float;
+use fuzzymm::core::score::Score;
+use fuzzymm::core::scoring::conorms::all_conorms;
+use fuzzymm::core::scoring::negation::all_negations;
+use fuzzymm::core::scoring::tnorms::all_tnorms;
+/// A grade grid with round-off stressors at both ends of `[0, 1]`.
+fn sweep() -> Vec<Score> {
+    let mut grid: Vec<f64> = (0..=20).map(|i| f64::from(i) / 20.0).collect();
+    grid.extend([
+        f64::EPSILON,
+        1.0 - f64::EPSILON,
+        0.1 + 0.2,       // 0.30000000000000004
+        1.0 / 3.0 * 3.0, // representable 1.0, but via arithmetic
+        float::EPSILON / 2.0,
+    ]);
+    grid.into_iter().map(Score::clamped).collect()
+}
+
+fn assert_grade(raw: Score, context: &str) {
+    let v = raw.value();
+    assert!(
+        v.is_finite() && (0.0..=1.0).contains(&v),
+        "{context} produced {v}, outside [0, 1]"
+    );
+}
+
+#[test]
+fn every_tnorm_stays_in_range_under_debug_asserts() {
+    let grid = sweep();
+    for tnorm in all_tnorms() {
+        for &a in &grid {
+            for &b in &grid {
+                let combined = tnorm.t(a, b);
+                assert_grade(combined, &tnorm.norm_name());
+            }
+        }
+    }
+}
+
+#[test]
+fn every_conorm_stays_in_range_under_debug_asserts() {
+    let grid = sweep();
+    for conorm in all_conorms() {
+        for &a in &grid {
+            for &b in &grid {
+                let combined = conorm.s(a, b);
+                assert_grade(combined, &conorm.conorm_name());
+            }
+        }
+    }
+}
+
+#[test]
+fn every_negation_stays_in_range_under_debug_asserts() {
+    let grid = sweep();
+    for negation in all_negations() {
+        for &a in &grid {
+            let negated = negation.n(a);
+            assert_grade(negated, &negation.negation_name());
+        }
+    }
+}
+
+#[test]
+fn score_construction_enforces_the_grade_invariant() {
+    // `clamped` accepts anything and lands in range.
+    for raw in [-1.0, -0.0, 0.5, 1.0 + f64::EPSILON, 2.0] {
+        assert_grade(Score::clamped(raw), "Score::clamped");
+    }
+    // Crispness checks are epsilon-tolerant, matching the shared
+    // `fmdb_core::float` epsilon rather than bit equality.
+    assert!(Score::clamped(1.0 - float::EPSILON / 2.0).is_crisp());
+    assert!(Score::clamped(float::EPSILON / 2.0).is_crisp());
+    assert!(!Score::clamped(0.5).is_crisp());
+}
