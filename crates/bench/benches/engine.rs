@@ -23,6 +23,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fmdb_core::score::{Score, ScoredObject};
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
+use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
 use fmdb_middleware::algorithms::TopKAlgorithm;
 use fmdb_middleware::engine::{Engine, EngineConfig};
 use fmdb_middleware::request::TopKRequest;
@@ -159,5 +160,50 @@ fn bench_in_memory(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_remote, bench_in_memory);
+/// Intra-query sharding on a large in-memory corpus: the serial engine
+/// vs partition-parallel TA at 2/4/8 shards. The corpus is ≥ 100k
+/// objects so each shard's scan is long enough to amortize worker
+/// setup; on a multi-core host 4 shards should cut wall-clock by ≥ 2×
+/// (on a single-core host the sharded rows can only tie or lose —
+/// thread setup with no extra hardware is pure overhead).
+fn bench_sharded(c: &mut Criterion) {
+    const N_SHARDED: usize = 1 << 17; // 131,072 objects
+    let mut group = c.benchmark_group("sharded");
+    group.sample_size(10);
+
+    let request = || {
+        TopKRequest::builder()
+            .sources(independent_uniform(N_SHARDED, 2, 7))
+            .scoring(Min)
+            .k(K)
+            .build()
+            .expect("valid request")
+    };
+
+    group.bench_function(BenchmarkId::new("engine_serial", "ta"), |b| {
+        let engine = Engine::new(EngineConfig::serial());
+        let request = request();
+        b.iter(|| {
+            engine
+                .run_algorithm(&ThresholdAlgorithm, &request)
+                .expect("valid run")
+        });
+    });
+
+    for shards in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("engine_sharded", shards), |b| {
+            let engine = Engine::new(EngineConfig::sharded(shards));
+            let request = request();
+            b.iter(|| {
+                engine
+                    .run_algorithm(&ThresholdAlgorithm, &request)
+                    .expect("valid run")
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote, bench_in_memory, bench_sharded);
 criterion_main!(benches);

@@ -1,8 +1,39 @@
-//! Runs the full experiment suite in order.
+//! Runs the full experiment suite in order, timing each experiment and
+//! metering its shared-engine accesses, then writes the
+//! machine-readable `BENCH_engine.json` perf trajectory
+//! (`FMDB_BENCH_JSON` overrides the output path).
+
+use std::time::Instant;
+
+use fmdb_bench::report::{bench_engine_json, BenchEntry};
+use fmdb_bench::runners::{engine, RunCfg};
+
 fn main() {
-    let cfg = fmdb_bench::runners::RunCfg::from_env();
-    for report in fmdb_bench::experiments::run_all(&cfg) {
+    let cfg = RunCfg::from_env();
+    let mut entries = Vec::new();
+    let mut before = engine().access_totals();
+    for run in fmdb_bench::experiments::experiments() {
+        let t0 = Instant::now();
+        let report = run(&cfg);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let after = engine().access_totals();
         report.print();
         println!("{}", "=".repeat(72));
+        entries.push(BenchEntry {
+            id: report.id.clone(),
+            title: report.title.clone(),
+            wall_ms,
+            // The shared engine's totals only grow, so the per-
+            // experiment delta is exact even though the engine value
+            // is process-global.
+            stats: after - before,
+        });
+        before = after;
+    }
+    let json = bench_engine_json(&entries, cfg.quick);
+    let path = std::env::var("FMDB_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".to_owned());
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

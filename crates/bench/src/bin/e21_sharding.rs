@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e21_sharding`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e21_sharding::run(&cfg).print();
+}

@@ -21,32 +21,41 @@ pub mod e17_ablations;
 pub mod e18_page_costs;
 pub mod e19_no_random_access;
 pub mod e20_embedding;
+pub mod e21_sharding;
 
 use crate::report::Report;
 use crate::runners::RunCfg;
 
+/// The experiment registry in run order — one runner per paper claim.
+/// `e00_run_all` iterates this to time and meter each experiment
+/// individually (the `BENCH_engine.json` trajectory).
+pub fn experiments() -> Vec<fn(&RunCfg) -> Report> {
+    vec![
+        e01_fa_scaling::run,
+        e02_disjunction::run,
+        e03_lower_bound::run,
+        e04_scoring_sweep::run,
+        e05_access_costs::run,
+        e06_weighted_queries::run,
+        e07_distance_bounding::run,
+        e08_dimensionality::run,
+        e09_precomputed::run,
+        e10_crisp_filter::run,
+        e11_correlation::run,
+        e12_filter_conditions::run,
+        e13_ta_extension::run,
+        e14_axiom_table::run,
+        e15_weighting_laws::run,
+        e16_optimizer::run,
+        e17_ablations::run,
+        e18_page_costs::run,
+        e19_no_random_access::run,
+        e20_embedding::run,
+        e21_sharding::run,
+    ]
+}
+
 /// Runs every experiment in order (the `e00_run_all` binary).
 pub fn run_all(cfg: &RunCfg) -> Vec<Report> {
-    vec![
-        e01_fa_scaling::run(cfg),
-        e02_disjunction::run(cfg),
-        e03_lower_bound::run(cfg),
-        e04_scoring_sweep::run(cfg),
-        e05_access_costs::run(cfg),
-        e06_weighted_queries::run(cfg),
-        e07_distance_bounding::run(cfg),
-        e08_dimensionality::run(cfg),
-        e09_precomputed::run(cfg),
-        e10_crisp_filter::run(cfg),
-        e11_correlation::run(cfg),
-        e12_filter_conditions::run(cfg),
-        e13_ta_extension::run(cfg),
-        e14_axiom_table::run(cfg),
-        e15_weighting_laws::run(cfg),
-        e16_optimizer::run(cfg),
-        e17_ablations::run(cfg),
-        e18_page_costs::run(cfg),
-        e19_no_random_access::run(cfg),
-        e20_embedding::run(cfg),
-    ]
+    experiments().into_iter().map(|run| run(cfg)).collect()
 }

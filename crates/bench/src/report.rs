@@ -1,5 +1,8 @@
-//! Experiment reporting: aligned text tables, JSON dumps, and the
-//! log-log exponent fits used to check the paper's asymptotic claims.
+//! Experiment reporting: aligned text tables, JSON dumps, the log-log
+//! exponent fits used to check the paper's asymptotic claims, and the
+//! machine-readable `BENCH_engine.json` perf-trajectory file.
+
+use fmdb_middleware::stats::AccessStats;
 
 /// One formatted table.
 #[derive(Debug, Clone)]
@@ -208,6 +211,53 @@ fn json_string_array(out: &mut String, items: &[String]) {
     out.push(']');
 }
 
+/// One experiment's measured cost for the machine-readable perf
+/// trajectory (`BENCH_engine.json`, written by `e00_run_all`).
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Experiment id ("E1", …).
+    pub id: String,
+    /// Experiment title.
+    pub title: String,
+    /// Wall-clock time of the whole experiment, milliseconds.
+    pub wall_ms: f64,
+    /// Accesses the experiment drove through the shared engine
+    /// (difference of `Engine::access_totals` snapshots; experiments
+    /// running private engines contribute zeros here but still report
+    /// wall-clock).
+    pub stats: AccessStats,
+}
+
+/// Serializes the suite's per-experiment wall-clock and access counts
+/// as one JSON object — the `BENCH_engine.json` payload tracked across
+/// PRs. `quick` records whether the suite ran in quick mode, so
+/// trajectories only compare like with like.
+pub fn bench_engine_json(entries: &[BenchEntry], quick: bool) -> String {
+    let mut out = String::from("{\"schema\":\"fmdb-bench-engine/v1\",\"quick\":");
+    out.push_str(if quick { "true" } else { "false" });
+    out.push_str(",\"experiments\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json_field(&mut out, "id", &e.id);
+        out.push(',');
+        json_field(&mut out, "title", &e.title);
+        out.push_str(&format!(
+            ",\"wall_ms\":{:.3},\"sorted\":{},\"random\":{},\"cache_hits\":{},\"cache_misses\":{},\"worker_spawns\":{}}}",
+            e.wall_ms,
+            e.stats.sorted,
+            e.stats.random,
+            e.stats.cache_hits,
+            e.stats.cache_misses,
+            e.stats.worker_spawns,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
 /// Fits `y = c·x^e` by least squares on (ln x, ln y); returns the
 /// exponent `e`. Pairs with non-positive coordinates are skipped.
 pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
@@ -293,6 +343,42 @@ mod tests {
         assert!(j.contains(r#"claim\nwith newline"#));
         assert!(j.contains(r#""rows":[["1","2"]]"#));
         assert!(j.contains(r#""notes":["note"]"#));
+    }
+
+    #[test]
+    fn bench_engine_json_is_well_formed() {
+        let entries = vec![
+            BenchEntry {
+                id: "E1".into(),
+                title: "FA \"scaling\"".into(),
+                wall_ms: 12.5,
+                stats: AccessStats {
+                    sorted: 100,
+                    random: 40,
+                    cache_hits: 3,
+                    cache_misses: 37,
+                    worker_spawns: 8,
+                },
+            },
+            BenchEntry {
+                id: "E21".into(),
+                title: "sharding".into(),
+                wall_ms: 0.0,
+                stats: AccessStats::ZERO,
+            },
+        ];
+        let j = bench_engine_json(&entries, true);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"schema\":\"fmdb-bench-engine/v1\""));
+        assert!(j.contains("\"quick\":true"));
+        assert!(j.contains("\"id\":\"E1\""));
+        assert!(j.contains(r#"FA \"scaling\""#));
+        assert!(j.contains("\"wall_ms\":12.500"));
+        assert!(j.contains("\"worker_spawns\":8"));
+        assert!(j.contains("\"id\":\"E21\""));
+        let empty = bench_engine_json(&[], false);
+        assert!(empty.contains("\"quick\":false"));
+        assert!(empty.contains("\"experiments\":[]"));
     }
 
     #[test]

@@ -632,6 +632,47 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engine_config_preserves_ta_answers() {
+        // Two Garlic facades over identical catalogs: one serial
+        // engine, one sharded. AlgoChoice::Ta advertises the sharded
+        // TA kernel, so the second facade takes the partition-parallel
+        // path — answers must not change.
+        let q = Query::and(vec![
+            Query::atomic("Color", Target::Similar("red".into())),
+            Query::atomic("Shape", Target::Similar("round".into())),
+        ]);
+        let serial = g_with(EngineConfig::serial());
+        let want = serial.top_k_with(&q, 6, AlgoChoice::Ta).unwrap();
+        for shards in [2usize, 4] {
+            let sharded = g_with(EngineConfig {
+                shard_min_items: 1,
+                ..EngineConfig::sharded(shards)
+            });
+            let got = sharded.top_k_with(&q, 6, AlgoChoice::Ta).unwrap();
+            assert_eq!(got.answers, want.answers, "shards={shards}");
+            assert!(
+                got.stats.worker_spawns >= shards as u64,
+                "sharded path did not run (shards={shards}, spawns={})",
+                got.stats.worker_spawns
+            );
+        }
+    }
+
+    fn g_with(config: EngineConfig) -> Garlic {
+        let db = SyntheticDb::generate(&SynthConfig {
+            count: 60,
+            bins_per_channel: 3,
+            seed: 5,
+            ..SynthConfig::default()
+        });
+        let mut catalog = Catalog::new();
+        catalog
+            .register(Box::new(QbicRepository::new("qbic", db)))
+            .unwrap();
+        Garlic::with_engine_config(catalog, config)
+    }
+
+    #[test]
     fn disjunction_uses_max_merge() {
         let g = demo_garlic(40);
         let q = Query::or(vec![

@@ -505,6 +505,36 @@ impl EmbeddedCorpus {
         Ok((finalize(merged), stats))
     }
 
+    /// Splits the object indices into `shards` contiguous ranges using
+    /// the same decomposition as the middleware's contiguous source
+    /// partitioner: shard `s` owns `[⌈s·n/p⌉, ⌈(s+1)·n/p⌉)`, so object
+    /// `i` lands in shard `min(p−1, ⌊i·p/n⌋)`. Ranges tile `0..n`
+    /// exactly; sizes differ by at most one. With `shards = 0` a
+    /// single full-corpus range is returned.
+    pub fn shard_ranges(&self, shards: usize) -> Vec<Range<usize>> {
+        contiguous_ranges(self.n, shards)
+    }
+
+    /// [`EmbeddedCorpus::knn`] restricted to objects whose index lies
+    /// in `range` (clamped to the corpus) — the per-shard kernel for
+    /// partitioned execution. Merging each shard's answers by
+    /// ascending `(distance, index)` and truncating to `k_nearest`
+    /// reproduces the full-corpus [`EmbeddedCorpus::knn`] exactly:
+    /// every global winner is a winner of its own shard.
+    pub fn knn_in_range(
+        &self,
+        query: &ColorHistogram,
+        k_nearest: usize,
+        range: Range<usize>,
+    ) -> Result<(Vec<(usize, f64)>, ScanStats), EmbedError> {
+        let q = self.embed_query(query)?;
+        let q_short = self.query_short(query)?;
+        let lo = range.start.min(self.n);
+        let hi = range.end.min(self.n).max(lo);
+        let (heap, stats) = self.scan_range(&q, q_short.as_ref(), lo..hi, k_nearest, true);
+        Ok((finalize(heap), stats))
+    }
+
     fn query_short(&self, query: &ColorHistogram) -> Result<Option<ShortVector>, EmbedError> {
         match &self.filter {
             Some(f) => Ok(Some(f.bound.project(query)?)),
@@ -579,6 +609,21 @@ impl EmbeddedCorpus {
         }
         (best, stats)
     }
+}
+
+/// The contiguous shard decomposition shared with the middleware's
+/// contiguous source partitioner: shard `s` of `p` owns
+/// `[⌈s·n/p⌉, ⌈(s+1)·n/p⌉)`. The ranges tile `0..n` exactly and their
+/// sizes differ by at most one; `shards = 0` is treated as 1.
+pub fn contiguous_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let p = shards.max(1);
+    (0..p)
+        .map(|s| {
+            let lo = (s * n).div_ceil(p);
+            let hi = ((s + 1) * n).div_ceil(p);
+            lo..hi
+        })
+        .collect()
 }
 
 /// Ascending `(squared_distance, index)` with the index tie-break —
@@ -717,6 +762,60 @@ mod tests {
         let empty = EmbeddedCorpus::build(EmbeddedSpace::for_space(&sp).unwrap(), &[]).unwrap();
         assert!(empty.is_empty());
         assert!(empty.knn(q, 3).unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn contiguous_ranges_tile_and_agree_with_the_floor_formula() {
+        for n in [0usize, 1, 2, 5, 7, 16, 33, 157] {
+            for p in [1usize, 2, 3, 4, 5, 8] {
+                let ranges = contiguous_ranges(n, p);
+                assert_eq!(ranges.len(), p);
+                // Tiling: concatenation covers 0..n with no gaps.
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "n={n} p={p}");
+                    assert!(r.end >= r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, n, "n={n} p={p}");
+                // Balance and inverse: the owner of i is min(p−1, ⌊i·p/n⌋).
+                for (s, r) in ranges.iter().enumerate() {
+                    assert!(r.len() <= n.div_ceil(p), "n={n} p={p}");
+                    for i in r.clone() {
+                        assert_eq!((i * p / n).min(p - 1), s, "n={n} p={p} i={i}");
+                    }
+                }
+            }
+        }
+        assert_eq!(contiguous_ranges(10, 0), vec![0..10]);
+    }
+
+    #[test]
+    fn sharded_knn_merge_equals_full_scan() {
+        let sp = space();
+        let hists = sample_histograms(&sp, 143, 13);
+        let corpus = EmbeddedCorpus::build_filtered(&sp, &hists).unwrap();
+        let q = &sample_histograms(&sp, 1, 77)[0];
+        let (want, _) = corpus.knn(q, 9).unwrap();
+        for shards in [1usize, 2, 3, 8] {
+            let mut merged: Vec<(usize, f64)> = Vec::new();
+            let mut scanned = 0;
+            for r in corpus.shard_ranges(shards) {
+                scanned += r.len();
+                let (local, _) = corpus.knn_in_range(q, 9, r).unwrap();
+                merged.extend(local);
+            }
+            assert_eq!(scanned, corpus.len(), "shards={shards}");
+            merged.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            merged.truncate(9);
+            assert_eq!(merged, want, "shards={shards}");
+        }
+        // Out-of-corpus ranges clamp instead of panicking.
+        assert!(corpus
+            .knn_in_range(q, 3, 1_000..2_000)
+            .unwrap()
+            .0
+            .is_empty());
     }
 
     #[test]

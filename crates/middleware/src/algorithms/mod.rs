@@ -119,6 +119,18 @@ pub trait TopKAlgorithm {
         scoring: &dyn ScoringFunction,
         k: usize,
     ) -> Result<TopKResult, AlgoError>;
+
+    /// The per-shard kernel the sharded engine path may substitute for
+    /// this algorithm, or `None` to always run serially.
+    ///
+    /// An algorithm may only advertise a kernel whose sharded execution
+    /// (run the kernel per shard, merge local top-k lists, see
+    /// [`crate::sharded`]) returns an oracle-valid top-k for every
+    /// monotone query — the default keeps algorithms with no such proof
+    /// on the serial path.
+    fn shard_kernel(&self) -> Option<crate::sharded::ShardKernel> {
+        None
+    }
 }
 
 /// The unified evaluation interface: any strategy that can answer a

@@ -170,6 +170,47 @@ impl Algorithm for Nra {
     }
 }
 
+/// NRA packaged as a [`TopKAlgorithm`]: flattens every answer to its
+/// certified **lower** bound, exactly like `<Nra as Algorithm>::run`,
+/// but usable wherever a `&dyn TopKAlgorithm` is required (notably
+/// [`crate::engine::Engine::run_algorithm`], where it advertises the
+/// sharded NRA kernel).
+///
+/// Grade caveat carried over from [`Nra`]: the answer *set* is a valid
+/// top-k set, but serial grades may understate the truth wherever the
+/// interval had not collapsed. The sharded kernel only stops on
+/// collapsed intervals, so its grades are exact — equivalence tests
+/// must therefore compare true-grade multisets, not reported grades.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NraLowerBound;
+
+impl crate::algorithms::TopKAlgorithm for NraLowerBound {
+    fn name(&self) -> &'static str {
+        "nra-lower-bound"
+    }
+
+    fn top_k(
+        &self,
+        sources: &mut [&mut dyn GradedSource],
+        scoring: &dyn ScoringFunction,
+        k: usize,
+    ) -> Result<TopKResult, AlgoError> {
+        let result = Nra.top_k(sources, scoring, k)?;
+        Ok(TopKResult {
+            answers: result
+                .answers
+                .iter()
+                .map(|b| fmdb_core::score::ScoredObject::new(b.id, b.lower))
+                .collect(),
+            stats: result.stats,
+        })
+    }
+
+    fn shard_kernel(&self) -> Option<crate::sharded::ShardKernel> {
+        Some(crate::sharded::ShardKernel::Nra)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

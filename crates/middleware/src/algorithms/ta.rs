@@ -38,6 +38,13 @@ impl TopKAlgorithm for ThresholdAlgorithm {
         "threshold-ta"
     }
 
+    /// TA reports its local top-k with exact grades in output order, so
+    /// merging per-shard TA answers reproduces the serial answer list
+    /// bit for bit (see [`crate::sharded`] for the argument).
+    fn shard_kernel(&self) -> Option<crate::sharded::ShardKernel> {
+        Some(crate::sharded::ShardKernel::Ta)
+    }
+
     fn top_k(
         &self,
         sources: &mut [&mut dyn GradedSource],

@@ -114,7 +114,7 @@ impl From<EngineError> for AlgoError {
 }
 
 /// Renders a caught panic payload as text, best effort.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -137,21 +137,44 @@ pub struct EngineConfig {
     /// Capacity (entries) of the shared random-access [`GradeCache`];
     /// 0 disables caching entirely.
     pub cache_capacity: usize,
+    /// Upper bound on intra-query shards for shard-capable algorithms
+    /// (those reporting a [`crate::sharded::ShardKernel`]); `0` or `1`
+    /// keeps every query on the serial path. See [`crate::sharded`].
+    pub shards: usize,
+    /// Minimum number of objects each shard should receive: a query
+    /// over a universe of `n` objects runs on at most
+    /// `n / shard_min_items` shards (at least 1), so tiny queries never
+    /// pay thread overhead. Clamped to at least 1.
+    pub shard_min_items: usize,
 }
 
 impl EngineConfig {
     /// The default: batches of 64, parallel prefetch, 4096 cached
-    /// grades.
+    /// grades, no intra-query sharding.
     pub const DEFAULT: EngineConfig = EngineConfig {
         batch_size: 64,
         parallel: true,
         cache_capacity: 4096,
+        shards: 1,
+        shard_min_items: 256,
     };
 
     /// A single-threaded configuration (batched access, no workers).
     pub fn serial() -> EngineConfig {
         EngineConfig {
             parallel: false,
+            ..EngineConfig::DEFAULT
+        }
+    }
+
+    /// A configuration running shard-capable algorithms on up to
+    /// `shards` intra-query workers (no minimum shard size — callers
+    /// wanting the guard can set
+    /// [`EngineConfig::shard_min_items`] themselves).
+    pub fn sharded(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            shard_min_items: 1,
             ..EngineConfig::DEFAULT
         }
     }
@@ -268,10 +291,19 @@ impl GradeCache {
         self.misses
     }
 
-    /// Drops every cached grade (counters are kept).
+    /// Drops every cached grade **and** resets the hit/miss counters.
+    ///
+    /// The counters describe the lifetime of the cached content; under
+    /// the striped cache ([`StripedGradeCache`]) each segment is
+    /// cleared independently, and a segment that kept stale counters
+    /// after dropping its entries would make the summed snapshot
+    /// unintelligible (hits against grades that no longer exist,
+    /// mixed across generations). Content and counters reset together.
     pub fn clear(&mut self) {
         self.entries.clear();
         self.queue.clear();
+        self.hits = 0;
+        self.misses = 0;
     }
 
     /// Looks `key` up, refreshing its recency on a hit.
@@ -335,6 +367,104 @@ impl GradeCache {
     }
 }
 
+/// Number of independent LRU segments in the engine's striped cache.
+const CACHE_STRIPES: usize = 8;
+
+/// A lock-striped [`GradeCache`]: `N` independent LRU segments, each
+/// behind its own mutex, selected by key hash.
+///
+/// A single-mutex cache serializes every random access of every
+/// concurrent worker — request threads under [`Engine::run_many`] and
+/// shard workers under the sharded path ([`crate::sharded`]) would all
+/// contend on one lock. Striping keeps the hit path a short critical
+/// section on 1/N of the key space.
+///
+/// **Snapshot semantics**: [`StripedGradeCache::counters`] locks the
+/// stripes one at a time, so under concurrent traffic the summed pair
+/// is a per-stripe-consistent snapshot, not a global linearization —
+/// a stripe counted *after* a concurrent hit lands includes it, one
+/// counted *before* does not. Both counters are monotone between
+/// [`StripedGradeCache::clear`] calls, so any snapshot is bracketed by
+/// the true counts at the first and last stripe lock. That "relaxed"
+/// guarantee is all the engine promises (and all telemetry needs).
+#[derive(Debug)]
+pub struct StripedGradeCache {
+    stripes: Vec<Mutex<GradeCache>>,
+}
+
+impl StripedGradeCache {
+    /// Creates `stripes` segments jointly holding at least `capacity`
+    /// grades (`capacity` 0 disables caching; `stripes` is clamped to
+    /// at least 1).
+    pub fn new(capacity: usize, stripes: usize) -> StripedGradeCache {
+        let n = stripes.max(1);
+        // Round the per-stripe share up so the total never undercuts
+        // the requested capacity.
+        let per = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(n)
+        };
+        StripedGradeCache {
+            stripes: (0..n).map(|_| Mutex::new(GradeCache::new(per))).collect(),
+        }
+    }
+
+    /// The segment owning `key`.
+    fn stripe(&self, key: CacheKey) -> &Mutex<GradeCache> {
+        // Multiplicative mixing of both key halves; the high bits are
+        // the best-mixed, so index with them.
+        let h = key
+            .0
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(key.1.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        &self.stripes[(h >> 32) as usize % self.stripes.len()]
+    }
+
+    fn get(&self, key: CacheKey) -> Option<Score> {
+        lock_cache(self.stripe(key)).get(key)
+    }
+
+    fn insert(&self, key: CacheKey, grade: Score) {
+        lock_cache(self.stripe(key)).insert(key, grade);
+    }
+
+    /// Cumulative (hits, misses) summed over all stripes — see the
+    /// type docs for the snapshot guarantee.
+    pub fn counters(&self) -> (u64, u64) {
+        self.stripes.iter().fold((0, 0), |(h, m), s| {
+            let guard = lock_cache(s);
+            (h + guard.hits(), m + guard.misses())
+        })
+    }
+
+    /// Grades currently cached, summed over all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock_cache(s).len()).sum()
+    }
+
+    /// True when no stripe holds anything.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| lock_cache(s).is_empty())
+    }
+
+    /// Total capacity across stripes.
+    pub fn capacity(&self) -> usize {
+        self.stripes.iter().map(|s| lock_cache(s).capacity()).sum()
+    }
+
+    /// Clears every stripe — entries and counters together (see
+    /// [`GradeCache::clear`]). Stripes are cleared one at a time; a
+    /// concurrent request may land hits in an already-cleared stripe
+    /// before the last one is reached, which the snapshot semantics
+    /// above already admit.
+    pub fn clear(&self) {
+        for s in &self.stripes {
+            lock_cache(s).clear();
+        }
+    }
+}
+
 /// The feed behind one proxied stream: either lazily batch-fetched on
 /// the consumer's thread, or streamed from a prefetch worker.
 enum Feed {
@@ -358,7 +488,7 @@ struct EngineSource<'a> {
     buffer: VecDeque<ScoredObject<Oid>>,
     drained: bool,
     feed: Feed,
-    cache: Option<&'a Mutex<GradeCache>>,
+    cache: Option<&'a StripedGradeCache>,
     hits: u64,
     misses: u64,
     /// Set when the prefetch worker died and the algorithm went on to
@@ -374,7 +504,7 @@ impl<'a> EngineSource<'a> {
         info: SourceInfo,
         key: u64,
         feed: Feed,
-        cache: Option<&'a Mutex<GradeCache>>,
+        cache: Option<&'a StripedGradeCache>,
     ) -> EngineSource<'a> {
         EngineSource {
             key,
@@ -430,15 +560,15 @@ impl GradedSource for EngineSource<'_> {
             return lock(self.underlying).random_access(oid);
         };
         let key = (self.key, oid);
-        if let Some(grade) = lock_cache(cache).get(key) {
+        if let Some(grade) = cache.get(key) {
             self.hits += 1;
             return grade;
         }
-        // Probe outside the cache lock: the subsystem may be slow, and
+        // Probe outside the stripe lock: the subsystem may be slow, and
         // prefetch workers contend on the same source mutex.
         let grade = lock(self.underlying).random_access(oid);
         self.misses += 1;
-        lock_cache(cache).insert(key, grade);
+        cache.insert(key, grade);
         grade
     }
 
@@ -509,8 +639,44 @@ fn prefetch_worker(
 #[derive(Debug)]
 pub struct Engine {
     config: EngineConfig,
-    cache: Mutex<GradeCache>,
+    cache: StripedGradeCache,
     registry: Mutex<SourceRegistry>,
+    totals: EngineTotals,
+}
+
+/// Cumulative access totals over every request an engine served, for
+/// cross-run telemetry (`BENCH_engine.json`). Relaxed atomics: the
+/// counters are monotone and independent, so a reader gets a valid
+/// per-counter snapshot, not a cross-counter linearization.
+#[derive(Debug, Default)]
+struct EngineTotals {
+    sorted: std::sync::atomic::AtomicU64,
+    random: std::sync::atomic::AtomicU64,
+    cache_hits: std::sync::atomic::AtomicU64,
+    cache_misses: std::sync::atomic::AtomicU64,
+    worker_spawns: std::sync::atomic::AtomicU64,
+}
+
+impl EngineTotals {
+    fn fold(&self, stats: &crate::stats::AccessStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.sorted.fetch_add(stats.sorted, Relaxed);
+        self.random.fetch_add(stats.random, Relaxed);
+        self.cache_hits.fetch_add(stats.cache_hits, Relaxed);
+        self.cache_misses.fetch_add(stats.cache_misses, Relaxed);
+        self.worker_spawns.fetch_add(stats.worker_spawns, Relaxed);
+    }
+
+    fn snapshot(&self) -> crate::stats::AccessStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        crate::stats::AccessStats {
+            sorted: self.sorted.load(Relaxed),
+            random: self.random.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
+            worker_spawns: self.worker_spawns.load(Relaxed),
+        }
+    }
 }
 
 impl Default for Engine {
@@ -524,8 +690,9 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Engine {
         Engine {
             config,
-            cache: Mutex::new(GradeCache::new(config.cache_capacity)),
+            cache: StripedGradeCache::new(config.cache_capacity, CACHE_STRIPES),
             registry: Mutex::new(SourceRegistry::default()),
+            totals: EngineTotals::default(),
         }
     }
 
@@ -534,10 +701,24 @@ impl Engine {
         self.config
     }
 
-    /// Cumulative cache (hits, misses) over every request served.
+    /// Cumulative cache (hits, misses) over every request served —
+    /// summed over the cache stripes, with the snapshot semantics
+    /// documented on [`StripedGradeCache::counters`].
     pub fn cache_counters(&self) -> (u64, u64) {
-        let cache = lock_cache(&self.cache);
-        (cache.hits(), cache.misses())
+        self.cache.counters()
+    }
+
+    /// Drops every cached grade and resets the cache counters (see
+    /// [`GradeCache::clear`]).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Cumulative [`crate::stats::AccessStats`] folded over every
+    /// *successful* request this engine has served. Monotone; diff two
+    /// snapshots to meter a workload.
+    pub fn access_totals(&self) -> crate::stats::AccessStats {
+        self.totals.snapshot()
     }
 
     /// Evaluates a request with the default merge strategy, Fagin's A₀
@@ -554,6 +735,73 @@ impl Engine {
     /// bit-identical to the scalar run; the engine only adds the
     /// [`AccessStats::cache_hits`]/[`AccessStats::cache_misses`] split.
     pub fn run_algorithm(
+        &self,
+        algorithm: &dyn TopKAlgorithm,
+        request: &TopKRequest,
+    ) -> Result<TopKResult, EngineError> {
+        let result = match algorithm.shard_kernel() {
+            Some(kernel) => match self.try_sharded(kernel, request)? {
+                Some(result) => Ok(result),
+                None => self.run_serial(algorithm, request),
+            },
+            None => self.run_serial(algorithm, request),
+        }?;
+        self.totals.fold(&result.stats);
+        Ok(result)
+    }
+
+    /// The sharded execution path (see [`crate::sharded`]): partitions
+    /// every source with one consistent partitioner and fans the query
+    /// out over shard workers. Returns `Ok(None)` — "use the serial
+    /// path" — when the configuration disables sharding, the universe
+    /// is too small for the configured minimum shard size, or any
+    /// source cannot be partitioned.
+    fn try_sharded(
+        &self,
+        kernel: crate::sharded::ShardKernel,
+        request: &TopKRequest,
+    ) -> Result<Option<TopKResult>, EngineError> {
+        if self.config.shards < 2 {
+            return Ok(None);
+        }
+        // Mirror the scalar `validate` checks (same errors, same
+        // order) so the two paths reject bad requests identically.
+        let scoring = request.scoring();
+        if request.sources().is_empty() {
+            return Err(AlgoError::NoSources.into());
+        }
+        if request.k() == 0 {
+            return Err(AlgoError::ZeroK.into());
+        }
+        if !scoring.is_monotone() {
+            return Err(AlgoError::NonMonotoneScoring(scoring.name()).into());
+        }
+        let universe = request
+            .sources()
+            .iter()
+            .map(|s| lock(s).info().universe_size)
+            .min()
+            .unwrap_or(0);
+        let shards = self
+            .config
+            .shards
+            .min(universe / self.config.shard_min_items.max(1));
+        if shards < 2 {
+            return Ok(None);
+        }
+        let Some(partitioned) = crate::sharded::partition_aligned(
+            request.sources(),
+            crate::source::SourcePartitioner::Modulo,
+            shards,
+        ) else {
+            return Ok(None);
+        };
+        crate::sharded::run_shards(kernel, partitioned, &scoring, request.k()).map(Some)
+    }
+
+    /// The serial (per-request single-threaded merge) path: batched
+    /// sorted access, optional prefetch workers, shared grade cache.
+    fn run_serial(
         &self,
         algorithm: &dyn TopKAlgorithm,
         request: &TopKRequest,
@@ -616,32 +864,90 @@ impl Engine {
 
         result.stats.cache_hits = hits;
         result.stats.cache_misses = misses;
+        if self.config.parallel {
+            // One prefetch worker was spawned per stream.
+            result.stats.worker_spawns += infos.len() as u64;
+        }
         Ok(result)
     }
 
-    /// Evaluates several requests concurrently (one thread each),
-    /// sharing the engine's grade cache. Results are returned in
-    /// request order. A request whose thread panics yields
+    /// Evaluates several requests concurrently on a scoped worker
+    /// *pool*, sharing the engine's grade cache. Results are returned
+    /// in request order. A request that panics on a pool thread yields
     /// [`EngineError::WorkerPanicked`] in its slot — one bad request
     /// never takes down its batch.
+    ///
+    /// The pool spawns `min(available_parallelism, requests.len())`
+    /// workers that claim request slots from a shared counter, instead
+    /// of one thread per request: a batch of 10 000 requests costs a
+    /// handful of spawns, not 10 000. Each pool worker charges one
+    /// [`crate::stats::AccessStats::worker_spawns`] to the first
+    /// request it completes successfully (per-request prefetch/shard
+    /// workers are charged to their own requests as usual).
     pub fn run_many(&self, requests: &[TopKRequest]) -> Vec<Result<TopKResult, EngineError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(requests.len());
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<TopKResult, EngineError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
-            let handles: Vec<_> = requests
-                .iter()
-                .map(|request| scope.spawn(move || self.run(request)))
-                .collect();
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(slot, h)| match h.join() {
-                    Ok(result) => result,
-                    Err(payload) => Err(EngineError::WorkerPanicked {
-                        stream: format!("request {slot}"),
-                        message: panic_message(payload.as_ref()),
-                    }),
-                })
-                .collect()
-        })
+            for _ in 0..workers {
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move || {
+                    let mut charged = false;
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(request) = requests.get(i) else {
+                            break;
+                        };
+                        // The engine already contains panics from its
+                        // own workers; this net also catches panics on
+                        // the pool thread itself (e.g. a subsystem
+                        // exploding under a serial feed).
+                        let mut outcome = match catch_unwind(AssertUnwindSafe(|| self.run(request)))
+                        {
+                            Ok(result) => result,
+                            Err(payload) => Err(EngineError::WorkerPanicked {
+                                stream: format!("request {i}"),
+                                message: panic_message(payload.as_ref()),
+                            }),
+                        };
+                        if !charged {
+                            if let Ok(result) = &mut outcome {
+                                result.stats.worker_spawns += 1;
+                                self.totals
+                                    .worker_spawns
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                charged = true;
+                            }
+                        }
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        // Unreachable: every slot index below
+                        // requests.len() is claimed exactly once and
+                        // written before its worker exits.
+                        Err(EngineError::WorkerPanicked {
+                            stream: "request pool".to_owned(),
+                            message: "request slot never served".to_owned(),
+                        })
+                    })
+            })
+            .collect()
     }
 }
 
@@ -764,11 +1070,13 @@ mod tests {
                     batch_size: 1,
                     parallel: true,
                     cache_capacity: 8,
+                    ..EngineConfig::DEFAULT
                 },
                 EngineConfig {
                     batch_size: 1000,
                     parallel: false,
                     cache_capacity: 0,
+                    ..EngineConfig::DEFAULT
                 },
             ] {
                 let engine = Engine::new(config);
@@ -1006,6 +1314,166 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.capacity(), 2);
+        // Counters reset with the content (see `GradeCache::clear`).
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn striped_cache_roundtrips_and_clears_consistently() {
+        let cache = StripedGradeCache::new(64, 8);
+        assert!(cache.capacity() >= 64);
+        let g = Score::clamped(0.7);
+        for oid in 0..32u64 {
+            cache.insert((1, oid), g);
+        }
+        assert_eq!(cache.len(), 32);
+        for oid in 0..32u64 {
+            assert_eq!(cache.get((1, oid)), Some(g), "oid {oid}");
+        }
+        assert_eq!(cache.get((1, 999)), None);
+        assert_eq!(cache.counters(), (32, 1));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters(), (0, 0), "clear resets every stripe");
+        // Disabled cache stays disabled per stripe.
+        let off = StripedGradeCache::new(0, 8);
+        off.insert((0, 1), g);
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn engine_clear_cache_resets_counters() {
+        let engine = Engine::default();
+        // Same request value both times: cache keys are per source
+        // *instance*, so only identical handles can hit.
+        let req = request(300, 2, 8, 5);
+        let _ = engine.run(&req).unwrap();
+        let _ = engine.run(&req).unwrap();
+        let (hits, _) = engine.cache_counters();
+        assert!(hits > 0, "second identical run must hit the cache");
+        engine.clear_cache();
+        assert_eq!(engine.cache_counters(), (0, 0));
+    }
+
+    #[test]
+    fn access_totals_accumulate_across_requests() {
+        let engine = Engine::default();
+        let first = engine.run(&request(200, 2, 3, 4)).unwrap();
+        let after_first = engine.access_totals();
+        assert_eq!(after_first.sorted, first.stats.sorted);
+        assert_eq!(after_first.random, first.stats.random);
+        assert_eq!(after_first.worker_spawns, first.stats.worker_spawns);
+        let second = engine.run(&request(250, 3, 4, 6)).unwrap();
+        let after_second = engine.access_totals();
+        assert_eq!(
+            after_second.sorted,
+            first.stats.sorted + second.stats.sorted
+        );
+        assert_eq!(
+            after_second.random,
+            first.stats.random + second.stats.random
+        );
+    }
+
+    #[test]
+    fn parallel_runs_charge_one_prefetch_spawn_per_stream() {
+        let engine = Engine::default();
+        let result = engine.run(&request(200, 3, 9, 5)).unwrap();
+        assert_eq!(result.stats.worker_spawns, 3);
+        let serial = Engine::new(EngineConfig::serial());
+        let result = serial.run(&request(200, 3, 9, 5)).unwrap();
+        assert_eq!(result.stats.worker_spawns, 0);
+    }
+
+    #[test]
+    fn run_many_reuses_a_bounded_worker_pool() {
+        // With the serial config no prefetch workers muddy the count:
+        // total spawns must equal the pool size, not the batch size.
+        let engine = Engine::new(EngineConfig::serial());
+        let requests: Vec<TopKRequest> = (0..12).map(|i| request(120, 2, i as u64, 3)).collect();
+        let results = engine.run_many(&requests);
+        let spawns: u64 = results
+            .iter()
+            .map(|r| r.as_ref().map(|x| x.stats.worker_spawns).unwrap_or(0))
+            .sum();
+        let pool = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(requests.len()) as u64;
+        assert_eq!(spawns, pool, "one charge per pool worker, not per request");
+    }
+
+    #[test]
+    fn sharded_ta_through_the_engine_matches_serial() {
+        for &(n, m, k) in &[(400usize, 2usize, 7usize), (301, 3, 12), (64, 2, 100)] {
+            let reference = {
+                let serial = Engine::new(EngineConfig::serial());
+                serial
+                    .run_algorithm(&ThresholdAlgorithm, &request(n, m, 77, k))
+                    .unwrap()
+            };
+            for shards in [2usize, 3, 8] {
+                let engine = Engine::new(EngineConfig::sharded(shards));
+                let got = engine
+                    .run_algorithm(&ThresholdAlgorithm, &request(n, m, 77, k))
+                    .unwrap();
+                assert_eq!(
+                    got.answers, reference.answers,
+                    "n={n} m={m} k={k} p={shards}"
+                );
+                assert!(
+                    got.stats.worker_spawns >= shards as u64,
+                    "shard workers charged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_min_items_keeps_small_queries_serial() {
+        let engine = Engine::new(EngineConfig {
+            shards: 4,
+            shard_min_items: 1000,
+            ..EngineConfig::DEFAULT
+        });
+        // Universe 100 < 2 * 1000: the serial path runs (spawns are the
+        // m prefetch workers, not shard workers).
+        let result = engine
+            .run_algorithm(&ThresholdAlgorithm, &request(100, 2, 5, 4))
+            .unwrap();
+        assert_eq!(result.stats.worker_spawns, 2);
+    }
+
+    #[test]
+    fn sharded_path_rejects_invalid_requests_like_serial() {
+        #[derive(Debug)]
+        struct NotMonotone;
+        impl fmdb_core::scoring::ScoringFunction for NotMonotone {
+            fn name(&self) -> String {
+                "not-monotone".into()
+            }
+            fn combine(&self, grades: &[Score]) -> Score {
+                grades.first().copied().unwrap_or(Score::ZERO)
+            }
+            fn is_strict(&self) -> bool {
+                false
+            }
+            fn is_monotone(&self) -> bool {
+                false
+            }
+        }
+        let engine = Engine::new(EngineConfig::sharded(4));
+        let bad = TopKRequest::builder()
+            .sources(independent_uniform(50, 2, 1))
+            .scoring(NotMonotone)
+            .k(3)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.run_algorithm(&ThresholdAlgorithm, &bad),
+            Err(EngineError::Algo(AlgoError::NonMonotoneScoring(_)))
+        ));
     }
 
     #[test]

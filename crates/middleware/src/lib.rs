@@ -16,8 +16,11 @@
 //! * [`request`] — the unified [`request::TopKRequest`] builder and
 //!   shared source handles every strategy accepts;
 //! * [`engine`] — the batched, parallel execution engine: worker
-//!   threads per sorted stream, batched access, and an LRU grade cache,
-//!   bit-identical to the scalar algorithms;
+//!   threads per sorted stream, batched access, and a lock-striped LRU
+//!   grade cache, bit-identical to the scalar algorithms;
+//! * [`sharded`] — partition-parallel intra-query execution: per-shard
+//!   TA/NRA kernels cooperating through a shared [`sharded::AtomicThreshold`]
+//!   and merged by a loser-tree [`sharded::ShardMerger`];
 //! * [`oracle`] — brute-force reference grading and top-k validity
 //!   checking (used pervasively in tests);
 //! * [`paging`] — a paged-I/O cost simulation with an LRU buffer pool
@@ -53,6 +56,7 @@ pub mod engine;
 pub mod oracle;
 pub mod paging;
 pub mod request;
+pub mod sharded;
 pub mod source;
 pub mod stats;
 pub mod workload;
@@ -63,16 +67,18 @@ pub mod prelude {
     pub use crate::algorithms::fa::{FaSession, FaginsAlgorithm, OwnedFaSession};
     pub use crate::algorithms::max_merge::MaxMerge;
     pub use crate::algorithms::naive::Naive;
-    pub use crate::algorithms::nra::{BoundedAnswer, Nra, NraResult};
+    pub use crate::algorithms::nra::{BoundedAnswer, Nra, NraLowerBound, NraResult};
     pub use crate::algorithms::pruned_fa::PrunedFa;
     pub use crate::algorithms::ta::ThresholdAlgorithm;
     pub use crate::algorithms::{AlgoError, Algorithm, TopKAlgorithm, TopKResult};
-    pub use crate::engine::{Engine, EngineConfig, EngineError, GradeCache};
+    pub use crate::engine::{Engine, EngineConfig, EngineError, GradeCache, StripedGradeCache};
     pub use crate::oracle::verify_top_k;
     pub use crate::paging::{PageConfig, PageIo, PagedSource};
     pub use crate::request::{shared_source, SharedScoring, SharedSource, TopKRequest};
+    pub use crate::sharded::{AtomicThreshold, ShardKernel, ShardMerger};
     pub use crate::source::{
-        GradedSource, Oid, SourceInfo, SourceViolation, ValidatingSource, VecSource,
+        GradedSource, Oid, ShardedSource, SourceInfo, SourcePartitioner, SourceViolation,
+        ValidatingSource, VecSource,
     };
     pub use crate::stats::{AccessStats, CostModel};
 }

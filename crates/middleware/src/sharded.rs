@@ -1,0 +1,807 @@
+//! Sharded intra-query execution: partition-parallel TA/NRA with
+//! cooperative threshold sharing.
+//!
+//! The engine of PR 1 parallelizes *across* requests; a single
+//! expensive top-k still drains its sources on one thread. This module
+//! splits one query into `P` disjoint shards (every source partitioned
+//! by the *same* [`SourcePartitioner`]), runs a threshold-style kernel
+//! per shard on a scoped thread pool, and merges the per-shard answers
+//! through a loser-tree [`ShardMerger`].
+//!
+//! # Why the merge is exact
+//!
+//! All kernels report per-shard answers ordered by the global output
+//! comparator (descending grade, ties by ascending oid) and with
+//! **exact** grades. Any object of the true global top-k lives in
+//! exactly one shard, and within that shard at most `k − 1` objects
+//! beat it — so it appears in that shard's local top-k. The k-way merge
+//! of local top-k lists under the same comparator therefore returns
+//! exactly the global top-k.
+//!
+//! # Why the shared threshold is a valid stopping bound
+//!
+//! Each shard publishes into an [`AtomicThreshold`] a certified lower
+//! bound `T` on the global k-th overall grade (for TA: its local k-th
+//! *exact* grade — k real objects score at least that much; for NRA:
+//! its local k-th certified *lower* bound). Because scoring is
+//! monotone, a shard whose own threshold `τ = t(b₁, …, b_m)` falls
+//! strictly below `T` knows every object it has not yet seen grades at
+//! most `τ < T ≤` (global k-th grade), i.e. strictly below the weakest
+//! global answer — it can stop streaming immediately, even though its
+//! *local* stopping rule has not fired. The comparison is strict so a
+//! tie at the boundary never prunes an object that tie-breaking would
+//! have admitted.
+//!
+//! Partitions must be aligned across sources: per-shard TA bounds
+//! unseen objects by the shard's stream bottoms, which only bounds the
+//! grades of objects *of that shard* in every list. The engine
+//! guarantees alignment by partitioning all sources of a request with
+//! one partitioner.
+
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread;
+
+use fmdb_core::score::{Score, ScoredObject};
+use fmdb_core::scoring::ScoringFunction;
+
+use crate::algorithms::nra::BoundedAnswer;
+use crate::algorithms::TopKResult;
+use crate::engine::{panic_message, EngineError};
+use crate::request::SharedScoring;
+use crate::source::{GradedSource, Oid, ShardedSource, SourcePartitioner};
+use crate::stats::AccessStats;
+
+/// A shared, monotonically increasing lower bound on the global k-th
+/// overall grade, exchanged between shard workers.
+///
+/// The score is stored as the IEEE-754 bit pattern of its `f64` value
+/// in an [`AtomicU64`]; grades live in `[0, 1]`, and for non-negative
+/// floats the bit patterns order exactly like the numbers, so
+/// `fetch_max` on bits is `max` on scores.
+///
+/// All operations use [`Ordering::Relaxed`], and that is sufficient:
+/// the bound is *advisory* and only ever grows. A reader observing a
+/// stale (smaller) value merely keeps streaming a little longer than
+/// necessary — correctness never depends on seeing the latest value,
+/// only on never seeing a value larger than some published certified
+/// bound, which atomicity alone guarantees.
+#[derive(Debug, Default)]
+pub struct AtomicThreshold {
+    bits: AtomicU64,
+}
+
+impl AtomicThreshold {
+    /// Starts at zero (no bound known).
+    pub fn new() -> AtomicThreshold {
+        // Score::ZERO is +0.0, whose bit pattern is 0.
+        AtomicThreshold {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Raises the bound to `candidate` if it is an improvement.
+    pub fn observe(&self, candidate: Score) {
+        self.bits
+            .fetch_max(candidate.value().to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current bound (possibly stale, never overstated).
+    pub fn get(&self) -> Score {
+        Score::clamped(f64::from_bits(self.bits.load(Ordering::Relaxed)))
+    }
+}
+
+/// Which per-shard kernel a sharded algorithm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardKernel {
+    /// Threshold-algorithm kernel: sorted access plus immediate random
+    /// access; per-shard answers carry exact grades, so the merged
+    /// answer list is **identical** to the serial TA answer list.
+    Ta,
+    /// No-random-access kernel. Each shard streams until its reported
+    /// top-k intervals collapse to exact grades (or the global bound
+    /// proves it holds no global answers), so the merged *set* is a
+    /// valid top-k set with exact grades — serial NRA may report the
+    /// same set with understated lower-bound grades instead.
+    Nra,
+}
+
+/// A loser-tree k-way merger over per-shard answer lists.
+///
+/// Each input list must already be ordered by the output comparator
+/// (descending grade, ties by ascending oid); [`ShardMerger::pop`]
+/// yields the globally next answer in `O(log P)` comparisons. With
+/// answer lists of length ≤ k this is modest machinery, but it is the
+/// same structure a later distributed merge needs, and it never
+/// materializes the concatenated list.
+#[derive(Debug)]
+pub struct ShardMerger {
+    lists: Vec<Vec<ScoredObject<Oid>>>,
+    cursors: Vec<usize>,
+    /// Internal tournament nodes; `losers[0]` holds the overall winner,
+    /// `losers[1..]` the loser of the match played at that node.
+    losers: Vec<usize>,
+}
+
+/// Marks an internal node that has not hosted a match yet (during
+/// initialization only).
+const UNPLAYED: usize = usize::MAX;
+
+impl ShardMerger {
+    /// Builds a merger over `lists` (each descending grade / ascending
+    /// oid).
+    pub fn new(lists: Vec<Vec<ScoredObject<Oid>>>) -> ShardMerger {
+        let p = lists.len();
+        let mut merger = ShardMerger {
+            cursors: vec![0; p],
+            losers: vec![UNPLAYED; p.max(1)],
+            lists,
+        };
+        for t in 0..p {
+            merger.seed(t);
+        }
+        merger
+    }
+
+    /// Merges the next `k` answers out of `lists` — the convenience
+    /// entry point the sharded driver uses.
+    pub fn merge_top_k(lists: Vec<Vec<ScoredObject<Oid>>>, k: usize) -> Vec<ScoredObject<Oid>> {
+        let mut merger = ShardMerger::new(lists);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match merger.pop() {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The next answer across all lists, or `None` when every list is
+    /// exhausted.
+    pub fn pop(&mut self) -> Option<ScoredObject<Oid>> {
+        if self.lists.is_empty() {
+            return None;
+        }
+        let t = self.losers[0];
+        let item = self.head(t)?;
+        self.cursors[t] += 1;
+        self.replay(t);
+        Some(item)
+    }
+
+    fn head(&self, t: usize) -> Option<ScoredObject<Oid>> {
+        self.lists[t].get(self.cursors[t]).copied()
+    }
+
+    /// Does list `a`'s head beat list `b`'s under the output
+    /// comparator? Exhausted lists lose to everything.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (self.head(a), self.head(b)) {
+            (Some(x), Some(y)) => match x.grade.cmp(&y.grade) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => x.id < y.id,
+            },
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Initialization ascent for leaf `t`: deposit at the first
+    /// unplayed node (waiting for an opponent), otherwise play the
+    /// match — the loser stays, the winner ascends. Exactly one seed
+    /// ascent reaches the root and crowns `losers[0]`.
+    fn seed(&mut self, t: usize) {
+        let p = self.lists.len();
+        let mut winner = t;
+        let mut node = (t + p) / 2;
+        while node > 0 {
+            if self.losers[node] == UNPLAYED {
+                self.losers[node] = winner;
+                return;
+            }
+            if self.beats(self.losers[node], winner) {
+                std::mem::swap(&mut self.losers[node], &mut winner);
+            }
+            node /= 2;
+        }
+        self.losers[0] = winner;
+    }
+
+    /// Post-pop ascent: replay the matches on leaf `t`'s path to the
+    /// root against the stored losers.
+    fn replay(&mut self, t: usize) {
+        let p = self.lists.len();
+        let mut winner = t;
+        let mut node = (t + p) / 2;
+        while node > 0 {
+            if self.beats(self.losers[node], winner) {
+                std::mem::swap(&mut self.losers[node], &mut winner);
+            }
+            node /= 2;
+        }
+        self.losers[0] = winner;
+    }
+}
+
+impl Iterator for ShardMerger {
+    type Item = ScoredObject<Oid>;
+    fn next(&mut self) -> Option<ScoredObject<Oid>> {
+        self.pop()
+    }
+}
+
+/// Per-shard TA: the serial TA loop plus cooperative threshold
+/// sharing.
+///
+/// The shard maintains its top-k of *seen* objects in a bounded
+/// min-heap (so the local k-th exact grade is always at hand to
+/// publish) and stops on whichever fires first: the classic TA rule
+/// (k seen grades at or above the shard's own `τ`), the cooperative
+/// rule (`τ` strictly below the shared global bound), or stream
+/// exhaustion.
+fn shard_ta<S: GradedSource>(
+    sources: &mut [S],
+    scoring: &dyn ScoringFunction,
+    k: usize,
+    global: &AtomicThreshold,
+) -> (Vec<ScoredObject<Oid>>, AccessStats) {
+    let m = sources.len();
+    let mut stats = AccessStats::ZERO;
+    let mut seen: HashMap<Oid, ()> = HashMap::new();
+    // Min-heap of the best k (grade, oid) seen, worst on top; `Reverse`
+    // on the oid makes heap order agree with the output tie-break.
+    let mut top: BinaryHeap<Reverse<(Score, Reverse<Oid>)>> = BinaryHeap::with_capacity(k + 1);
+    let mut bottoms = vec![Score::ONE; m];
+    let mut exhausted = vec![false; m];
+    let mut slot_buf = vec![Score::ZERO; m];
+
+    loop {
+        let mut progressed = false;
+        for i in 0..m {
+            if exhausted[i] {
+                continue;
+            }
+            let Some(so) = sources[i].sorted_next() else {
+                exhausted[i] = true;
+                bottoms[i] = Score::ZERO;
+                continue;
+            };
+            stats.sorted += 1;
+            progressed = true;
+            bottoms[i] = so.grade;
+            if let Entry::Vacant(entry) = seen.entry(so.id) {
+                for (j, slot) in slot_buf.iter_mut().enumerate() {
+                    if j == i {
+                        *slot = so.grade;
+                    } else {
+                        *slot = sources[j].random_access(so.id);
+                        stats.random += 1;
+                    }
+                }
+                entry.insert(());
+                top.push(Reverse((scoring.combine(&slot_buf), Reverse(so.id))));
+                if top.len() > k {
+                    top.pop();
+                }
+            }
+        }
+
+        let kth = if top.len() >= k {
+            top.peek().map(|&Reverse((g, _))| g)
+        } else {
+            None
+        };
+        if let Some(kth) = kth {
+            // k objects of this shard have exact grade ≥ kth, so the
+            // global k-th grade is ≥ kth: a certified bound to share.
+            global.observe(kth);
+        }
+        let tau = scoring.combine(&bottoms);
+        let locally_done = kth.is_some_and(|kth| kth >= tau);
+        // Strict <: every unseen object here grades ≤ τ < global k-th,
+        // so it loses to all k global answers even under tie-breaks.
+        let globally_pruned = tau < global.get();
+        if locally_done || globally_pruned || !progressed {
+            break;
+        }
+    }
+
+    let mut answers: Vec<ScoredObject<Oid>> = top
+        .into_iter()
+        .map(|Reverse((grade, Reverse(id)))| ScoredObject::new(id, grade))
+        .collect();
+    answers.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.id.cmp(&b.id)));
+    (answers, stats)
+}
+
+/// Per-shard NRA: sorted access only, cooperative threshold sharing.
+///
+/// Beyond serial NRA's stopping rule, the reported local top-k must
+/// have *collapsed* intervals (exact grades): the cross-shard merge
+/// selects by grade, and selecting by uncollapsed lower bounds could
+/// prefer a shard's mediocre-but-certain candidate over another
+/// shard's better-but-uncertain one. A shard also stops (returning no
+/// answers) as soon as the shared bound proves that neither its unseen
+/// objects nor any of its current candidates can reach the global
+/// top-k.
+fn shard_nra<S: GradedSource>(
+    sources: &mut [S],
+    scoring: &dyn ScoringFunction,
+    k: usize,
+    global: &AtomicThreshold,
+) -> (Vec<ScoredObject<Oid>>, AccessStats) {
+    let m = sources.len();
+    let mut stats = AccessStats::ZERO;
+    let mut seen: HashMap<Oid, Vec<Option<Score>>> = HashMap::new();
+    let mut bottoms = vec![Score::ONE; m];
+    let mut exhausted = vec![false; m];
+    let mut low_buf = Vec::with_capacity(m);
+    let mut high_buf = Vec::with_capacity(m);
+
+    loop {
+        let mut progressed = false;
+        for i in 0..m {
+            if exhausted[i] {
+                continue;
+            }
+            match sources[i].sorted_next() {
+                Some(so) => {
+                    stats.sorted += 1;
+                    progressed = true;
+                    bottoms[i] = so.grade;
+                    let slots = seen.entry(so.id).or_insert_with(|| vec![None; m]);
+                    slots[i] = Some(so.grade);
+                }
+                None => {
+                    exhausted[i] = true;
+                    bottoms[i] = Score::ZERO;
+                }
+            }
+        }
+
+        let mut bounded: Vec<BoundedAnswer> = Vec::with_capacity(seen.len());
+        for (&oid, slots) in &seen {
+            low_buf.clear();
+            high_buf.clear();
+            for (i, &g) in slots.iter().enumerate() {
+                low_buf.push(g.unwrap_or(Score::ZERO));
+                high_buf.push(g.unwrap_or(bottoms[i]));
+            }
+            bounded.push(BoundedAnswer {
+                id: oid,
+                lower: scoring.combine(&low_buf),
+                upper: scoring.combine(&high_buf),
+            });
+        }
+        bounded.sort_by(|a, b| b.lower.cmp(&a.lower).then(a.id.cmp(&b.id)));
+
+        if bounded.len() >= k {
+            // k objects of this shard have true grade ≥ their lower
+            // bounds ≥ the k-th lower bound: a certified global bound.
+            global.observe(bounded[k - 1].lower);
+        }
+        let theta = global.get();
+        let unseen_upper = scoring.combine(&bottoms);
+
+        // Cooperative prune: nothing this shard has seen — or could
+        // still see — can reach the global top-k (strict <, so ties at
+        // the k-th grade are never discarded).
+        let unseen_hopeless = !progressed || unseen_upper < theta;
+        if unseen_hopeless && bounded.iter().all(|b| b.upper < theta) {
+            return (Vec::new(), stats);
+        }
+
+        if bounded.len() >= k {
+            let tau = bounded[k - 1].lower;
+            let exact_ok = bounded[..k].iter().all(BoundedAnswer::is_exact);
+            // A non-answer is dismissible once its upper bound cannot
+            // beat the local k-th lower bound — or falls strictly below
+            // the shared global bound.
+            let rest_ok = bounded[k..]
+                .iter()
+                .all(|b| b.upper <= tau || b.upper < theta);
+            let unseen_ok = !progressed || unseen_upper <= tau || unseen_upper < theta;
+            if exact_ok && rest_ok && unseen_ok {
+                bounded.truncate(k);
+                let answers = bounded
+                    .iter()
+                    .map(|b| ScoredObject::new(b.id, b.lower))
+                    .collect();
+                return (answers, stats);
+            }
+        }
+        if !progressed {
+            // Fully drained with fewer than k candidates: all bottoms
+            // are 0, every interval has collapsed, report everything.
+            bounded.truncate(k);
+            let answers = bounded
+                .iter()
+                .map(|b| ScoredObject::new(b.id, b.lower))
+                .collect();
+            return (answers, stats);
+        }
+    }
+}
+
+/// Runs one shard's kernel.
+fn run_kernel(
+    kernel: ShardKernel,
+    sources: &mut [ShardedSource],
+    scoring: &dyn ScoringFunction,
+    k: usize,
+    global: &AtomicThreshold,
+) -> (Vec<ScoredObject<Oid>>, AccessStats) {
+    match kernel {
+        ShardKernel::Ta => shard_ta(sources, scoring, k, global),
+        ShardKernel::Nra => shard_nra(sources, scoring, k, global),
+    }
+}
+
+/// Drives `P` shard workers on a scoped pool and merges their answers.
+///
+/// `shards[s]` holds shard `s`'s slice of every source (aligned
+/// partitions). Worker panics are caught and surfaced as
+/// [`EngineError::WorkerPanicked`] — one poisoned shard fails the
+/// request, never the process. The returned stats are the fold of all
+/// per-shard stats plus one `worker_spawns` per shard.
+pub(crate) fn run_shards(
+    kernel: ShardKernel,
+    shards: Vec<Vec<ShardedSource>>,
+    scoring: &SharedScoring,
+    k: usize,
+) -> Result<TopKResult, EngineError> {
+    type ShardOutcome = (usize, Result<(Vec<ScoredObject<Oid>>, AccessStats), String>);
+    let p = shards.len();
+    let global = AtomicThreshold::new();
+    // One slot per worker: the channel is bounded by construction.
+    let (tx, rx) = sync_channel(p.max(1));
+    let mut outcomes: Vec<ShardOutcome> = thread::scope(|scope| {
+        for (idx, mut sources) in shards.into_iter().enumerate() {
+            let tx = tx.clone();
+            let scoring = Arc::clone(scoring);
+            let global = &global;
+            scope.spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_kernel(kernel, &mut sources, &*scoring, k, global)
+                }))
+                .map_err(|payload| panic_message(payload.as_ref()));
+                let _ = tx.send((idx, outcome));
+            });
+        }
+        drop(tx);
+        rx.iter().take(p).collect()
+    });
+    outcomes.sort_by_key(|&(idx, _)| idx);
+
+    let mut stats = AccessStats::ZERO;
+    stats.worker_spawns = p as u64;
+    let mut lists = Vec::with_capacity(p);
+    for (idx, outcome) in outcomes {
+        match outcome {
+            Ok((answers, shard_stats)) => {
+                stats += shard_stats;
+                lists.push(answers);
+            }
+            Err(message) => {
+                return Err(EngineError::WorkerPanicked {
+                    stream: format!("shard {idx}"),
+                    message,
+                });
+            }
+        }
+    }
+    Ok(TopKResult {
+        answers: ShardMerger::merge_top_k(lists, k),
+        stats,
+    })
+}
+
+/// Partitions every source of a request consistently and runs the
+/// sharded path, or returns `None` when any source cannot be
+/// partitioned (the caller falls back to the serial path).
+pub(crate) fn partition_aligned(
+    sources: &[crate::request::SharedSource],
+    partitioner: SourcePartitioner,
+    shards: usize,
+) -> Option<Vec<Vec<ShardedSource>>> {
+    let mut per_shard: Vec<Vec<ShardedSource>> = (0..shards).map(|_| Vec::new()).collect();
+    for source in sources {
+        let guard = source
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let parts = guard.partition(partitioner, shards)?;
+        if parts.len() != shards {
+            return None;
+        }
+        for (s, part) in parts.into_iter().enumerate() {
+            per_shard[s].push(part);
+        }
+    }
+    Some(per_shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::ta::ThresholdAlgorithm;
+    use crate::algorithms::TopKAlgorithm;
+    use crate::oracle::{all_grades, verify_top_k};
+    use crate::source::VecSource;
+    use crate::workload::independent_uniform;
+    use fmdb_core::scoring::means::ArithmeticMean;
+    use fmdb_core::scoring::tnorms::Min;
+
+    fn s(v: f64) -> Score {
+        Score::clamped(v)
+    }
+
+    #[test]
+    fn atomic_threshold_only_grows() {
+        let t = AtomicThreshold::new();
+        assert_eq!(t.get(), Score::ZERO);
+        t.observe(s(0.4));
+        t.observe(s(0.2));
+        assert_eq!(t.get(), s(0.4));
+        t.observe(s(0.9));
+        assert_eq!(t.get(), s(0.9));
+    }
+
+    #[test]
+    fn atomic_threshold_is_race_free_across_threads() {
+        let t = AtomicThreshold::new();
+        thread::scope(|scope| {
+            for part in 0..4u64 {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..250u64 {
+                        t.observe(s((part * 250 + i) as f64 / 1000.0));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.get(), s(0.999));
+    }
+
+    /// Pseudo-random descending lists for merger tests.
+    fn descending_lists(shape: &[usize], seed: u64) -> Vec<Vec<ScoredObject<Oid>>> {
+        let mut oid = 0u64;
+        shape
+            .iter()
+            .enumerate()
+            .map(|(li, &len)| {
+                let mut list: Vec<ScoredObject<Oid>> = (0..len)
+                    .map(|_| {
+                        oid += 1;
+                        let g = ((oid.wrapping_mul(seed + li as u64 + 7919)) % 97) as f64 / 97.0;
+                        ScoredObject::new(oid, s(g))
+                    })
+                    .collect();
+                list.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.id.cmp(&b.id)));
+                list
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merger_matches_flatten_and_sort() {
+        for shape in [
+            vec![],
+            vec![0],
+            vec![5],
+            vec![3, 0, 7, 1],
+            vec![4, 4, 4],
+            vec![1, 9, 2, 6, 3, 5, 8, 7],
+        ] {
+            for seed in [3, 17, 101] {
+                let lists = descending_lists(&shape, seed);
+                let mut expected: Vec<ScoredObject<Oid>> =
+                    lists.iter().flatten().copied().collect();
+                expected.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.id.cmp(&b.id)));
+                let merged: Vec<ScoredObject<Oid>> = ShardMerger::new(lists).collect();
+                assert_eq!(merged, expected, "shape {shape:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_top_k_truncates_and_tolerates_short_input() {
+        let lists = descending_lists(&[3, 2], 5);
+        assert_eq!(ShardMerger::merge_top_k(lists.clone(), 2).len(), 2);
+        assert_eq!(ShardMerger::merge_top_k(lists, 50).len(), 5);
+        assert!(ShardMerger::merge_top_k(vec![], 3).is_empty());
+    }
+
+    /// Ties across lists resolve by ascending oid, like `finalize`.
+    #[test]
+    fn merger_breaks_ties_by_oid() {
+        let a = vec![ScoredObject::new(5, s(0.5)), ScoredObject::new(9, s(0.5))];
+        let b = vec![ScoredObject::new(2, s(0.5))];
+        let merged: Vec<Oid> = ShardMerger::new(vec![a, b]).map(|x| x.id).collect();
+        assert_eq!(merged, vec![2, 5, 9]);
+    }
+
+    fn shard_workload(
+        n: usize,
+        m: usize,
+        seed: u64,
+        p: usize,
+        partitioner: SourcePartitioner,
+    ) -> Vec<Vec<ShardedSource>> {
+        let sources = independent_uniform(n, m, seed);
+        let mut per_shard: Vec<Vec<ShardedSource>> = (0..p).map(|_| Vec::new()).collect();
+        for src in &sources {
+            for (s_idx, part) in src
+                .partition(partitioner, p)
+                .unwrap()
+                .into_iter()
+                .enumerate()
+            {
+                per_shard[s_idx].push(part);
+            }
+        }
+        per_shard
+    }
+
+    fn serial_ta(n: usize, m: usize, seed: u64, k: usize) -> TopKResult {
+        let mut sources = independent_uniform(n, m, seed);
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|x| x as &mut dyn GradedSource)
+            .collect();
+        ThresholdAlgorithm.top_k(&mut refs, &Min, k).unwrap()
+    }
+
+    #[test]
+    fn sharded_ta_answers_equal_serial_ta() {
+        for &(n, m, k) in &[(200usize, 2usize, 5usize), (157, 3, 10), (64, 2, 64)] {
+            for p in [1usize, 2, 3, 8] {
+                for partitioner in [
+                    SourcePartitioner::Modulo,
+                    SourcePartitioner::Contiguous { universe: n },
+                ] {
+                    let shards = shard_workload(n, m, 42, p, partitioner);
+                    let scoring: SharedScoring = Arc::new(Min);
+                    let got = run_shards(ShardKernel::Ta, shards, &scoring, k).unwrap();
+                    let want = serial_ta(n, m, 42, k);
+                    assert_eq!(got.answers, want.answers, "n={n} m={m} k={k} p={p}");
+                    assert_eq!(got.stats.worker_spawns, p as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_nra_returns_an_exact_valid_top_k_set() {
+        for &(n, k) in &[(180usize, 7usize), (60, 60), (33, 50)] {
+            let shards = shard_workload(n, 2, 9, 4, SourcePartitioner::Modulo);
+            let scoring: SharedScoring = Arc::new(ArithmeticMean);
+            let got = run_shards(ShardKernel::Nra, shards, &scoring, k).unwrap();
+            // Exact grades: verify directly against the oracle.
+            let mut sources = independent_uniform(n, 2, 9);
+            let mut refs: Vec<&mut dyn GradedSource> = sources
+                .iter_mut()
+                .map(|x| x as &mut dyn GradedSource)
+                .collect();
+            verify_top_k(&mut refs, &ArithmeticMean, &got.answers, k).unwrap();
+            assert_eq!(got.answers.len(), k.min(n));
+        }
+    }
+
+    #[test]
+    fn shard_kernels_meter_their_accesses() {
+        // Wrap each shard in a counter and check self-reported stats.
+        let src = VecSource::from_dense(
+            "t",
+            &(0..50).map(|i| s(i as f64 / 50.0)).collect::<Vec<_>>(),
+        );
+        let mut parts = src.partition(SourcePartitioner::Modulo, 2).unwrap();
+        let global = AtomicThreshold::new();
+        let (answers, stats) = shard_ta(&mut parts[..1], &Min, 3, &global);
+        assert_eq!(answers.len(), 3);
+        assert!(stats.sorted > 0);
+        assert_eq!(stats.random, 0, "single source: nothing to probe");
+        // NRA never random-accesses by construction.
+        let src2 = VecSource::from_dense(
+            "u",
+            &(0..50)
+                .map(|i| s((i as f64 * 0.37) % 1.0))
+                .collect::<Vec<_>>(),
+        );
+        let mut parts2 = src2.partition(SourcePartitioner::Modulo, 2).unwrap();
+        let mut pair = vec![parts.remove(0), parts2.remove(0)];
+        let (_, nra_stats) = shard_nra(&mut pair, &Min, 3, &AtomicThreshold::new());
+        assert_eq!(nra_stats.random, 0);
+    }
+
+    #[test]
+    fn a_hot_global_bound_prunes_a_cold_shard() {
+        // If another shard already certified a high k-th grade, a shard
+        // full of low grades stops after one round instead of draining.
+        let grades: Vec<Score> = (0..1000).map(|i| s(0.3 - (i as f64 / 10_000.0))).collect();
+        let src = VecSource::from_dense("cold", &grades);
+        let mut parts = src.partition(SourcePartitioner::Modulo, 1).unwrap();
+        let global = AtomicThreshold::new();
+        global.observe(s(0.9));
+        let (_, stats) = shard_ta(&mut parts, &Min, 5, &global);
+        assert!(
+            stats.sorted <= 10,
+            "cooperative bound should stop the scan, streamed {}",
+            stats.sorted
+        );
+        let mut parts_nra = src.partition(SourcePartitioner::Modulo, 1).unwrap();
+        let (answers, stats) = shard_nra(&mut parts_nra, &Min, 5, &global);
+        assert!(answers.is_empty(), "pruned shard reports no answers");
+        assert!(stats.sorted <= 10, "streamed {}", stats.sorted);
+    }
+
+    #[test]
+    fn sharded_nra_grade_multiset_matches_truth() {
+        let shards = shard_workload(120, 3, 5, 3, SourcePartitioner::Modulo);
+        let scoring: SharedScoring = Arc::new(Min);
+        let got = run_shards(ShardKernel::Nra, shards, &scoring, 10).unwrap();
+        let mut sources = independent_uniform(120, 3, 5);
+        let mut refs: Vec<&mut dyn GradedSource> = sources
+            .iter_mut()
+            .map(|x| x as &mut dyn GradedSource)
+            .collect();
+        let truth = all_grades(&mut refs, &Min);
+        for a in &got.answers {
+            assert!(
+                a.grade.approx_eq(truth[&a.id], 1e-9),
+                "reported grade is exact"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_worker_panic_fails_the_request() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl fmdb_core::scoring::ScoringFunction for Bomb {
+            fn name(&self) -> String {
+                "bomb".into()
+            }
+            fn combine(&self, _: &[Score]) -> Score {
+                panic!("scoring exploded")
+            }
+            fn is_strict(&self) -> bool {
+                false
+            }
+            fn is_monotone(&self) -> bool {
+                true
+            }
+        }
+        let shards = shard_workload(40, 2, 1, 2, SourcePartitioner::Modulo);
+        let scoring: SharedScoring = Arc::new(Bomb);
+        match run_shards(ShardKernel::Ta, shards, &scoring, 3) {
+            Err(EngineError::WorkerPanicked { stream, message }) => {
+                assert!(stream.starts_with("shard"), "{stream}");
+                assert!(message.contains("exploded"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_aligned_falls_back_on_unpartitionable_sources() {
+        use crate::request::shared_source;
+        use crate::source::CountingSource;
+        let ok = shared_source(VecSource::from_dense("a", &[s(0.2), s(0.8)]));
+        let no = shared_source(CountingSource::new(VecSource::from_dense(
+            "b",
+            &[s(0.5), s(0.5)],
+        )));
+        assert!(
+            partition_aligned(std::slice::from_ref(&ok), SourcePartitioner::Modulo, 2).is_some()
+        );
+        assert!(partition_aligned(&[ok, no], SourcePartitioner::Modulo, 2).is_none());
+    }
+}

@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use fmdb_core::score::{Score, ScoredObject};
 
@@ -126,6 +127,27 @@ pub trait GradedSource {
     fn label(&self) -> String {
         self.info().label
     }
+
+    /// Splits this source into `shards` disjoint [`ShardedSource`]s
+    /// under `partitioner`, or `None` when the implementation cannot
+    /// materialize shards (a truly remote subsystem streams — it cannot
+    /// be split without draining it first).
+    ///
+    /// Shard `i` streams exactly the objects with
+    /// `partitioner.shard_of(oid, shards) == i`, in the same descending
+    /// grade order as the parent stream, while random access still
+    /// answers over the parent's full universe. The engine partitions
+    /// every source of one query with the *same* partitioner, which is
+    /// what keeps the per-shard threshold bound valid (see the
+    /// `sharded` module).
+    fn partition(
+        &self,
+        partitioner: SourcePartitioner,
+        shards: usize,
+    ) -> Option<Vec<ShardedSource>> {
+        let _ = (partitioner, shards);
+        None
+    }
 }
 
 impl fmt::Debug for dyn GradedSource + '_ {
@@ -137,6 +159,169 @@ impl fmt::Debug for dyn GradedSource + '_ {
 impl fmt::Debug for dyn GradedSource + Send + '_ {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "GradedSource({})", self.info())
+    }
+}
+
+/// How a query's universe of oids is split into disjoint shards.
+///
+/// All sources of one sharded query must be split by the *same*
+/// partitioner: per-shard TA bounds the grades of a shard's unseen
+/// objects by the shard's stream bottoms, and that bound only holds if
+/// "object o belongs to shard i" means the same thing in every source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourcePartitioner {
+    /// `oid % shards` — balanced for arbitrary (sparse) oid spaces.
+    Modulo,
+    /// Contiguous index ranges over a dense `0..universe` oid space:
+    /// shard `i` owns `[ceil(i·n/p), ceil((i+1)·n/p))`. Oids at or
+    /// beyond `universe` fall into the last shard. This is the layout
+    /// that lines up with contiguous storage scans
+    /// (`EmbeddedCorpus::shard_ranges` in `fmdb-media`,
+    /// `PrecomputedDistances::shard_ranges` in `fmdb-index` use the
+    /// same formula).
+    Contiguous {
+        /// The dense universe size `n` the ranges are computed over.
+        universe: usize,
+    },
+}
+
+impl SourcePartitioner {
+    /// The shard (in `0..shards`) that owns `oid`.
+    pub fn shard_of(&self, oid: Oid, shards: usize) -> usize {
+        let p = shards.max(1);
+        match *self {
+            SourcePartitioner::Modulo => (oid % p as u64) as usize,
+            SourcePartitioner::Contiguous { universe } => {
+                if universe == 0 {
+                    return 0;
+                }
+                // floor(oid·p / n), clamped so out-of-universe oids
+                // land in the last shard. u128 avoids overflow for
+                // huge oids.
+                let raw = (oid as u128 * p as u128 / universe as u128) as usize;
+                raw.min(p - 1)
+            }
+        }
+    }
+
+    /// The contiguous index range shard `shard` owns under
+    /// [`SourcePartitioner::Contiguous`] over a dense universe of size
+    /// `universe`: `[ceil(i·n/p), ceil((i+1)·n/p))`.
+    ///
+    /// This is the inverse of [`SourcePartitioner::shard_of`]: for a
+    /// dense oid space, `shard_of(oid) == i` exactly when `oid` lies in
+    /// `contiguous_range(universe, i, shards)`.
+    pub fn contiguous_range(
+        universe: usize,
+        shard: usize,
+        shards: usize,
+    ) -> std::ops::Range<usize> {
+        let p = shards.max(1);
+        let lo = (shard.min(p) * universe).div_ceil(p);
+        let hi = ((shard.min(p) + 1).min(p) * universe).div_ceil(p);
+        lo..hi.max(lo)
+    }
+}
+
+/// One shard of a partitioned [`GradedSource`].
+///
+/// Sorted access streams only the objects this shard owns (in the
+/// parent's descending order); random access still answers over the
+/// parent's full universe, so the wrapper honors the source contract
+/// even if probed about out-of-shard objects. The full random index is
+/// shared between sibling shards via an [`Arc`], so partitioning an
+/// `n`-object source into `p` shards costs one index clone, not `p`.
+#[derive(Debug, Clone)]
+pub struct ShardedSource {
+    label: String,
+    shard: usize,
+    shards: usize,
+    /// This shard's slice of the stream, descending grade / ascending
+    /// oid (inherited from the parent order).
+    sorted: Vec<ScoredObject<Oid>>,
+    /// Parent-universe random-access index, shared across siblings.
+    by_oid: Arc<HashMap<Oid, Score>>,
+    cursor: usize,
+}
+
+impl ShardedSource {
+    /// Splits a materialized stream into shards.
+    ///
+    /// `sorted` must be in descending-grade / ascending-oid order (the
+    /// source contract); each shard inherits that order. `by_oid` is
+    /// the parent's full random-access index.
+    pub fn split(
+        label: &str,
+        sorted: &[ScoredObject<Oid>],
+        by_oid: Arc<HashMap<Oid, Score>>,
+        partitioner: SourcePartitioner,
+        shards: usize,
+    ) -> Vec<ShardedSource> {
+        let p = shards.max(1);
+        let mut parts: Vec<Vec<ScoredObject<Oid>>> = vec![Vec::new(); p];
+        for &item in sorted {
+            parts[partitioner.shard_of(item.id, p)].push(item);
+        }
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| ShardedSource {
+                label: format!("{label}[shard {i}/{p}]"),
+                shard: i,
+                shards: p,
+                sorted: part,
+                by_oid: Arc::clone(&by_oid),
+                cursor: 0,
+            })
+            .collect()
+    }
+
+    /// Which shard (in `0..shard_count()`) this is.
+    pub fn shard_index(&self) -> usize {
+        self.shard
+    }
+
+    /// How many sibling shards the parent was split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+}
+
+impl GradedSource for ShardedSource {
+    fn sorted_next(&mut self) -> Option<ScoredObject<Oid>> {
+        let item = self.sorted.get(self.cursor).copied();
+        if item.is_some() {
+            self.cursor += 1;
+        }
+        item
+    }
+
+    fn random_access(&mut self, oid: Oid) -> Score {
+        self.by_oid.get(&oid).copied().unwrap_or(Score::ZERO)
+    }
+
+    fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    fn info(&self) -> SourceInfo {
+        // The universe a shard reports is its own slice: that is what
+        // its sorted stream can produce, and what per-shard algorithms
+        // should size their work by.
+        SourceInfo::new(self.label.clone(), self.sorted.len())
+    }
+
+    fn sorted_batch(&mut self, n: usize) -> Vec<ScoredObject<Oid>> {
+        let end = self.cursor.saturating_add(n).min(self.sorted.len());
+        let out = self.sorted[self.cursor..end].to_vec();
+        self.cursor = end;
+        out
+    }
+
+    fn random_batch(&mut self, oids: &[Oid]) -> Vec<Score> {
+        oids.iter()
+            .map(|oid| self.by_oid.get(oid).copied().unwrap_or(Score::ZERO))
+            .collect()
     }
 }
 
@@ -243,6 +428,27 @@ impl GradedSource for VecSource {
         oids.iter()
             .map(|oid| self.by_oid.get(oid).copied().unwrap_or(Score::ZERO))
             .collect()
+    }
+
+    // In-memory sources are trivially partitionable: the sorted stream
+    // is already materialized and the random index is cloned once into
+    // an `Arc` shared by all shards.
+    fn partition(
+        &self,
+        partitioner: SourcePartitioner,
+        shards: usize,
+    ) -> Option<Vec<ShardedSource>> {
+        if shards == 0 {
+            return None;
+        }
+        let by_oid = Arc::new(self.by_oid.clone());
+        Some(ShardedSource::split(
+            &self.label,
+            &self.sorted,
+            by_oid,
+            partitioner,
+            shards,
+        ))
     }
 }
 
@@ -672,6 +878,99 @@ mod tests {
         let src = VecSource::from_dense("legacy", &[s(0.3)]);
         assert_eq!(src.universe_size(), 1);
         assert_eq!(src.label(), "legacy");
+    }
+
+    #[test]
+    fn contiguous_range_inverts_shard_of() {
+        // Every (universe, shards) pair in a small grid: the ranges
+        // tile [0, n) exactly and agree with shard_of on every oid.
+        for n in [0usize, 1, 2, 5, 7, 16, 33] {
+            for p in [1usize, 2, 3, 4, 5, 8] {
+                let part = SourcePartitioner::Contiguous { universe: n };
+                let mut covered = 0usize;
+                for i in 0..p {
+                    let r = SourcePartitioner::contiguous_range(n, i, p);
+                    assert_eq!(r.start, covered, "n={n} p={p} shard {i}");
+                    covered = r.end;
+                    for oid in r.clone() {
+                        assert_eq!(part.shard_of(oid as Oid, p), i, "n={n} p={p} oid={oid}");
+                    }
+                }
+                assert_eq!(covered, n, "ranges must tile the universe");
+            }
+        }
+        // Out-of-universe oids clamp to the last shard.
+        let part = SourcePartitioner::Contiguous { universe: 10 };
+        assert_eq!(part.shard_of(10_000, 4), 3);
+        assert_eq!(
+            SourcePartitioner::Contiguous { universe: 0 }.shard_of(3, 4),
+            0
+        );
+    }
+
+    #[test]
+    fn modulo_partitioner_spreads_sparse_oids() {
+        let part = SourcePartitioner::Modulo;
+        assert_eq!(part.shard_of(0, 3), 0);
+        assert_eq!(part.shard_of(7, 3), 1);
+        assert_eq!(part.shard_of(1_000_001, 2), 1);
+        // Degenerate shard count behaves as a single shard.
+        assert_eq!(part.shard_of(42, 0), 0);
+    }
+
+    #[test]
+    fn partition_covers_stream_and_preserves_order() {
+        let grades: Vec<Score> = (0..23).map(|i| s((i as f64 * 7.3) % 1.0)).collect();
+        let src = VecSource::from_dense("t", &grades);
+        for &p in &[1usize, 2, 3, 8] {
+            for part in [
+                SourcePartitioner::Modulo,
+                SourcePartitioner::Contiguous { universe: 23 },
+            ] {
+                let mut shards = src.partition(part, p).unwrap();
+                assert_eq!(shards.len(), p);
+                let mut seen: Vec<Oid> = Vec::new();
+                for (i, shard) in shards.iter_mut().enumerate() {
+                    assert_eq!(shard.shard_index(), i);
+                    assert_eq!(shard.shard_count(), p);
+                    let mut last: Option<Score> = None;
+                    while let Some(item) = shard.sorted_next() {
+                        // Membership matches the partitioner...
+                        assert_eq!(part.shard_of(item.id, p), i);
+                        // ...stream order stays descending...
+                        if let Some(prev) = last {
+                            assert!(item.grade <= prev);
+                        }
+                        last = Some(item.grade);
+                        seen.push(item.id);
+                        // ...and random access agrees with the parent.
+                        assert_eq!(shard.random_access(item.id), item.grade);
+                    }
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, (0..23).collect::<Vec<Oid>>(), "shards must tile");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_source_answers_out_of_shard_probes() {
+        let src = VecSource::from_dense("t", &[s(0.1), s(0.9), s(0.5), s(0.7)]);
+        let mut shards = src.partition(SourcePartitioner::Modulo, 2).unwrap();
+        // Shard 0 owns even oids but can still grade odd ones.
+        assert_eq!(shards[0].random_access(1), s(0.9));
+        assert_eq!(shards[0].random_access(999), Score::ZERO);
+        // Rewind restarts the shard's own stream.
+        let first = shards[1].sorted_next().unwrap();
+        shards[1].rewind();
+        assert_eq!(shards[1].sorted_next(), Some(first));
+    }
+
+    #[test]
+    fn default_partition_is_none() {
+        // A wrapper without an override cannot be sharded.
+        let counted = CountingSource::new(VecSource::from_dense("t", &[s(0.5)]));
+        assert!(counted.partition(SourcePartitioner::Modulo, 2).is_none());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! [`AccessStats`] into a *charged* cost, used by experiment E5.
 
 use std::fmt;
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Counts of the two access kinds an algorithm performed, plus the
 /// engine's grade-cache counters.
@@ -35,6 +35,13 @@ pub struct AccessStats {
     /// Random accesses that went through to the subsystem (only
     /// metered when a cache is in play; 0 means "no cache involved").
     pub cache_misses: u64,
+    /// Worker threads the engine spawned while serving this request:
+    /// prefetch workers (one per stream when parallel), shard workers
+    /// under the sharded path, and — under `Engine::run_many` — the
+    /// pooled batch workers, each charged once to the first request it
+    /// completes. Like the cache counters this is physical-execution
+    /// telemetry, not part of the paper's access cost.
+    pub worker_spawns: u64,
 }
 
 impl AccessStats {
@@ -44,6 +51,7 @@ impl AccessStats {
         random: 0,
         cache_hits: 0,
         cache_misses: 0,
+        worker_spawns: 0,
     };
 
     /// Creates explicit stats (no cache activity).
@@ -77,6 +85,7 @@ impl Add for AccessStats {
             random: self.random + rhs.random,
             cache_hits: self.cache_hits + rhs.cache_hits,
             cache_misses: self.cache_misses + rhs.cache_misses,
+            worker_spawns: self.worker_spawns + rhs.worker_spawns,
         }
     }
 }
@@ -84,6 +93,24 @@ impl Add for AccessStats {
 impl AddAssign for AccessStats {
     fn add_assign(&mut self, rhs: AccessStats) {
         *self = *self + rhs;
+    }
+}
+
+/// Componentwise difference, saturating at zero — for diffing two
+/// snapshots of a monotonically growing counter set (e.g.
+/// `Engine::access_totals` before/after an experiment). Saturation
+/// only engages if the operands are swapped; it never hides real
+/// counts.
+impl Sub for AccessStats {
+    type Output = AccessStats;
+    fn sub(self, rhs: AccessStats) -> AccessStats {
+        AccessStats {
+            sorted: self.sorted.saturating_sub(rhs.sorted),
+            random: self.random.saturating_sub(rhs.random),
+            cache_hits: self.cache_hits.saturating_sub(rhs.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(rhs.cache_misses),
+            worker_spawns: self.worker_spawns.saturating_sub(rhs.worker_spawns),
+        }
     }
 }
 
@@ -168,6 +195,14 @@ mod tests {
         a += AccessStats::new(3, 4);
         assert_eq!(a, AccessStats::new(4, 6));
         assert_eq!(a + AccessStats::ZERO, a);
+    }
+
+    #[test]
+    fn stats_sub_diffs_snapshots_and_saturates() {
+        let before = AccessStats::new(10, 4);
+        let after = AccessStats::new(25, 9);
+        assert_eq!(after - before, AccessStats::new(15, 5));
+        assert_eq!(before - after, AccessStats::ZERO);
     }
 
     #[test]

@@ -14,9 +14,9 @@ use proptest::prelude::*;
 
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
-use fmdb_middleware::algorithms::nra::Nra;
+use fmdb_middleware::algorithms::nra::NraLowerBound;
 use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
-use fmdb_middleware::algorithms::{AlgoError, TopKAlgorithm, TopKResult};
+use fmdb_middleware::algorithms::{TopKAlgorithm, TopKResult};
 use fmdb_middleware::engine::{Engine, EngineConfig};
 use fmdb_middleware::oracle::{all_grades, verify_top_k};
 use fmdb_middleware::request::TopKRequest;
@@ -62,35 +62,6 @@ fn scenario() -> impl Strategy<Value = Scenario> {
         )
 }
 
-/// NRA exposed through the scalar [`TopKAlgorithm`] calling convention
-/// (grades flattened to the certified lower bound, as
-/// `<Nra as Algorithm>::run` does), so the *same* merge code runs both
-/// scalar and inside the engine.
-struct NraLowerBound;
-
-impl TopKAlgorithm for NraLowerBound {
-    fn name(&self) -> &'static str {
-        "nra-lower-bound"
-    }
-
-    fn top_k(
-        &self,
-        sources: &mut [&mut dyn GradedSource],
-        scoring: &dyn fmdb_core::scoring::ScoringFunction,
-        k: usize,
-    ) -> Result<TopKResult, AlgoError> {
-        let result = Nra.top_k(sources, scoring, k)?;
-        Ok(TopKResult {
-            answers: result
-                .answers
-                .iter()
-                .map(|b| fmdb_core::score::ScoredObject::new(b.id, b.lower))
-                .collect(),
-            stats: result.stats,
-        })
-    }
-}
-
 fn scalar_run(algorithm: &dyn TopKAlgorithm, s: Scenario) -> TopKResult {
     let mut sources = independent_uniform(s.n, s.m, s.seed);
     let mut refs: Vec<&mut dyn GradedSource> = sources
@@ -107,6 +78,7 @@ fn engine_run(algorithm: &dyn TopKAlgorithm, s: Scenario) -> TopKResult {
         batch_size: s.batch_size,
         parallel: s.parallel,
         cache_capacity: s.cache_capacity,
+        ..EngineConfig::DEFAULT
     });
     let request = TopKRequest::builder()
         .sources(independent_uniform(s.n, s.m, s.seed))

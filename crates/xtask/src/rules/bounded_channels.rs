@@ -8,11 +8,15 @@
 //! because that is where worker pipelines live; other crates don't
 //! spawn producer threads.
 //!
-//! Two lexical shapes are flagged:
+//! Three lexical shapes are flagged:
 //!
 //! * a call `mpsc::channel(` (any path prefix before `mpsc`);
 //! * importing the constructor: `use std::sync::mpsc::channel` (which
-//!   would let later bare `channel()` calls evade the first pattern).
+//!   would let later bare `channel()` calls evade the first pattern);
+//! * importing it through a brace group:
+//!   `use std::sync::mpsc::{channel, …}` — the shard/prefetch worker
+//!   pipelines import `sync_channel` this way, and a `channel` slipped
+//!   into the same group must not evade the rule.
 
 use crate::diagnostics::Diagnostic;
 use crate::workspace::{FileClass, SourceFile};
@@ -33,13 +37,47 @@ pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
         if file.in_test_region(token.line) {
             continue;
         }
+        if !code.get(i + 1).map(|t| t.text == "::").unwrap_or(false) {
+            continue;
+        }
+        // `mpsc :: { …, channel, … }` — a brace-group import.
+        if code.get(i + 2).map(|t| t.text == "{").unwrap_or(false) {
+            let in_use = code[..i].iter().rev().take(8).any(|t| t.text == "use");
+            let mut j = i + 3;
+            while let Some(t) = code.get(j) {
+                if t.text == "}" {
+                    break;
+                }
+                // A direct member named `channel`: preceded by `{`/`,`
+                // (not a nested path segment like `channel::…`, which
+                // cannot occur under `mpsc::`) and followed by
+                // `,`/`}`/`as`.
+                let next = code.get(j + 1).map(|t| t.text.as_str());
+                if in_use && t.text == "channel" && matches!(next, Some("," | "}" | "as")) {
+                    diags.push(
+                        Diagnostic::new(
+                            RULE,
+                            &file.rel_path,
+                            t.line,
+                            t.col,
+                            "importing unbounded `mpsc::channel` (brace group) in middleware",
+                        )
+                        .with_help(
+                            "use `mpsc::sync_channel(bound)` for backpressure, or add \
+                             `// lint:allow(bounded-channels): <why unbounded is safe here>`",
+                        ),
+                    );
+                }
+                j += 1;
+            }
+            continue;
+        }
         // `mpsc :: channel` …
-        let path_is_channel = code.get(i + 1).map(|t| t.text == "::").unwrap_or(false)
-            && code
-                .get(i + 2)
-                .map(|t| t.text == "channel")
-                .unwrap_or(false);
-        if !path_is_channel {
+        if !code
+            .get(i + 2)
+            .map(|t| t.text == "channel")
+            .unwrap_or(false)
+        {
             continue;
         }
         // Skip an optional turbofish (`channel::<T>()`).
@@ -119,6 +157,26 @@ mod tests {
     fn flags_importing_the_constructor() {
         let src = "use std::sync::mpsc::channel;\n";
         assert_eq!(check_src("crates/middleware/src/engine.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flags_brace_group_imports() {
+        let src = "use std::sync::mpsc::{channel, Receiver};\n";
+        let diags = check_src("crates/middleware/src/sharded.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("brace group"));
+        // Renamed imports don't evade either.
+        let src = "use std::sync::mpsc::{channel as ch};\n";
+        assert_eq!(check_src("crates/middleware/src/sharded.rs", src).len(), 1);
+        // Trailing position in the group.
+        let src = "use std::sync::mpsc::{Receiver, channel};\n";
+        assert_eq!(check_src("crates/middleware/src/sharded.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn brace_group_with_only_sync_channel_is_fine() {
+        let src = "use std::sync::mpsc::{sync_channel, Receiver, SyncSender};\n";
+        assert!(check_src("crates/middleware/src/engine.rs", src).is_empty());
     }
 
     #[test]
