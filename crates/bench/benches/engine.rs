@@ -26,7 +26,8 @@ use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
 use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
 use fmdb_middleware::algorithms::TopKAlgorithm;
 use fmdb_middleware::engine::{Engine, EngineConfig};
-use fmdb_middleware::request::TopKRequest;
+use fmdb_middleware::policy::ExecPolicy;
+use fmdb_middleware::request::{TopKQuery, TopKRequest};
 use fmdb_middleware::source::{GradedSource, Oid, SourceInfo, VecSource};
 use fmdb_middleware::workload::independent_uniform;
 
@@ -80,11 +81,11 @@ impl GradedSource for RemoteSource {
 }
 
 fn remote_request() -> TopKRequest {
-    let mut builder = TopKRequest::builder();
+    let mut builder = TopKQuery::compose();
     for source in independent_uniform(N, M, 7) {
         builder = builder.source(RemoteSource::new(source));
     }
-    builder.scoring(Min).k(K).build().expect("valid request")
+    builder.scoring(Min).k(K).request().expect("valid request")
 }
 
 fn bench_remote(c: &mut Criterion) {
@@ -148,11 +149,11 @@ fn bench_in_memory(c: &mut Criterion) {
             cache_capacity: 0,
             ..EngineConfig::DEFAULT
         });
-        let request = TopKRequest::builder()
+        let request = TopKQuery::compose()
             .sources(independent_uniform(N, M, 7))
             .scoring(Min)
             .k(K)
-            .build()
+            .request()
             .expect("valid request");
         b.iter(|| engine.run(&request).expect("valid run"));
     });
@@ -171,18 +172,21 @@ fn bench_sharded(c: &mut Criterion) {
     let mut group = c.benchmark_group("sharded");
     group.sample_size(10);
 
-    let request = || {
-        TopKRequest::builder()
+    // Sharding rides on the request policy; the engines themselves are
+    // default-configured.
+    let request = |policy: ExecPolicy| {
+        TopKQuery::compose()
             .sources(independent_uniform(N_SHARDED, 2, 7))
             .scoring(Min)
             .k(K)
-            .build()
+            .policy(policy)
+            .request()
             .expect("valid request")
     };
 
     group.bench_function(BenchmarkId::new("engine_serial", "ta"), |b| {
         let engine = Engine::new(EngineConfig::serial());
-        let request = request();
+        let request = request(ExecPolicy::new());
         b.iter(|| {
             engine
                 .run_algorithm(&ThresholdAlgorithm, &request)
@@ -192,8 +196,8 @@ fn bench_sharded(c: &mut Criterion) {
 
     for shards in [2usize, 4, 8] {
         group.bench_function(BenchmarkId::new("engine_sharded", shards), |b| {
-            let engine = Engine::new(EngineConfig::sharded(shards));
-            let request = request();
+            let engine = Engine::default();
+            let request = request(ExecPolicy::new().sharded_over(shards));
             b.iter(|| {
                 engine
                     .run_algorithm(&ThresholdAlgorithm, &request)

@@ -27,6 +27,7 @@ fn main() {
             // experiment delta is exact even though the engine value
             // is process-global.
             stats: after - before,
+            metrics: report.metrics.clone(),
         });
         before = after;
     }

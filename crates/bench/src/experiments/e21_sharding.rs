@@ -15,8 +15,9 @@ use std::time::Instant;
 
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
-use fmdb_middleware::engine::{Engine, EngineConfig};
-use fmdb_middleware::request::{SharedScoring, TopKRequest};
+use fmdb_middleware::engine::Engine;
+use fmdb_middleware::policy::{ExecPolicy, ShardPolicy};
+use fmdb_middleware::request::{SharedScoring, TopKQuery, TopKRequest};
 use fmdb_middleware::workload::independent_uniform;
 
 use crate::report::{f3, int, Report, Table};
@@ -36,15 +37,19 @@ pub fn run(cfg: &RunCfg) -> Report {
     let m = 2usize;
     let k = 10usize;
 
-    let make_request = |seed: u64| -> TopKRequest {
-        TopKRequest::builder()
+    // Sharding is a per-request policy now: the same default engine
+    // serves every shard count.
+    let make_request = |seed: u64, sharding: ShardPolicy| -> TopKRequest {
+        TopKQuery::compose()
             .sources(independent_uniform(n, m, seed))
             .shared_scoring(Arc::clone(&min))
             .k(k)
+            .policy(ExecPolicy::new().sharding(sharding))
             // lint:allow(no-panic): experiments only build valid monotone requests
-            .build()
+            .request()
             .expect("valid request")
     };
+    let engine = Engine::default();
 
     let mut t = Table::new(
         format!("wall-clock and access cost, N = {n}, m = {m}, k = {k}, min"),
@@ -53,16 +58,20 @@ pub fn run(cfg: &RunCfg) -> Report {
     let mut serial_wall = 0.0f64;
     let mut mismatches = 0usize;
     for shards in [1usize, 2, 4, 8] {
-        let engine = Engine::new(EngineConfig {
-            shard_min_items: 1,
-            ..EngineConfig::sharded(shards)
-        });
+        let sharding = if shards > 1 {
+            ShardPolicy::Shards {
+                shards,
+                min_items: 1,
+            }
+        } else {
+            ShardPolicy::Serial
+        };
         let mut wall = 0.0f64;
         let mut sorted = 0u64;
         let mut random = 0u64;
         let mut spawns = 0u64;
         for seed in 0..cfg.seeds {
-            let request = make_request(seed);
+            let request = make_request(seed, sharding);
             let t0 = Instant::now();
             let result = engine
                 .run_algorithm(&ThresholdAlgorithm, &request)
@@ -72,9 +81,13 @@ pub fn run(cfg: &RunCfg) -> Report {
             sorted += result.stats.sorted;
             random += result.stats.random;
             spawns += result.stats.worker_spawns;
-            // Headline invariant, re-checked on the measured corpora.
-            let serial = Engine::new(EngineConfig::serial())
-                .run_algorithm(&ThresholdAlgorithm, &request)
+            // Headline invariant, re-checked on the measured corpora
+            // against a request pinned to the serial path.
+            let serial = engine
+                .run_algorithm(
+                    &ThresholdAlgorithm,
+                    &make_request(seed, ShardPolicy::Serial),
+                )
                 // lint:allow(no-panic): valid monotone requests cannot fail
                 .expect("serial TA run");
             if serial.answers != result.answers {

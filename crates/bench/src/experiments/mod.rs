@@ -22,6 +22,7 @@ pub mod e18_page_costs;
 pub mod e19_no_random_access;
 pub mod e20_embedding;
 pub mod e21_sharding;
+pub mod e22_optimality;
 
 use crate::report::Report;
 use crate::runners::RunCfg;
@@ -52,6 +53,7 @@ pub fn experiments() -> Vec<fn(&RunCfg) -> Report> {
         e19_no_random_access::run,
         e20_embedding::run,
         e21_sharding::run,
+        e22_optimality::run,
     ]
 }
 

@@ -86,6 +86,9 @@ pub struct Report {
     pub tables: Vec<Table>,
     /// Findings / caveats, printed after the tables.
     pub notes: Vec<String>,
+    /// Named numeric results the perf trajectory tracks: folded into
+    /// the experiment's `BENCH_engine.json` entry by `e00_run_all`.
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl Report {
@@ -97,6 +100,7 @@ impl Report {
             claim: claim.to_owned(),
             tables: Vec::new(),
             notes: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -109,6 +113,13 @@ impl Report {
     /// Adds a note.
     pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
         self.notes.push(note.into());
+        self
+    }
+
+    /// Records a named numeric result for the machine-readable
+    /// trajectory (`BENCH_engine.json`).
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((name.into(), value));
         self
     }
 
@@ -158,6 +169,8 @@ impl Report {
         }
         out.push_str("],\"notes\":");
         json_string_array(&mut out, &self.notes);
+        out.push_str(",\"metrics\":");
+        json_metrics(&mut out, &self.metrics);
         out.push('}');
         out
     }
@@ -198,6 +211,24 @@ fn json_field(out: &mut String, key: &str, value: &str) {
     out.push('"');
 }
 
+/// Emits a `{name: number}` object. Non-finite values serialize to
+/// bare `NaN`/`inf` tokens — invalid JSON by design, so the
+/// `check-bench` gate fails loudly instead of shipping a poisoned
+/// trajectory.
+fn json_metrics(out: &mut String, metrics: &[(String, f64)]) {
+    out.push('{');
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(name));
+        out.push_str("\":");
+        out.push_str(&format!("{value:.6}"));
+    }
+    out.push('}');
+}
+
 fn json_string_array(out: &mut String, items: &[String]) {
     out.push('[');
     for (i, item) in items.iter().enumerate() {
@@ -226,6 +257,9 @@ pub struct BenchEntry {
     /// running private engines contribute zeros here but still report
     /// wall-clock).
     pub stats: AccessStats,
+    /// The experiment's named numeric results ([`Report::metric`]) —
+    /// e.g. E22's empirical optimality ratios.
+    pub metrics: Vec<(String, f64)>,
 }
 
 /// Serializes the suite's per-experiment wall-clock and access counts
@@ -245,7 +279,7 @@ pub fn bench_engine_json(entries: &[BenchEntry], quick: bool) -> String {
         out.push(',');
         json_field(&mut out, "title", &e.title);
         out.push_str(&format!(
-            ",\"wall_ms\":{:.3},\"sorted\":{},\"random\":{},\"cache_hits\":{},\"cache_misses\":{},\"worker_spawns\":{}}}",
+            ",\"wall_ms\":{:.3},\"sorted\":{},\"random\":{},\"cache_hits\":{},\"cache_misses\":{},\"worker_spawns\":{}",
             e.wall_ms,
             e.stats.sorted,
             e.stats.random,
@@ -253,6 +287,9 @@ pub fn bench_engine_json(entries: &[BenchEntry], quick: bool) -> String {
             e.stats.cache_misses,
             e.stats.worker_spawns,
         ));
+        out.push_str(",\"metrics\":");
+        json_metrics(&mut out, &e.metrics);
+        out.push('}');
     }
     out.push_str("]}");
     out
@@ -359,12 +396,14 @@ mod tests {
                     cache_misses: 37,
                     worker_spawns: 8,
                 },
+                metrics: vec![("opt_ratio_ta".to_owned(), 1.25)],
             },
             BenchEntry {
                 id: "E21".into(),
                 title: "sharding".into(),
                 wall_ms: 0.0,
                 stats: AccessStats::ZERO,
+                metrics: Vec::new(),
             },
         ];
         let j = bench_engine_json(&entries, true);
@@ -375,6 +414,8 @@ mod tests {
         assert!(j.contains(r#"FA \"scaling\""#));
         assert!(j.contains("\"wall_ms\":12.500"));
         assert!(j.contains("\"worker_spawns\":8"));
+        assert!(j.contains("\"metrics\":{\"opt_ratio_ta\":1.250000}"));
+        assert!(j.contains("\"metrics\":{}"));
         assert!(j.contains("\"id\":\"E21\""));
         let empty = bench_engine_json(&[], false);
         assert!(empty.contains("\"quick\":false"));

@@ -11,7 +11,8 @@ use std::sync::{Arc, OnceLock};
 
 use fmdb_middleware::algorithms::{TopKAlgorithm, TopKResult};
 use fmdb_middleware::engine::Engine;
-use fmdb_middleware::request::{SharedScoring, TopKRequest};
+use fmdb_middleware::policy::ExecPolicy;
+use fmdb_middleware::request::{SharedScoring, TopKQuery, TopKRequest};
 use fmdb_middleware::source::VecSource;
 use fmdb_middleware::stats::AccessStats;
 
@@ -73,6 +74,8 @@ pub fn run_algo(
     scoring: &SharedScoring,
     k: usize,
 ) -> TopKResult {
+    #[allow(deprecated)]
+    // lint:allow(no-deprecated): documented legacy call site — every experiment funnels through here; migrates to run_policy as experiments adopt ExecPolicy, scheduled for removal next PR
     let request = TopKRequest::builder()
         .sources(sources.iter().cloned())
         .shared_scoring(Arc::clone(scoring))
@@ -82,6 +85,31 @@ pub fn run_algo(
     engine()
         .run_algorithm(algo, &request)
         .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
+}
+
+/// Runs a request under an explicit [`ExecPolicy`] through the shared
+/// [`engine`] — the policy resolves the algorithm (CA, θ-approximate
+/// TA, …), the charged cost model, and per-request sharding.
+///
+/// # Panics
+/// Panics if the policy or query is rejected — experiments only pass
+/// valid configurations.
+pub fn run_policy(
+    policy: ExecPolicy,
+    sources: &mut [VecSource],
+    scoring: &SharedScoring,
+    k: usize,
+) -> TopKResult {
+    let request = TopKQuery::compose()
+        .sources(sources.iter().cloned())
+        .shared_scoring(Arc::clone(scoring))
+        .k(k)
+        .policy(policy)
+        .request()
+        .unwrap_or_else(|e| panic!("policy rejected request: {e}"));
+    engine()
+        .run(&request)
+        .unwrap_or_else(|e| panic!("policy run failed: {e}"))
 }
 
 /// Averages the access stats of `algo` across seeds, generating fresh
@@ -135,6 +163,23 @@ mod tests {
         assert_eq!(engine_result.answers, scalar.answers);
         assert_eq!(engine_result.stats.sorted, scalar.stats.sorted);
         assert_eq!(engine_result.stats.random, scalar.stats.random);
+    }
+
+    #[test]
+    fn policy_routing_matches_forced_algorithms() {
+        use fmdb_middleware::policy::Algo;
+        let min: SharedScoring = Arc::new(Min);
+        let mut sources = independent_uniform(250, 2, 9);
+        let policy_run = run_policy(ExecPolicy::new().algo(Algo::Ta), &mut sources, &min, 6);
+        let forced = run_algo(
+            &fmdb_middleware::algorithms::ta::ThresholdAlgorithm,
+            &mut sources,
+            &min,
+            6,
+        );
+        assert_eq!(policy_run.answers, forced.answers);
+        assert_eq!(policy_run.stats.sorted, forced.stats.sorted);
+        assert_eq!(policy_run.stats.random, forced.stats.random);
     }
 
     #[test]

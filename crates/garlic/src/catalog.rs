@@ -101,7 +101,6 @@ impl Catalog {
     /// Registers a repository whose local ids *are* global ids (the
     /// common in-process case): the identity mapping over its universe.
     pub fn register(&mut self, repo: Box<dyn Repository>) -> Result<(), CatalogError> {
-        // lint:allow(no-deprecated): Repository::universe_size is current API — homonym of the deprecated GradedSource shim
         let n = repo.universe_size() as u64;
         let name = repo.name().to_owned();
         self.mapper.register_identity(&name, n)?;
@@ -186,7 +185,6 @@ impl Catalog {
     pub fn universe_size(&self) -> usize {
         self.repos
             .iter()
-            // lint:allow(no-deprecated): Repository::universe_size is current API — homonym of the deprecated GradedSource shim
             .map(|r| r.universe_size())
             .max()
             .unwrap_or(0)

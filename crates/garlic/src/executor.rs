@@ -16,7 +16,8 @@ use fmdb_middleware::algorithms::pruned_fa::PrunedFa;
 use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
 use fmdb_middleware::algorithms::{AlgoError, TopKAlgorithm};
 use fmdb_middleware::engine::{Engine, EngineConfig, EngineError};
-use fmdb_middleware::request::TopKRequest;
+use fmdb_middleware::policy::ExecPolicy;
+use fmdb_middleware::request::{TopKQuery, TopKRequest};
 use fmdb_middleware::source::{GradedSource, VecSource};
 use fmdb_middleware::stats::AccessStats;
 
@@ -271,6 +272,42 @@ impl Garlic {
         }
     }
 
+    /// Finds the top `k` answers for a flat monotone query under an
+    /// explicit [`ExecPolicy`] — the policy picks the algorithm (CA,
+    /// the θ-approximations, …), the charged cost model, and the
+    /// per-request shard settings; the engine resolves it in
+    /// [`Engine::run`]. Plans without a flat form (full scans for
+    /// negation/reference semantics) ignore the policy and execute as
+    /// [`Garlic::top_k`] would.
+    pub fn top_k_policy(
+        &self,
+        query: &Query,
+        k: usize,
+        policy: ExecPolicy,
+    ) -> Result<QueryResult, ExecError> {
+        if k == 0 {
+            return Err(ExecError::ZeroK);
+        }
+        let p = plan(query, &self.catalog);
+        let Some(flat) = p.flat else {
+            return self.execute_plan(p, query, k);
+        };
+        let label = policy.algorithm()?.name();
+        let request = TopKQuery::compose()
+            .sources(self.build_sources(&flat)?)
+            .scoring(OwnedCombiner(flat.combiner.clone()))
+            .k(k)
+            .policy(policy)
+            .request()?;
+        let result = self.engine.run(&request)?;
+        Ok(QueryResult {
+            answers: result.answers,
+            stats: result.stats,
+            plan: PlanKind::FaginA0,
+            explanation: format!("execution policy: {label}"),
+        })
+    }
+
     /// Runs a planner-selected plan.
     fn execute_plan(
         &self,
@@ -317,11 +354,11 @@ impl Garlic {
         kind: PlanKind,
         explanation: String,
     ) -> Result<QueryResult, ExecError> {
-        let request = TopKRequest::builder()
+        let request = TopKQuery::compose()
             .sources(self.build_sources(flat)?)
             .scoring(OwnedCombiner(flat.combiner.clone()))
             .k(k)
-            .build()?;
+            .request()?;
         let result = self.engine.run_algorithm(algo, &request)?;
         Ok(QueryResult {
             answers: result.answers,
@@ -339,6 +376,8 @@ impl Garlic {
     ) -> Result<QueryResult, ExecError> {
         // The planner probed max-likeness; run the merge under the
         // canonical max so the middleware's own probe also accepts it.
+        #[allow(deprecated)]
+        // lint:allow(no-deprecated): documented legacy call site — migrates to TopKQuery::compose when max-merge grows policy support; scheduled for removal next PR
         let request = TopKRequest::builder()
             .sources(self.build_sources(flat)?)
             .scoring(ConormScoring(Max))
@@ -372,7 +411,6 @@ impl Garlic {
                 let universe = self
                     .catalog
                     .repository_for(&atom.attribute)?
-                    // lint:allow(no-deprecated): Repository::universe_size is current API — homonym of the deprecated GradedSource shim
                     .universe_size() as u64;
                 stats.sorted += (matches.len() as u64 + 1).min(universe);
                 let set: HashSet<Oid> = matches.into_iter().collect();
@@ -645,8 +683,9 @@ mod tests {
         let want = serial.top_k_with(&q, 6, AlgoChoice::Ta).unwrap();
         for shards in [2usize, 4] {
             let sharded = g_with(EngineConfig {
+                shards,
                 shard_min_items: 1,
-                ..EngineConfig::sharded(shards)
+                ..EngineConfig::DEFAULT
             });
             let got = sharded.top_k_with(&q, 6, AlgoChoice::Ta).unwrap();
             assert_eq!(got.answers, want.answers, "shards={shards}");
@@ -656,6 +695,39 @@ mod tests {
                 got.stats.worker_spawns
             );
         }
+    }
+
+    #[test]
+    fn exec_policy_threads_through_the_facade() {
+        use fmdb_middleware::policy::Algo;
+        use fmdb_middleware::stats::CostModel;
+
+        let q = Query::and(vec![
+            Query::atomic("Color", Target::Similar("red".into())),
+            Query::atomic("Shape", Target::Similar("round".into())),
+        ]);
+        let g = g_with(EngineConfig::default());
+        let reference = g.top_k(&q, 6).unwrap();
+
+        // CA under an expensive-random-access cost model: same answer
+        // grades as the planner's default A0 path.
+        let ca = g
+            .top_k_policy(
+                &q,
+                6,
+                ExecPolicy::new()
+                    .algo(Algo::Ca)
+                    .cost_model(CostModel::random_to_sorted_ratio(10.0).unwrap()),
+            )
+            .unwrap();
+        assert!(ca.explanation.contains("combined-ca"), "{}", ca.explanation);
+        let ca_grades: Vec<_> = ca.answers.iter().map(|a| a.grade).collect();
+        let ref_grades: Vec<_> = reference.answers.iter().map(|a| a.grade).collect();
+        assert_eq!(ca_grades, ref_grades);
+
+        // A θ-approximate policy still returns a full answer set.
+        let approx = g.top_k_policy(&q, 6, ExecPolicy::new().theta(0.1)).unwrap();
+        assert_eq!(approx.answers.len(), 6);
     }
 
     fn g_with(config: EngineConfig) -> Garlic {

@@ -278,7 +278,6 @@ pub fn plan_costed(query: &Query, catalog: &Catalog, k: usize, estimator: &CostE
     let arity = flat.atoms.len();
     // An empty catalog makes every estimate 0; keep the formulas
     // meaningful with a floor of one object.
-    // lint:allow(no-deprecated): Catalog::universe_size is current API — homonym of the deprecated GradedSource shim
     let n = catalog.universe_size().max(1);
 
     // Gather crisp statistics (a real optimizer would consult stored

@@ -9,13 +9,20 @@
 //! | [`pruned_fa::PrunedFa`] | A₀ + the random-access pruning improvements sketched in \[Fa96\] | ≤ A₀ |
 //! | [`ta::ThresholdAlgorithm`] | extension: the successor algorithm (open problem of §6) | instance optimal |
 //! | [`nra::Nra`] | extension: no-random-access regime (§4.2's missing id mappings) | sorted access only |
+//! | [`ca::CombinedAlgorithm`] | extension: FLN's cost-ratio interleaving of TA and NRA | tuned by `⌊c_R/c_S⌋` |
+//! | [`approx::ApproxTa`]/[`approx::ApproxNra`] | extension: FLN θ-approximation | `(1+θ)` grade slack |
 //! | [`cg_filter::CgFilter`] | Chaudhuri–Gravano \[CG96\] filter-condition simulation | τ-schedule dependent |
 //!
 //! All algorithms consume [`GradedSource`]s, meter every access into an
 //! [`AccessStats`], and return answers with **exact** grades — returning
 //! an object with an under- or over-stated grade counts as wrong, and
-//! the test suites verify results against a brute-force oracle.
+//! the test suites verify results against a brute-force oracle. The two
+//! documented exceptions are NRA (certified lower bounds; no random
+//! access to close intervals with) and the θ > 0 approximations, whose
+//! relaxed *set* semantics are specified in `DESIGN.md` §10.
 
+pub mod approx;
+pub mod ca;
 pub mod cg_filter;
 pub mod fa;
 pub mod max_merge;
@@ -161,18 +168,6 @@ impl<T: TopKAlgorithm> Algorithm for T {
         let scoring = request.scoring();
         request.with_sources(|refs| self.top_k(refs, &scoring, request.k()))
     }
-}
-
-/// Runs a scalar algorithm with the pre-`TopKRequest` calling
-/// convention.
-#[deprecated(note = "build a `TopKRequest` and call `Algorithm::run` instead")]
-pub fn run_scalar(
-    algorithm: &dyn TopKAlgorithm,
-    sources: &mut [&mut dyn GradedSource],
-    scoring: &dyn ScoringFunction,
-    k: usize,
-) -> Result<TopKResult, AlgoError> {
-    algorithm.top_k(sources, scoring, k)
 }
 
 /// Shared argument validation for the A₀ family.

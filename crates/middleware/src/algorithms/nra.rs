@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use fmdb_core::score::Score;
 use fmdb_core::scoring::ScoringFunction;
 
+use crate::algorithms::approx::upper_excluded;
 use crate::algorithms::{validate, AlgoError, Algorithm, TopKResult};
 use crate::request::TopKRequest;
 use crate::source::{GradedSource, Oid};
@@ -65,82 +66,97 @@ impl Nra {
         scoring: &dyn ScoringFunction,
         k: usize,
     ) -> Result<NraResult, AlgoError> {
-        validate(sources, scoring, k)?;
-        let m = sources.len();
-        for source in sources.iter_mut() {
-            source.rewind();
+        nra_core(sources, scoring, k, 0.0)
+    }
+}
+
+/// The NRA round loop, shared with
+/// [`crate::algorithms::approx::ApproxNra`]. At `theta = 0` the
+/// exclusion comparison is the exact `Score` ordering, so the exact
+/// algorithm is literally this function.
+pub(crate) fn nra_core(
+    sources: &mut [&mut dyn GradedSource],
+    scoring: &dyn ScoringFunction,
+    k: usize,
+    theta: f64,
+) -> Result<NraResult, AlgoError> {
+    validate(sources, scoring, k)?;
+    let m = sources.len();
+    for source in sources.iter_mut() {
+        source.rewind();
+    }
+    let mut stats = AccessStats::ZERO;
+    let mut seen: HashMap<Oid, Vec<Option<Score>>> = HashMap::new();
+    let mut bottoms = vec![Score::ONE; m];
+    let mut exhausted = vec![false; m];
+    let mut low_buf = Vec::with_capacity(m);
+    let mut high_buf = Vec::with_capacity(m);
+
+    loop {
+        // One round of sorted access on every live list.
+        let mut progressed = false;
+        for i in 0..m {
+            if exhausted[i] {
+                continue;
+            }
+            match sources[i].sorted_next() {
+                Some(so) => {
+                    stats.sorted += 1;
+                    progressed = true;
+                    bottoms[i] = so.grade;
+                    let slots = seen.entry(so.id).or_insert_with(|| vec![None; m]);
+                    slots[i] = Some(so.grade);
+                }
+                None => {
+                    exhausted[i] = true;
+                    bottoms[i] = Score::ZERO;
+                }
+            }
         }
-        let mut stats = AccessStats::ZERO;
-        let mut seen: HashMap<Oid, Vec<Option<Score>>> = HashMap::new();
-        let mut bottoms = vec![Score::ONE; m];
-        let mut exhausted = vec![false; m];
-        let mut low_buf = Vec::with_capacity(m);
-        let mut high_buf = Vec::with_capacity(m);
 
-        loop {
-            // One round of sorted access on every live list.
-            let mut progressed = false;
-            for i in 0..m {
-                if exhausted[i] {
-                    continue;
-                }
-                match sources[i].sorted_next() {
-                    Some(so) => {
-                        stats.sorted += 1;
-                        progressed = true;
-                        bottoms[i] = so.grade;
-                        let slots = seen.entry(so.id).or_insert_with(|| vec![None; m]);
-                        slots[i] = Some(so.grade);
-                    }
-                    None => {
-                        exhausted[i] = true;
-                        bottoms[i] = Score::ZERO;
-                    }
-                }
+        // Bounds for every seen object.
+        let mut bounded: Vec<BoundedAnswer> = Vec::with_capacity(seen.len());
+        for (&oid, slots) in &seen {
+            low_buf.clear();
+            high_buf.clear();
+            for (i, &g) in slots.iter().enumerate() {
+                low_buf.push(g.unwrap_or(Score::ZERO));
+                high_buf.push(g.unwrap_or(bottoms[i]));
             }
+            bounded.push(BoundedAnswer {
+                id: oid,
+                lower: scoring.combine(&low_buf),
+                upper: scoring.combine(&high_buf),
+            });
+        }
+        // Descending lower bound; ties by ascending oid for
+        // determinism.
+        bounded.sort_by(|a, b| b.lower.cmp(&a.lower).then(a.id.cmp(&b.id)));
 
-            // Bounds for every seen object.
-            let mut bounded: Vec<BoundedAnswer> = Vec::with_capacity(seen.len());
-            for (&oid, slots) in &seen {
-                low_buf.clear();
-                high_buf.clear();
-                for (i, &g) in slots.iter().enumerate() {
-                    low_buf.push(g.unwrap_or(Score::ZERO));
-                    high_buf.push(g.unwrap_or(bottoms[i]));
-                }
-                bounded.push(BoundedAnswer {
-                    id: oid,
-                    lower: scoring.combine(&low_buf),
-                    upper: scoring.combine(&high_buf),
-                });
-            }
-            // Descending lower bound; ties by ascending oid for
-            // determinism.
-            bounded.sort_by(|a, b| b.lower.cmp(&a.lower).then(a.id.cmp(&b.id)));
-
-            let enough_candidates = bounded.len() >= k;
-            if enough_candidates {
-                let tau = bounded[k - 1].lower;
-                // Unseen objects are bounded by combine(bottoms).
-                let unseen_upper = scoring.combine(&bottoms);
-                let rest_ok = bounded[k..].iter().all(|b| b.upper <= tau);
-                let unseen_ok = unseen_upper <= tau || !progressed;
-                if rest_ok && unseen_ok {
-                    bounded.truncate(k);
-                    return Ok(NraResult {
-                        answers: bounded,
-                        stats,
-                    });
-                }
-            }
-            if !progressed {
-                // Everything streamed: bounds are exact.
+        let enough_candidates = bounded.len() >= k;
+        if enough_candidates {
+            let tau = bounded[k - 1].lower;
+            // Unseen objects are bounded by combine(bottoms).
+            let unseen_upper = scoring.combine(&bottoms);
+            let rest_ok = bounded[k..]
+                .iter()
+                .all(|b| upper_excluded(b.upper, tau, theta));
+            let unseen_ok = upper_excluded(unseen_upper, tau, theta) || !progressed;
+            if rest_ok && unseen_ok {
                 bounded.truncate(k);
                 return Ok(NraResult {
                     answers: bounded,
                     stats,
                 });
             }
+        }
+        if !progressed {
+            // Everything streamed: bounds are exact.
+            bounded.truncate(k);
+            return Ok(NraResult {
+                answers: bounded,
+                stats,
+            });
         }
     }
 }

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use fmdb_core::score::{Score, ScoredObject};
 use fmdb_core::scoring::ScoringFunction;
 
+use crate::algorithms::approx::grade_certifies;
 use crate::algorithms::{finalize, validate, AlgoError, TopKAlgorithm, TopKResult};
 use crate::source::{GradedSource, Oid};
 use crate::stats::AccessStats;
@@ -51,58 +52,74 @@ impl TopKAlgorithm for ThresholdAlgorithm {
         scoring: &dyn ScoringFunction,
         k: usize,
     ) -> Result<TopKResult, AlgoError> {
-        validate(sources, scoring, k)?;
-        let m = sources.len();
-        for source in sources.iter_mut() {
-            source.rewind();
-        }
-        let mut stats = AccessStats::ZERO;
-        let mut grades: HashMap<Oid, Score> = HashMap::new();
-        let mut bottoms = vec![Score::ONE; m];
-        let mut exhausted = vec![false; m];
-        let mut slot_buf = vec![Score::ZERO; m];
-
-        loop {
-            let mut progressed = false;
-            for i in 0..m {
-                if exhausted[i] {
-                    continue;
-                }
-                let Some(so) = sources[i].sorted_next() else {
-                    exhausted[i] = true;
-                    bottoms[i] = Score::ZERO;
-                    continue;
-                };
-                stats.sorted += 1;
-                progressed = true;
-                bottoms[i] = so.grade;
-                if let std::collections::hash_map::Entry::Vacant(entry) = grades.entry(so.id) {
-                    // Immediately resolve every other list's grade.
-                    for (j, slot) in slot_buf.iter_mut().enumerate() {
-                        if j == i {
-                            *slot = so.grade;
-                        } else {
-                            *slot = sources[j].random_access(so.id);
-                            stats.random += 1;
-                        }
-                    }
-                    entry.insert(scoring.combine(&slot_buf));
-                }
-            }
-
-            let tau = scoring.combine(&bottoms);
-            let at_or_above = grades.values().filter(|&&g| g >= tau).count();
-            if at_or_above >= k || !progressed {
-                break;
-            }
-        }
-
-        let combined: Vec<ScoredObject<Oid>> = grades
-            .into_iter()
-            .map(|(oid, g)| ScoredObject::new(oid, g))
-            .collect();
-        Ok(finalize(combined, k, stats))
+        ta_core(sources, scoring, k, 0.0)
     }
+}
+
+/// The TA round loop, shared with
+/// [`crate::algorithms::approx::ApproxTa`]. At `theta = 0` the halting
+/// comparison is the exact `Score` ordering, so the exact algorithm is
+/// literally this function.
+pub(crate) fn ta_core(
+    sources: &mut [&mut dyn GradedSource],
+    scoring: &dyn ScoringFunction,
+    k: usize,
+    theta: f64,
+) -> Result<TopKResult, AlgoError> {
+    validate(sources, scoring, k)?;
+    let m = sources.len();
+    for source in sources.iter_mut() {
+        source.rewind();
+    }
+    let mut stats = AccessStats::ZERO;
+    let mut grades: HashMap<Oid, Score> = HashMap::new();
+    let mut bottoms = vec![Score::ONE; m];
+    let mut exhausted = vec![false; m];
+    let mut slot_buf = vec![Score::ZERO; m];
+
+    loop {
+        let mut progressed = false;
+        for i in 0..m {
+            if exhausted[i] {
+                continue;
+            }
+            let Some(so) = sources[i].sorted_next() else {
+                exhausted[i] = true;
+                bottoms[i] = Score::ZERO;
+                continue;
+            };
+            stats.sorted += 1;
+            progressed = true;
+            bottoms[i] = so.grade;
+            if let std::collections::hash_map::Entry::Vacant(entry) = grades.entry(so.id) {
+                // Immediately resolve every other list's grade.
+                for (j, slot) in slot_buf.iter_mut().enumerate() {
+                    if j == i {
+                        *slot = so.grade;
+                    } else {
+                        *slot = sources[j].random_access(so.id);
+                        stats.random += 1;
+                    }
+                }
+                entry.insert(scoring.combine(&slot_buf));
+            }
+        }
+
+        let tau = scoring.combine(&bottoms);
+        let at_or_above = grades
+            .values()
+            .filter(|&&g| grade_certifies(g, tau, theta))
+            .count();
+        if at_or_above >= k || !progressed {
+            break;
+        }
+    }
+
+    let combined: Vec<ScoredObject<Oid>> = grades
+        .into_iter()
+        .map(|(oid, g)| ScoredObject::new(oid, g))
+        .collect();
+    Ok(finalize(combined, k, stats))
 }
 
 #[cfg(test)]

@@ -44,7 +44,6 @@ use std::thread;
 
 use fmdb_core::score::{Score, ScoredObject};
 
-use crate::algorithms::fa::FaginsAlgorithm;
 use crate::algorithms::{AlgoError, Algorithm, TopKAlgorithm, TopKResult};
 use crate::request::{SharedSource, TopKRequest};
 use crate::source::{GradedSource, Oid, SourceInfo};
@@ -171,6 +170,10 @@ impl EngineConfig {
     /// `shards` intra-query workers (no minimum shard size — callers
     /// wanting the guard can set
     /// [`EngineConfig::shard_min_items`] themselves).
+    #[deprecated(
+        note = "shard settings are per-request now: set `ExecPolicy::sharded_over(shards)` \
+                (or `ShardPolicy::Shards`) on the request policy"
+    )]
     pub fn sharded(shards: usize) -> EngineConfig {
         EngineConfig {
             shards,
@@ -721,11 +724,18 @@ impl Engine {
         self.totals.snapshot()
     }
 
-    /// Evaluates a request with the default merge strategy, Fagin's A₀
-    /// — batched, optionally parallel, bit-identical to
-    /// [`FaginsAlgorithm`] run scalar.
+    /// Evaluates a request as its [`crate::policy::ExecPolicy`]
+    /// prescribes: the policy resolves to a concrete algorithm, which
+    /// then runs through [`Engine::run_algorithm`].
+    ///
+    /// Under the default policy (`Auto`, uniform costs, exact) this is
+    /// Fagin's A₀ — batched, optionally parallel, bit-identical to
+    /// [`FaginsAlgorithm`] run scalar, exactly as before the policy
+    /// split. A cost model with `⌊c_R/c_S⌋ ≥ 2` switches `Auto` to the
+    /// Combined Algorithm; `θ > 0` switches it to θ-approximate TA.
     pub fn run(&self, request: &TopKRequest) -> Result<TopKResult, EngineError> {
-        self.run_algorithm(&FaginsAlgorithm, request)
+        let algorithm = request.policy().algorithm()?;
+        self.run_algorithm(algorithm.as_ref(), request)
     }
 
     /// Evaluates a request with any scalar [`TopKAlgorithm`] as the
@@ -753,15 +763,21 @@ impl Engine {
     /// The sharded execution path (see [`crate::sharded`]): partitions
     /// every source with one consistent partitioner and fans the query
     /// out over shard workers. Returns `Ok(None)` — "use the serial
-    /// path" — when the configuration disables sharding, the universe
-    /// is too small for the configured minimum shard size, or any
-    /// source cannot be partitioned.
+    /// path" — when the effective configuration disables sharding, the
+    /// universe is too small for the configured minimum shard size, or
+    /// any source cannot be partitioned.
+    ///
+    /// The effective shard settings are the engine's, unless the
+    /// request's [`crate::policy::ShardPolicy`] overrides them.
     fn try_sharded(
         &self,
         kernel: crate::sharded::ShardKernel,
         request: &TopKRequest,
     ) -> Result<Option<TopKResult>, EngineError> {
-        if self.config.shards < 2 {
+        let (max_shards, min_items) = request
+            .policy()
+            .effective_shards(self.config.shards, self.config.shard_min_items);
+        if max_shards < 2 {
             return Ok(None);
         }
         // Mirror the scalar `validate` checks (same errors, same
@@ -782,10 +798,7 @@ impl Engine {
             .map(|s| lock(s).info().universe_size)
             .min()
             .unwrap_or(0);
-        let shards = self
-            .config
-            .shards
-            .min(universe / self.config.shard_min_items.max(1));
+        let shards = max_shards.min(universe / min_items.max(1));
         if shards < 2 {
             return Ok(None);
         }
@@ -998,10 +1011,13 @@ impl Algorithm for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algorithms::fa::FaginsAlgorithm;
     use crate::algorithms::naive::Naive;
     use crate::algorithms::ta::ThresholdAlgorithm;
     use crate::oracle::verify_top_k;
-    use crate::request::shared_source;
+    use crate::policy::{ExecPolicy, ShardPolicy};
+    use crate::request::{shared_source, TopKQuery};
+    use crate::stats::CostModel;
     use crate::workload::independent_uniform;
     use fmdb_core::scoring::tnorms::Min;
 
@@ -1016,12 +1032,23 @@ mod tests {
     }
 
     fn request(n: usize, m: usize, seed: u64, k: usize) -> TopKRequest {
-        TopKRequest::builder()
+        TopKQuery::compose()
             .sources(independent_uniform(n, m, seed))
             .scoring(Min)
             .k(k)
-            .build()
+            .request()
             .unwrap()
+    }
+
+    /// `EngineConfig::sharded` is deprecated (sharding is a request
+    /// policy now); the struct-literal spelling configures the same
+    /// engine-level default.
+    fn sharded_config(shards: usize) -> EngineConfig {
+        EngineConfig {
+            shards,
+            shard_min_items: 1,
+            ..EngineConfig::DEFAULT
+        }
     }
 
     /// Regression: one long-lived engine serving a run of short-lived
@@ -1120,11 +1147,11 @@ mod tests {
             .map(shared_source)
             .collect();
         let build = || {
-            let mut b = TopKRequest::builder();
+            let mut b = TopKQuery::compose();
             for h in &handles {
                 b = b.shared_source(Arc::clone(h));
             }
-            b.scoring(Min).k(6).build().unwrap()
+            b.scoring(Min).k(6).request().unwrap()
         };
         let engine = Engine::default();
         let first = engine.run(&build()).unwrap();
@@ -1205,11 +1232,11 @@ mod tests {
             }
         }
         let engine = Engine::default();
-        let non_monotone = TopKRequest::builder()
+        let non_monotone = TopKQuery::compose()
             .sources(independent_uniform(50, 2, 1))
             .scoring(NotMonotone)
             .k(3)
-            .build()
+            .request()
             .unwrap();
         assert!(matches!(
             engine.run(&non_monotone),
@@ -1251,12 +1278,12 @@ mod tests {
             served: 0,
             fuse: 5,
         };
-        let bad = TopKRequest::builder()
+        let bad = TopKQuery::compose()
             .source(exploding)
             .source(healthy)
             .scoring(Min)
             .k(50)
-            .build()
+            .request()
             .unwrap();
         let engine = Engine::default();
         match engine.run(&bad) {
@@ -1279,12 +1306,12 @@ mod tests {
             served: 0,
             fuse: 3,
         };
-        let bad = TopKRequest::builder()
+        let bad = TopKQuery::compose()
             .source(exploding)
             .source(healthy)
             .scoring(Min)
             .k(40)
-            .build()
+            .request()
             .unwrap();
         let good = request(150, 2, 2, 4);
         let results = Engine::default().run_many(&[bad, good]);
@@ -1414,7 +1441,7 @@ mod tests {
                     .unwrap()
             };
             for shards in [2usize, 3, 8] {
-                let engine = Engine::new(EngineConfig::sharded(shards));
+                let engine = Engine::new(sharded_config(shards));
                 let got = engine
                     .run_algorithm(&ThresholdAlgorithm, &request(n, m, 77, k))
                     .unwrap();
@@ -1463,17 +1490,93 @@ mod tests {
                 false
             }
         }
-        let engine = Engine::new(EngineConfig::sharded(4));
-        let bad = TopKRequest::builder()
+        let engine = Engine::new(sharded_config(4));
+        let bad = TopKQuery::compose()
             .sources(independent_uniform(50, 2, 1))
             .scoring(NotMonotone)
             .k(3)
-            .build()
+            .request()
             .unwrap();
         assert!(matches!(
             engine.run_algorithm(&ThresholdAlgorithm, &bad),
             Err(EngineError::Algo(AlgoError::NonMonotoneScoring(_)))
         ));
+    }
+
+    /// A request-level shard policy turns sharding on for an engine
+    /// whose own config never shards — and the answers still match the
+    /// serial reference.
+    #[test]
+    fn policy_sharding_overrides_engine_config() {
+        let engine = Engine::default();
+        let query = request(600, 2, 21, 8).query().clone();
+        let sharded = query
+            .clone()
+            .into_request(ExecPolicy::new().sharded_over(4));
+        let serial = query.into_request(ExecPolicy::new().sharding(ShardPolicy::Serial));
+        let a = engine.run_algorithm(&ThresholdAlgorithm, &sharded).unwrap();
+        let b = engine.run_algorithm(&ThresholdAlgorithm, &serial).unwrap();
+        assert_eq!(a.answers, b.answers);
+        assert!(
+            a.stats.worker_spawns > b.stats.worker_spawns,
+            "shard policy spawned workers ({} vs {})",
+            a.stats.worker_spawns,
+            b.stats.worker_spawns
+        );
+    }
+
+    /// `ShardPolicy::Serial` pins a request to the serial path even on
+    /// an engine configured to shard.
+    #[test]
+    fn policy_serial_pins_request_on_sharded_engine() {
+        let engine = Engine::new(EngineConfig {
+            parallel: false,
+            ..sharded_config(4)
+        });
+        let query = request(600, 2, 22, 8).query().clone();
+        let serial = query.into_request(ExecPolicy::new().sharding(ShardPolicy::Serial));
+        let result = engine.run_algorithm(&ThresholdAlgorithm, &serial).unwrap();
+        assert_eq!(result.stats.worker_spawns, 0, "no shard workers");
+        verify_top_k(
+            &mut independent_uniform(600, 2, 22)
+                .iter_mut()
+                .map(|s| s as &mut dyn GradedSource)
+                .collect::<Vec<_>>(),
+            &Min,
+            &result.answers,
+            8,
+        )
+        .unwrap();
+    }
+
+    /// `Engine::run` resolves the policy's algorithm: CA and the
+    /// θ-approximations are reachable without naming an algorithm value.
+    #[test]
+    fn policy_algorithms_run_through_the_engine() {
+        use crate::policy::Algo;
+        let engine = Engine::default();
+        let query = request(400, 2, 23, 10).query().clone();
+
+        let ca = query.clone().into_request(
+            ExecPolicy::new()
+                .algo(Algo::Ca)
+                .cost_model(CostModel::random_to_sorted_ratio(10.0).unwrap()),
+        );
+        let exact = engine.run(&ca).unwrap();
+        let mut check = independent_uniform(400, 2, 23);
+        let mut refs: Vec<&mut dyn GradedSource> = check
+            .iter_mut()
+            .map(|s| s as &mut dyn GradedSource)
+            .collect();
+        verify_top_k(&mut refs, &Min, &exact.answers, 10).unwrap();
+
+        let approx = query.into_request(ExecPolicy::new().theta(0.1));
+        let relaxed = engine.run(&approx).unwrap();
+        assert_eq!(relaxed.answers.len(), 10);
+        assert!(
+            relaxed.stats.database_access_cost() <= exact.stats.database_access_cost() * 4,
+            "θ-approximation stayed in the same cost regime"
+        );
     }
 
     #[test]

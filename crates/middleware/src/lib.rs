@@ -13,8 +13,12 @@
 //!   Algorithm)** with resumable sessions, the `m·k` max-merge
 //!   disjunction, pruned A₀, the Threshold Algorithm (extension), and
 //!   Chaudhuri–Gravano filter-condition simulation;
-//! * [`request`] — the unified [`request::TopKRequest`] builder and
-//!   shared source handles every strategy accepts;
+//! * [`request`] — the query description ([`request::TopKQuery`]) and
+//!   the executable request ([`request::TopKRequest`] = query +
+//!   policy) with shared source handles every strategy accepts;
+//! * [`policy`] — the [`policy::ExecPolicy`] execution policy:
+//!   algorithm choice, charged cost model, θ-approximation, and
+//!   per-request shard settings;
 //! * [`engine`] — the batched, parallel execution engine: worker
 //!   threads per sorted stream, batched access, and a lock-striped LRU
 //!   grade cache, bit-identical to the scalar algorithms;
@@ -23,6 +27,9 @@
 //!   and merged by a loser-tree [`sharded::ShardMerger`];
 //! * [`oracle`] — brute-force reference grading and top-k validity
 //!   checking (used pervasively in tests);
+//! * [`optimality`] — the per-instance optimality oracle: the cheapest
+//!   certificate cost any deterministic algorithm must pay on a given
+//!   instance, used to report empirical instance-optimality ratios;
 //! * [`paging`] — a paged-I/O cost simulation with an LRU buffer pool
 //!   (§6's "more realistic cost measure");
 //! * [`workload`] — synthetic grade distributions: independent
@@ -53,8 +60,10 @@
 
 pub mod algorithms;
 pub mod engine;
+pub mod optimality;
 pub mod oracle;
 pub mod paging;
+pub mod policy;
 pub mod request;
 pub mod sharded;
 pub mod source;
@@ -63,6 +72,8 @@ pub mod workload;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::algorithms::approx::{ApproxNra, ApproxTa};
+    pub use crate::algorithms::ca::CombinedAlgorithm;
     pub use crate::algorithms::cg_filter::CgFilter;
     pub use crate::algorithms::fa::{FaSession, FaginsAlgorithm, OwnedFaSession};
     pub use crate::algorithms::max_merge::MaxMerge;
@@ -72,9 +83,13 @@ pub mod prelude {
     pub use crate::algorithms::ta::ThresholdAlgorithm;
     pub use crate::algorithms::{AlgoError, Algorithm, TopKAlgorithm, TopKResult};
     pub use crate::engine::{Engine, EngineConfig, EngineError, GradeCache, StripedGradeCache};
+    pub use crate::optimality::OptimalityOracle;
     pub use crate::oracle::verify_top_k;
     pub use crate::paging::{PageConfig, PageIo, PagedSource};
-    pub use crate::request::{shared_source, SharedScoring, SharedSource, TopKRequest};
+    pub use crate::policy::{Algo, Approximation, ExecPolicy, ShardPolicy};
+    pub use crate::request::{
+        shared_source, SharedScoring, SharedSource, TopKQuery, TopKQueryBuilder, TopKRequest,
+    };
     pub use crate::sharded::{AtomicThreshold, ShardKernel, ShardMerger};
     pub use crate::source::{
         GradedSource, Oid, ShardedSource, SourceInfo, SourcePartitioner, SourceViolation,

@@ -1,0 +1,378 @@
+//! Execution policy: *how* a top-k query should be evaluated.
+//!
+//! The request API separates two concerns the original monolithic
+//! builder conflated:
+//!
+//! * the **query** — sources, scoring, weights, `k`
+//!   ([`crate::request::TopKQuery`]): *what* to compute;
+//! * the **policy** — [`ExecPolicy`]: *how* to compute it. Algorithm
+//!   choice ([`Algo`]), the access [`CostModel`] (Fagin–Lotem–Naor's
+//!   `c_S`/`c_R`), the grade slack ([`Approximation`]), and the
+//!   intra-query sharding override ([`ShardPolicy`]) folded in from
+//!   [`crate::engine::EngineConfig`].
+//!
+//! The defaults are conservative: [`Algo::Auto`] under the paper's
+//! uniform cost measure with [`Approximation::Exact`] resolves to
+//! Fagin's A₀ — exactly what [`crate::engine::Engine::run`] did before
+//! the policy existed. Raising the random-access price past
+//! `2 × c_S` makes `Auto` pick the Combined Algorithm, and any `θ > 0`
+//! makes it pick θ-approximate TA.
+//!
+//! ```
+//! use fmdb_middleware::policy::{Algo, ExecPolicy};
+//! use fmdb_middleware::stats::CostModel;
+//!
+//! // Explicit CA under "a random access costs 30 sorted ones",
+//! // tolerating 10% grade slack.
+//! let policy = ExecPolicy::new()
+//!     .algo(Algo::Ca)
+//!     .cost_model(CostModel::random_to_sorted_ratio(30.0).unwrap_or(CostModel::UNIFORM))
+//!     .theta(0.1);
+//! assert_eq!(policy.interleave(), 30);
+//! ```
+
+use crate::algorithms::approx::{ApproxNra, ApproxTa};
+use crate::algorithms::ca::CombinedAlgorithm;
+use crate::algorithms::fa::FaginsAlgorithm;
+use crate::algorithms::nra::NraLowerBound;
+use crate::algorithms::ta::ThresholdAlgorithm;
+use crate::algorithms::{AlgoError, TopKAlgorithm};
+use crate::stats::CostModel;
+
+/// Which aggregation algorithm evaluates the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algo {
+    /// Let the policy pick: `θ > 0` → θ-approximate TA; otherwise CA
+    /// when the cost model's interleave depth `⌊c_R/c_S⌋` is ≥ 2, and
+    /// Fagin's A₀ under (near-)uniform costs.
+    #[default]
+    Auto,
+    /// Fagin's A₀ (the paper's algorithm). Exact only.
+    Fa,
+    /// The Threshold Algorithm.
+    Ta,
+    /// No-random-access; reported grades are certified lower bounds.
+    Nra,
+    /// The Combined Algorithm: NRA-style rounds with one random-access
+    /// step every `⌊c_R/c_S⌋` rounds (Fagin–Lotem–Naor §6).
+    Ca,
+}
+
+/// The grade slack a caller tolerates in exchange for access savings.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Approximation {
+    /// The true top k, exactly.
+    #[default]
+    Exact,
+    /// A θ-approximation: every returned object's true grade times
+    /// `(1 + θ)` is at least every non-returned object's true grade.
+    Theta(f64),
+}
+
+impl Approximation {
+    /// The slack as a plain number (`Exact` is `θ = 0`).
+    pub fn theta(&self) -> f64 {
+        match self {
+            Approximation::Exact => 0.0,
+            Approximation::Theta(t) => *t,
+        }
+    }
+
+    /// True when the policy actually relaxes the answer (`θ > 0`).
+    pub fn is_approximate(&self) -> bool {
+        self.theta() > 0.0
+    }
+
+    fn validate(&self) -> Result<(), AlgoError> {
+        let theta = self.theta();
+        if theta.is_finite() && theta >= 0.0 {
+            Ok(())
+        } else {
+            Err(AlgoError::InvalidRequest(format!(
+                "approximation slack θ must be finite and ≥ 0, got {theta}"
+            )))
+        }
+    }
+}
+
+/// Intra-query sharding, folded into the policy from what used to be
+/// engine-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Defer to the executing engine's configured shard count.
+    #[default]
+    Engine,
+    /// Force the serial path regardless of engine configuration.
+    Serial,
+    /// Force up to `shards` partitions, each at least `min_items`
+    /// objects (the engine still degrades to serial when the corpus is
+    /// too small or the algorithm has no shard kernel).
+    Shards {
+        /// Maximum worker partitions for this request.
+        shards: usize,
+        /// Smallest per-shard corpus worth a worker thread.
+        min_items: usize,
+    },
+}
+
+/// How a [`crate::request::TopKRequest`] should be executed; see the
+/// module docs for the split against [`crate::request::TopKQuery`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecPolicy {
+    /// Algorithm choice.
+    pub algo: Algo,
+    /// Unit prices for sorted/random access — drives [`Algo::Auto`]
+    /// and CA's interleave depth.
+    pub cost: CostModel,
+    /// Tolerated grade slack.
+    pub approximation: Approximation,
+    /// Intra-query sharding override.
+    pub sharding: ShardPolicy,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy::DEFAULT
+    }
+}
+
+impl ExecPolicy {
+    /// The default policy: `Auto` under the paper's uniform cost
+    /// measure, exact answers, engine-configured sharding.
+    pub const DEFAULT: ExecPolicy = ExecPolicy {
+        algo: Algo::Auto,
+        cost: CostModel::UNIFORM,
+        approximation: Approximation::Exact,
+        sharding: ShardPolicy::Engine,
+    };
+
+    /// Starts from the defaults; chain the setters to specialize.
+    pub fn new() -> ExecPolicy {
+        ExecPolicy::DEFAULT
+    }
+
+    /// Picks the algorithm.
+    pub fn algo(mut self, algo: Algo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Sets the access cost model (the measured `c_S`/`c_R`).
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Tolerates a `(1 + θ)` grade slack.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.approximation = Approximation::Theta(theta);
+        self
+    }
+
+    /// Demands the exact answer (the default).
+    pub fn exact(mut self) -> Self {
+        self.approximation = Approximation::Exact;
+        self
+    }
+
+    /// Sets the sharding override.
+    pub fn sharding(mut self, sharding: ShardPolicy) -> Self {
+        self.sharding = sharding;
+        self
+    }
+
+    /// Requests up to `shards` partitions with no corpus-size veto —
+    /// shorthand for `sharding(ShardPolicy::Shards { shards,
+    /// min_items: 1 })`.
+    pub fn sharded_over(self, shards: usize) -> Self {
+        self.sharding(ShardPolicy::Shards {
+            shards,
+            min_items: 1,
+        })
+    }
+
+    /// CA's interleave depth `h = max(1, ⌊c_R/c_S⌋)`: one random-access
+    /// step per `h` sorted-access rounds.
+    pub fn interleave(&self) -> usize {
+        interleave_depth(&self.cost)
+    }
+
+    /// The effective `(shards, min_items)` pair for an engine
+    /// configured with `engine_shards`/`engine_min_items`.
+    pub fn effective_shards(
+        &self,
+        engine_shards: usize,
+        engine_min_items: usize,
+    ) -> (usize, usize) {
+        match self.sharding {
+            ShardPolicy::Engine => (engine_shards, engine_min_items),
+            ShardPolicy::Serial => (1, engine_min_items),
+            ShardPolicy::Shards { shards, min_items } => (shards, min_items),
+        }
+    }
+
+    fn validate_cost(&self) -> Result<(), AlgoError> {
+        let CostModel {
+            sorted_unit,
+            random_unit,
+        } = self.cost;
+        let positive = |unit: f64| unit.is_finite() && unit > 0.0;
+        if positive(sorted_unit) && positive(random_unit) {
+            Ok(())
+        } else {
+            Err(AlgoError::InvalidRequest(format!(
+                "cost model units must be finite and > 0, got c_S = {sorted_unit}, c_R = {random_unit}"
+            )))
+        }
+    }
+
+    /// Resolves the policy to a concrete algorithm instance, or an
+    /// [`AlgoError::InvalidRequest`] for inconsistent knobs (negative
+    /// or non-finite θ, non-positive cost units, θ-approximate FA).
+    pub fn algorithm(&self) -> Result<Box<dyn TopKAlgorithm + Send + Sync>, AlgoError> {
+        self.validate_cost()?;
+        self.approximation.validate()?;
+        let theta = self.approximation.theta();
+        let approximate = self.approximation.is_approximate();
+        Ok(match self.algo {
+            Algo::Auto => {
+                if approximate {
+                    Box::new(ApproxTa::new(theta))
+                } else if self.interleave() >= 2 {
+                    Box::new(CombinedAlgorithm::new(self.interleave(), 0.0))
+                } else {
+                    Box::new(FaginsAlgorithm)
+                }
+            }
+            Algo::Fa => {
+                if approximate {
+                    return Err(AlgoError::InvalidRequest(
+                        "θ-approximation is not defined for Fagin's A₀; pick Ta, Nra, Ca, or Auto"
+                            .to_owned(),
+                    ));
+                }
+                Box::new(FaginsAlgorithm)
+            }
+            Algo::Ta => {
+                if approximate {
+                    Box::new(ApproxTa::new(theta))
+                } else {
+                    Box::new(ThresholdAlgorithm)
+                }
+            }
+            Algo::Nra => {
+                if approximate {
+                    Box::new(ApproxNra::new(theta))
+                } else {
+                    Box::new(NraLowerBound)
+                }
+            }
+            Algo::Ca => Box::new(CombinedAlgorithm::new(self.interleave(), theta)),
+        })
+    }
+}
+
+/// `max(1, ⌊c_R/c_S⌋)` with non-finite ratios degraded to 1.
+pub(crate) fn interleave_depth(cost: &CostModel) -> usize {
+    let ratio = cost.random_unit / cost.sorted_unit;
+    if ratio.is_finite() && ratio >= 1.0 {
+        // `ratio` is finite and ≥ 1, so the cast cannot wrap for any
+        // realistic cost model; usize::MAX saturation is fine beyond.
+        ratio.floor() as usize
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ratio(r: f64) -> CostModel {
+        CostModel::random_to_sorted_ratio(r).unwrap()
+    }
+
+    #[test]
+    fn defaults_resolve_to_fa() {
+        let algo = ExecPolicy::new().algorithm().unwrap();
+        assert_eq!(algo.name(), "fagin-a0");
+    }
+
+    #[test]
+    fn auto_picks_ca_when_random_access_is_expensive() {
+        let algo = ExecPolicy::new()
+            .cost_model(ratio(10.0))
+            .algorithm()
+            .unwrap();
+        assert_eq!(algo.name(), "combined-ca");
+        // Ratio 1.9 floors to h = 1: not worth interleaving.
+        let algo = ExecPolicy::new()
+            .cost_model(ratio(1.9))
+            .algorithm()
+            .unwrap();
+        assert_eq!(algo.name(), "fagin-a0");
+    }
+
+    #[test]
+    fn auto_picks_approx_ta_under_theta() {
+        let algo = ExecPolicy::new().theta(0.1).algorithm().unwrap();
+        assert_eq!(algo.name(), "approx-ta");
+        // θ = 0 through the Theta variant is still exact-equivalent
+        // and must resolve like Exact.
+        let algo = ExecPolicy::new().theta(0.0).algorithm().unwrap();
+        assert_eq!(algo.name(), "fagin-a0");
+    }
+
+    #[test]
+    fn explicit_choices_resolve_as_named() {
+        for (choice, exact_name, theta_name) in [
+            (Algo::Ta, "threshold-ta", "approx-ta"),
+            (Algo::Nra, "nra-lower-bound", "approx-nra"),
+            (Algo::Ca, "combined-ca", "combined-ca"),
+        ] {
+            let exact = ExecPolicy::new().algo(choice).algorithm().unwrap();
+            assert_eq!(exact.name(), exact_name);
+            let approx = ExecPolicy::new()
+                .algo(choice)
+                .theta(0.5)
+                .algorithm()
+                .unwrap();
+            assert_eq!(approx.name(), theta_name);
+        }
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected() {
+        assert!(ExecPolicy::new().theta(-0.5).algorithm().is_err());
+        assert!(ExecPolicy::new().theta(f64::NAN).algorithm().is_err());
+        assert!(ExecPolicy::new()
+            .algo(Algo::Fa)
+            .theta(0.1)
+            .algorithm()
+            .is_err());
+        let broken = CostModel {
+            sorted_unit: 0.0,
+            random_unit: 1.0,
+        };
+        assert!(ExecPolicy::new().cost_model(broken).algorithm().is_err());
+    }
+
+    #[test]
+    fn interleave_follows_the_cost_ratio() {
+        assert_eq!(ExecPolicy::new().interleave(), 1);
+        assert_eq!(ExecPolicy::new().cost_model(ratio(0.1)).interleave(), 1);
+        assert_eq!(ExecPolicy::new().cost_model(ratio(3.0)).interleave(), 3);
+        assert_eq!(ExecPolicy::new().cost_model(ratio(100.0)).interleave(), 100);
+    }
+
+    #[test]
+    fn sharding_overrides_fold_engine_settings() {
+        let p = ExecPolicy::new();
+        assert_eq!(p.effective_shards(8, 256), (8, 256));
+        assert_eq!(
+            p.sharding(ShardPolicy::Serial).effective_shards(8, 256),
+            (1, 256)
+        );
+        assert_eq!(p.sharded_over(4).effective_shards(8, 256), (4, 1));
+    }
+}

@@ -1,15 +1,35 @@
-//! The unified top-k request: one description of a query that every
-//! algorithm — and the batched parallel [`crate::engine::Engine`] —
-//! accepts.
+//! The top-k request: *what* to compute ([`TopKQuery`]) paired with
+//! *how* to compute it ([`ExecPolicy`]).
 //!
 //! Historically each evaluation strategy had its own ad-hoc signature
 //! (`FaginsAlgorithm::top_k`, `Nra::top_k`, `CgFilter::run`, …), so
 //! neither the Garlic planner nor a service layer could drive them
-//! uniformly. [`TopKRequest`] packages the four ingredients — graded
-//! sources, a scoring function, `k`, and optional Fagin–Wimmers
-//! weights — behind a builder, and the
-//! [`Algorithm`](crate::algorithms::Algorithm) trait runs any strategy
-//! against it.
+//! uniformly. The first unification was a single monolithic
+//! `TopKRequest` builder; it left no room for algorithm choice, cost
+//! models, or approximation, so the API is now split:
+//!
+//! * [`TopKQuery`] — graded sources, a scoring function, `k`, and
+//!   optional Fagin–Wimmers weights. Built with [`TopKQuery::compose`].
+//! * [`ExecPolicy`] — algorithm, [`crate::stats::CostModel`], θ-slack,
+//!   sharding. Built with [`ExecPolicy::new`].
+//! * [`TopKRequest`] — the pair, accepted by every algorithm and by
+//!   the batched parallel [`crate::engine::Engine`].
+//!
+//! ```
+//! use fmdb_core::scoring::tnorms::Min;
+//! use fmdb_middleware::policy::{Algo, ExecPolicy};
+//! use fmdb_middleware::request::TopKQuery;
+//! use fmdb_middleware::workload::independent_uniform;
+//!
+//! let request = TopKQuery::compose()
+//!     .sources(independent_uniform(100, 2, 7))
+//!     .scoring(Min)
+//!     .k(5)
+//!     .policy(ExecPolicy::new().algo(Algo::Ta))
+//!     .request()
+//!     .unwrap();
+//! assert_eq!(request.k(), 5);
+//! ```
 //!
 //! Sources are held as [`SharedSource`] (`Arc<Mutex<…>>`) so one
 //! request can be executed by worker threads that each drive a
@@ -23,6 +43,7 @@ use fmdb_core::scoring::ScoringFunction;
 use fmdb_core::weights::{Weighted, Weighting};
 
 use crate::algorithms::AlgoError;
+use crate::policy::ExecPolicy;
 use crate::source::GradedSource;
 
 /// A shareable, lockable handle to one graded source.
@@ -36,24 +57,24 @@ pub fn shared_source(source: impl GradedSource + Send + 'static) -> SharedSource
     Arc::new(Mutex::new(source))
 }
 
-/// One fully-specified top-k query: `m` graded sources, the scoring
+/// One fully-specified top-k *query*: `m` graded sources, the scoring
 /// function combining their grades, how many answers, and optional
-/// subquery weights.
+/// subquery weights. Execution knobs live in [`ExecPolicy`], not here.
 ///
-/// Build with [`TopKRequest::builder`]. When weights are present the
-/// scoring function exposed by [`TopKRequest::scoring`] is already the
+/// Build with [`TopKQuery::compose`]. When weights are present the
+/// scoring function exposed by [`TopKQuery::scoring`] is already the
 /// Fagin–Wimmers weighted combination (§5), so algorithms need no
 /// weight-awareness of their own.
 #[derive(Clone)]
-pub struct TopKRequest {
+pub struct TopKQuery {
     sources: Vec<SharedSource>,
     scoring: SharedScoring,
     spec: TopKSpec,
 }
 
-impl std::fmt::Debug for TopKRequest {
+impl std::fmt::Debug for TopKQuery {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TopKRequest")
+        f.debug_struct("TopKQuery")
             .field("sources", &self.sources.len())
             .field("scoring", &self.scoring.name())
             .field("k", &self.k())
@@ -62,10 +83,10 @@ impl std::fmt::Debug for TopKRequest {
     }
 }
 
-impl TopKRequest {
-    /// Starts building a request.
-    pub fn builder() -> TopKRequestBuilder {
-        TopKRequestBuilder::default()
+impl TopKQuery {
+    /// Starts composing a query.
+    pub fn compose() -> TopKQueryBuilder {
+        TopKQueryBuilder::default()
     }
 
     /// The source handles, in conjunct order.
@@ -83,7 +104,7 @@ impl TopKRequest {
         self.spec.k()
     }
 
-    /// The normalized subquery weights, if the request is weighted.
+    /// The normalized subquery weights, if the query is weighted.
     pub fn weights(&self) -> Option<&Weighting> {
         self.spec.weights().filter(|w| !w.is_uniform())
     }
@@ -110,31 +131,128 @@ impl TopKRequest {
             .collect();
         f(&mut refs)
     }
+
+    /// Pairs the query with an execution policy.
+    pub fn into_request(self, policy: ExecPolicy) -> TopKRequest {
+        TopKRequest {
+            query: self,
+            policy,
+        }
+    }
 }
 
-/// Builder for [`TopKRequest`]; see [`TopKRequest::builder`].
-#[derive(Default)]
-pub struct TopKRequestBuilder {
-    sources: Vec<SharedSource>,
-    scoring: Option<SharedScoring>,
-    k: usize,
-    weights: Option<Vec<f64>>,
+/// A [`TopKQuery`] paired with the [`ExecPolicy`] that should evaluate
+/// it — the unit every algorithm and the engine accept.
+///
+/// The query accessors (`sources`, `k`, `scoring`, …) are delegated so
+/// algorithm code reads the same as before the split.
+#[derive(Clone)]
+pub struct TopKRequest {
+    query: TopKQuery,
+    policy: ExecPolicy,
 }
 
-// The shared sources/scoring are `dyn` trait objects without a `Debug`
-// bound; a shape summary satisfies `missing_debug_implementations`.
-impl std::fmt::Debug for TopKRequestBuilder {
+impl std::fmt::Debug for TopKRequest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TopKRequestBuilder")
-            .field("sources", &self.sources.len())
-            .field("has_scoring", &self.scoring.is_some())
-            .field("k", &self.k)
-            .field("weights", &self.weights)
+        f.debug_struct("TopKRequest")
+            .field("query", &self.query)
+            .field("policy", &self.policy)
             .finish()
     }
 }
 
-impl TopKRequestBuilder {
+impl From<TopKQuery> for TopKRequest {
+    /// Pairs the query with the default policy (`Auto`, uniform costs,
+    /// exact).
+    fn from(query: TopKQuery) -> TopKRequest {
+        query.into_request(ExecPolicy::DEFAULT)
+    }
+}
+
+impl TopKRequest {
+    /// Pairs a composed query with an execution policy.
+    pub fn new(query: TopKQuery, policy: ExecPolicy) -> TopKRequest {
+        query.into_request(policy)
+    }
+
+    /// Starts building a request through the legacy monolithic
+    /// builder. The built request carries [`ExecPolicy::DEFAULT`].
+    #[deprecated(
+        note = "compose the query and policy separately: `TopKQuery::compose()…policy(…).request()`"
+    )]
+    pub fn builder() -> TopKRequestBuilder {
+        TopKRequestBuilder {
+            inner: TopKQuery::compose(),
+        }
+    }
+
+    /// The query half: what to compute.
+    pub fn query(&self) -> &TopKQuery {
+        &self.query
+    }
+
+    /// The policy half: how to compute it.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// The source handles, in conjunct order.
+    pub fn sources(&self) -> &[SharedSource] {
+        self.query.sources()
+    }
+
+    /// The number of conjuncts `m`.
+    pub fn arity(&self) -> usize {
+        self.query.arity()
+    }
+
+    /// How many answers are requested.
+    pub fn k(&self) -> usize {
+        self.query.k()
+    }
+
+    /// The normalized subquery weights, if the query is weighted.
+    pub fn weights(&self) -> Option<&Weighting> {
+        self.query.weights()
+    }
+
+    /// The effective scoring function (weight-wrapped when weighted).
+    pub fn scoring(&self) -> SharedScoring {
+        self.query.scoring()
+    }
+
+    /// Locks every source and hands the scalar view to `f`; see
+    /// [`TopKQuery::with_sources`].
+    pub fn with_sources<R>(&self, f: impl FnOnce(&mut [&mut dyn GradedSource]) -> R) -> R {
+        self.query.with_sources(f)
+    }
+}
+
+/// Builder for [`TopKQuery`]; see [`TopKQuery::compose`].
+#[derive(Default)]
+pub struct TopKQueryBuilder {
+    sources: Vec<SharedSource>,
+    scoring: Option<SharedScoring>,
+    k: usize,
+    weights: Option<Vec<f64>>,
+    policy: Option<ExecPolicy>,
+}
+
+// The shared sources/scoring are `dyn` trait objects without a `Debug`
+// bound; a shape summary satisfies `missing_debug_implementations`.
+impl std::fmt::Debug for TopKQueryBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKQueryBuilder")
+            .field("sources", &self.sources.len())
+            .field("has_scoring", &self.scoring.is_some())
+            .field("k", &self.k)
+            .field("weights", &self.weights)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl TopKQueryBuilder {
     /// Appends one owned source as the next conjunct.
     pub fn source(mut self, source: impl GradedSource + Send + 'static) -> Self {
         self.sources.push(shared_source(source));
@@ -186,8 +304,16 @@ impl TopKRequestBuilder {
         self
     }
 
-    /// Validates and assembles the request.
-    pub fn build(self) -> Result<TopKRequest, AlgoError> {
+    /// Sets the execution policy [`TopKQueryBuilder::request`] will
+    /// attach (ignored by [`TopKQueryBuilder::build`], which yields
+    /// the bare query).
+    pub fn policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Validates and assembles the query.
+    pub fn build(self) -> Result<TopKQuery, AlgoError> {
         if self.sources.is_empty() {
             return Err(AlgoError::NoSources);
         }
@@ -216,17 +342,99 @@ impl TopKRequestBuilder {
             Some(w) if !w.is_uniform() => Arc::new(Weighted::new(base, w.clone())) as SharedScoring,
             _ => base,
         };
-        Ok(TopKRequest {
+        Ok(TopKQuery {
             sources: self.sources,
             scoring,
             spec,
         })
+    }
+
+    /// Validates the query and pairs it with the policy set via
+    /// [`TopKQueryBuilder::policy`] (default policy when unset).
+    pub fn request(self) -> Result<TopKRequest, AlgoError> {
+        let policy = self.policy.unwrap_or(ExecPolicy::DEFAULT);
+        Ok(self.build()?.into_request(policy))
+    }
+}
+
+/// The legacy monolithic builder, kept so pre-split call sites compile
+/// during the migration; see the deprecated [`TopKRequest::builder`].
+/// New code composes [`TopKQuery`] and [`ExecPolicy`] separately.
+pub struct TopKRequestBuilder {
+    inner: TopKQueryBuilder,
+}
+
+impl std::fmt::Debug for TopKRequestBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKRequestBuilder")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl TopKRequestBuilder {
+    /// Appends one owned source as the next conjunct.
+    pub fn source(self, source: impl GradedSource + Send + 'static) -> Self {
+        TopKRequestBuilder {
+            inner: self.inner.source(source),
+        }
+    }
+
+    /// Appends an already-shared source handle.
+    pub fn shared_source(self, source: SharedSource) -> Self {
+        TopKRequestBuilder {
+            inner: self.inner.shared_source(source),
+        }
+    }
+
+    /// Appends every source of an iterator.
+    pub fn sources<S: GradedSource + Send + 'static>(
+        self,
+        sources: impl IntoIterator<Item = S>,
+    ) -> Self {
+        TopKRequestBuilder {
+            inner: self.inner.sources(sources),
+        }
+    }
+
+    /// Sets the scoring function combining conjunct grades.
+    pub fn scoring(self, scoring: impl ScoringFunction + Send + Sync + 'static) -> Self {
+        TopKRequestBuilder {
+            inner: self.inner.scoring(scoring),
+        }
+    }
+
+    /// Sets an already-shared scoring function.
+    pub fn shared_scoring(self, scoring: SharedScoring) -> Self {
+        TopKRequestBuilder {
+            inner: self.inner.shared_scoring(scoring),
+        }
+    }
+
+    /// Sets how many answers to return.
+    pub fn k(self, k: usize) -> Self {
+        TopKRequestBuilder {
+            inner: self.inner.k(k),
+        }
+    }
+
+    /// Weights the conjuncts' importance.
+    pub fn weights(self, ratios: &[f64]) -> Self {
+        TopKRequestBuilder {
+            inner: self.inner.weights(ratios),
+        }
+    }
+
+    /// Validates and assembles a request under the default policy.
+    pub fn build(self) -> Result<TopKRequest, AlgoError> {
+        self.inner.request()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::Algo;
     use crate::source::VecSource;
     use fmdb_core::score::Score;
     use fmdb_core::scoring::tnorms::Min;
@@ -241,28 +449,51 @@ mod tests {
     }
 
     #[test]
-    fn builder_assembles_a_request() {
-        let req = TopKRequest::builder()
+    fn compose_assembles_a_query() {
+        let query = TopKQuery::compose()
             .source(src(&[0.1, 0.9]))
             .source(src(&[0.8, 0.2]))
             .scoring(Min)
             .k(2)
             .build()
             .unwrap();
-        assert_eq!(req.arity(), 2);
-        assert_eq!(req.k(), 2);
-        assert!(req.weights().is_none());
-        assert_eq!(req.scoring().name(), "min");
+        assert_eq!(query.arity(), 2);
+        assert_eq!(query.k(), 2);
+        assert!(query.weights().is_none());
+        assert_eq!(query.scoring().name(), "min");
     }
 
     #[test]
-    fn builder_rejects_bad_requests() {
+    fn request_pairs_query_and_policy() {
+        let req = TopKQuery::compose()
+            .source(src(&[0.1, 0.9]))
+            .scoring(Min)
+            .k(1)
+            .policy(ExecPolicy::new().algo(Algo::Ta).theta(0.25))
+            .request()
+            .unwrap();
+        assert_eq!(req.policy().algo, Algo::Ta);
+        assert!(req.policy().approximation.is_approximate());
+        assert_eq!(req.query().k(), 1);
+        // Without an explicit policy the default rides along.
+        let plain: TopKRequest = TopKQuery::compose()
+            .source(src(&[0.5]))
+            .scoring(Min)
+            .k(1)
+            .build()
+            .unwrap()
+            .into();
+        assert_eq!(*plain.policy(), ExecPolicy::DEFAULT);
+    }
+
+    #[test]
+    fn compose_rejects_bad_queries() {
         assert!(matches!(
-            TopKRequest::builder().scoring(Min).k(1).build(),
+            TopKQuery::compose().scoring(Min).k(1).build(),
             Err(AlgoError::NoSources)
         ));
         assert!(matches!(
-            TopKRequest::builder()
+            TopKQuery::compose()
                 .source(src(&[0.5]))
                 .scoring(Min)
                 .k(0)
@@ -270,11 +501,11 @@ mod tests {
             Err(AlgoError::ZeroK)
         ));
         assert!(matches!(
-            TopKRequest::builder().source(src(&[0.5])).k(1).build(),
+            TopKQuery::compose().source(src(&[0.5])).k(1).build(),
             Err(AlgoError::InvalidRequest(_))
         ));
         assert!(matches!(
-            TopKRequest::builder()
+            TopKQuery::compose()
                 .source(src(&[0.5]))
                 .scoring(Min)
                 .k(1)
@@ -283,7 +514,7 @@ mod tests {
             Err(AlgoError::InvalidRequest(_))
         ));
         assert!(matches!(
-            TopKRequest::builder()
+            TopKQuery::compose()
                 .source(src(&[0.5]))
                 .scoring(Min)
                 .k(1)
@@ -294,8 +525,8 @@ mod tests {
     }
 
     #[test]
-    fn weighted_requests_wrap_the_scoring() {
-        let req = TopKRequest::builder()
+    fn weighted_queries_wrap_the_scoring() {
+        let query = TopKQuery::compose()
             .source(src(&[0.2, 0.9]))
             .source(src(&[0.9, 0.3]))
             .scoring(Min)
@@ -303,16 +534,16 @@ mod tests {
             .weights(&[2.0, 1.0])
             .build()
             .unwrap();
-        assert!(req.weights().is_some());
+        assert!(query.weights().is_some());
         // Weighted-min of (1.0, 0.0) under θ=(2/3, 1/3): the formula
         // gives θ₁−θ₂ + 2θ₂·min = 1/3 ≠ plain min = 0.
-        let g = req.scoring().combine(&[s(1.0), s(0.0)]);
+        let g = query.scoring().combine(&[s(1.0), s(0.0)]);
         assert!(g.approx_eq(s(1.0 / 3.0), 1e-9), "{g}");
     }
 
     #[test]
     fn uniform_weights_degrade_to_plain_scoring() {
-        let req = TopKRequest::builder()
+        let query = TopKQuery::compose()
             .source(src(&[0.2]))
             .source(src(&[0.9]))
             .scoring(Min)
@@ -320,37 +551,37 @@ mod tests {
             .weights(&[1.0, 1.0])
             .build()
             .unwrap();
-        // D1: uniform weighting IS the unweighted rule; the request
+        // D1: uniform weighting IS the unweighted rule; the query
         // reports itself unweighted and uses the plain function.
-        assert!(req.weights().is_none());
-        assert_eq!(req.scoring().name(), "min");
+        assert!(query.weights().is_none());
+        assert_eq!(query.scoring().name(), "min");
     }
 
     #[test]
     fn with_sources_grants_scalar_access() {
-        let req = TopKRequest::builder()
+        let query = TopKQuery::compose()
             .source(src(&[0.1, 0.9]))
             .scoring(Min)
             .k(1)
             .build()
             .unwrap();
-        let first = req.with_sources(|refs| refs[0].sorted_next().unwrap());
+        let first = query.with_sources(|refs| refs[0].sorted_next().unwrap());
         assert_eq!(first.id, 1);
         // The cursor advanced inside the shared handle.
-        let second = req.with_sources(|refs| refs[0].sorted_next().unwrap());
+        let second = query.with_sources(|refs| refs[0].sorted_next().unwrap());
         assert_eq!(second.id, 0);
     }
 
     #[test]
     fn shared_sources_can_serve_two_requests() {
         let handle = shared_source(src(&[0.4, 0.6]));
-        let a = TopKRequest::builder()
+        let a = TopKQuery::compose()
             .shared_source(Arc::clone(&handle))
             .scoring(Min)
             .k(1)
             .build()
             .unwrap();
-        let b = TopKRequest::builder()
+        let b = TopKQuery::compose()
             .shared_source(handle)
             .scoring(Min)
             .k(1)
@@ -362,5 +593,27 @@ mod tests {
         // b sees the same underlying cursor — it is the same source.
         let next = b.with_sources(|refs| refs[0].sorted_next().unwrap());
         assert_eq!(next.id, 0);
+    }
+
+    /// The pre-split builder still assembles a working request (with
+    /// the default policy) until its two remaining call sites migrate.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_builder_shim_still_builds() {
+        let req = TopKRequest::builder()
+            .source(src(&[0.1, 0.9]))
+            .source(src(&[0.8, 0.2]))
+            .scoring(Min)
+            .k(2)
+            .weights(&[1.0, 1.0])
+            .build()
+            .unwrap();
+        assert_eq!(req.arity(), 2);
+        assert_eq!(req.k(), 2);
+        assert_eq!(*req.policy(), ExecPolicy::DEFAULT);
+        assert!(matches!(
+            TopKRequest::builder().scoring(Min).k(1).build(),
+            Err(AlgoError::NoSources)
+        ));
     }
 }

@@ -116,18 +116,6 @@ pub trait GradedSource {
         oids.iter().map(|&oid| self.random_access(oid)).collect()
     }
 
-    /// The universe size, see [`SourceInfo::universe_size`].
-    #[deprecated(note = "use `info().universe_size` instead")]
-    fn universe_size(&self) -> usize {
-        self.info().universe_size
-    }
-
-    /// The diagnostic label, see [`SourceInfo::label`].
-    #[deprecated(note = "use `info().label` instead")]
-    fn label(&self) -> String {
-        self.info().label
-    }
-
     /// Splits this source into `shards` disjoint [`ShardedSource`]s
     /// under `partitioner`, or `None` when the implementation cannot
     /// materialize shards (a truly remote subsystem streams — it cannot
@@ -870,14 +858,6 @@ mod tests {
         let info = src.info();
         assert_eq!(info, SourceInfo::new("Color='red'", 2));
         assert_eq!(info.to_string(), "Color='red' (N=2)");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_info() {
-        let src = VecSource::from_dense("legacy", &[s(0.3)]);
-        assert_eq!(src.universe_size(), 1);
-        assert_eq!(src.label(), "legacy");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
 use fmdb_middleware::algorithms::{TopKAlgorithm, TopKResult};
 use fmdb_middleware::engine::{Engine, EngineConfig};
 use fmdb_middleware::oracle::{all_grades, verify_top_k};
-use fmdb_middleware::request::TopKRequest;
+use fmdb_middleware::request::TopKQuery;
 use fmdb_middleware::source::GradedSource;
 use fmdb_middleware::workload::independent_uniform;
 
@@ -80,11 +80,11 @@ fn engine_run(algorithm: &dyn TopKAlgorithm, s: Scenario) -> TopKResult {
         cache_capacity: s.cache_capacity,
         ..EngineConfig::DEFAULT
     });
-    let request = TopKRequest::builder()
+    let request = TopKQuery::compose()
         .sources(independent_uniform(s.n, s.m, s.seed))
         .scoring(Min)
         .k(s.k)
-        .build()
+        .request()
         .expect("request must validate");
     engine
         .run_algorithm(algorithm, &request)

@@ -29,7 +29,7 @@ use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
 use fmdb_middleware::algorithms::{TopKAlgorithm, TopKResult};
 use fmdb_middleware::engine::{Engine, EngineConfig};
 use fmdb_middleware::oracle::{all_grades, verify_top_k};
-use fmdb_middleware::request::TopKRequest;
+use fmdb_middleware::request::{TopKQuery, TopKRequest};
 use fmdb_middleware::source::GradedSource;
 use fmdb_middleware::workload::independent_uniform;
 
@@ -65,11 +65,11 @@ fn scenario() -> impl Strategy<Value = Scenario> {
 }
 
 fn request(s: Scenario) -> TopKRequest {
-    TopKRequest::builder()
+    TopKQuery::compose()
         .sources(independent_uniform(s.n, s.m, s.seed))
         .scoring(Min)
         .k(s.k)
-        .build()
+        .request()
         .expect("request must validate")
 }
 

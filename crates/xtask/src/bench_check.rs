@@ -1,0 +1,420 @@
+//! `cargo xtask check-bench` — gate on the `BENCH_engine.json` perf
+//! trajectory.
+//!
+//! `e00_run_all` writes one entry per experiment; this check fails the
+//! build when the artifact has drifted from the suite: a missing
+//! experiment (E1–E22), a non-numeric measurement (NaN/inf serialize to
+//! bare tokens, which are invalid JSON and rejected by the parser
+//! here), or an E22 instance-optimality ratio below 1 (the certificate
+//! oracle is a lower bound — a ratio under 1 means the harness itself
+//! is broken, not that an algorithm beat the optimum).
+//!
+//! The parser is a minimal hand-rolled recursive-descent JSON reader —
+//! same no-dependency reasoning as the writer in
+//! `crates/bench/src/report.rs`.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (only what the bench artifact needs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `{...}` with insertion order preserved.
+    Obj(Vec<(String, Json)>),
+    /// `[...]`.
+    Arr(Vec<Json>),
+    /// A string.
+    Str(String),
+    /// A number (finite by construction — `NaN`/`inf` never parse).
+    Num(f64),
+    /// `true`/`false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("invalid JSON at byte {}: {message}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.consume(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.consume(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return Err(self.error("bad \\u escape")),
+                            }
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    if let Ok(s) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(s);
+                    }
+                }
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| self.error("bad number"))
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse(content: &str) -> Result<Json, String> {
+    let mut p = Parser::new(content);
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing garbage after document"));
+    }
+    Ok(value)
+}
+
+/// The experiment ids the suite must have produced.
+const REQUIRED: std::ops::RangeInclusive<u32> = 1..=22;
+
+/// Validates a `BENCH_engine.json` payload. Returns a human-readable
+/// summary on success, the first failure otherwise.
+pub fn check(content: &str) -> Result<String, String> {
+    let root = parse(content)?;
+    match root.get("schema").and_then(Json::as_str) {
+        Some("fmdb-bench-engine/v1") => {}
+        other => return Err(format!("unexpected schema {other:?}")),
+    }
+    let experiments = match root.get("experiments") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err("missing `experiments` array".to_owned()),
+    };
+
+    let mut seen: Vec<String> = Vec::new();
+    let mut min_ratio = f64::INFINITY;
+    let mut ratio_count = 0usize;
+    for entry in experiments {
+        let id = entry
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("experiment entry without a string `id`")?
+            .to_owned();
+        for field in ["wall_ms", "sorted", "random"] {
+            let value = entry
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{id}: `{field}` missing or non-numeric"))?;
+            if value < 0.0 {
+                return Err(format!("{id}: `{field}` is negative ({value})"));
+            }
+        }
+        if let Some(metrics) = entry.get("metrics") {
+            let fields = match metrics {
+                Json::Obj(fields) => fields,
+                _ => return Err(format!("{id}: `metrics` is not an object")),
+            };
+            for (name, value) in fields {
+                let v = value
+                    .as_num()
+                    .ok_or_else(|| format!("{id}: metric `{name}` is non-numeric"))?;
+                if id == "E22" && name.starts_with("opt_ratio_") {
+                    ratio_count += 1;
+                    min_ratio = min_ratio.min(v);
+                    if v < 1.0 - 1e-9 {
+                        return Err(format!(
+                            "E22: optimality ratio `{name}` = {v} is below 1 — the \
+                             certificate oracle is a lower bound, so this is a harness bug"
+                        ));
+                    }
+                }
+            }
+        }
+        seen.push(id);
+    }
+
+    for i in REQUIRED {
+        let want = format!("E{i}");
+        if !seen.contains(&want) {
+            return Err(format!(
+                "experiment {want} missing from the trajectory (found: {})",
+                seen.join(", ")
+            ));
+        }
+    }
+    if ratio_count == 0 {
+        return Err("E22 carries no `opt_ratio_*` metrics".to_owned());
+    }
+
+    let mut summary = format!(
+        "check-bench: {} experiments, E1–E22 all present and numeric",
+        seen.len()
+    );
+    let _ = write!(
+        summary,
+        "; {ratio_count} optimality ratios ≥ 1 (min {min_ratio:.3})"
+    );
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(ids: &[&str], e22_metrics: &str) -> String {
+        let entries: Vec<String> = ids
+            .iter()
+            .map(|id| {
+                let metrics = if *id == "E22" { e22_metrics } else { "{}" };
+                format!(
+                    "{{\"id\":\"{id}\",\"title\":\"t\",\"wall_ms\":1.0,\"sorted\":10,\
+                     \"random\":2,\"cache_hits\":0,\"cache_misses\":2,\"worker_spawns\":0,\
+                     \"metrics\":{metrics}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"fmdb-bench-engine/v1\",\"quick\":true,\"experiments\":[{}]}}",
+            entries.join(",")
+        )
+    }
+
+    fn all_ids() -> Vec<String> {
+        (1..=22).map(|i| format!("E{i}")).collect()
+    }
+
+    #[test]
+    fn accepts_a_complete_artifact() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let doc = artifact(
+            &refs,
+            "{\"opt_ratio_ta_t0_r1\":1.25,\"opt_ratio_ca_t0_r1\":1.0}",
+        );
+        let summary = check(&doc).expect("valid artifact");
+        assert!(summary.contains("22 experiments"), "{summary}");
+        assert!(summary.contains("min 1.000"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_missing_experiment() {
+        let ids: Vec<String> = (1..=21).map(|i| format!("E{i}")).collect();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let err = check(&artifact(&refs, "{}")).unwrap_err();
+        assert!(err.contains("E22 missing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nan_measurements() {
+        // NaN serializes as a bare token — invalid JSON, parser error.
+        let doc = "{\"schema\":\"fmdb-bench-engine/v1\",\"quick\":true,\"experiments\":[\
+                   {\"id\":\"E1\",\"wall_ms\":NaN,\"sorted\":1,\"random\":1}]}";
+        assert!(check(doc).is_err());
+    }
+
+    #[test]
+    fn rejects_sub_one_optimality_ratio() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let err = check(&artifact(&refs, "{\"opt_ratio_ta_t0_r1\":0.8}")).unwrap_err();
+        assert!(err.contains("below 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_e22_without_ratios() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let err = check(&artifact(&refs, "{}")).unwrap_err();
+        assert!(err.contains("no `opt_ratio_*`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let err = check("{\"schema\":\"other\",\"experiments\":[]}").unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse("{\"a\":[1,2.5,{\"b\":\"x\\ny\\u0041\"}],\"c\":null}").expect("parses");
+        let a = v.get("a").expect("a");
+        match a {
+            Json::Arr(items) => {
+                assert_eq!(items[0], Json::Num(1.0));
+                assert_eq!(items[2].get("b"), Some(&Json::Str("x\nyA".into())));
+            }
+            _ => panic!("a is an array"),
+        }
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("[1 2]").is_err());
+        assert!(parse("{} junk").is_err());
+    }
+}

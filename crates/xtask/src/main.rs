@@ -18,11 +18,17 @@
 //! Findings print rustc-style (`error[rule]: … --> path:line:col`), or
 //! as a JSON array with `--format json`. Exit status: `0` clean, `1`
 //! violations found, `2` usage or I/O error.
+//!
+//! `cargo xtask check-bench [PATH]` additionally gates the
+//! `BENCH_engine.json` perf trajectory: every experiment E1–E22 must be
+//! present with numeric measurements, and E22's instance-optimality
+//! ratios must be ≥ 1 (see `bench_check`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+mod bench_check;
 mod diagnostics;
 mod lexer;
 mod rules;
@@ -39,12 +45,17 @@ commands:
       Run the fmdb-lint invariant rules over the workspace.
       --format json   emit findings as a JSON array (default: text)
       --root PATH     lint PATH instead of the enclosing workspace
+  check-bench [PATH]
+      Validate the BENCH_engine.json perf trajectory (default path:
+      BENCH_engine.json in the workspace root): experiments E1-E22
+      present, measurements numeric, E22 optimality ratios >= 1.
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("check-bench") => check_bench(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -127,6 +138,34 @@ fn lint(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn check_bench(args: &[String]) -> ExitCode {
+    let path = match args {
+        [] => workspace_root().join("BENCH_engine.json"),
+        [p] => PathBuf::from(p),
+        _ => {
+            eprintln!("error: check-bench takes at most one path\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match bench_check::check(&content) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {}: {message}", path.display());
+            ExitCode::FAILURE
+        }
     }
 }
 

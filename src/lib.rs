@@ -64,10 +64,12 @@ pub mod prelude {
         SynthConfig, SyntheticDb,
     };
     pub use fmdb_middleware::prelude::{
-        AccessStats, AlgoError, Algorithm, CostModel, Engine, EngineConfig, FaSession,
-        FaginsAlgorithm, GradeCache, GradedSource, MaxMerge, Naive, Nra, Oid, OwnedFaSession,
-        PageConfig, PagedSource, PrunedFa, SharedScoring, SourceInfo, ThresholdAlgorithm,
-        TopKAlgorithm, TopKRequest, TopKResult, ValidatingSource, VecSource,
+        AccessStats, Algo, AlgoError, Algorithm, ApproxNra, ApproxTa, Approximation,
+        CombinedAlgorithm, CostModel, Engine, EngineConfig, ExecPolicy, FaSession, FaginsAlgorithm,
+        GradeCache, GradedSource, MaxMerge, Naive, Nra, Oid, OptimalityOracle, OwnedFaSession,
+        PageConfig, PagedSource, PrunedFa, ShardPolicy, SharedScoring, SourceInfo,
+        ThresholdAlgorithm, TopKAlgorithm, TopKQuery, TopKRequest, TopKResult, ValidatingSource,
+        VecSource,
     };
     pub use fmdb_middleware::workload::independent_uniform;
 }
