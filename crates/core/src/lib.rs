@@ -19,7 +19,10 @@
 //!   combinations) with reference grading semantics;
 //! * [`request`] — validated, source-independent top-k request
 //!   parameters ([`request::TopKSpec`]), bound to concrete sources by
-//!   the middleware's `TopKRequest`.
+//!   the middleware's `TopKRequest`;
+//! * [`stats`] — equi-depth grade-distribution histograms
+//!   ([`stats::GradeHistogram`]), the per-source statistics the
+//!   middleware's cost-based planner prices strategies with.
 //!
 //! Algorithms that *evaluate* queries against subsystems with sorted
 //! and random access live in the `fmdb-middleware` crate; this crate is
@@ -54,6 +57,7 @@ pub mod query;
 pub mod request;
 pub mod score;
 pub mod scoring;
+pub mod stats;
 pub mod weights;
 
 /// Convenient re-exports of the most commonly used items.
@@ -66,5 +70,6 @@ pub mod prelude {
     pub use crate::scoring::means::ArithmeticMean;
     pub use crate::scoring::tnorms::{Min, Product};
     pub use crate::scoring::{Conorm, ConormScoring, ScoringFunction, TNorm};
+    pub use crate::stats::GradeHistogram;
     pub use crate::weights::{weighted_combine, Weighted, Weighting};
 }

@@ -22,6 +22,7 @@
 use fmdb_core::scoring::tnorms::Min;
 use fmdb_middleware::algorithms::fa::FaginsAlgorithm;
 use fmdb_middleware::algorithms::TopKAlgorithm;
+use fmdb_middleware::planner::{estimate_cost, CombinerKind, PhysicalPlan, PlanQuery};
 use fmdb_middleware::source::GradedSource;
 use fmdb_middleware::stats::CostModel;
 use fmdb_middleware::workload::independent_uniform;
@@ -102,31 +103,28 @@ impl CostEstimator {
     /// The estimated priced cost of running `kind` under `ctx`, or
     /// `None` when the plan does not apply (crisp filter without a
     /// crisp conjunct).
+    ///
+    /// The arithmetic lives in [`fmdb_middleware::planner::estimate_cost`]
+    /// — this is a thin adapter that translates garlic's [`PlanContext`]
+    /// into the unified planner's query description, so both entry
+    /// points price plans through one formula set.
     pub fn estimate(&self, kind: PlanKind, ctx: &PlanContext) -> Option<f64> {
-        let n = ctx.n as f64;
-        let m = ctx.m as f64;
-        let k = ctx.k.min(ctx.n) as f64;
-        let price = |sorted: f64, random: f64| {
-            sorted * self.cost_model.sorted_unit + random * self.cost_model.random_unit
-        };
-        match kind {
+        let mut query = PlanQuery::fuzzy(ctx.n, ctx.m, ctx.k).fa_constant(self.fa_constant);
+        let plan = match kind {
             PlanKind::CrispFilter => {
-                let survivors = ctx.crisp_survivors? as f64;
-                let fuzzy = (ctx.m - ctx.crisp_count) as f64;
-                // Stream each crisp prefix (+1 to see it end), then
-                // random-access every fuzzy conjunct per survivor.
-                let sorted = ctx.crisp_count as f64 * (survivors + 1.0);
-                let random = survivors * fuzzy;
-                Some(price(sorted, random))
+                query = query.crisp(ctx.crisp_count, ctx.crisp_survivors?);
+                PhysicalPlan::CrispFilter
             }
-            PlanKind::FaginA0 => {
-                let total = self.fa_constant * n.powf((m - 1.0) / m) * k.powf(1.0 / m);
-                // E5's raw counts: plain A₀ splits roughly evenly.
-                Some(price(total / 2.0, total / 2.0))
+            PlanKind::FaginA0 => PhysicalPlan::Fa,
+            PlanKind::Ta => PhysicalPlan::Ta,
+            PlanKind::Ca { h } => PhysicalPlan::Ca { h },
+            PlanKind::MaxMerge => {
+                query = query.combiner(CombinerKind::MaxLike);
+                PhysicalPlan::MaxMerge
             }
-            PlanKind::MaxMerge => Some(price(m * k, 0.0)),
-            PlanKind::FullScan => Some(price(m * n, 0.0)),
-        }
+            PlanKind::FullScan => PhysicalPlan::FullScan,
+        };
+        estimate_cost(plan, &query, None, &self.cost_model, 0.0)
     }
 }
 

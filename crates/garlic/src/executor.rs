@@ -9,6 +9,7 @@ use fmdb_core::query::{AtomicQuery, Query, QueryError};
 use fmdb_core::score::{Score, ScoredObject};
 use fmdb_core::scoring::conorms::Max;
 use fmdb_core::scoring::{ConormScoring, ScoringFunction};
+use fmdb_middleware::algorithms::ca::CombinedAlgorithm;
 use fmdb_middleware::algorithms::fa::{FaginsAlgorithm, OwnedFaSession};
 use fmdb_middleware::algorithms::max_merge::MaxMerge;
 use fmdb_middleware::algorithms::naive::Naive;
@@ -17,7 +18,7 @@ use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
 use fmdb_middleware::algorithms::{AlgoError, TopKAlgorithm};
 use fmdb_middleware::engine::{Engine, EngineConfig, EngineError};
 use fmdb_middleware::policy::ExecPolicy;
-use fmdb_middleware::request::{TopKQuery, TopKRequest};
+use fmdb_middleware::request::TopKQuery;
 use fmdb_middleware::source::{GradedSource, VecSource};
 use fmdb_middleware::stats::AccessStats;
 
@@ -203,15 +204,18 @@ impl Garlic {
         &self.engine
     }
 
-    /// Explains how a query would be executed, without running it.
+    /// Explains how a query would be executed, without running it:
+    /// the unified planner's decision record for a nominal `k` of 10
+    /// (plan chosen, per-candidate estimated costs, statistics basis).
     pub fn explain(&self, query: &Query) -> String {
-        let p = plan(query, &self.catalog);
+        let p = plan_costed(query, &self.catalog, 10, &CostEstimator::default());
         format!("{}: {}", p.kind, p.explanation)
     }
 
-    /// Finds the top `k` answers, choosing the strategy automatically.
+    /// Finds the top `k` answers, choosing the strategy through the
+    /// unified cost-based planner under the default estimator.
     pub fn top_k(&self, query: &Query, k: usize) -> Result<QueryResult, ExecError> {
-        self.top_k_with(query, k, AlgoChoice::Auto)
+        self.top_k_optimized(query, k, &CostEstimator::default())
     }
 
     /// Finds the top `k` answers with a **cost-based** plan choice
@@ -241,6 +245,9 @@ impl Garlic {
         if k == 0 {
             return Err(ExecError::ZeroK);
         }
+        if matches!(choice, AlgoChoice::Auto) {
+            return self.top_k_optimized(query, k, &CostEstimator::default());
+        }
         let p = plan(query, &self.catalog);
         match (p.kind, choice) {
             (PlanKind::FullScan, _) => self.full_scan(query, k, p.explanation),
@@ -256,7 +263,6 @@ impl Garlic {
                     "forced naive".to_owned(),
                 )
             }
-            (_, AlgoChoice::Auto) => self.execute_plan(p, query, k),
             (_, choice) => {
                 let Some(flat) = p.flat else {
                     return Err(ExecError::Internal("non-FullScan plans carry a flat query"));
@@ -292,19 +298,21 @@ impl Garlic {
         let Some(flat) = p.flat else {
             return self.execute_plan(p, query, k);
         };
-        let label = policy.algorithm()?.name();
         let request = TopKQuery::compose()
             .sources(self.build_sources(&flat)?)
             .scoring(OwnedCombiner(flat.combiner.clone()))
             .k(k)
             .policy(policy)
             .request()?;
+        // The engine's planner record: for explicit policies it names
+        // the forced algorithm, for `Algo::Auto` the cost-based choice.
+        let explain = self.engine.explain(&request)?;
         let result = self.engine.run(&request)?;
         Ok(QueryResult {
             answers: result.answers,
             stats: result.stats,
-            plan: PlanKind::FaginA0,
-            explanation: format!("execution policy: {label}"),
+            plan: PlanKind::from_physical(explain.chosen).unwrap_or(PlanKind::FaginA0),
+            explanation: format!("execution policy: {explain}"),
         })
     }
 
@@ -334,6 +342,24 @@ impl Garlic {
                     return Err(ExecError::Internal("A0 plans carry a flat query"));
                 };
                 self.run_flat(&flat, k, &FaginsAlgorithm, PlanKind::FaginA0, p.explanation)
+            }
+            PlanKind::Ta => {
+                let Some(flat) = p.flat else {
+                    return Err(ExecError::Internal("TA plans carry a flat query"));
+                };
+                self.run_flat(&flat, k, &ThresholdAlgorithm, PlanKind::Ta, p.explanation)
+            }
+            PlanKind::Ca { h } => {
+                let Some(flat) = p.flat else {
+                    return Err(ExecError::Internal("CA plans carry a flat query"));
+                };
+                self.run_flat(
+                    &flat,
+                    k,
+                    &CombinedAlgorithm::new(h, 0.0),
+                    PlanKind::Ca { h },
+                    p.explanation,
+                )
             }
         }
     }
@@ -376,13 +402,11 @@ impl Garlic {
     ) -> Result<QueryResult, ExecError> {
         // The planner probed max-likeness; run the merge under the
         // canonical max so the middleware's own probe also accepts it.
-        #[allow(deprecated)]
-        // lint:allow(no-deprecated): documented legacy call site — migrates to TopKQuery::compose when max-merge grows policy support; scheduled for removal next PR
-        let request = TopKRequest::builder()
+        let request = TopKQuery::compose()
             .sources(self.build_sources(flat)?)
             .scoring(ConormScoring(Max))
             .k(k)
-            .build()?;
+            .request()?;
         let result = self.engine.run_algorithm(&MaxMerge, &request)?;
         Ok(QueryResult {
             answers: result.answers,
@@ -651,14 +675,16 @@ mod tests {
     }
 
     #[test]
-    fn fuzzy_conjunction_runs_a0_and_matches_naive() {
+    fn fuzzy_conjunction_runs_costed_plan_and_matches_naive() {
         let g = demo_garlic(40);
         let q = Query::and(vec![
             Query::atomic("Color", Target::Similar("red".into())),
             Query::atomic("Shape", Target::Similar("round".into())),
         ]);
         let fa = g.top_k(&q, 5).unwrap();
-        assert_eq!(fa.plan, PlanKind::FaginA0);
+        // The unified cost model prices TA's shallower stopping depth
+        // below A₀'s Theorem-4.1 law for this two-conjunct instance.
+        assert_eq!(fa.plan, PlanKind::Ta);
         let naive = g.top_k_with(&q, 5, AlgoChoice::Naive).unwrap();
         assert_eq!(fa.answers, naive.answers);
         for choice in [AlgoChoice::PrunedFa, AlgoChoice::Ta] {

@@ -21,10 +21,17 @@
 use fmdb_core::query::{AtomicQuery, Query, ScoringHandle};
 use fmdb_core::score::Score;
 use fmdb_core::scoring::ScoringFunction;
+use fmdb_core::stats::DEFAULT_HISTOGRAM_BINS;
 use fmdb_core::weights::Weighting;
+use fmdb_middleware::planner::{
+    choose_plan, CombinerKind, PhysicalPlan, PlanQuery, QueryStats,
+};
+use fmdb_middleware::policy::ExecPolicy;
+use fmdb_middleware::source::GradedSource;
+use fmdb_middleware::stats::SourceStats;
 
 use crate::catalog::Catalog;
-use crate::cost::{CostEstimator, PlanContext};
+use crate::cost::CostEstimator;
 use crate::repository::AttributeKind;
 
 /// How the flat query combines its atoms' grades.
@@ -131,10 +138,35 @@ pub enum PlanKind {
     CrispFilter,
     /// Algorithm A₀ over all conjuncts.
     FaginA0,
+    /// The Threshold Algorithm over all conjuncts.
+    Ta,
+    /// The Combined Algorithm with interleave depth `h`.
+    Ca {
+        /// One random-access round per `h` sorted rounds.
+        h: usize,
+    },
     /// The m·k disjunction merge.
     MaxMerge,
     /// Full scan with reference semantics.
     FullScan,
+}
+
+impl PlanKind {
+    /// Maps a unified-planner choice onto a Garlic-executable plan.
+    /// `None` for the NRA family: Garlic's result grades are
+    /// user-facing, so the planner is always asked for exact grades
+    /// and never picks those.
+    pub fn from_physical(plan: PhysicalPlan) -> Option<PlanKind> {
+        match plan {
+            PhysicalPlan::Fa => Some(PlanKind::FaginA0),
+            PhysicalPlan::Ta => Some(PlanKind::Ta),
+            PhysicalPlan::Ca { h } => Some(PlanKind::Ca { h }),
+            PhysicalPlan::CrispFilter => Some(PlanKind::CrispFilter),
+            PhysicalPlan::MaxMerge => Some(PlanKind::MaxMerge),
+            PhysicalPlan::FullScan => Some(PlanKind::FullScan),
+            PhysicalPlan::Nra | PhysicalPlan::ApproxTa | PhysicalPlan::ApproxNra => None,
+        }
+    }
 }
 
 impl std::fmt::Display for PlanKind {
@@ -142,6 +174,8 @@ impl std::fmt::Display for PlanKind {
         match self {
             PlanKind::CrispFilter => write!(f, "crisp-filter"),
             PlanKind::FaginA0 => write!(f, "fagin-a0"),
+            PlanKind::Ta => write!(f, "threshold-ta"),
+            PlanKind::Ca { .. } => write!(f, "combined-ca"),
             PlanKind::MaxMerge => write!(f, "max-merge"),
             PlanKind::FullScan => write!(f, "full-scan"),
         }
@@ -264,10 +298,17 @@ pub fn plan(query: &Query, catalog: &Catalog) -> Plan {
     }
 }
 
-/// Chooses a plan by *estimated cost* (§4.2's optimizer): enumerates
-/// the strategies that are valid for the query, estimates each through
-/// `estimator`, and picks the cheapest. Falls back to [`plan`]'s
-/// heuristics when the query is not flat.
+/// Chooses a plan by *estimated cost* (§4.2's optimizer), routing
+/// through the unified cost-based planner
+/// ([`fmdb_middleware::planner::choose_plan`]) — the same decision
+/// procedure `ExecPolicy::Algo::Auto` uses at the engine level.
+///
+/// The catalog supplies the statistics: per-atom grade histograms read
+/// from the materialized sources and exact crisp match counts
+/// (optimizer-time probes, not charged to the query). Garlic's result
+/// grades are user-facing, so the planner is asked for **exact
+/// grades** — the NRA family is never chosen here. Falls back to
+/// [`plan`]'s shape rules when the query is not flat or not monotone.
 pub fn plan_costed(query: &Query, catalog: &Catalog, k: usize, estimator: &CostEstimator) -> Plan {
     let Some(flat) = flatten(query) else {
         return plan(query, catalog);
@@ -294,39 +335,52 @@ pub fn plan_costed(query: &Query, catalog: &Catalog, k: usize, estimator: &CostE
             }
         }
     }
-    let ctx = PlanContext {
-        n,
-        m: arity,
-        k,
-        crisp_survivors: survivors,
-        crisp_count,
+
+    // Classify the combiner with the numeric probes (max-like first:
+    // at arity 1 both probes accept, and the k-prefix merge is then
+    // the cheapest correct plan).
+    let combiner = if probe_max_like(&flat.combiner, arity) {
+        CombinerKind::MaxLike
+    } else if probe_zero_absorbing(&flat.combiner, arity) {
+        CombinerKind::ZeroAbsorbing
+    } else {
+        CombinerKind::Other
     };
 
-    // Valid strategies for this query shape.
-    let mut candidates: Vec<PlanKind> = vec![PlanKind::FaginA0, PlanKind::FullScan];
-    if probe_max_like(&flat.combiner, arity) {
-        candidates.push(PlanKind::MaxMerge);
-    }
-    if crisp_count > 0 && arity > 1 && probe_zero_absorbing(&flat.combiner, arity) {
-        candidates.push(PlanKind::CrispFilter);
-    }
-
-    let mut best = PlanKind::FaginA0;
-    let mut best_cost = f64::INFINITY;
-    let mut detail = String::new();
-    for kind in candidates {
-        if let Some(cost) = estimator.estimate(kind, &ctx) {
-            detail.push_str(&format!("{kind}≈{cost:.0} "));
-            if cost < best_cost {
-                best_cost = cost;
-                best = kind;
-            }
+    let mut pq = PlanQuery::fuzzy(n, arity, k)
+        .combiner(combiner)
+        .exact_grades()
+        .fa_constant(estimator.fa_constant);
+    if crisp_count > 0 && arity > 1 {
+        if let Some(s) = survivors {
+            pq = pq.crisp(crisp_count, s);
         }
     }
+
+    // Per-source equi-depth histograms, all-or-nothing: partial
+    // statistics would skew the comparison between plans.
+    let stats: Option<QueryStats> = flat
+        .atoms
+        .iter()
+        .map(|a| {
+            catalog
+                .source_for(a)
+                .ok()
+                .and_then(|s| s.grade_histogram(DEFAULT_HISTOGRAM_BINS))
+                .map(SourceStats::new)
+        })
+        .collect::<Option<Vec<_>>>()
+        .map(QueryStats::new);
+
+    let policy = ExecPolicy::new().cost_model(estimator.cost_model);
+    let explain = choose_plan(&pq, stats.as_ref(), &policy);
+    let kind = PlanKind::from_physical(explain.chosen)
+        // Unreachable under `exact_grades`, but never panic on it.
+        .unwrap_or(PlanKind::FullScan);
     Plan {
-        kind: best,
+        kind,
         flat: Some(flat),
-        explanation: format!("cost-based choice (estimates: {}→ {best})", detail),
+        explanation: format!("cost-based choice: {explain}"),
     }
 }
 

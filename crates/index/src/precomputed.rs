@@ -15,7 +15,10 @@
 
 use std::fmt;
 
+use fmdb_core::score::Score;
+use fmdb_core::stats::GradeHistogram;
 use fmdb_media::embed::EmbeddedCorpus;
+use fmdb_media::scorer::DistanceScorer;
 
 /// Error raised by the precomputed matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +158,38 @@ impl PrecomputedDistances {
         all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         all.truncate(k);
         Ok(all)
+    }
+
+    /// An equi-depth grade histogram for query-by-example retrieval
+    /// around object `query` — the planner's statistics hook for
+    /// precomputed sources, costing **zero** distance evaluations.
+    ///
+    /// Up to `sample` stored distances are read on a deterministic
+    /// stride through the query's row, mapped through `scorer`, and
+    /// summarized by [`GradeHistogram::from_sample`] scaled to the
+    /// full matrix size.
+    pub fn grade_histogram(
+        &self,
+        query: usize,
+        scorer: &dyn DistanceScorer,
+        bins: usize,
+        sample: usize,
+    ) -> Result<GradeHistogram, PrecomputeError> {
+        if query >= self.n {
+            return Err(PrecomputeError::OutOfRange {
+                index: query,
+                n: self.n,
+            });
+        }
+        let take = sample.max(1).min(self.n);
+        let stride = (self.n / take).max(1);
+        let grades: Vec<Score> = (0..self.n)
+            .step_by(stride)
+            .take(take)
+            // lint:allow(no-panic): both indices were bounds-checked (query above, j < n by construction)
+            .map(|j| scorer.score(self.distance(query, j).expect("indices validated above")))
+            .collect();
+        Ok(GradeHistogram::from_sample(&grades, self.n, bins))
     }
 
     /// Splits the object indices into `shards` contiguous ranges using
@@ -307,6 +342,36 @@ mod tests {
         // Clamped out-of-matrix range; invalid query still rejected.
         assert!(p.knn_in_range(40, 3, 500..900).unwrap().is_empty());
         assert!(p.knn_in_range(500, 3, 0..10).is_err());
+    }
+
+    #[test]
+    fn grade_histogram_reads_the_stored_row_deterministically() {
+        use fmdb_media::scorer::{DistanceScorer, ExpDecay};
+
+        let p = PrecomputedDistances::build(120, |i, j| line_metric(i, j) / 10.0).unwrap();
+        let scorer = ExpDecay::new(1.0).unwrap();
+        let full = p.grade_histogram(40, &scorer, 16, 120).unwrap();
+        let sampled = p.grade_histogram(40, &scorer, 16, 30).unwrap();
+        assert_eq!(full.universe(), 120);
+        assert_eq!(sampled.universe(), 120);
+        for g in [0.2, 0.5, 0.8] {
+            let exact = (0..120)
+                .filter(|&j| scorer.score(p.distance(40, j).unwrap()).value() >= g)
+                .count() as f64
+                / 120.0;
+            assert!(
+                (full.fraction_above(g) - exact).abs() < 0.1,
+                "full off at {g}: {} vs {exact}",
+                full.fraction_above(g)
+            );
+            assert!(
+                (sampled.fraction_above(g) - exact).abs() < 0.2,
+                "sampled off at {g}: {} vs {exact}",
+                sampled.fraction_above(g)
+            );
+        }
+        assert_eq!(p.grade_histogram(40, &scorer, 16, 30).unwrap(), sampled);
+        assert!(p.grade_histogram(500, &scorer, 16, 30).is_err());
     }
 
     #[test]

@@ -45,6 +45,8 @@ use std::thread;
 use fmdb_core::score::{Score, ScoredObject};
 
 use crate::algorithms::{AlgoError, Algorithm, TopKAlgorithm, TopKResult};
+use crate::planner::{Explain, PhysicalPlan, PlanQuery, QueryStats};
+use crate::policy::Algo;
 use crate::request::{SharedSource, TopKRequest};
 use crate::source::{GradedSource, Oid, SourceInfo};
 
@@ -254,6 +256,9 @@ pub struct GradeCache {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Per-source-identity (hits, misses) split of the totals above —
+    /// the raw signal behind the planner's cache-residency hints.
+    per_source: HashMap<u64, (u64, u64)>,
 }
 
 impl GradeCache {
@@ -266,6 +271,7 @@ impl GradeCache {
             tick: 0,
             hits: 0,
             misses: 0,
+            per_source: HashMap::new(),
         }
     }
 
@@ -294,6 +300,11 @@ impl GradeCache {
         self.misses
     }
 
+    /// Cumulative (hits, misses) charged against one source identity.
+    pub fn source_counters(&self, source_id: u64) -> (u64, u64) {
+        self.per_source.get(&source_id).copied().unwrap_or((0, 0))
+    }
+
     /// Drops every cached grade **and** resets the hit/miss counters.
     ///
     /// The counters describe the lifetime of the cached content; under
@@ -307,26 +318,32 @@ impl GradeCache {
         self.queue.clear();
         self.hits = 0;
         self.misses = 0;
+        self.per_source.clear();
     }
 
     /// Looks `key` up, refreshing its recency on a hit.
     fn get(&mut self, key: CacheKey) -> Option<Score> {
         self.tick += 1;
         let tick = self.tick;
-        match self.entries.get_mut(&key) {
+        let found = match self.entries.get_mut(&key) {
             Some((grade, stamp)) => {
                 *stamp = tick;
                 let grade = *grade;
                 self.queue.push_back((key, tick));
-                self.hits += 1;
-                self.maybe_compact();
                 Some(grade)
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            None => None,
+        };
+        let split = self.per_source.entry(key.0).or_insert((0, 0));
+        if found.is_some() {
+            self.hits += 1;
+            split.0 += 1;
+            self.maybe_compact();
+        } else {
+            self.misses += 1;
+            split.1 += 1;
         }
+        found
     }
 
     /// Inserts (or refreshes) a grade, evicting the least recently used
@@ -438,6 +455,17 @@ impl StripedGradeCache {
         self.stripes.iter().fold((0, 0), |(h, m), s| {
             let guard = lock_cache(s);
             (h + guard.hits(), m + guard.misses())
+        })
+    }
+
+    /// Cumulative (hits, misses) for one source identity, summed over
+    /// all stripes (same snapshot guarantee as
+    /// [`StripedGradeCache::counters`]). This is the signal the planner
+    /// turns into a cache-residency hint.
+    pub fn source_counters(&self, source_id: u64) -> (u64, u64) {
+        self.stripes.iter().fold((0, 0), |(h, m), s| {
+            let (sh, sm) = lock_cache(s).source_counters(source_id);
+            (h + sh, m + sm)
         })
     }
 
@@ -717,6 +745,20 @@ impl Engine {
         self.cache.clear();
     }
 
+    /// Cumulative cache (hits, misses) charged against `source` across
+    /// every request served. The hit fraction is the cache-residency
+    /// hint [`Engine::explain`] attaches to the source's statistics —
+    /// a *latency* signal only: the paper's charged cost counts a
+    /// cache-served random access all the same, so residency never
+    /// changes which plan the charged-cost comparison picks.
+    pub fn source_cache_counters(&self, source: &SharedSource) -> (u64, u64) {
+        let id = {
+            let mut registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+            registry.identify(source)
+        };
+        self.cache.source_counters(id)
+    }
+
     /// Cumulative [`crate::stats::AccessStats`] folded over every
     /// *successful* request this engine has served. Monotone; diff two
     /// snapshots to meter a workload.
@@ -725,17 +767,114 @@ impl Engine {
     }
 
     /// Evaluates a request as its [`crate::policy::ExecPolicy`]
-    /// prescribes: the policy resolves to a concrete algorithm, which
-    /// then runs through [`Engine::run_algorithm`].
+    /// prescribes and runs it through [`Engine::run_algorithm`].
     ///
-    /// Under the default policy (`Auto`, uniform costs, exact) this is
-    /// Fagin's A₀ — batched, optionally parallel, bit-identical to
-    /// [`FaginsAlgorithm`] run scalar, exactly as before the policy
-    /// split. A cost model with `⌊c_R/c_S⌋ ≥ 2` switches `Auto` to the
-    /// Combined Algorithm; `θ > 0` switches it to θ-approximate TA.
+    /// An explicit [`crate::policy::Algo`] resolves as named.
+    /// [`crate::policy::Algo::Auto`] routes through the unified
+    /// cost-based planner ([`crate::planner::choose_plan`]): the engine
+    /// gathers per-source grade histograms via
+    /// [`GradedSource::grade_histogram`], prices every applicable
+    /// strategy under the policy's cost model, and executes the
+    /// cheapest. When any source cannot provide statistics, the
+    /// planner's documented static fallback (NRA-or-TA, never A₀)
+    /// applies. [`Engine::explain`] exposes the same decision without
+    /// executing it.
     pub fn run(&self, request: &TopKRequest) -> Result<TopKResult, EngineError> {
-        let algorithm = request.policy().algorithm()?;
+        let algorithm = self.resolve(request)?;
         self.run_algorithm(algorithm.as_ref(), request)
+    }
+
+    /// The planner's decision record for `request` — the plan
+    /// [`Engine::run`] would execute, every candidate's estimated
+    /// charged cost, and the statistics it was based on — without
+    /// running the query or charging any accesses. For an explicit
+    /// (non-`Auto`) policy the record reflects that forced choice.
+    pub fn explain(&self, request: &TopKRequest) -> Result<Explain, EngineError> {
+        // Surface invalid-knob errors exactly like `run`.
+        let algorithm = request.policy().algorithm()?;
+        let mut explain = self.plan(request);
+        if !matches!(request.policy().algo, Algo::Auto) {
+            let forced = [
+                PhysicalPlan::Fa,
+                PhysicalPlan::Ta,
+                PhysicalPlan::Nra,
+                PhysicalPlan::Ca {
+                    h: request.policy().interleave(),
+                },
+                PhysicalPlan::ApproxTa,
+                PhysicalPlan::ApproxNra,
+                PhysicalPlan::MaxMerge,
+            ]
+            .into_iter()
+            .find(|p| p.name() == algorithm.name());
+            if let Some(plan) = forced {
+                explain.chosen = plan;
+            }
+        }
+        Ok(explain)
+    }
+
+    /// Resolves the request's policy to the algorithm `run` executes:
+    /// explicit choices as named, `Auto` through the cost-based
+    /// planner.
+    fn resolve(
+        &self,
+        request: &TopKRequest,
+    ) -> Result<Box<dyn TopKAlgorithm + Send + Sync>, EngineError> {
+        // Always resolve statically first: it validates the policy
+        // knobs (θ, cost units) and is the documented fallback.
+        let fallback = request.policy().algorithm()?;
+        if !matches!(request.policy().algo, Algo::Auto) {
+            return Ok(fallback);
+        }
+        let explain = self.plan(request);
+        let theta = request.policy().approximation.theta();
+        Ok(match crate::planner::plan_algorithm(explain.chosen, theta) {
+            Some(algorithm) => algorithm,
+            // Plans above the algorithm layer: a full scan is the
+            // naive drain; anything else falls back to the static
+            // choice (unreachable for engine-shaped queries, which
+            // have no crisp structure).
+            None => match explain.chosen {
+                PhysicalPlan::FullScan => Box::new(crate::algorithms::naive::Naive),
+                _ => fallback,
+            },
+        })
+    }
+
+    /// Gathers statistics and runs the planner for `request` under its
+    /// policy, treating the query as a plain fuzzy top-k (the engine
+    /// has no crisp-predicate structure; the Garlic layer adds that).
+    fn plan(&self, request: &TopKRequest) -> Explain {
+        let m = request.sources().len();
+        let mut n = 0usize;
+        let mut per_source = Vec::with_capacity(m);
+        for source in request.sources() {
+            // Residency hint: the fraction of this source's past random
+            // accesses the grade cache answered (0 when never probed).
+            let (hits, misses) = self.source_cache_counters(source);
+            let probed = hits + misses;
+            let residency = if probed == 0 {
+                0.0
+            } else {
+                hits as f64 / probed as f64
+            };
+            let guard = lock(source);
+            n = n.max(guard.info().universe_size);
+            per_source.push(
+                guard
+                    .grade_histogram(fmdb_core::stats::DEFAULT_HISTOGRAM_BINS)
+                    .map(|h| crate::stats::SourceStats::new(h).with_residency(residency)),
+            );
+        }
+        // Partial statistics would skew the comparison: all-or-nothing.
+        let stats: Option<QueryStats> = per_source
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .map(QueryStats::new);
+        let combiner = crate::planner::classify_combiner(request.scoring().as_ref(), m.max(1));
+        let query = PlanQuery::fuzzy(n, m, request.k()).combiner(combiner);
+        crate::planner::choose_plan(&query, stats.as_ref(), request.policy())
     }
 
     /// Evaluates a request with any scalar [`TopKAlgorithm`] as the
@@ -1031,11 +1170,14 @@ mod tests {
         algo.top_k(&mut refs, &Min, k).unwrap()
     }
 
+    /// A request pinned to Fagin's A₀ — the bit-identity tests compare
+    /// against scalar A₀ runs, so the planner must not re-route them.
     fn request(n: usize, m: usize, seed: u64, k: usize) -> TopKRequest {
         TopKQuery::compose()
             .sources(independent_uniform(n, m, seed))
             .scoring(Min)
             .k(k)
+            .policy(ExecPolicy::new().algo(crate::policy::Algo::Fa))
             .request()
             .unwrap()
     }
@@ -1067,6 +1209,46 @@ mod tests {
             assert_eq!(result.stats.sorted, reference.stats.sorted, "round {round}");
             assert_eq!(result.stats.random, reference.stats.random, "round {round}");
         }
+    }
+
+    /// The default policy (`Algo::Auto`) routes through the unified
+    /// cost-based planner: sources provide histograms, every strategy
+    /// is priced, and the executed algorithm is the planner's choice —
+    /// NRA for independent-uniform grades under uniform costs (its
+    /// sorted-only cost is roughly half of TA's or A₀'s).
+    #[test]
+    fn default_auto_routes_through_the_planner() {
+        let engine = Engine::default();
+        let req = TopKQuery::compose()
+            .sources(independent_uniform(300, 3, 7))
+            .scoring(Min)
+            .k(10)
+            .request()
+            .unwrap();
+        let explain = engine.explain(&req).unwrap();
+        assert_eq!(explain.chosen.name(), "nra-lower-bound", "{explain}");
+        assert!(matches!(
+            explain.basis,
+            crate::planner::StatsBasis::Histograms { sources: 3 }
+        ));
+        assert!(explain.candidates.len() >= 3, "{explain}");
+        // The run executes exactly the explained plan: NRA performs no
+        // random accesses, unlike the old Auto → A₀ default.
+        let result = engine.run(&req).unwrap();
+        assert_eq!(result.stats.random, 0, "NRA is sorted-only");
+        verify_top_k(
+            &mut independent_uniform(300, 3, 7)
+                .iter_mut()
+                .map(|s| s as &mut dyn GradedSource)
+                .collect::<Vec<_>>(),
+            &Min,
+            &result.answers,
+            10,
+        )
+        .unwrap();
+        // Explicit policies are untouched by the planner.
+        let forced = engine.explain(&request(300, 3, 7, 10)).unwrap();
+        assert_eq!(forced.chosen.name(), "fagin-a0");
     }
 
     #[test]
@@ -1151,7 +1333,13 @@ mod tests {
             for h in &handles {
                 b = b.shared_source(Arc::clone(h));
             }
-            b.scoring(Min).k(6).request().unwrap()
+            // Pin A₀: under `Algo::Auto` the planner picks the
+            // sorted-only NRA here, which never touches the cache.
+            b.scoring(Min)
+                .k(6)
+                .policy(ExecPolicy::new().algo(crate::policy::Algo::Fa))
+                .request()
+                .unwrap()
         };
         let engine = Engine::default();
         let first = engine.run(&build()).unwrap();
@@ -1166,6 +1354,45 @@ mod tests {
         let (hits, misses) = engine.cache_counters();
         assert_eq!(hits, second.stats.cache_hits);
         assert_eq!(misses, first.stats.cache_misses);
+    }
+
+    #[test]
+    fn per_source_counters_split_the_totals_and_reset_on_clear() {
+        let handles: Vec<SharedSource> = independent_uniform(400, 2, 21)
+            .into_iter()
+            .map(shared_source)
+            .collect();
+        let build = || {
+            let mut b = TopKQuery::compose();
+            for h in &handles {
+                b = b.shared_source(Arc::clone(h));
+            }
+            b.scoring(Min)
+                .k(6)
+                .policy(ExecPolicy::new().algo(crate::policy::Algo::Fa))
+                .request()
+                .unwrap()
+        };
+        let engine = Engine::default();
+        engine.run(&build()).unwrap();
+        engine.run(&build()).unwrap();
+        let per: Vec<(u64, u64)> = handles
+            .iter()
+            .map(|h| engine.source_cache_counters(h))
+            .collect();
+        // The per-source splits partition the engine-wide totals …
+        let (hits, misses) = engine.cache_counters();
+        assert_eq!(per.iter().map(|p| p.0).sum::<u64>(), hits);
+        assert_eq!(per.iter().map(|p| p.1).sum::<u64>(), misses);
+        // … and A₀ random-accessed (and re-hit) every source.
+        for (i, &(h, m)) in per.iter().enumerate() {
+            assert!(h > 0 && m > 0, "source {i} counters {h}/{m}");
+        }
+        // clear() drops the per-source splits with the totals.
+        engine.clear_cache();
+        for h in &handles {
+            assert_eq!(engine.source_cache_counters(h), (0, 0));
+        }
     }
 
     #[test]

@@ -30,6 +30,11 @@
 //! * [`optimality`] — the per-instance optimality oracle: the cheapest
 //!   certificate cost any deterministic algorithm must pay on a given
 //!   instance, used to report empirical instance-optimality ratios;
+//! * [`planner`] — the unified statistics-driven cost-based planner:
+//!   per-source grade histograms price every physical strategy through
+//!   the policy's cost model, and both auto-selection entry points
+//!   (`Algo::Auto` and the Garlic planner) route through
+//!   [`planner::choose_plan`];
 //! * [`paging`] — a paged-I/O cost simulation with an LRU buffer pool
 //!   (§6's "more realistic cost measure");
 //! * [`workload`] — synthetic grade distributions: independent
@@ -63,6 +68,7 @@ pub mod engine;
 pub mod optimality;
 pub mod oracle;
 pub mod paging;
+pub mod planner;
 pub mod policy;
 pub mod request;
 pub mod sharded;
@@ -86,6 +92,10 @@ pub mod prelude {
     pub use crate::optimality::OptimalityOracle;
     pub use crate::oracle::verify_top_k;
     pub use crate::paging::{PageConfig, PageIo, PagedSource};
+    pub use crate::planner::{
+        choose_plan, classify_combiner, CombinerKind, Explain, PhysicalPlan, PlanQuery, QueryStats,
+        StatsBasis,
+    };
     pub use crate::policy::{Algo, Approximation, ExecPolicy, ShardPolicy};
     pub use crate::request::{
         shared_source, SharedScoring, SharedSource, TopKQuery, TopKQueryBuilder, TopKRequest,

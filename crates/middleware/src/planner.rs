@@ -1,0 +1,1025 @@
+//! The unified cost-based planner (§4.2).
+//!
+//! "In order to use an optimizer, we need to understand the cost of
+//! applying various operators over various data in various
+//! repositories." This module is that understanding, in one place:
+//! a [`PhysicalPlan`] enum naming every strategy the workspace can
+//! execute, cost formulas pricing each of them through the caller's
+//! [`CostModel`], and one [`choose_plan`] entry point that *both*
+//! auto-selection paths — `ExecPolicy::Algo::Auto` resolved by
+//! `Engine::run`, and the Garlic planner's cost-based mode — route
+//! through. The old per-layer heuristics are gone, not wrapped.
+//!
+//! ## The cost model
+//!
+//! All formulas work from per-source equi-depth grade histograms
+//! ([`crate::stats::SourceStats`]) and the independence assumption.
+//! Write `F̄_i(g)` for source `i`'s fraction of grades ≥ `g`, `n` for
+//! the universe size, `m` for the number of sources, and `y_k` for the
+//! estimated k-th best overall grade (found by bisection on the
+//! expected number of objects graded ≥ `g`). Three derived quantities
+//! drive everything:
+//!
+//! * `d_i = n_i · F̄_i(y_k)` — sorted depth at which list `i` falls to
+//!   `y_k`;
+//! * `d_FA` — the depth at which `k` objects are expected in *all*
+//!   prefixes (`n·Π d_i(d)/n_i = k`), Theorem 4.1's `N^{(m−1)/m}
+//!   k^{1/m}` under uniform grades;
+//! * `U(d) = n · (1 − Π (1 − d/n_i))` — distinct objects expected in
+//!   the union of all `m` prefixes of depth `d`.
+//!
+//! | plan          | sorted accesses       | random accesses            |
+//! |---------------|-----------------------|----------------------------|
+//! | FA (A₀)       | `m·d_FA`              | `m·U(d_FA) − m·d_FA`       |
+//! | TA            | `m·d_TA`              | `(m−1)·U(d_TA)`            |
+//! | NRA           | `m·1.2·max(d_FA,d_TA)`| 0                          |
+//! | CA(h)         | like NRA              | `0.75·(m−1)·d/h`           |
+//! | θ-approx TA/NRA | same with `y_k/(1+θ)` | same with `y_k/(1+θ)`    |
+//! | crisp filter  | `Σ_crisp (s+1)`       | `s · #fuzzy`               |
+//! | max-merge     | `m·k`                 | 0                          |
+//! | full scan     | `Σ n_i`               | 0                          |
+//!
+//! with `d_TA = min_i d_i` for zero-absorbing combiners (the threshold
+//! `τ = min_i bottom_i` falls to `y_k` as soon as the fastest-decaying
+//! list does) and `max_i d_i` for max-like ones. The NRA depth factor
+//! (1.2) and the CA random factor (0.75) are fitted against measured
+//! runs on independent-uniform instances; the proptest regret suite
+//! keeps them honest.
+//!
+//! ## Preference order
+//!
+//! Estimated costs tie (exactly, under `total_cmp`) more often than
+//! one would expect — crisp data produces identical depths. Ties are
+//! broken by a fixed preference order chosen for answer quality:
+//! crisp-filter, max-merge, TA, NRA, CA, FA, θ-TA, θ-NRA, full-scan.
+//! TA precedes NRA because TA reports true grades while NRA's are
+//! certified lower bounds; a caller that needs exact grades even at a
+//! cost premium sets [`PlanQuery::exact_grades`], which removes the
+//! NRA-family from the candidate set entirely (the Garlic facade does
+//! this — its `QueryResult` grades are user-facing).
+
+use std::fmt;
+
+use fmdb_core::scoring::ScoringFunction;
+use fmdb_core::stats::DEFAULT_HISTOGRAM_BINS;
+
+use crate::algorithms::approx::{ApproxNra, ApproxTa};
+use crate::algorithms::ca::CombinedAlgorithm;
+use crate::algorithms::fa::FaginsAlgorithm;
+use crate::algorithms::max_merge::MaxMerge;
+use crate::algorithms::nra::NraLowerBound;
+use crate::algorithms::ta::ThresholdAlgorithm;
+use crate::algorithms::TopKAlgorithm;
+use crate::policy::ExecPolicy;
+use crate::source::GradedSource;
+use crate::stats::{CostModel, SourceStats};
+
+/// NRA runs deeper than FA's phase-1 depth before its bounds certify
+/// the answer; fitted against measured NRA sorted counts (1.03–1.4×
+/// across n ∈ [300, 2000], m ∈ [2, 4]).
+const NRA_DEPTH_FACTOR: f64 = 1.2;
+
+/// CA performs one random-access round every `h` sorted rounds, but
+/// skips objects already resolved; fitted against measured CA runs.
+const CA_RANDOM_FACTOR: f64 = 0.75;
+
+/// Charged-cost equivalent of spawning and coordinating one shard
+/// worker — the setup side of the sharded-vs-serial latency tradeoff.
+const SHARD_SETUP_COST: f64 = 256.0;
+
+/// Every physical top-k strategy the workspace can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysicalPlan {
+    /// Fagin's A₀ (§4.1).
+    Fa,
+    /// The Threshold Algorithm.
+    Ta,
+    /// No-random-access; reported grades are certified lower bounds.
+    Nra,
+    /// The Combined Algorithm with interleave depth `h`.
+    Ca {
+        /// One random-access round per `h` sorted rounds.
+        h: usize,
+    },
+    /// θ-approximate TA.
+    ApproxTa,
+    /// θ-approximate NRA.
+    ApproxNra,
+    /// Resolve crisp conjuncts to a match set, then random-access only
+    /// the survivors' fuzzy grades (§4.1's Beatles strategy).
+    CrispFilter,
+    /// Sorted-only merge for max-like combiners (`m·k` accesses).
+    MaxMerge,
+    /// Drain every source; reference semantics, always applicable.
+    FullScan,
+}
+
+impl PhysicalPlan {
+    /// The kebab-case display name (matches the algorithm names where
+    /// a middleware algorithm implements the plan).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalPlan::Fa => "fagin-a0",
+            PhysicalPlan::Ta => "threshold-ta",
+            PhysicalPlan::Nra => "nra-lower-bound",
+            PhysicalPlan::Ca { .. } => "combined-ca",
+            PhysicalPlan::ApproxTa => "approx-ta",
+            PhysicalPlan::ApproxNra => "approx-nra",
+            PhysicalPlan::CrispFilter => "crisp-filter",
+            PhysicalPlan::MaxMerge => "max-merge",
+            PhysicalPlan::FullScan => "full-scan",
+        }
+    }
+
+    /// Position in the deterministic tie-break order (lower wins).
+    fn preference(&self) -> u8 {
+        match self {
+            PhysicalPlan::CrispFilter => 0,
+            PhysicalPlan::MaxMerge => 1,
+            PhysicalPlan::Ta => 2,
+            PhysicalPlan::Nra => 3,
+            PhysicalPlan::Ca { .. } => 4,
+            PhysicalPlan::Fa => 5,
+            PhysicalPlan::ApproxTa => 6,
+            PhysicalPlan::ApproxNra => 7,
+            PhysicalPlan::FullScan => 8,
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the query's combiner behaves, as far as cost estimation cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombinerKind {
+    /// One zero argument forces the overall grade to zero (t-norms:
+    /// min, product, …) — the common conjunction case.
+    #[default]
+    ZeroAbsorbing,
+    /// The overall grade is (close to) the maximum argument (co-norms)
+    /// — sorted-only merging applies.
+    MaxLike,
+    /// Anything else (means, exotic monotone combiners); priced like a
+    /// conjunction, conservatively.
+    Other,
+}
+
+/// Classifies a scoring function by probing it on a small grade grid —
+/// the same technique the Garlic planner uses on query combiners, now
+/// shared so the engine can classify arbitrary request scorings.
+pub fn classify_combiner(scoring: &dyn ScoringFunction, arity: usize) -> CombinerKind {
+    use fmdb_core::score::Score;
+    let m = arity.max(1);
+    let samples = [0.15f64, 0.5, 0.85, 1.0];
+    // Zero-absorbing: any single zero argument annihilates.
+    let mut zero_absorbing = true;
+    'outer_zero: for pos in 0..m {
+        for &s in &samples {
+            let mut grades = vec![Score::clamped(s); m];
+            grades[pos] = Score::ZERO;
+            if scoring.combine(&grades) > Score::ZERO {
+                zero_absorbing = false;
+                break 'outer_zero;
+            }
+        }
+    }
+    if zero_absorbing {
+        return CombinerKind::ZeroAbsorbing;
+    }
+    // Max-like: the combination equals the max argument on the grid.
+    let mut max_like = true;
+    'outer_max: for pos in 0..m {
+        for &hi in &samples {
+            for &lo in &samples {
+                if lo > hi {
+                    continue;
+                }
+                let mut grades = vec![Score::clamped(lo); m];
+                grades[pos] = Score::clamped(hi);
+                if !scoring
+                    .combine(&grades)
+                    .approx_eq(Score::clamped(hi), 1e-9)
+                {
+                    max_like = false;
+                    break 'outer_max;
+                }
+            }
+        }
+    }
+    if max_like {
+        CombinerKind::MaxLike
+    } else {
+        CombinerKind::Other
+    }
+}
+
+/// The planner's view of *what* is being asked — enough shape to know
+/// which strategies apply and how to price them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanQuery {
+    /// Universe size (the paper's `N`).
+    pub n: usize,
+    /// Number of graded sources (query arity).
+    pub m: usize,
+    /// Answers requested.
+    pub k: usize,
+    /// Combiner behavior.
+    pub combiner: CombinerKind,
+    /// How many of the `m` atoms are crisp predicates.
+    pub crisp_count: usize,
+    /// Estimated objects surviving the crisp conjuncts (the *smallest*
+    /// per-atom match count), when known.
+    pub crisp_survivors: Option<u64>,
+    /// When set, plans whose reported grades are lower bounds rather
+    /// than true grades (NRA, θ-NRA) are excluded from the candidate
+    /// set. The Garlic facade sets this: its results are user-facing.
+    pub exact_grades: bool,
+    /// Calibrated constant for Theorem 4.1's closed-form A₀ estimate,
+    /// used when no histograms are available (see
+    /// [`fa_theorem41_cost`]). Garlic's `CostEstimator::calibrate_fa`
+    /// fits it by measuring a live A₀ run.
+    pub fa_constant: f64,
+}
+
+impl PlanQuery {
+    /// A plain fuzzy top-k over `m` sources — the engine-level shape
+    /// (no crisp structure, zero-absorbing combiner, lower-bound
+    /// grades acceptable).
+    pub fn fuzzy(n: usize, m: usize, k: usize) -> PlanQuery {
+        PlanQuery {
+            n,
+            m: m.max(1),
+            k,
+            combiner: CombinerKind::ZeroAbsorbing,
+            crisp_count: 0,
+            crisp_survivors: None,
+            exact_grades: false,
+            fa_constant: 1.0,
+        }
+    }
+
+    /// Sets the combiner kind.
+    pub fn combiner(mut self, kind: CombinerKind) -> PlanQuery {
+        self.combiner = kind;
+        self
+    }
+
+    /// Declares crisp structure: `count` crisp atoms with at most
+    /// `survivors` objects matching all of them.
+    pub fn crisp(mut self, count: usize, survivors: u64) -> PlanQuery {
+        self.crisp_count = count.min(self.m);
+        self.crisp_survivors = Some(survivors);
+        self
+    }
+
+    /// Requires reported grades to be true grades (excludes the
+    /// NRA family from the candidates).
+    pub fn exact_grades(mut self) -> PlanQuery {
+        self.exact_grades = true;
+        self
+    }
+
+    /// Sets the Theorem 4.1 constant used by the stats-free A₀
+    /// estimate.
+    pub fn fa_constant(mut self, c: f64) -> PlanQuery {
+        if c.is_finite() && c > 0.0 {
+            self.fa_constant = c;
+        }
+        self
+    }
+}
+
+/// Per-query statistics: one [`SourceStats`] per source, in source
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryStats {
+    /// Per-source statistics, aligned with the query's source order.
+    pub per_source: Vec<SourceStats>,
+}
+
+impl QueryStats {
+    /// Wraps per-source stats.
+    pub fn new(per_source: Vec<SourceStats>) -> QueryStats {
+        QueryStats { per_source }
+    }
+
+    /// Gathers statistics from sources via the
+    /// [`GradedSource::grade_histogram`] hook. Returns `None` unless
+    /// *every* source can provide a histogram — partial statistics
+    /// would silently skew the comparison between plans.
+    pub fn from_sources(sources: &mut [&mut dyn GradedSource]) -> Option<QueryStats> {
+        let per_source: Option<Vec<SourceStats>> = sources
+            .iter()
+            .map(|s| s.grade_histogram(DEFAULT_HISTOGRAM_BINS).map(SourceStats::new))
+            .collect();
+        Some(QueryStats::new(per_source?))
+    }
+}
+
+/// What the plan choice was based on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsBasis {
+    /// Per-source histograms were available; costs were estimated.
+    Histograms {
+        /// Number of sources with statistics.
+        sources: usize,
+    },
+    /// No statistics — the documented static fallback picked the plan.
+    StaticFallback,
+}
+
+/// The planner's decision record: chosen plan, every candidate's
+/// estimated charged cost, the statistics basis, and the gated shard
+/// fanout advice. Surfaced by `Engine::explain` and dumped by E16.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The winning plan.
+    pub chosen: PhysicalPlan,
+    /// All applicable candidates with estimated charged costs,
+    /// ascending (the chosen plan is first).
+    pub candidates: Vec<(PhysicalPlan, f64)>,
+    /// The cost model the estimates were charged under.
+    pub cost: CostModel,
+    /// Statistics the choice was based on.
+    pub basis: StatsBasis,
+    /// Shard fanout advice after gating (1 = run serial); see
+    /// [`preferred_fanout`].
+    pub fanout: usize,
+}
+
+impl Explain {
+    /// The chosen plan's estimated charged cost, if estimated.
+    pub fn chosen_cost(&self) -> Option<f64> {
+        self.candidates.first().map(|(_, c)| *c)
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "plan {}", self.chosen)?;
+        match self.basis {
+            StatsBasis::Histograms { sources } => {
+                write!(f, " [histograms over {sources} sources]")?
+            }
+            StatsBasis::StaticFallback => write!(f, " [static fallback, no stats]")?,
+        }
+        write!(
+            f,
+            " under c_S={} c_R={}, fanout {}",
+            self.cost.sorted_unit, self.cost.random_unit, self.fanout
+        )?;
+        if !self.candidates.is_empty() {
+            write!(f, "; candidates:")?;
+            for (plan, cost) in &self.candidates {
+                write!(f, " {plan}={cost:.0}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Theorem 4.1's closed-form A₀ cost, `c · N^{(m−1)/m} · k^{1/m}`,
+/// charged half as sorted and half as random access — the stats-free
+/// estimate Garlic's calibrated estimator has always used, now owned
+/// by the unified planner.
+pub fn fa_theorem41_cost(n: usize, m: usize, k: usize, constant: f64, cost: &CostModel) -> f64 {
+    let n = n.max(1) as f64;
+    let m = m.max(1) as f64;
+    let k = (k.max(1) as f64).min(n);
+    let accesses = constant * n.powf((m - 1.0) / m) * k.powf(1.0 / m);
+    let half = accesses / 2.0;
+    half * cost.sorted_unit + half * cost.random_unit
+}
+
+/// Sorted/random access counts — an estimate before pricing.
+#[derive(Debug, Clone, Copy)]
+struct Accesses {
+    sorted: f64,
+    random: f64,
+}
+
+impl Accesses {
+    fn charged(&self, cost: &CostModel) -> f64 {
+        self.sorted * cost.sorted_unit + self.random * cost.random_unit
+    }
+}
+
+/// The per-query estimation context: resolves `F̄_i`, `y_k`, depths
+/// and union sizes from histograms (or the uniform-grade assumption
+/// when a source lacks one).
+struct Estimator<'a> {
+    q: &'a PlanQuery,
+    stats: Option<&'a QueryStats>,
+}
+
+impl<'a> Estimator<'a> {
+    fn new(q: &'a PlanQuery, stats: Option<&'a QueryStats>) -> Estimator<'a> {
+        Estimator { q, stats }
+    }
+
+    fn n(&self) -> f64 {
+        self.q.n.max(1) as f64
+    }
+
+    fn k(&self) -> f64 {
+        (self.q.k.max(1) as f64).min(self.n())
+    }
+
+    fn universe_of(&self, i: usize) -> f64 {
+        self.stats
+            .and_then(|s| s.per_source.get(i))
+            .map(|s| s.universe().max(1) as f64)
+            .unwrap_or_else(|| self.n())
+    }
+
+    /// `F̄_i(g)`: fraction of source `i`'s grades ≥ `g`.
+    fn fbar(&self, i: usize, g: f64) -> f64 {
+        match self.stats.and_then(|s| s.per_source.get(i)) {
+            Some(s) => s.histogram.fraction_above(g),
+            // Uniform-grade assumption.
+            None => (1.0 - g).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Expected number of objects whose overall grade is ≥ `g`.
+    fn expected_count(&self, g: f64) -> f64 {
+        let m = self.q.m;
+        match self.q.combiner {
+            CombinerKind::MaxLike => {
+                let mut miss = 1.0;
+                for i in 0..m {
+                    miss *= 1.0 - self.fbar(i, g).clamp(0.0, 1.0);
+                }
+                self.n() * (1.0 - miss)
+            }
+            // Zero-absorbing (and, conservatively, anything else):
+            // independence product.
+            _ => {
+                let mut p = 1.0;
+                for i in 0..m {
+                    p *= self.fbar(i, g).clamp(0.0, 1.0);
+                }
+                self.n() * p
+            }
+        }
+    }
+
+    /// The estimated k-th best overall grade: the largest `g` with
+    /// `expected_count(g) ≥ k`, by bisection.
+    fn y_k(&self) -> f64 {
+        if self.expected_count(1.0) >= self.k() {
+            return 1.0;
+        }
+        if self.expected_count(0.0) < self.k() {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if self.expected_count(mid) >= self.k() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Sorted depth at which source `i` falls below grade `y`.
+    fn depth(&self, i: usize, y: f64) -> f64 {
+        (self.universe_of(i) * self.fbar(i, y)).clamp(1.0, self.universe_of(i))
+    }
+
+    /// TA's halt depth for target grade `y`.
+    fn d_ta(&self, y: f64) -> f64 {
+        let m = self.q.m;
+        let mut best = match self.q.combiner {
+            CombinerKind::MaxLike => 0.0f64,
+            _ => f64::INFINITY,
+        };
+        for i in 0..m {
+            let d = self.depth(i, y);
+            best = match self.q.combiner {
+                CombinerKind::MaxLike => best.max(d),
+                _ => best.min(d),
+            };
+        }
+        if best.is_finite() {
+            best.clamp(1.0, self.n())
+        } else {
+            self.n()
+        }
+    }
+
+    /// FA's phase-1 depth: `k` objects expected in all `m` prefixes.
+    fn d_fa(&self) -> f64 {
+        let n = self.n();
+        let in_all = |d: f64| {
+            let mut p = 1.0;
+            for i in 0..self.q.m {
+                let u = self.universe_of(i);
+                p *= (d.min(u) / u).clamp(0.0, 1.0);
+            }
+            n * p
+        };
+        if in_all(n) < self.k() {
+            return n;
+        }
+        let (mut lo, mut hi) = (1.0f64, n);
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if in_all(mid) >= self.k() {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi.clamp(1.0, n)
+    }
+
+    /// Expected distinct objects in the union of all `m` prefixes of
+    /// depth `d`.
+    fn union_seen(&self, d: f64) -> f64 {
+        let mut miss = 1.0;
+        for i in 0..self.q.m {
+            let u = self.universe_of(i);
+            miss *= (1.0 - d.min(u) / u).clamp(0.0, 1.0);
+        }
+        self.n() * (1.0 - miss)
+    }
+
+    /// Access estimate for one plan at slack `theta`; `None` when the
+    /// plan does not apply to this query shape.
+    fn accesses(&self, plan: PhysicalPlan, theta: f64) -> Option<Accesses> {
+        let m = self.q.m as f64;
+        let y_exact = self.y_k();
+        // θ-approximate variants halt once the threshold falls to
+        // (1+θ)·y_k — a *higher* grade, hence a shallower depth.
+        let y_approx = if theta > 0.0 {
+            (y_exact * (1.0 + theta)).clamp(0.0, 1.0)
+        } else {
+            y_exact
+        };
+        match plan {
+            PhysicalPlan::Fa => {
+                let d = self.d_fa();
+                let seen = self.union_seen(d);
+                Some(Accesses {
+                    sorted: m * d,
+                    random: (m * seen - m * d).max(0.0),
+                })
+            }
+            PhysicalPlan::Ta | PhysicalPlan::ApproxTa => {
+                let y = if matches!(plan, PhysicalPlan::ApproxTa) {
+                    y_approx
+                } else {
+                    y_exact
+                };
+                let d = self.d_ta(y);
+                Some(Accesses {
+                    sorted: m * d,
+                    random: (m - 1.0).max(0.0) * self.union_seen(d),
+                })
+            }
+            PhysicalPlan::Nra | PhysicalPlan::ApproxNra => {
+                let y = if matches!(plan, PhysicalPlan::ApproxNra) {
+                    y_approx
+                } else {
+                    y_exact
+                };
+                let d = (NRA_DEPTH_FACTOR * self.d_ta(y).max(self.d_fa())).min(self.n());
+                Some(Accesses {
+                    sorted: m * d,
+                    random: 0.0,
+                })
+            }
+            PhysicalPlan::Ca { h } => {
+                let d = (NRA_DEPTH_FACTOR * self.d_ta(y_approx).max(self.d_fa())).min(self.n());
+                Some(Accesses {
+                    sorted: m * d,
+                    random: CA_RANDOM_FACTOR * (m - 1.0).max(0.0) * d / h.max(1) as f64,
+                })
+            }
+            PhysicalPlan::CrispFilter => {
+                let s = self.q.crisp_survivors? as f64;
+                if self.q.crisp_count == 0
+                    || !matches!(self.q.combiner, CombinerKind::ZeroAbsorbing)
+                {
+                    return None;
+                }
+                let fuzzy = (self.q.m - self.q.crisp_count) as f64;
+                Some(Accesses {
+                    sorted: self.q.crisp_count as f64 * (s + 1.0).min(self.n()),
+                    random: s * fuzzy,
+                })
+            }
+            PhysicalPlan::MaxMerge => {
+                if !matches!(self.q.combiner, CombinerKind::MaxLike) {
+                    return None;
+                }
+                Some(Accesses {
+                    sorted: m * self.k(),
+                    random: 0.0,
+                })
+            }
+            PhysicalPlan::FullScan => {
+                let mut total = 0.0;
+                for i in 0..self.q.m {
+                    total += self.universe_of(i);
+                }
+                Some(Accesses {
+                    sorted: total,
+                    random: 0.0,
+                })
+            }
+        }
+    }
+}
+
+/// Estimated charged cost of `plan` for `query` under `cost`, or
+/// `None` when the plan does not apply (e.g. a crisp filter without
+/// crisp atoms, a max-merge under a conjunction).
+///
+/// With `stats == None`, FA uses the calibrated Theorem 4.1 closed
+/// form ([`fa_theorem41_cost`] with [`PlanQuery::fa_constant`]); every
+/// other plan falls back to the uniform-grade assumption.
+pub fn estimate_cost(
+    plan: PhysicalPlan,
+    query: &PlanQuery,
+    stats: Option<&QueryStats>,
+    cost: &CostModel,
+    theta: f64,
+) -> Option<f64> {
+    if stats.is_none() && matches!(plan, PhysicalPlan::Fa) {
+        return Some(fa_theorem41_cost(
+            query.n,
+            query.m,
+            query.k,
+            query.fa_constant,
+            cost,
+        ));
+    }
+    Estimator::new(query, stats)
+        .accesses(plan, theta)
+        .map(|a| a.charged(cost))
+}
+
+/// The latency proxy for running `work` charged-cost units over
+/// `fanout` partitions: per-partition work plus per-worker setup.
+pub fn sharded_latency(work: f64, fanout: usize) -> f64 {
+    let p = fanout.max(1) as f64;
+    work / p + SHARD_SETUP_COST * (p - 1.0)
+}
+
+/// The fanout minimizing [`sharded_latency`], gated by the corpus:
+/// never more than `max_shards`, and at least `min_items` objects per
+/// partition (the same gate `Engine::try_sharded` applies). Returns 1
+/// (serial) when sharding cannot pay for its setup.
+pub fn preferred_fanout(work: f64, universe: usize, max_shards: usize, min_items: usize) -> usize {
+    let gate = max_shards.min(universe / min_items.max(1)).max(1);
+    let mut best = 1usize;
+    let mut best_latency = sharded_latency(work, 1);
+    for p in 2..=gate {
+        let latency = sharded_latency(work, p);
+        if latency < best_latency {
+            best = p;
+            best_latency = latency;
+        }
+    }
+    best
+}
+
+/// Picks the cheapest applicable [`PhysicalPlan`] for `query` under
+/// `policy`, returning the full decision record.
+///
+/// With statistics, every applicable strategy is priced through the
+/// policy's [`CostModel`] and the cheapest wins (ties broken by the
+/// documented preference order). Without statistics the **static
+/// fallback** restricts the algorithm-family candidates to one pick:
+/// θ > 0 takes the θ-approximate variant, and otherwise NRA when the
+/// cost model's interleave depth `⌊c_R/c_S⌋` is ≥ 2, TA when it is
+/// not ([`static_plan`]). The fallback never picks FA: E22 measured
+/// TA/NRA at or below FA's charged cost across the entire cost-ratio
+/// sweep (NRA by orders of magnitude once random access is
+/// expensive), and TA is instance-optimal among exact algorithms that
+/// use random access — FA's remaining role is explicit selection and
+/// the A₀ paper-reproduction experiments. Queries that demand exact
+/// grades substitute TA (or CA at h ≥ 2, which also reports true
+/// grades) for NRA.
+///
+/// The *structural* plans — crisp-filter, max-merge, full-scan — stay
+/// in the race even without statistics: their estimates come from
+/// measured crisp selectivity and plain arithmetic, not from grade
+/// histograms, so a selective crisp conjunct or a max-like combiner
+/// beats the fallback algorithm whenever its closed form is cheaper.
+pub fn choose_plan(query: &PlanQuery, stats: Option<&QueryStats>, policy: &ExecPolicy) -> Explain {
+    let theta = policy.approximation.theta().max(0.0);
+    let approximate = policy.approximation.is_approximate();
+    let h = policy.interleave();
+    let fanout = match policy.effective_shards(1, 1) {
+        (shards, min_items) if shards >= 2 => {
+            preferred_fanout(query.n as f64 * query.m as f64, query.n, shards, min_items)
+        }
+        _ => 1,
+    };
+
+    let mut candidates: Vec<PhysicalPlan> = Vec::new();
+    if stats.is_some() {
+        if approximate {
+            candidates.push(PhysicalPlan::ApproxTa);
+            if !query.exact_grades {
+                candidates.push(PhysicalPlan::ApproxNra);
+            }
+        } else {
+            candidates.push(PhysicalPlan::Ta);
+            if !query.exact_grades {
+                candidates.push(PhysicalPlan::Nra);
+            }
+            candidates.push(PhysicalPlan::Fa);
+        }
+        if h >= 2 {
+            candidates.push(PhysicalPlan::Ca { h });
+        }
+    } else {
+        candidates.push(static_plan(query.exact_grades, approximate, h));
+    }
+    candidates.push(PhysicalPlan::CrispFilter);
+    candidates.push(PhysicalPlan::MaxMerge);
+    candidates.push(PhysicalPlan::FullScan);
+
+    let mut priced: Vec<(PhysicalPlan, f64)> = candidates
+        .into_iter()
+        .filter_map(|plan| estimate_cost(plan, query, stats, &policy.cost, theta).map(|c| (plan, c)))
+        .collect();
+    priced.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.preference().cmp(&b.0.preference())));
+
+    let chosen = priced
+        .first()
+        .map(|(p, _)| *p)
+        // Unreachable in practice (FullScan always applies), but the
+        // planner must not panic on a degenerate query.
+        .unwrap_or(PhysicalPlan::FullScan);
+    Explain {
+        chosen,
+        candidates: priced,
+        cost: policy.cost,
+        basis: match stats {
+            Some(s) => StatsBasis::Histograms {
+                sources: s.per_source.len(),
+            },
+            None => StatsBasis::StaticFallback,
+        },
+        fanout,
+    }
+}
+
+/// The documented stats-free fallback (see [`choose_plan`]): the plan
+/// [`crate::policy::ExecPolicy::algorithm`] resolves `Algo::Auto` to
+/// when no statistics are in reach.
+pub fn static_plan(exact_grades: bool, approximate: bool, h: usize) -> PhysicalPlan {
+    let sorted_only_ok = !exact_grades;
+    match (approximate, h >= 2, sorted_only_ok) {
+        (true, true, true) => PhysicalPlan::ApproxNra,
+        (true, _, _) => PhysicalPlan::ApproxTa,
+        (false, true, true) => PhysicalPlan::Nra,
+        (false, true, false) => PhysicalPlan::Ca { h },
+        (false, false, _) => PhysicalPlan::Ta,
+    }
+}
+
+/// Resolves a plan to the middleware algorithm executing it, or `None`
+/// for the two strategies that live above the algorithm layer
+/// (crisp-filter and full-scan, executed by the Garlic layer).
+pub fn plan_algorithm(
+    plan: PhysicalPlan,
+    theta: f64,
+) -> Option<Box<dyn TopKAlgorithm + Send + Sync>> {
+    match plan {
+        PhysicalPlan::Fa => Some(Box::new(FaginsAlgorithm)),
+        PhysicalPlan::Ta => Some(Box::new(ThresholdAlgorithm)),
+        PhysicalPlan::Nra => Some(Box::new(NraLowerBound)),
+        PhysicalPlan::Ca { h } => Some(Box::new(CombinedAlgorithm::new(h, theta))),
+        PhysicalPlan::ApproxTa => Some(Box::new(ApproxTa::new(theta))),
+        PhysicalPlan::ApproxNra => Some(Box::new(ApproxNra::new(theta))),
+        PhysicalPlan::MaxMerge => Some(Box::new(MaxMerge)),
+        PhysicalPlan::CrispFilter | PhysicalPlan::FullScan => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Algo, ShardPolicy};
+    use crate::workload::independent_uniform;
+
+    fn uniform_stats(n: usize, m: usize, seed: u64) -> QueryStats {
+        let sources = independent_uniform(n, m, seed);
+        QueryStats::new(
+            sources
+                .iter()
+                .map(|s| SourceStats::new(s.grade_histogram(16).expect("vec source")))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn uniform_costs_pick_nra_for_plain_fuzzy_queries() {
+        // Measured ground truth: NRA's sorted-only cost is roughly
+        // half of TA's or FA's under the uniform measure.
+        let q = PlanQuery::fuzzy(300, 3, 7);
+        let e = choose_plan(&q, Some(&uniform_stats(300, 3, 1)), &ExecPolicy::new());
+        assert_eq!(e.chosen, PhysicalPlan::Nra, "{e}");
+        assert!(matches!(e.basis, StatsBasis::Histograms { sources: 3 }));
+        // All exact candidates were priced.
+        let names: Vec<&str> = e.candidates.iter().map(|(p, _)| p.name()).collect();
+        for want in ["threshold-ta", "nra-lower-bound", "fagin-a0", "full-scan"] {
+            assert!(names.contains(&want), "{names:?}");
+        }
+    }
+
+    #[test]
+    fn exact_grade_queries_exclude_the_nra_family() {
+        let q = PlanQuery::fuzzy(300, 3, 7).exact_grades();
+        let e = choose_plan(&q, Some(&uniform_stats(300, 3, 1)), &ExecPolicy::new());
+        assert!(
+            !matches!(e.chosen, PhysicalPlan::Nra | PhysicalPlan::ApproxNra),
+            "{e}"
+        );
+        assert!(e
+            .candidates
+            .iter()
+            .all(|(p, _)| !matches!(p, PhysicalPlan::Nra | PhysicalPlan::ApproxNra)));
+    }
+
+    #[test]
+    fn estimates_track_measured_costs_within_2x() {
+        // The probe runs behind the formulas (see the module docs):
+        // measured uniform-cost totals for n=300, m=3, k=7.
+        let q = PlanQuery::fuzzy(300, 3, 7);
+        let stats = uniform_stats(300, 3, 1);
+        let u = CostModel::UNIFORM;
+        for (plan, measured) in [
+            (PhysicalPlan::Fa, 567.0),
+            (PhysicalPlan::Ta, 594.0),
+            (PhysicalPlan::Nra, 315.0),
+        ] {
+            let est = estimate_cost(plan, &q, Some(&stats), &u, 0.0).unwrap();
+            assert!(
+                est / measured < 2.0 && measured / est < 2.0,
+                "{plan}: estimated {est:.0}, measured {measured:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn theta_relaxation_cheapens_the_estimate() {
+        let q = PlanQuery::fuzzy(1000, 2, 10);
+        let stats = uniform_stats(1000, 2, 3);
+        let u = CostModel::UNIFORM;
+        let exact = estimate_cost(PhysicalPlan::Ta, &q, Some(&stats), &u, 0.0).unwrap();
+        let approx = estimate_cost(PhysicalPlan::ApproxTa, &q, Some(&stats), &u, 0.5).unwrap();
+        assert!(
+            approx < exact,
+            "θ-TA ({approx:.0}) should undercut exact TA ({exact:.0})"
+        );
+    }
+
+    #[test]
+    fn crisp_filter_wins_when_selective_loses_when_not() {
+        use fmdb_core::score::Score;
+        use fmdb_core::stats::GradeHistogram;
+        let n = 2000usize;
+        let policy = ExecPolicy::new();
+        let crisp_hist = |sel: f64| {
+            let matches = ((n as f64 * sel) as usize).max(1);
+            let mut grades = vec![Score::ONE; matches];
+            grades.extend(std::iter::repeat(Score::ZERO).take(n - matches));
+            GradeHistogram::from_sorted(&grades, 16)
+        };
+        let fuzzy_hist = independent_uniform(n, 1, 7)
+            .remove(0)
+            .grade_histogram(16)
+            .unwrap();
+        for (sel, expect_crisp) in [(0.005, true), (0.6, false)] {
+            let survivors = (n as f64 * sel) as u64;
+            let q = PlanQuery::fuzzy(n, 2, 10)
+                .crisp(1, survivors.max(1))
+                .exact_grades();
+            let stats = QueryStats::new(vec![
+                SourceStats::new(crisp_hist(sel)),
+                SourceStats::new(fuzzy_hist.clone()),
+            ]);
+            let e = choose_plan(&q, Some(&stats), &policy);
+            assert_eq!(
+                matches!(e.chosen, PhysicalPlan::CrispFilter),
+                expect_crisp,
+                "sel={sel}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_like_queries_get_the_merge() {
+        let q = PlanQuery::fuzzy(500, 2, 5).combiner(CombinerKind::MaxLike);
+        let e = choose_plan(&q, Some(&uniform_stats(500, 2, 2)), &ExecPolicy::new());
+        assert_eq!(e.chosen, PhysicalPlan::MaxMerge, "{e}");
+    }
+
+    #[test]
+    fn static_fallback_is_nra_or_ta_never_fa() {
+        let q = PlanQuery::fuzzy(1000, 2, 10);
+        let uniform = choose_plan(&q, None, &ExecPolicy::new());
+        assert_eq!(uniform.chosen, PhysicalPlan::Ta);
+        assert!(matches!(uniform.basis, StatsBasis::StaticFallback));
+
+        let expensive = ExecPolicy::new()
+            .cost_model(CostModel::random_to_sorted_ratio(10.0).unwrap());
+        assert_eq!(choose_plan(&q, None, &expensive).chosen, PhysicalPlan::Nra);
+
+        let exact = PlanQuery::fuzzy(1000, 2, 10).exact_grades();
+        assert_eq!(
+            choose_plan(&exact, None, &expensive).chosen,
+            PhysicalPlan::Ca { h: 10 }
+        );
+
+        let theta = ExecPolicy::new().theta(0.2);
+        assert_eq!(choose_plan(&q, None, &theta).chosen, PhysicalPlan::ApproxTa);
+        let theta_exp = theta.cost_model(CostModel::random_to_sorted_ratio(5.0).unwrap());
+        assert_eq!(
+            choose_plan(&q, None, &theta_exp).chosen,
+            PhysicalPlan::ApproxNra
+        );
+    }
+
+    #[test]
+    fn expensive_random_access_moves_the_stats_choice_off_ta() {
+        let q = PlanQuery::fuzzy(1000, 3, 50).exact_grades();
+        let stats = uniform_stats(1000, 3, 4);
+        let expensive = choose_plan(
+            &q,
+            Some(&stats),
+            &ExecPolicy::new().cost_model(CostModel::random_to_sorted_ratio(30.0).unwrap()),
+        );
+        // Under expensive random access an exact-grade query shifts to
+        // CA (deep interleave), never to a random-heavy plan.
+        assert!(matches!(expensive.chosen, PhysicalPlan::Ca { .. }), "{expensive}");
+        let exp_cost = expensive.chosen_cost().unwrap();
+        let ta_cost = expensive
+            .candidates
+            .iter()
+            .find(|(p, _)| matches!(p, PhysicalPlan::Ta))
+            .map(|(_, c)| *c)
+            .unwrap();
+        assert!(exp_cost <= ta_cost);
+    }
+
+    #[test]
+    fn classify_combiner_recognizes_the_shipped_functions() {
+        use fmdb_core::scoring::conorms::Max;
+        use fmdb_core::scoring::means::ArithmeticMean;
+        use fmdb_core::scoring::tnorms::{Min, Product};
+        use fmdb_core::scoring::ConormScoring;
+        assert_eq!(classify_combiner(&Min, 3), CombinerKind::ZeroAbsorbing);
+        assert_eq!(classify_combiner(&Product, 2), CombinerKind::ZeroAbsorbing);
+        assert_eq!(
+            classify_combiner(&ConormScoring(Max), 3),
+            CombinerKind::MaxLike
+        );
+        assert_eq!(classify_combiner(&ArithmeticMean, 2), CombinerKind::Other);
+    }
+
+    #[test]
+    fn fanout_advice_is_gated_and_deterministic() {
+        // Tiny corpora stay serial regardless of requested shards.
+        assert_eq!(preferred_fanout(100.0, 64, 8, 256), 1);
+        // Big work over a big corpus fans out, but never past the gate.
+        let f = preferred_fanout(1_000_000.0, 100_000, 8, 256);
+        assert!(f >= 2 && f <= 8, "fanout {f}");
+        // Monotone consistency with the policy fold.
+        let q = PlanQuery::fuzzy(100_000, 2, 10);
+        let policy = ExecPolicy::new().sharding(ShardPolicy::Shards {
+            shards: 8,
+            min_items: 256,
+        });
+        let e = choose_plan(&q, None, &policy);
+        assert!(e.fanout >= 1 && e.fanout <= 8);
+        // Auto resolution of the plan maps back to a runnable algorithm.
+        let algo = plan_algorithm(e.chosen, 0.0).expect("fallback plans are algorithms");
+        assert_eq!(algo.name(), e.chosen.name());
+        let _ = Algo::Auto; // silence unused import in cfg(test) builds
+    }
+
+    #[test]
+    fn explain_renders_the_decision() {
+        let q = PlanQuery::fuzzy(300, 2, 5);
+        let e = choose_plan(&q, Some(&uniform_stats(300, 2, 9)), &ExecPolicy::new());
+        let s = e.to_string();
+        assert!(s.contains("plan "), "{s}");
+        assert!(s.contains("candidates:"), "{s}");
+        assert!(s.contains("histograms over 2 sources"), "{s}");
+    }
+}

@@ -11,12 +11,16 @@
 //!   intra-query sharding override ([`ShardPolicy`]) folded in from
 //!   [`crate::engine::EngineConfig`].
 //!
-//! The defaults are conservative: [`Algo::Auto`] under the paper's
-//! uniform cost measure with [`Approximation::Exact`] resolves to
-//! Fagin's A₀ — exactly what [`crate::engine::Engine::run`] did before
-//! the policy existed. Raising the random-access price past
-//! `2 × c_S` makes `Auto` pick the Combined Algorithm, and any `θ > 0`
-//! makes it pick θ-approximate TA.
+//! [`Algo::Auto`] defers the choice to the unified cost-based planner
+//! ([`crate::planner`]). [`crate::engine::Engine::run`] gathers
+//! per-source statistics and routes through
+//! [`crate::planner::choose_plan`]; resolving a policy *without*
+//! statistics (this module's [`ExecPolicy::algorithm`]) applies the
+//! planner's documented static fallback — TA under (near-)uniform
+//! costs, NRA once the interleave depth `⌊c_R/c_S⌋` reaches 2, and the
+//! θ-approximate variants under `θ > 0`. Never Fagin's A₀: measured
+//! sweeps (E22) put TA/NRA at or below A₀'s charged cost everywhere,
+//! so A₀ remains available only by explicit selection.
 //!
 //! ```
 //! use fmdb_middleware::policy::{Algo, ExecPolicy};
@@ -42,9 +46,11 @@ use crate::stats::CostModel;
 /// Which aggregation algorithm evaluates the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Algo {
-    /// Let the policy pick: `θ > 0` → θ-approximate TA; otherwise CA
-    /// when the cost model's interleave depth `⌊c_R/c_S⌋` is ≥ 2, and
-    /// Fagin's A₀ under (near-)uniform costs.
+    /// Let the planner pick. With per-source statistics (the engine
+    /// path) every strategy is priced through the cost model and the
+    /// cheapest wins; without statistics the static fallback applies:
+    /// TA under (near-)uniform costs, NRA when `⌊c_R/c_S⌋ ≥ 2`, their
+    /// θ-approximate variants under `θ > 0`.
     #[default]
     Auto,
     /// Fagin's A₀ (the paper's algorithm). Exact only.
@@ -236,13 +242,14 @@ impl ExecPolicy {
         let approximate = self.approximation.is_approximate();
         Ok(match self.algo {
             Algo::Auto => {
-                if approximate {
-                    Box::new(ApproxTa::new(theta))
-                } else if self.interleave() >= 2 {
-                    Box::new(CombinedAlgorithm::new(self.interleave(), 0.0))
-                } else {
-                    Box::new(FaginsAlgorithm)
-                }
+                // The stats-free fallback of the unified planner; the
+                // engine substitutes the stats-driven choice when it
+                // can gather histograms (`Engine::run`).
+                let plan = crate::planner::static_plan(false, approximate, self.interleave());
+                crate::planner::plan_algorithm(plan, theta)
+                    // The fallback only ever names algorithm-backed
+                    // plans; keep a non-panicking default regardless.
+                    .unwrap_or_else(|| Box::new(ThresholdAlgorithm))
             }
             Algo::Fa => {
                 if approximate {
@@ -293,34 +300,45 @@ mod tests {
     }
 
     #[test]
-    fn defaults_resolve_to_fa() {
+    fn defaults_resolve_to_ta() {
+        // The static fallback (no statistics) under uniform costs:
+        // the Threshold Algorithm, never Fagin's A₀.
         let algo = ExecPolicy::new().algorithm().unwrap();
-        assert_eq!(algo.name(), "fagin-a0");
+        assert_eq!(algo.name(), "threshold-ta");
     }
 
     #[test]
-    fn auto_picks_ca_when_random_access_is_expensive() {
+    fn auto_picks_nra_when_random_access_is_expensive() {
         let algo = ExecPolicy::new()
             .cost_model(ratio(10.0))
             .algorithm()
             .unwrap();
-        assert_eq!(algo.name(), "combined-ca");
-        // Ratio 1.9 floors to h = 1: not worth interleaving.
+        assert_eq!(algo.name(), "nra-lower-bound");
+        // Ratio 1.9 floors to h = 1: random access is still cheap
+        // enough for TA's eager resolution.
         let algo = ExecPolicy::new()
             .cost_model(ratio(1.9))
             .algorithm()
             .unwrap();
-        assert_eq!(algo.name(), "fagin-a0");
+        assert_eq!(algo.name(), "threshold-ta");
     }
 
     #[test]
     fn auto_picks_approx_ta_under_theta() {
         let algo = ExecPolicy::new().theta(0.1).algorithm().unwrap();
         assert_eq!(algo.name(), "approx-ta");
+        // θ > 0 with expensive random access: the sorted-only
+        // approximate variant.
+        let algo = ExecPolicy::new()
+            .theta(0.1)
+            .cost_model(ratio(10.0))
+            .algorithm()
+            .unwrap();
+        assert_eq!(algo.name(), "approx-nra");
         // θ = 0 through the Theta variant is still exact-equivalent
         // and must resolve like Exact.
         let algo = ExecPolicy::new().theta(0.0).algorithm().unwrap();
-        assert_eq!(algo.name(), "fagin-a0");
+        assert_eq!(algo.name(), "threshold-ta");
     }
 
     #[test]

@@ -175,17 +175,6 @@ impl TopKRequest {
         query.into_request(policy)
     }
 
-    /// Starts building a request through the legacy monolithic
-    /// builder. The built request carries [`ExecPolicy::DEFAULT`].
-    #[deprecated(
-        note = "compose the query and policy separately: `TopKQuery::compose()…policy(…).request()`"
-    )]
-    pub fn builder() -> TopKRequestBuilder {
-        TopKRequestBuilder {
-            inner: TopKQuery::compose(),
-        }
-    }
-
     /// The query half: what to compute.
     pub fn query(&self) -> &TopKQuery {
         &self.query
@@ -357,80 +346,6 @@ impl TopKQueryBuilder {
     }
 }
 
-/// The legacy monolithic builder, kept so pre-split call sites compile
-/// during the migration; see the deprecated [`TopKRequest::builder`].
-/// New code composes [`TopKQuery`] and [`ExecPolicy`] separately.
-pub struct TopKRequestBuilder {
-    inner: TopKQueryBuilder,
-}
-
-impl std::fmt::Debug for TopKRequestBuilder {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TopKRequestBuilder")
-            .field("inner", &self.inner)
-            .finish()
-    }
-}
-
-impl TopKRequestBuilder {
-    /// Appends one owned source as the next conjunct.
-    pub fn source(self, source: impl GradedSource + Send + 'static) -> Self {
-        TopKRequestBuilder {
-            inner: self.inner.source(source),
-        }
-    }
-
-    /// Appends an already-shared source handle.
-    pub fn shared_source(self, source: SharedSource) -> Self {
-        TopKRequestBuilder {
-            inner: self.inner.shared_source(source),
-        }
-    }
-
-    /// Appends every source of an iterator.
-    pub fn sources<S: GradedSource + Send + 'static>(
-        self,
-        sources: impl IntoIterator<Item = S>,
-    ) -> Self {
-        TopKRequestBuilder {
-            inner: self.inner.sources(sources),
-        }
-    }
-
-    /// Sets the scoring function combining conjunct grades.
-    pub fn scoring(self, scoring: impl ScoringFunction + Send + Sync + 'static) -> Self {
-        TopKRequestBuilder {
-            inner: self.inner.scoring(scoring),
-        }
-    }
-
-    /// Sets an already-shared scoring function.
-    pub fn shared_scoring(self, scoring: SharedScoring) -> Self {
-        TopKRequestBuilder {
-            inner: self.inner.shared_scoring(scoring),
-        }
-    }
-
-    /// Sets how many answers to return.
-    pub fn k(self, k: usize) -> Self {
-        TopKRequestBuilder {
-            inner: self.inner.k(k),
-        }
-    }
-
-    /// Weights the conjuncts' importance.
-    pub fn weights(self, ratios: &[f64]) -> Self {
-        TopKRequestBuilder {
-            inner: self.inner.weights(ratios),
-        }
-    }
-
-    /// Validates and assembles a request under the default policy.
-    pub fn build(self) -> Result<TopKRequest, AlgoError> {
-        self.inner.request()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,25 +510,4 @@ mod tests {
         assert_eq!(next.id, 0);
     }
 
-    /// The pre-split builder still assembles a working request (with
-    /// the default policy) until its two remaining call sites migrate.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_builder_shim_still_builds() {
-        let req = TopKRequest::builder()
-            .source(src(&[0.1, 0.9]))
-            .source(src(&[0.8, 0.2]))
-            .scoring(Min)
-            .k(2)
-            .weights(&[1.0, 1.0])
-            .build()
-            .unwrap();
-        assert_eq!(req.arity(), 2);
-        assert_eq!(req.k(), 2);
-        assert_eq!(*req.policy(), ExecPolicy::DEFAULT);
-        assert!(matches!(
-            TopKRequest::builder().scoring(Min).k(1).build(),
-            Err(AlgoError::NoSources)
-        ));
-    }
 }

@@ -20,6 +20,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use fmdb_core::score::{Score, ScoredObject};
+use fmdb_core::stats::GradeHistogram;
 
 /// Object identity, assumed (as Garlic had to ensure, §4.2) to be a
 /// one-to-one mapping across all subsystems participating in a query.
@@ -134,6 +135,20 @@ pub trait GradedSource {
         shards: usize,
     ) -> Option<Vec<ShardedSource>> {
         let _ = (partitioner, shards);
+        None
+    }
+
+    /// An equi-depth grade histogram over this source's full
+    /// distribution, or `None` when the implementation cannot produce
+    /// one without charging accesses (a truly remote stream would have
+    /// to be drained; its statistics come from prefixes or sampling
+    /// instead — see `fmdb_core::stats::GradeHistogram::from_sample`).
+    ///
+    /// Implementations must not advance the sorted cursor or charge
+    /// accesses: histograms are optimizer-time metadata, like
+    /// [`GradedSource::info`].
+    fn grade_histogram(&self, bins: usize) -> Option<GradeHistogram> {
+        let _ = bins;
         None
     }
 }
@@ -311,6 +326,14 @@ impl GradedSource for ShardedSource {
             .map(|oid| self.by_oid.get(oid).copied().unwrap_or(Score::ZERO))
             .collect()
     }
+
+    fn grade_histogram(&self, bins: usize) -> Option<GradeHistogram> {
+        Some(GradeHistogram::from_sorted_by(
+            self.sorted.len(),
+            bins,
+            |i| self.sorted.get(i).map(|s| s.grade).unwrap_or(Score::ZERO),
+        ))
+    }
 }
 
 /// An in-memory [`GradedSource`] over an explicit grade assignment.
@@ -436,6 +459,16 @@ impl GradedSource for VecSource {
             by_oid,
             partitioner,
             shards,
+        ))
+    }
+
+    // The sorted vec is materialized, so quantiles are O(bins) index
+    // probes — free at optimizer time, nothing charged.
+    fn grade_histogram(&self, bins: usize) -> Option<GradeHistogram> {
+        Some(GradeHistogram::from_sorted_by(
+            self.sorted.len(),
+            bins,
+            |i| self.sorted.get(i).map(|s| s.grade).unwrap_or(Score::ZERO),
         ))
     }
 }

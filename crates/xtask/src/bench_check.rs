@@ -5,9 +5,12 @@
 //! build when the artifact has drifted from the suite: a missing
 //! experiment (E1–E22), a non-numeric measurement (NaN/inf serialize to
 //! bare tokens, which are invalid JSON and rejected by the parser
-//! here), or an E22 instance-optimality ratio below 1 (the certificate
+//! here), an E22 instance-optimality ratio below 1 (the certificate
 //! oracle is a lower bound — a ratio under 1 means the harness itself
-//! is broken, not that an algorithm beat the optimum).
+//! is broken, not that an algorithm beat the optimum), or an E16
+//! planner-regret drift (every `regret_*` cell ≥ 1 by construction,
+//! `regret_median` ≤ 2, `regret_max` ≤ 10 — the unified cost model's
+//! quality bar).
 //!
 //! The parser is a minimal hand-rolled recursive-descent JSON reader —
 //! same no-dependency reasoning as the writer in
@@ -261,6 +264,9 @@ pub fn check(content: &str) -> Result<String, String> {
     let mut seen: Vec<String> = Vec::new();
     let mut min_ratio = f64::INFINITY;
     let mut ratio_count = 0usize;
+    let mut regret_count = 0usize;
+    let mut regret_median: Option<f64> = None;
+    let mut regret_max: Option<f64> = None;
     for entry in experiments {
         let id = entry
             .get("id")
@@ -295,6 +301,20 @@ pub fn check(content: &str) -> Result<String, String> {
                         ));
                     }
                 }
+                if id == "E16" && name.starts_with("regret") {
+                    if v < 1.0 - 1e-9 {
+                        return Err(format!(
+                            "E16: `{name}` = {v} is below 1 — regret compares against a \
+                             pool that includes the optimizer's own run, so this is a \
+                             harness bug"
+                        ));
+                    }
+                    match name.as_str() {
+                        "regret_median" => regret_median = Some(v),
+                        "regret_max" => regret_max = Some(v),
+                        _ => regret_count += 1,
+                    }
+                }
             }
         }
         seen.push(id);
@@ -312,6 +332,23 @@ pub fn check(content: &str) -> Result<String, String> {
     if ratio_count == 0 {
         return Err("E22 carries no `opt_ratio_*` metrics".to_owned());
     }
+    if regret_count == 0 {
+        return Err("E16 carries no per-cell `regret_*` metrics".to_owned());
+    }
+    let median = regret_median.ok_or("E16 is missing the `regret_median` metric")?;
+    let max = regret_max.ok_or("E16 is missing the `regret_max` metric")?;
+    if median > 2.0 + 1e-9 {
+        return Err(format!(
+            "E16: regret_median = {median} exceeds the 2x bound — the unified planner \
+             is mispricing the common case"
+        ));
+    }
+    if max > 10.0 + 1e-9 {
+        return Err(format!(
+            "E16: regret_max = {max} exceeds the 10x bound — some sweep cell picks a \
+             catastrophically wrong plan"
+        ));
+    }
 
     let mut summary = format!(
         "check-bench: {} experiments, E1–E22 all present and numeric",
@@ -319,7 +356,8 @@ pub fn check(content: &str) -> Result<String, String> {
     );
     let _ = write!(
         summary,
-        "; {ratio_count} optimality ratios ≥ 1 (min {min_ratio:.3})"
+        "; {ratio_count} optimality ratios ≥ 1 (min {min_ratio:.3}); \
+         {regret_count} planner regrets (median {median:.3}, max {max:.3})"
     );
     Ok(summary)
 }
@@ -328,11 +366,18 @@ pub fn check(content: &str) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn artifact(ids: &[&str], e22_metrics: &str) -> String {
+    const GOOD_E16: &str =
+        "{\"regret_sel5_k5_r1\":1.0,\"regret_median\":1.05,\"regret_max\":1.3}";
+
+    fn artifact_with(ids: &[&str], e22_metrics: &str, e16_metrics: &str) -> String {
         let entries: Vec<String> = ids
             .iter()
             .map(|id| {
-                let metrics = if *id == "E22" { e22_metrics } else { "{}" };
+                let metrics = match *id {
+                    "E22" => e22_metrics,
+                    "E16" => e16_metrics,
+                    _ => "{}",
+                };
                 format!(
                     "{{\"id\":\"{id}\",\"title\":\"t\",\"wall_ms\":1.0,\"sorted\":10,\
                      \"random\":2,\"cache_hits\":0,\"cache_misses\":2,\"worker_spawns\":0,\
@@ -344,6 +389,10 @@ mod tests {
             "{{\"schema\":\"fmdb-bench-engine/v1\",\"quick\":true,\"experiments\":[{}]}}",
             entries.join(",")
         )
+    }
+
+    fn artifact(ids: &[&str], e22_metrics: &str) -> String {
+        artifact_with(ids, e22_metrics, GOOD_E16)
     }
 
     fn all_ids() -> Vec<String> {
@@ -361,6 +410,7 @@ mod tests {
         let summary = check(&doc).expect("valid artifact");
         assert!(summary.contains("22 experiments"), "{summary}");
         assert!(summary.contains("min 1.000"), "{summary}");
+        assert!(summary.contains("median 1.050"), "{summary}");
     }
 
     #[test]
@@ -393,6 +443,52 @@ mod tests {
         let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
         let err = check(&artifact(&refs, "{}")).unwrap_err();
         assert!(err.contains("no `opt_ratio_*`"), "{err}");
+    }
+
+    const GOOD_E22: &str = "{\"opt_ratio_ta_t0_r1\":1.25}";
+
+    #[test]
+    fn rejects_e16_without_regret_cells() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let err = check(&artifact_with(&refs, GOOD_E22, "{}")).unwrap_err();
+        assert!(err.contains("no per-cell `regret_*`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_sub_one_regret() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e16 = "{\"regret_sel5_k5_r1\":0.7,\"regret_median\":1.0,\"regret_max\":1.0}";
+        let err = check(&artifact_with(&refs, GOOD_E22, e16)).unwrap_err();
+        assert!(err.contains("below 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_excessive_median_regret() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e16 = "{\"regret_sel5_k5_r1\":1.0,\"regret_median\":2.4,\"regret_max\":3.0}";
+        let err = check(&artifact_with(&refs, GOOD_E22, e16)).unwrap_err();
+        assert!(err.contains("regret_median"), "{err}");
+    }
+
+    #[test]
+    fn rejects_excessive_max_regret() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e16 = "{\"regret_sel5_k5_r1\":1.0,\"regret_median\":1.1,\"regret_max\":12.0}";
+        let err = check(&artifact_with(&refs, GOOD_E22, e16)).unwrap_err();
+        assert!(err.contains("regret_max"), "{err}");
+    }
+
+    #[test]
+    fn rejects_e16_missing_aggregates() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e16 = "{\"regret_sel5_k5_r1\":1.0,\"regret_max\":1.3}";
+        let err = check(&artifact_with(&refs, GOOD_E22, e16)).unwrap_err();
+        assert!(err.contains("regret_median"), "{err}");
     }
 
     #[test]
