@@ -8,7 +8,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use fmdb_media::bounding::BoundedDistance;
 use fmdb_media::color::{ColorHistogram, ColorSpace};
 use fmdb_media::distance::{HistogramDistance, L2Distance, QuadraticFormDistance};
-use fmdb_media::embed::{euclidean, EmbeddedCorpus, EmbeddedSpace};
+use fmdb_media::embed::{euclidean, squared_euclidean, EmbeddedCorpus, EmbeddedSpace};
 use fmdb_media::linalg::SymMatrix;
 use fmdb_media::synth::{SynthConfig, SyntheticDb};
 
@@ -140,6 +140,57 @@ fn bench_embedded_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// A strict left-to-right scalar squared-distance loop — the kernel
+/// as it was before the four-lane unroll, kept here as the baseline
+/// the `euclidean_unroll` group measures the unroll against.
+fn squared_euclidean_scalar(a: &[f64], b: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
+}
+
+/// The unroll satellite's measurement: the shipped four-lane
+/// `squared_euclidean` kernel vs the scalar loop it replaced, on the
+/// same pre-embedded coordinates.
+fn bench_kernel_unroll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euclidean_unroll");
+    for k in [16usize, 64, 256] {
+        let a = line_matrix(k);
+        let hists = synthetic_histograms(k, 64, 0xfeed + k as u64);
+        let space = EmbeddedSpace::for_matrix(&a).expect("line matrix embeds");
+        let embedded: Vec<Vec<f64>> = hists
+            .iter()
+            .map(|h| space.embed(h).expect("same dimension"))
+            .collect();
+
+        group.bench_function(BenchmarkId::new("scalar", k), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..embedded.len() {
+                    let j = (i + 7) % embedded.len();
+                    acc +=
+                        squared_euclidean_scalar(black_box(&embedded[i]), black_box(&embedded[j]));
+                }
+                acc
+            })
+        });
+        group.bench_function(BenchmarkId::new("unrolled4", k), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..embedded.len() {
+                    let j = (i + 7) % embedded.len();
+                    acc += squared_euclidean(black_box(&embedded[i]), black_box(&embedded[j]));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Whole-corpus 10-NN over 64-bin histograms: brute force vs
 /// early-abandoning (+ bounding filter) vs 4-thread parallel scan.
 fn bench_knn_scan(c: &mut Criterion) {
@@ -176,6 +227,7 @@ criterion_group!(
     benches,
     bench_distance,
     bench_embedded_kernel,
+    bench_kernel_unroll,
     bench_knn_scan
 );
 criterion_main!(benches);

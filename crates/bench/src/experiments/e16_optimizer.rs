@@ -70,7 +70,9 @@ pub fn run(cfg: &RunCfg) -> Report {
 
     let ratios: [(f64, &str); 2] = [(1.0, "r1"), (10.0, "r10")];
     let mut t = Table::new(
-        format!("Artist='Beatles' ∧ Color~red over {n} albums; regret = executed(pick)/executed(best)"),
+        format!(
+            "Artist='Beatles' ∧ Color~red over {n} albums; regret = executed(pick)/executed(best)"
+        ),
         &[
             "selectivity",
             "k",

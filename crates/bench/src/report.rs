@@ -279,13 +279,16 @@ pub fn bench_engine_json(entries: &[BenchEntry], quick: bool) -> String {
         out.push(',');
         json_field(&mut out, "title", &e.title);
         out.push_str(&format!(
-            ",\"wall_ms\":{:.3},\"sorted\":{},\"random\":{},\"cache_hits\":{},\"cache_misses\":{},\"worker_spawns\":{}",
+            ",\"wall_ms\":{:.3},\"sorted\":{},\"random\":{},\"cache_hits\":{},\"cache_misses\":{},\"worker_spawns\":{},\"page_reads\":{},\"page_hits\":{},\"page_evictions\":{}",
             e.wall_ms,
             e.stats.sorted,
             e.stats.random,
             e.stats.cache_hits,
             e.stats.cache_misses,
             e.stats.worker_spawns,
+            e.stats.page_reads,
+            e.stats.page_hits,
+            e.stats.page_evictions,
         ));
         out.push_str(",\"metrics\":");
         json_metrics(&mut out, &e.metrics);
@@ -395,6 +398,9 @@ mod tests {
                     cache_hits: 3,
                     cache_misses: 37,
                     worker_spawns: 8,
+                    page_reads: 12,
+                    page_hits: 5,
+                    page_evictions: 2,
                 },
                 metrics: vec![("opt_ratio_ta".to_owned(), 1.25)],
             },
@@ -414,6 +420,9 @@ mod tests {
         assert!(j.contains(r#"FA \"scaling\""#));
         assert!(j.contains("\"wall_ms\":12.500"));
         assert!(j.contains("\"worker_spawns\":8"));
+        assert!(j.contains("\"page_reads\":12"));
+        assert!(j.contains("\"page_hits\":5"));
+        assert!(j.contains("\"page_evictions\":2"));
         assert!(j.contains("\"metrics\":{\"opt_ratio_ta\":1.250000}"));
         assert!(j.contains("\"metrics\":{}"));
         assert!(j.contains("\"id\":\"E21\""));

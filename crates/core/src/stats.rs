@@ -81,6 +81,39 @@ impl GradeHistogram {
         h
     }
 
+    /// Reassembles a histogram from persisted parts — the inverse of
+    /// reading [`GradeHistogram::universe`] and
+    /// [`GradeHistogram::bounds`] back from storage (the paged store
+    /// keeps a stats page so the planner can price a disk-backed
+    /// source without touching data pages).
+    ///
+    /// Returns `None` when the parts are not a valid histogram: bounds
+    /// must be finite, within `[0, 1]`, non-ascending, and either empty
+    /// (with universe 0) or at least two entries for a universe > 0.
+    pub fn from_parts(universe: usize, bounds: Vec<f64>) -> Option<GradeHistogram> {
+        if bounds.is_empty() {
+            return (universe == 0).then_some(GradeHistogram {
+                universe: 0,
+                bounds,
+            });
+        }
+        if bounds.len() < 2 || universe == 0 {
+            return None;
+        }
+        let valid = bounds
+            .iter()
+            .all(|b| b.is_finite() && (0.0..=1.0).contains(b))
+            && bounds.windows(2).all(|w| w[0] >= w[1]);
+        valid.then_some(GradeHistogram { universe, bounds })
+    }
+
+    /// The raw boundary grades `b_0 ≥ b_1 ≥ … ≥ b_bins` (see the type
+    /// docs) — what a store persists and [`GradeHistogram::from_parts`]
+    /// reassembles.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
     /// Number of objects the histogram describes.
     pub fn universe(&self) -> usize {
         self.universe
@@ -187,7 +220,7 @@ mod tests {
         // 20% grade-1 objects, 80% grade-0: a crisp predicate with
         // selectivity 0.2.
         let mut grades = vec![Score::ONE; 200];
-        grades.extend(std::iter::repeat(Score::ZERO).take(800));
+        grades.extend(std::iter::repeat_n(Score::ZERO, 800));
         let h = GradeHistogram::from_sorted(&grades, 10);
         assert!((h.fraction_above(0.5) - 0.2).abs() < 0.11);
         assert!((h.fraction_above(1.0) - 0.2).abs() < 0.11);

@@ -23,9 +23,7 @@ use fmdb_core::score::Score;
 use fmdb_core::scoring::ScoringFunction;
 use fmdb_core::stats::DEFAULT_HISTOGRAM_BINS;
 use fmdb_core::weights::Weighting;
-use fmdb_middleware::planner::{
-    choose_plan, CombinerKind, PhysicalPlan, PlanQuery, QueryStats,
-};
+use fmdb_middleware::planner::{choose_plan, CombinerKind, PhysicalPlan, PlanQuery, QueryStats};
 use fmdb_middleware::policy::ExecPolicy;
 use fmdb_middleware::source::GradedSource;
 use fmdb_middleware::stats::SourceStats;

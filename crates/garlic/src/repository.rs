@@ -24,6 +24,7 @@ use fmdb_media::shape::{turning_distance, Polygon};
 use fmdb_media::synth::SyntheticDb;
 use fmdb_media::texture::named_texture;
 use fmdb_middleware::source::VecSource;
+use fmdb_middleware::store::{build_store_from_source, BuildConfig, StoreError};
 
 use crate::object::{Oid, Value};
 
@@ -124,6 +125,42 @@ pub trait Repository {
     /// ids), used by the crisp-filter plan. `Ok(None)` means the
     /// attribute is fuzzy.
     fn crisp_matches(&self, query: &AtomicQuery) -> Result<Option<Vec<Oid>>, RepoError>;
+}
+
+/// Error persisting a repository's graded source to a paged store.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Grading the query failed.
+    Repo(RepoError),
+    /// Writing the store file failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Repo(e) => write!(f, "{e}"),
+            PersistError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// One-shot bridge from any [`Repository`] to the middleware's paged
+/// column store: grades `query` eagerly (the repository's normal
+/// source construction) and persists the resulting pairs at `path`.
+/// Reopening with [`fmdb_middleware::store::PagedStore::open`] yields
+/// a source bit-identical to the [`VecSource`] the repository serves —
+/// the out-of-core path for corpora too large to re-grade per query.
+pub fn persist_source(
+    repo: &dyn Repository,
+    query: &AtomicQuery,
+    path: &std::path::Path,
+    cfg: &BuildConfig,
+) -> Result<(), PersistError> {
+    let mut source = repo.source_for(query).map_err(PersistError::Repo)?;
+    build_store_from_source(path, &mut source, cfg).map_err(PersistError::Store)
 }
 
 /// A relational-style table of crisp attributes.
@@ -632,6 +669,93 @@ mod tests {
             d_top < d_bottom,
             "top {d_top} should be closer than bottom {d_bottom}"
         );
+    }
+
+    /// Scratch path under the workspace `target/` dir (tests must not
+    /// write outside the repository).
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/store-tests");
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn persisted_repository_source_roundtrips_exactly() {
+        use fmdb_middleware::store::{PagedStore, PoolConfig};
+        let repo = small_qbic();
+        let q = atom("Color", Target::Similar("red".into()));
+        let path = scratch("garlic-color.fmdb");
+        persist_source(&repo, &q, &path, &BuildConfig::DEFAULT).unwrap();
+        let store = PagedStore::open(&path, PoolConfig::DEFAULT).unwrap();
+        let mut paged = store.source();
+        let mut live = repo.source_for(&q).unwrap();
+        assert_eq!(paged.info().universe_size, live.info().universe_size);
+        loop {
+            let (a, b) = (paged.sorted_next(), live.sorted_next());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        for oid in 0..45u64 {
+            assert_eq!(
+                paged.random_access(oid),
+                live.random_access(oid),
+                "oid {oid}"
+            );
+        }
+    }
+
+    #[test]
+    fn persist_source_propagates_grading_errors() {
+        let repo = small_qbic();
+        let q = atom("Color", Target::Similar("chartreuse-ish".into()));
+        let path = scratch("garlic-bad.fmdb");
+        assert!(matches!(
+            persist_source(&repo, &q, &path, &BuildConfig::DEFAULT),
+            Err(PersistError::Repo(RepoError::UnknownTarget(_)))
+        ));
+    }
+
+    /// The media layer's graded-pairs export feeds `build_store`
+    /// directly — the one-shot path for an embedded corpus too large
+    /// to re-grade per query.
+    #[test]
+    fn media_graded_pairs_persist_and_roundtrip() {
+        use fmdb_media::prelude::ExpDecay;
+        use fmdb_middleware::store::{build_store, PagedStore, PoolConfig};
+        let repo = small_qbic();
+        let corpus = EmbeddedCorpus::build(
+            EmbeddedSpace::for_space(&repo.db().space).unwrap(),
+            &repo
+                .db()
+                .objects
+                .iter()
+                .map(|o| o.histogram.clone())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let query = repo.db().objects[3].histogram.clone();
+        let scorer = ExpDecay::new(1.0).unwrap();
+        let pairs = corpus.graded_pairs(&query, &scorer).unwrap();
+        assert_eq!(pairs.len(), corpus.len());
+
+        let path = scratch("garlic-corpus.fmdb");
+        build_store(&path, "corpus", pairs.clone(), &BuildConfig::DEFAULT).unwrap();
+        let store = PagedStore::open(&path, PoolConfig::DEFAULT).unwrap();
+        let mut paged = store.source();
+        let mut mem = VecSource::new("corpus", pairs);
+        loop {
+            let (a, b) = (paged.sorted_next(), mem.sorted_next());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        // The example object grades 1 (zero self-distance) and tops
+        // the persisted sorted run.
+        paged.rewind();
+        assert_eq!(paged.sorted_next().map(|so| so.id), Some(3));
     }
 
     #[test]

@@ -192,6 +192,33 @@ impl PrecomputedDistances {
         Ok(GradeHistogram::from_sample(&grades, self.n, bins))
     }
 
+    /// Every object's `(oid, grade)` pair for query-by-example
+    /// retrieval around object `query` — oid is the matrix index,
+    /// grade the stored distance mapped through `scorer` (the query
+    /// object itself grades via its zero self-distance). This is the
+    /// one-shot export feeding a persistent graded store; the index
+    /// layer cannot see the middleware's store types, so it hands over
+    /// plain pairs and the caller does the persisting.
+    pub fn graded_pairs(
+        &self,
+        query: usize,
+        scorer: &dyn DistanceScorer,
+    ) -> Result<Vec<(u64, Score)>, PrecomputeError> {
+        if query >= self.n {
+            return Err(PrecomputeError::OutOfRange {
+                index: query,
+                n: self.n,
+            });
+        }
+        Ok((0..self.n)
+            .map(|j| {
+                // lint:allow(no-panic): query was bounds-checked above, j < n by construction
+                let d = self.distance(query, j).expect("indices validated above");
+                (j as u64, scorer.score(d))
+            })
+            .collect())
+    }
+
     /// Splits the object indices into `shards` contiguous ranges using
     /// the same decomposition as [`fmdb_media::embed::contiguous_ranges`]
     /// (and the middleware's contiguous source partitioner): shard `s`
@@ -268,6 +295,27 @@ mod tests {
         assert!(matches!(
             p.distance(0, 5),
             Err(PrecomputeError::OutOfRange { index: 5, n: 5 })
+        ));
+    }
+
+    #[test]
+    fn graded_pairs_export_is_complete_and_ordered_by_distance() {
+        use fmdb_media::prelude::{DistanceScorer, ExpDecay};
+        let p = PrecomputedDistances::build(6, line_metric).unwrap();
+        let scorer = ExpDecay::new(2.0).unwrap();
+        let pairs = p.graded_pairs(3, &scorer).unwrap();
+        assert_eq!(pairs.len(), 6);
+        // Every object appears once, under its own index.
+        for (j, &(oid, grade)) in pairs.iter().enumerate() {
+            assert_eq!(oid, j as u64);
+            assert_eq!(grade, scorer.score(line_metric(3, j)));
+        }
+        // The example grades best (zero self-distance).
+        let best = pairs.iter().max_by_key(|&&(_, g)| g).unwrap();
+        assert_eq!(best.0, 3);
+        assert!(matches!(
+            p.graded_pairs(6, &scorer),
+            Err(PrecomputeError::OutOfRange { index: 6, n: 6 })
         ));
     }
 

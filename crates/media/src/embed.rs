@@ -54,9 +54,11 @@ use crate::scorer::DistanceScorer;
 /// matrix is numerically on the PSD boundary.
 const RIDGE_STEPS: [f64; 3] = [1e-12, 1e-10, 1e-8];
 
-/// How many accumulated dimensions between early-abandon checks. The
-/// sum is accumulated strictly left-to-right regardless, so abandoned
-/// and completed evaluations agree bitwise with the plain scan.
+/// How many accumulated dimensions between early-abandon checks —
+/// also the block size of the four-lane unrolled kernel
+/// ([`squared_block`]), so both scans accumulate in the same order
+/// and abandoned/completed evaluations agree bitwise with the plain
+/// scan.
 const ABANDON_STRIDE: usize = 16;
 
 /// Error raised by the embedding kernel.
@@ -102,15 +104,50 @@ impl From<BoundError> for EmbedError {
     }
 }
 
+/// One block's squared-distance contribution, manually unrolled four
+/// lanes wide: independent lane accumulators break the loop-carried
+/// add dependency so the FPU pipelines the multiply-adds, folded
+/// deterministically as `(s0 + s1) + (s2 + s3)` with the scalar tail
+/// accumulated after the fold. Every distance path — the plain scan,
+/// the early-abandoning scan, and [`euclidean`] — sums through this
+/// one helper, so all of them agree bitwise.
+#[inline(always)]
+fn squared_block(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0, 0.0, 0.0);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        let d0 = xa[0] - xb[0];
+        let d1 = xa[1] - xb[1];
+        let d2 = xa[2] - xb[2];
+        let d3 = xa[3] - xb[3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+    }
+    let mut sum = (s0 + s1) + (s2 + s3);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
+}
+
 /// The squared Euclidean distance between two embedded coordinate
-/// slices, accumulated strictly left-to-right.
+/// slices. Accumulated block-by-block through [`squared_block`]'s
+/// fixed four-lane order, so it is bitwise identical to a completed
+/// [`EmbeddedCorpus::squared_distance_abandoning`] evaluation.
 #[inline]
 pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut sum = 0.0;
-    for (x, y) in a.iter().zip(b) {
-        let d = x - y;
-        sum += d * d;
+    let mut ca = a.chunks(ABANDON_STRIDE);
+    let mut cb = b.chunks(ABANDON_STRIDE);
+    for (qc, cc) in ca.by_ref().zip(cb.by_ref()) {
+        sum += squared_block(qc, cc);
     }
     sum
 }
@@ -394,8 +431,12 @@ impl EmbeddedCorpus {
     /// soon as the running sum strictly exceeds `threshold_sq`, else
     /// the exact squared distance.
     ///
-    /// The sum is accumulated strictly left-to-right, so a completed
-    /// evaluation is bitwise identical to [`squared_euclidean`];
+    /// The sum is accumulated block-by-block in [`squared_block`]'s
+    /// fixed four-lane order — the same order [`squared_euclidean`]
+    /// uses — so a completed evaluation is bitwise identical to the
+    /// plain scan. The abandon check runs once per
+    /// [`ABANDON_STRIDE`]-dimension block, not per lane, keeping the
+    /// unrolled lanes free of branches;
     /// `threshold_sq = f64::INFINITY` never abandons.
     pub fn squared_distance_abandoning(
         &self,
@@ -408,10 +449,7 @@ impl EmbeddedCorpus {
         let mut sum = 0.0;
         let mut offset = 0;
         for (qc, cc) in q.chunks(ABANDON_STRIDE).zip(coords.chunks(ABANDON_STRIDE)) {
-            for (x, y) in qc.iter().zip(cc) {
-                let d = x - y;
-                sum += d * d;
-            }
+            sum += squared_block(qc, cc);
             offset += qc.len();
             if sum > threshold_sq && offset < self.k {
                 return None;
@@ -426,6 +464,25 @@ impl EmbeddedCorpus {
         let q = self.embed_query(query)?;
         Ok((0..self.n)
             .map(|i| euclidean(&q, self.embedded(i)))
+            .collect())
+    }
+
+    /// Every stored object's `(oid, grade)` pair for retrieval around
+    /// `query` — oid is the corpus index, grade the exact distance
+    /// mapped through `scorer`. This is the one-shot export feeding a
+    /// persistent graded store (the media layer cannot see the
+    /// middleware's store types, so it hands over plain pairs and the
+    /// caller — bench, garlic — does the persisting).
+    pub fn graded_pairs(
+        &self,
+        query: &ColorHistogram,
+        scorer: &dyn DistanceScorer,
+    ) -> Result<Vec<(u64, Score)>, EmbedError> {
+        let distances = self.distances(query)?;
+        Ok(distances
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (i as u64, scorer.score(d)))
             .collect())
     }
 
@@ -452,7 +509,7 @@ impl EmbeddedCorpus {
     ) -> Result<GradeHistogram, EmbedError> {
         let q = self.embed_query(query)?;
         let take = sample.max(1).min(self.n);
-        let stride = if take == 0 { 1 } else { (self.n / take).max(1) };
+        let stride = self.n.checked_div(take).unwrap_or(1).max(1);
         let grades: Vec<Score> = (0..self.n)
             .step_by(stride)
             .take(take)
@@ -722,6 +779,43 @@ mod tests {
             Err(DistanceError::DimensionMismatch { .. })
         ));
         assert!(emb.name().contains("embedded"));
+    }
+
+    #[test]
+    fn unrolled_kernel_matches_scalar_reference() {
+        // Awkward lengths exercise every tail path of the four-lane
+        // unroll: empty, sub-lane, lane-aligned, block-aligned, and
+        // block+lane+tail combinations.
+        for len in [0usize, 1, 3, 4, 5, 7, 15, 16, 17, 20, 31, 33, 64] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.73).cos()).collect();
+            let scalar: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            let unrolled = squared_euclidean(&a, &b);
+            assert!(
+                (scalar - unrolled).abs() <= 1e-12 * scalar.max(1.0),
+                "len {len}: scalar {scalar} vs unrolled {unrolled}"
+            );
+            // The block helper alone agrees with the full function on
+            // sub-block inputs (the abandoning scan relies on this).
+            if len <= ABANDON_STRIDE {
+                assert_eq!(unrolled.to_bits(), squared_block(&a, &b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn abandoning_scan_is_bitwise_identical_to_plain_scan() {
+        let sp = space();
+        let hists = sample_histograms(&sp, 40, 13);
+        let corpus = EmbeddedCorpus::build(EmbeddedSpace::for_space(&sp).unwrap(), &hists).unwrap();
+        let q = corpus.embedded(0).to_vec();
+        for i in 0..corpus.len() {
+            let plain = squared_euclidean(&q, corpus.embedded(i));
+            let full = corpus
+                .squared_distance_abandoning(&q, i, f64::INFINITY)
+                .expect("infinity never abandons");
+            assert_eq!(plain.to_bits(), full.to_bits(), "object {i}");
+        }
     }
 
     #[test]

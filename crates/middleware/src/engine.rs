@@ -45,6 +45,7 @@ use std::thread;
 use fmdb_core::score::{Score, ScoredObject};
 
 use crate::algorithms::{AlgoError, Algorithm, TopKAlgorithm, TopKResult};
+use crate::lru::LruCore;
 use crate::planner::{Explain, PhysicalPlan, PlanQuery, QueryStats};
 use crate::policy::Algo;
 use crate::request::{SharedSource, TopKRequest};
@@ -243,20 +244,14 @@ impl SourceRegistry {
 /// The paper's model makes grades immutable for the duration of a
 /// query ("repeated random access for the same object returns the same
 /// grade"), so memoization is safe. The cache tracks cumulative
-/// [`GradeCache::hits`]/[`GradeCache::misses`] across every request it
-/// served.
+/// [`GradeCache::hits`]/[`GradeCache::misses`]/[`GradeCache::evictions`]
+/// across every request it served. The replacement machinery itself is
+/// the shared [`LruCore`], which also backs the paged store's buffer
+/// pool ([`crate::store`]).
 #[derive(Debug)]
 pub struct GradeCache {
-    capacity: usize,
-    /// key → (grade, last-use stamp).
-    entries: HashMap<CacheKey, (Score, u64)>,
-    /// Recency queue with lazy deletion: stale stamps are skipped at
-    /// eviction time.
-    queue: VecDeque<(CacheKey, u64)>,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    /// Per-source-identity (hits, misses) split of the totals above —
+    core: LruCore<CacheKey, Score>,
+    /// Per-source-identity (hits, misses) split of the core's totals —
     /// the raw signal behind the planner's cache-residency hints.
     per_source: HashMap<u64, (u64, u64)>,
 }
@@ -265,39 +260,42 @@ impl GradeCache {
     /// Creates a cache holding at most `capacity` grades.
     pub fn new(capacity: usize) -> GradeCache {
         GradeCache {
-            capacity,
-            entries: HashMap::new(),
-            queue: VecDeque::new(),
-            tick: 0,
-            hits: 0,
-            misses: 0,
+            core: LruCore::new(capacity),
             per_source: HashMap::new(),
         }
     }
 
     /// Number of grades currently cached.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.core.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.core.is_empty()
     }
 
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.core.capacity()
     }
 
     /// Cumulative lookups answered from the cache.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.core.hits()
     }
 
     /// Cumulative lookups that had to go to the subsystem.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.core.misses()
+    }
+
+    /// Cumulative grades dropped to make room for newer ones. Together
+    /// with [`GradeCache::hits`]/[`GradeCache::misses`] this completes
+    /// the replacement picture: a high eviction rate at a given hit
+    /// rate means the working set exceeds capacity.
+    pub fn evictions(&self) -> u64 {
+        self.core.evictions()
     }
 
     /// Cumulative (hits, misses) charged against one source identity.
@@ -305,7 +303,8 @@ impl GradeCache {
         self.per_source.get(&source_id).copied().unwrap_or((0, 0))
     }
 
-    /// Drops every cached grade **and** resets the hit/miss counters.
+    /// Drops every cached grade **and** resets the hit/miss/eviction
+    /// counters.
     ///
     /// The counters describe the lifetime of the cached content; under
     /// the striped cache ([`StripedGradeCache`]) each segment is
@@ -314,33 +313,17 @@ impl GradeCache {
     /// unintelligible (hits against grades that no longer exist,
     /// mixed across generations). Content and counters reset together.
     pub fn clear(&mut self) {
-        self.entries.clear();
-        self.queue.clear();
-        self.hits = 0;
-        self.misses = 0;
+        self.core.clear();
         self.per_source.clear();
     }
 
     /// Looks `key` up, refreshing its recency on a hit.
     fn get(&mut self, key: CacheKey) -> Option<Score> {
-        self.tick += 1;
-        let tick = self.tick;
-        let found = match self.entries.get_mut(&key) {
-            Some((grade, stamp)) => {
-                *stamp = tick;
-                let grade = *grade;
-                self.queue.push_back((key, tick));
-                Some(grade)
-            }
-            None => None,
-        };
+        let found = self.core.get(key);
         let split = self.per_source.entry(key.0).or_insert((0, 0));
         if found.is_some() {
-            self.hits += 1;
             split.0 += 1;
-            self.maybe_compact();
         } else {
-            self.misses += 1;
             split.1 += 1;
         }
         found
@@ -349,41 +332,7 @@ impl GradeCache {
     /// Inserts (or refreshes) a grade, evicting the least recently used
     /// entries beyond capacity.
     fn insert(&mut self, key: CacheKey, grade: Score) {
-        if self.capacity == 0 {
-            return;
-        }
-        self.tick += 1;
-        self.entries.insert(key, (grade, self.tick));
-        self.queue.push_back((key, self.tick));
-        while self.entries.len() > self.capacity {
-            match self.queue.pop_front() {
-                Some((old, stamp)) => {
-                    // Lazy deletion: only a queue entry carrying the
-                    // key's *current* stamp represents its true
-                    // recency.
-                    if self.entries.get(&old).is_some_and(|&(_, s)| s == stamp) {
-                        self.entries.remove(&old);
-                    }
-                }
-                None => break,
-            }
-        }
-        self.maybe_compact();
-    }
-
-    /// Bounds the lazy queue: when stale entries dominate, rebuild it
-    /// from the live entries in recency order.
-    fn maybe_compact(&mut self) {
-        if self.queue.len() <= self.capacity.saturating_mul(4) + 8 {
-            return;
-        }
-        let mut live: Vec<(CacheKey, u64)> = self
-            .entries
-            .iter()
-            .map(|(&key, &(_, stamp))| (key, stamp))
-            .collect();
-        live.sort_by_key(|&(_, stamp)| stamp);
-        self.queue = live.into();
+        self.core.insert(key, grade);
     }
 }
 
@@ -456,6 +405,13 @@ impl StripedGradeCache {
             let guard = lock_cache(s);
             (h + guard.hits(), m + guard.misses())
         })
+    }
+
+    /// Cumulative evictions summed over all stripes (same snapshot
+    /// guarantee as [`StripedGradeCache::counters`]). Reset together
+    /// with the hit/miss counters by [`StripedGradeCache::clear`].
+    pub fn evictions(&self) -> u64 {
+        self.stripes.iter().map(|s| lock_cache(s).evictions()).sum()
     }
 
     /// Cumulative (hits, misses) for one source identity, summed over
@@ -686,6 +642,9 @@ struct EngineTotals {
     cache_hits: std::sync::atomic::AtomicU64,
     cache_misses: std::sync::atomic::AtomicU64,
     worker_spawns: std::sync::atomic::AtomicU64,
+    page_reads: std::sync::atomic::AtomicU64,
+    page_hits: std::sync::atomic::AtomicU64,
+    page_evictions: std::sync::atomic::AtomicU64,
 }
 
 impl EngineTotals {
@@ -696,6 +655,9 @@ impl EngineTotals {
         self.cache_hits.fetch_add(stats.cache_hits, Relaxed);
         self.cache_misses.fetch_add(stats.cache_misses, Relaxed);
         self.worker_spawns.fetch_add(stats.worker_spawns, Relaxed);
+        self.page_reads.fetch_add(stats.page_reads, Relaxed);
+        self.page_hits.fetch_add(stats.page_hits, Relaxed);
+        self.page_evictions.fetch_add(stats.page_evictions, Relaxed);
     }
 
     fn snapshot(&self) -> crate::stats::AccessStats {
@@ -706,6 +668,9 @@ impl EngineTotals {
             cache_hits: self.cache_hits.load(Relaxed),
             cache_misses: self.cache_misses.load(Relaxed),
             worker_spawns: self.worker_spawns.load(Relaxed),
+            page_reads: self.page_reads.load(Relaxed),
+            page_hits: self.page_hits.load(Relaxed),
+            page_evictions: self.page_evictions.load(Relaxed),
         }
     }
 }
@@ -737,6 +702,13 @@ impl Engine {
     /// documented on [`StripedGradeCache::counters`].
     pub fn cache_counters(&self) -> (u64, u64) {
         self.cache.counters()
+    }
+
+    /// Cumulative cache evictions over every request served — the
+    /// third replacement counter alongside [`Engine::cache_counters`],
+    /// reset together with them by [`Engine::clear_cache`].
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
     }
 
     /// Drops every cached grade and resets the cache counters (see
@@ -829,17 +801,19 @@ impl Engine {
         }
         let explain = self.plan(request);
         let theta = request.policy().approximation.theta();
-        Ok(match crate::planner::plan_algorithm(explain.chosen, theta) {
-            Some(algorithm) => algorithm,
-            // Plans above the algorithm layer: a full scan is the
-            // naive drain; anything else falls back to the static
-            // choice (unreachable for engine-shaped queries, which
-            // have no crisp structure).
-            None => match explain.chosen {
-                PhysicalPlan::FullScan => Box::new(crate::algorithms::naive::Naive),
-                _ => fallback,
+        Ok(
+            match crate::planner::plan_algorithm(explain.chosen, theta) {
+                Some(algorithm) => algorithm,
+                // Plans above the algorithm layer: a full scan is the
+                // naive drain; anything else falls back to the static
+                // choice (unreachable for engine-shaped queries, which
+                // have no crisp structure).
+                None => match explain.chosen {
+                    PhysicalPlan::FullScan => Box::new(crate::algorithms::naive::Naive),
+                    _ => fallback,
+                },
             },
-        })
+        )
     }
 
     /// Gathers statistics and runs the planner for `request` under its
@@ -973,6 +947,14 @@ impl Engine {
             })
             .collect();
         let cache = (self.config.cache_capacity > 0).then_some(&self.cache);
+        // Snapshot per-source page counters so disk-backed sources'
+        // buffer-pool traffic can be attributed to this request
+        // afterwards (purely in-memory sources report `None`).
+        let page_before: Vec<Option<crate::stats::PageIoStats>> = request
+            .sources()
+            .iter()
+            .map(|s| lock(s).page_io())
+            .collect();
         let keys: Vec<u64> = {
             let mut registry = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
             request
@@ -1019,6 +1001,20 @@ impl Engine {
         if self.config.parallel {
             // One prefetch worker was spawned per stream.
             result.stats.worker_spawns += infos.len() as u64;
+        }
+        // Fold the page-traffic delta of every paged source into the
+        // request's stats. Sources sharing one store's pool would be
+        // double counted — each query source is expected to map to its
+        // own store file. (The sharded path skips this: shards run on
+        // materialized partitions, their page reads happened at
+        // partition time.)
+        for (source, before) in request.sources().iter().zip(page_before) {
+            if let (Some(now), Some(before)) = (lock(source).page_io(), before) {
+                let delta = now - before;
+                result.stats.page_reads += delta.reads;
+                result.stats.page_hits += delta.hits;
+                result.stats.page_evictions += delta.evictions;
+            }
         }
         Ok(result)
     }
@@ -1816,9 +1812,9 @@ mod tests {
         }
         assert!(cache.len() <= 4);
         assert!(
-            cache.queue.len() <= 4 * 4 + 8,
+            cache.core.queue_len() <= 4 * 4 + 8,
             "lazy queue compacted (len {})",
-            cache.queue.len()
+            cache.core.queue_len()
         );
     }
 }

@@ -35,8 +35,13 @@
 //!   the policy's cost model, and both auto-selection entry points
 //!   (`Algo::Auto` and the Garlic planner) route through
 //!   [`planner::choose_plan`];
-//! * [`paging`] — a paged-I/O cost simulation with an LRU buffer pool
-//!   (§6's "more realistic cost measure");
+//! * [`store`] — the persistent paged column store (§6's "more
+//!   realistic cost measure" made physical): checksummed fixed-size
+//!   pages holding a sorted run and a random-access grade table,
+//!   written crash-safely in one shot, read through a pinned
+//!   lock-striped LRU buffer pool with read-ahead, and exposed as
+//!   [`store::PagedSource`] — bit-identical to a
+//!   [`source::VecSource`] over the same pairs;
 //! * [`workload`] — synthetic grade distributions: independent
 //!   (Theorem 4.1's model), correlated, and the adversarial
 //!   linear-lower-bound instance.
@@ -65,15 +70,16 @@
 
 pub mod algorithms;
 pub mod engine;
+mod lru;
 pub mod optimality;
 pub mod oracle;
-pub mod paging;
 pub mod planner;
 pub mod policy;
 pub mod request;
 pub mod sharded;
 pub mod source;
 pub mod stats;
+pub mod store;
 pub mod workload;
 
 /// Convenient re-exports of the most commonly used items.
@@ -91,7 +97,6 @@ pub mod prelude {
     pub use crate::engine::{Engine, EngineConfig, EngineError, GradeCache, StripedGradeCache};
     pub use crate::optimality::OptimalityOracle;
     pub use crate::oracle::verify_top_k;
-    pub use crate::paging::{PageConfig, PageIo, PagedSource};
     pub use crate::planner::{
         choose_plan, classify_combiner, CombinerKind, Explain, PhysicalPlan, PlanQuery, QueryStats,
         StatsBasis,
@@ -105,5 +110,9 @@ pub mod prelude {
         GradedSource, Oid, ShardedSource, SourceInfo, SourcePartitioner, SourceViolation,
         ValidatingSource, VecSource,
     };
-    pub use crate::stats::{AccessStats, CostModel};
+    pub use crate::stats::{AccessStats, CostModel, PageIoStats};
+    pub use crate::store::{
+        build_store, build_store_from_source, BuildConfig, PagedSource, PagedStore, PoolConfig,
+        StoreError,
+    };
 }

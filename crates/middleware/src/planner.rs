@@ -200,10 +200,7 @@ pub fn classify_combiner(scoring: &dyn ScoringFunction, arity: usize) -> Combine
                 }
                 let mut grades = vec![Score::clamped(lo); m];
                 grades[pos] = Score::clamped(hi);
-                if !scoring
-                    .combine(&grades)
-                    .approx_eq(Score::clamped(hi), 1e-9)
-                {
+                if !scoring.combine(&grades).approx_eq(Score::clamped(hi), 1e-9) {
                     max_like = false;
                     break 'outer_max;
                 }
@@ -314,7 +311,10 @@ impl QueryStats {
     pub fn from_sources(sources: &mut [&mut dyn GradedSource]) -> Option<QueryStats> {
         let per_source: Option<Vec<SourceStats>> = sources
             .iter()
-            .map(|s| s.grade_histogram(DEFAULT_HISTOGRAM_BINS).map(SourceStats::new))
+            .map(|s| {
+                s.grade_histogram(DEFAULT_HISTOGRAM_BINS)
+                    .map(SourceStats::new)
+            })
             .collect();
         Some(QueryStats::new(per_source?))
     }
@@ -753,9 +753,14 @@ pub fn choose_plan(query: &PlanQuery, stats: Option<&QueryStats>, policy: &ExecP
 
     let mut priced: Vec<(PhysicalPlan, f64)> = candidates
         .into_iter()
-        .filter_map(|plan| estimate_cost(plan, query, stats, &policy.cost, theta).map(|c| (plan, c)))
+        .filter_map(|plan| {
+            estimate_cost(plan, query, stats, &policy.cost, theta).map(|c| (plan, c))
+        })
         .collect();
-    priced.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.preference().cmp(&b.0.preference())));
+    priced.sort_by(|a, b| {
+        a.1.total_cmp(&b.1)
+            .then(a.0.preference().cmp(&b.0.preference()))
+    });
 
     let chosen = priced
         .first()
@@ -897,7 +902,7 @@ mod tests {
         let crisp_hist = |sel: f64| {
             let matches = ((n as f64 * sel) as usize).max(1);
             let mut grades = vec![Score::ONE; matches];
-            grades.extend(std::iter::repeat(Score::ZERO).take(n - matches));
+            grades.extend(std::iter::repeat_n(Score::ZERO, n - matches));
             GradeHistogram::from_sorted(&grades, 16)
         };
         let fuzzy_hist = independent_uniform(n, 1, 7)
@@ -936,8 +941,8 @@ mod tests {
         assert_eq!(uniform.chosen, PhysicalPlan::Ta);
         assert!(matches!(uniform.basis, StatsBasis::StaticFallback));
 
-        let expensive = ExecPolicy::new()
-            .cost_model(CostModel::random_to_sorted_ratio(10.0).unwrap());
+        let expensive =
+            ExecPolicy::new().cost_model(CostModel::random_to_sorted_ratio(10.0).unwrap());
         assert_eq!(choose_plan(&q, None, &expensive).chosen, PhysicalPlan::Nra);
 
         let exact = PlanQuery::fuzzy(1000, 2, 10).exact_grades();
@@ -966,7 +971,10 @@ mod tests {
         );
         // Under expensive random access an exact-grade query shifts to
         // CA (deep interleave), never to a random-heavy plan.
-        assert!(matches!(expensive.chosen, PhysicalPlan::Ca { .. }), "{expensive}");
+        assert!(
+            matches!(expensive.chosen, PhysicalPlan::Ca { .. }),
+            "{expensive}"
+        );
         let exp_cost = expensive.chosen_cost().unwrap();
         let ta_cost = expensive
             .candidates
@@ -998,7 +1006,7 @@ mod tests {
         assert_eq!(preferred_fanout(100.0, 64, 8, 256), 1);
         // Big work over a big corpus fans out, but never past the gate.
         let f = preferred_fanout(1_000_000.0, 100_000, 8, 256);
-        assert!(f >= 2 && f <= 8, "fanout {f}");
+        assert!((2..=8).contains(&f), "fanout {f}");
         // Monotone consistency with the policy fold.
         let q = PlanQuery::fuzzy(100_000, 2, 10);
         let policy = ExecPolicy::new().sharding(ShardPolicy::Shards {

@@ -509,5 +509,4 @@ mod tests {
         let next = b.with_sources(|refs| refs[0].sorted_next().unwrap());
         assert_eq!(next.id, 0);
     }
-
 }

@@ -151,6 +151,17 @@ pub trait GradedSource {
         let _ = bins;
         None
     }
+
+    /// Cumulative buffer-pool page counters, or `None` for purely
+    /// in-memory sources (the default). A disk-backed source
+    /// ([`crate::store::PagedSource`]) reports its pool's lifetime
+    /// reads/hits/evictions here; the engine diffs snapshots around a
+    /// request to fold per-request page traffic into
+    /// [`crate::stats::AccessStats`]. Like [`GradedSource::info`],
+    /// this must not charge accesses or advance the cursor.
+    fn page_io(&self) -> Option<crate::stats::PageIoStats> {
+        None
+    }
 }
 
 impl fmt::Debug for dyn GradedSource + '_ {

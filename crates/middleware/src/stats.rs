@@ -44,6 +44,17 @@ pub struct AccessStats {
     /// completes. Like the cache counters this is physical-execution
     /// telemetry, not part of the paper's access cost.
     pub worker_spawns: u64,
+    /// Pages read from storage while serving this request, summed over
+    /// every paged source ([`crate::store::PagedSource`]) the request
+    /// touched. Like the cache counters this is physical telemetry:
+    /// it describes how the logical accesses were *served*, never
+    /// changes what was charged. 0 means "no paged source involved".
+    pub page_reads: u64,
+    /// Page lookups answered from a buffer pool without touching
+    /// storage.
+    pub page_hits: u64,
+    /// Page frames dropped from a buffer pool to make room.
+    pub page_evictions: u64,
 }
 
 impl AccessStats {
@@ -54,6 +65,9 @@ impl AccessStats {
         cache_hits: 0,
         cache_misses: 0,
         worker_spawns: 0,
+        page_reads: 0,
+        page_hits: 0,
+        page_evictions: 0,
     };
 
     /// Creates explicit stats (no cache activity).
@@ -88,6 +102,9 @@ impl Add for AccessStats {
             cache_hits: self.cache_hits + rhs.cache_hits,
             cache_misses: self.cache_misses + rhs.cache_misses,
             worker_spawns: self.worker_spawns + rhs.worker_spawns,
+            page_reads: self.page_reads + rhs.page_reads,
+            page_hits: self.page_hits + rhs.page_hits,
+            page_evictions: self.page_evictions + rhs.page_evictions,
         }
     }
 }
@@ -112,6 +129,9 @@ impl Sub for AccessStats {
             cache_hits: self.cache_hits.saturating_sub(rhs.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(rhs.cache_misses),
             worker_spawns: self.worker_spawns.saturating_sub(rhs.worker_spawns),
+            page_reads: self.page_reads.saturating_sub(rhs.page_reads),
+            page_hits: self.page_hits.saturating_sub(rhs.page_hits),
+            page_evictions: self.page_evictions.saturating_sub(rhs.page_evictions),
         }
     }
 }
@@ -125,6 +145,56 @@ impl fmt::Display for AccessStats {
             self.sorted,
             self.random
         )
+    }
+}
+
+/// Buffer-pool I/O counters a paged source exposes through
+/// [`crate::source::GradedSource::page_io`].
+///
+/// All three counters are cumulative over the source's lifetime;
+/// the engine diffs two snapshots to attribute page traffic to one
+/// request ([`AccessStats::page_reads`] and friends).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageIoStats {
+    /// Pages actually read from storage (buffer-pool misses plus
+    /// read-ahead loads).
+    pub reads: u64,
+    /// Page lookups answered from the buffer pool.
+    pub hits: u64,
+    /// Page frames dropped from the buffer pool to make room.
+    pub evictions: u64,
+}
+
+impl PageIoStats {
+    /// No page traffic.
+    pub const ZERO: PageIoStats = PageIoStats {
+        reads: 0,
+        hits: 0,
+        evictions: 0,
+    };
+}
+
+impl Add for PageIoStats {
+    type Output = PageIoStats;
+    fn add(self, rhs: PageIoStats) -> PageIoStats {
+        PageIoStats {
+            reads: self.reads + rhs.reads,
+            hits: self.hits + rhs.hits,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+/// Componentwise saturating difference, for diffing two snapshots of
+/// the monotone counters (same contract as `AccessStats::sub`).
+impl Sub for PageIoStats {
+    type Output = PageIoStats;
+    fn sub(self, rhs: PageIoStats) -> PageIoStats {
+        PageIoStats {
+            reads: self.reads.saturating_sub(rhs.reads),
+            hits: self.hits.saturating_sub(rhs.hits),
+            evictions: self.evictions.saturating_sub(rhs.evictions),
+        }
     }
 }
 
@@ -253,6 +323,61 @@ pub fn wall_clock() -> impl FnMut() -> u64 {
     move || start.elapsed().as_nanos() as u64
 }
 
+/// Measures `c_R/c_S` for a *paged* source from its page traffic
+/// instead of wall time: runs `probes` sorted accesses, then `probes`
+/// random accesses to ids drawn from across the whole universe, and
+/// prices each access kind by the pages it pulled from storage
+/// (charging a floor of one page per phase so a fully warm pool
+/// degrades to ratio 1, never 0).
+///
+/// Wall-clock calibration ([`calibrate_cost_model`]) is the general
+/// tool, but against real storage it is noisy under test; page reads
+/// are the *deterministic* physical signal behind that latency: a
+/// sorted scan amortizes one read over `entries_per_page` objects
+/// while a cold random probe pays a whole page for one object — which
+/// is exactly the c_R/c_S asymmetry \[WHTB98\] priced. Returns `None`
+/// when the source exposes no page counters
+/// ([`crate::source::GradedSource::page_io`]) or yields no objects.
+/// The measured ratio is clamped to `[0.001, 1000]` like the
+/// wall-clock path. The source is rewound before and after probing.
+pub fn calibrate_cost_model_io(
+    source: &mut dyn crate::source::GradedSource,
+    probes: usize,
+) -> Option<CostModel> {
+    let probes = probes.max(1);
+    source.page_io()?;
+    let universe = source.info().universe_size as u64;
+    source.rewind();
+    let before_sorted = source.page_io()?;
+    let mut ids = Vec::with_capacity(probes);
+    for _ in 0..probes {
+        match source.sorted_next() {
+            Some(so) => ids.push(so.id),
+            None => break,
+        }
+    }
+    let before_random = source.page_io()?;
+    if ids.is_empty() {
+        source.rewind();
+        return None;
+    }
+    // Probe ids spread across the universe, not the ids just seen:
+    // the sorted prefix's pages are warm by construction, and probing
+    // only them would measure the pool, not the access pattern.
+    let stride = (universe / probes as u64).max(1);
+    for i in 0..probes as u64 {
+        let _ = source.random_access((i * stride) % universe.max(1));
+    }
+    let after = source.page_io()?;
+    source.rewind();
+    let sorted_pages = (before_random - before_sorted).reads.max(1) as f64;
+    let random_pages = (after - before_random).reads.max(1) as f64;
+    let per_sorted = sorted_pages / ids.len() as f64;
+    let per_random = random_pages / probes as f64;
+    let ratio = (per_random / per_sorted).clamp(0.001, 1000.0);
+    CostModel::random_to_sorted_ratio(ratio)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,11 +467,26 @@ mod tests {
     #[test]
     fn source_stats_residency_is_clamped() {
         use fmdb_core::score::Score;
-        let grades: Vec<Score> = (0..10).map(|i| Score::clamped(1.0 - i as f64 / 10.0)).collect();
+        let grades: Vec<Score> = (0..10)
+            .map(|i| Score::clamped(1.0 - i as f64 / 10.0))
+            .collect();
         let h = GradeHistogram::from_sorted(&grades, 4);
         let s = SourceStats::new(h.clone());
         assert!(s.cache_residency.abs() < 1e-12);
-        assert!((SourceStats::new(h.clone()).with_residency(2.0).cache_residency - 1.0).abs() < 1e-12);
-        assert!(SourceStats::new(h).with_residency(f64::NAN).cache_residency.abs() < 1e-12);
+        assert!(
+            (SourceStats::new(h.clone())
+                .with_residency(2.0)
+                .cache_residency
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            SourceStats::new(h)
+                .with_residency(f64::NAN)
+                .cache_residency
+                .abs()
+                < 1e-12
+        );
     }
 }

@@ -1,0 +1,183 @@
+//! The buffer pool: lock-striped LRU page frames with pin counts.
+//!
+//! This is the engine's [`crate::engine::GradeCache`] machinery
+//! ([`LruCore`]) generalized to page frames: `N` independent LRU
+//! segments behind their own mutexes, selected by page-number hash,
+//! each counting hits, misses, and evictions. Frames are
+//! `Arc<Vec<u8>>`; a frame whose `Arc` is still held by a reader is
+//! *pinned* — the eviction loop refreshes it instead of dropping it,
+//! so a page a cursor is decoding can never be yanked out from under
+//! it (the pool temporarily exceeds capacity if every frame is
+//! pinned).
+//!
+//! Actual storage reads happen *outside* the stripe locks (the caller
+//! reads, then [`PagePool::insert`]s), so a slow disk never serializes
+//! unrelated pages. Two threads missing the same page concurrently may
+//! both read it — a benign duplicated read, counted twice, which is
+//! exactly what happened physically.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::lru::LruCore;
+use crate::stats::PageIoStats;
+
+/// One page frame: immutable page bytes shared with readers.
+pub(crate) type Frame = Arc<Vec<u8>>;
+
+/// Number of independent LRU segments (mirrors the grade cache).
+const POOL_STRIPES: usize = 8;
+
+/// A lock-striped LRU pool of page frames with pin-aware eviction and
+/// cumulative hit/read/eviction counters.
+#[derive(Debug)]
+pub(crate) struct PagePool {
+    stripes: Vec<Mutex<LruCore<u64, Frame>>>,
+    /// Pages actually read from storage (misses the caller resolved
+    /// plus read-ahead loads).
+    reads: AtomicU64,
+    /// The subset of `reads` issued by the read-ahead worker.
+    readahead_loads: AtomicU64,
+}
+
+impl PagePool {
+    /// A pool holding at least `capacity` frames across
+    /// [`POOL_STRIPES`] segments (0 disables caching — every access
+    /// reads storage).
+    pub(crate) fn new(capacity: usize) -> PagePool {
+        let per = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(POOL_STRIPES)
+        };
+        PagePool {
+            stripes: (0..POOL_STRIPES)
+                .map(|_| Mutex::new(LruCore::new(per)))
+                .collect(),
+            reads: AtomicU64::new(0),
+            readahead_loads: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe(&self, page: u64) -> &Mutex<LruCore<u64, Frame>> {
+        let h = page.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.stripes[(h >> 32) as usize % self.stripes.len()]
+    }
+
+    fn lock(stripe: &Mutex<LruCore<u64, Frame>>) -> std::sync::MutexGuard<'_, LruCore<u64, Frame>> {
+        stripe.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks a page up, counting a hit or a miss.
+    pub(crate) fn get(&self, page: u64) -> Option<Frame> {
+        Self::lock(self.stripe(page)).get(page)
+    }
+
+    /// True when the page is resident (no counters touched) — the
+    /// read-ahead worker's guard against redundant loads.
+    pub(crate) fn contains(&self, page: u64) -> bool {
+        Self::lock(self.stripe(page)).peek(page).is_some()
+    }
+
+    /// Installs a freshly read page, evicting unpinned LRU frames
+    /// beyond capacity, and counts the storage read that produced it.
+    pub(crate) fn insert(&self, page: u64, frame: Frame) {
+        self.reads.fetch_add(1, Relaxed);
+        Self::lock(self.stripe(page)).insert_with(page, frame, |f| Arc::strong_count(f) > 1);
+    }
+
+    /// [`PagePool::insert`] for the read-ahead worker: also counted in
+    /// [`PageIoStats`]-adjacent telemetry as a read-ahead load.
+    pub(crate) fn insert_readahead(&self, page: u64, frame: Frame) {
+        self.readahead_loads.fetch_add(1, Relaxed);
+        self.insert(page, frame);
+    }
+
+    /// Cumulative pool counters (per-stripe-consistent snapshot, like
+    /// [`crate::engine::StripedGradeCache::counters`]).
+    pub(crate) fn stats(&self) -> PageIoStats {
+        let (hits, evictions) = self.stripes.iter().fold((0, 0), |(h, e), s| {
+            let guard = Self::lock(s);
+            (h + guard.hits(), e + guard.evictions())
+        });
+        PageIoStats {
+            reads: self.reads.load(Relaxed),
+            hits,
+            evictions,
+        }
+    }
+
+    /// Pages loaded by the read-ahead worker so far.
+    pub(crate) fn readahead_loads(&self) -> u64 {
+        self.readahead_loads.load(Relaxed)
+    }
+
+    /// Frames currently resident.
+    pub(crate) fn resident(&self) -> usize {
+        self.stripes.iter().map(|s| Self::lock(s).len()).sum()
+    }
+
+    /// Drops every frame **and** resets the counters — how benchmarks
+    /// return to a cold pool without reopening the file.
+    pub(crate) fn clear(&self) {
+        for s in &self.stripes {
+            Self::lock(s).clear();
+        }
+        self.reads.store(0, Relaxed);
+        self.readahead_loads.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_hits_reads_and_evictions() {
+        let pool = PagePool::new(8);
+        assert!(pool.get(0).is_none());
+        pool.insert(0, Arc::new(vec![0u8; 16]));
+        assert!(pool.get(0).is_some());
+        let s = pool.stats();
+        assert_eq!((s.reads, s.hits), (1, 1));
+
+        for p in 1..100 {
+            pool.insert(p, Arc::new(vec![0u8; 16]));
+        }
+        assert!(pool.stats().evictions > 0);
+        assert!(pool.resident() <= 16, "capacity is per-stripe rounded up");
+    }
+
+    #[test]
+    fn pinned_frames_survive_pressure() {
+        let pool = PagePool::new(8);
+        pool.insert(0, Arc::new(vec![7u8; 16]));
+        let pinned = pool.get(0).expect("just inserted");
+        for p in 1..200 {
+            pool.insert(p, Arc::new(vec![0u8; 16]));
+        }
+        assert!(
+            pool.contains(0),
+            "a frame with a live reader must not be evicted"
+        );
+        drop(pinned);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let pool = PagePool::new(4);
+        pool.insert(0, Arc::new(Vec::new()));
+        let _ = pool.get(0);
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.stats(), PageIoStats::ZERO);
+    }
+
+    #[test]
+    fn zero_capacity_pool_never_caches() {
+        let pool = PagePool::new(0);
+        pool.insert(0, Arc::new(Vec::new()));
+        assert!(pool.get(0).is_none());
+        assert_eq!(pool.stats().reads, 1, "the read still happened");
+    }
+}

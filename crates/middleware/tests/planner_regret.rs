@@ -49,7 +49,13 @@ fn scenario() -> impl Strategy<Value = Scenario> {
             prop_oneof![Just(1.0f64), Just(3.0), Just(10.0), Just(30.0)],
         ),
     )
-        .prop_map(|((n, m, k), (seed, ratio))| Scenario { n, m, k, seed, ratio })
+        .prop_map(|((n, m, k), (seed, ratio))| Scenario {
+            n,
+            m,
+            k,
+            seed,
+            ratio,
+        })
 }
 
 /// Gathers the planner's statistics the way the engine does: one

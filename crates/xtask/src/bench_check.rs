@@ -7,10 +7,13 @@
 //! bare tokens, which are invalid JSON and rejected by the parser
 //! here), an E22 instance-optimality ratio below 1 (the certificate
 //! oracle is a lower bound — a ratio under 1 means the harness itself
-//! is broken, not that an algorithm beat the optimum), or an E16
+//! is broken, not that an algorithm beat the optimum), an E16
 //! planner-regret drift (every `regret_*` cell ≥ 1 by construction,
 //! `regret_median` ≤ 2, `regret_max` ≤ 10 — the unified cost model's
-//! quality bar).
+//! quality bar), or E18 paged-store telemetry that is missing or
+//! nonsensical (cold/warm wall-clock present, `warm_hit_rate` in
+//! [0, 1], `cold_page_reads` > 0 — a zero means the experiment never
+//! touched the store).
 //!
 //! The parser is a minimal hand-rolled recursive-descent JSON reader —
 //! same no-dependency reasoning as the writer in
@@ -267,6 +270,10 @@ pub fn check(content: &str) -> Result<String, String> {
     let mut regret_count = 0usize;
     let mut regret_median: Option<f64> = None;
     let mut regret_max: Option<f64> = None;
+    let mut e18_cold_wall: Option<f64> = None;
+    let mut e18_warm_wall: Option<f64> = None;
+    let mut e18_hit_rate: Option<f64> = None;
+    let mut e18_page_reads: Option<f64> = None;
     for entry in experiments {
         let id = entry
             .get("id")
@@ -299,6 +306,15 @@ pub fn check(content: &str) -> Result<String, String> {
                             "E22: optimality ratio `{name}` = {v} is below 1 — the \
                              certificate oracle is a lower bound, so this is a harness bug"
                         ));
+                    }
+                }
+                if id == "E18" {
+                    match name.as_str() {
+                        "cold_wall_ms" => e18_cold_wall = Some(v),
+                        "warm_wall_ms" => e18_warm_wall = Some(v),
+                        "warm_hit_rate" => e18_hit_rate = Some(v),
+                        "cold_page_reads" => e18_page_reads = Some(v),
+                        _ => {}
                     }
                 }
                 if id == "E16" && name.starts_with("regret") {
@@ -349,6 +365,27 @@ pub fn check(content: &str) -> Result<String, String> {
              catastrophically wrong plan"
         ));
     }
+    let cold_wall = e18_cold_wall.ok_or("E18 is missing the `cold_wall_ms` metric")?;
+    let warm_wall = e18_warm_wall.ok_or("E18 is missing the `warm_wall_ms` metric")?;
+    if cold_wall < 0.0 || warm_wall < 0.0 {
+        return Err(format!(
+            "E18: negative wall-clock (cold {cold_wall}, warm {warm_wall})"
+        ));
+    }
+    let hit_rate = e18_hit_rate.ok_or("E18 is missing the `warm_hit_rate` metric")?;
+    if !(0.0..=1.0).contains(&hit_rate) {
+        return Err(format!(
+            "E18: warm_hit_rate = {hit_rate} is outside [0, 1] — the buffer-pool \
+             counters are broken"
+        ));
+    }
+    let page_reads = e18_page_reads.ok_or("E18 is missing the `cold_page_reads` metric")?;
+    if page_reads < 1.0 {
+        return Err(format!(
+            "E18: cold_page_reads = {page_reads} — a cold run that reads no pages \
+             never touched the store"
+        ));
+    }
 
     let mut summary = format!(
         "check-bench: {} experiments, E1–E22 all present and numeric",
@@ -357,7 +394,8 @@ pub fn check(content: &str) -> Result<String, String> {
     let _ = write!(
         summary,
         "; {ratio_count} optimality ratios ≥ 1 (min {min_ratio:.3}); \
-         {regret_count} planner regrets (median {median:.3}, max {max:.3})"
+         {regret_count} planner regrets (median {median:.3}, max {max:.3}); \
+         E18 paged store: {page_reads:.0} cold page reads, warm hit rate {hit_rate:.3}"
     );
     Ok(summary)
 }
@@ -366,16 +404,24 @@ pub fn check(content: &str) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    const GOOD_E16: &str =
-        "{\"regret_sel5_k5_r1\":1.0,\"regret_median\":1.05,\"regret_max\":1.3}";
+    const GOOD_E16: &str = "{\"regret_sel5_k5_r1\":1.0,\"regret_median\":1.05,\"regret_max\":1.3}";
 
-    fn artifact_with(ids: &[&str], e22_metrics: &str, e16_metrics: &str) -> String {
+    const GOOD_E18: &str = "{\"cold_wall_ms\":8.0,\"warm_wall_ms\":2.0,\
+                            \"warm_hit_rate\":0.95,\"cold_page_reads\":64.0}";
+
+    fn artifact_full(
+        ids: &[&str],
+        e22_metrics: &str,
+        e16_metrics: &str,
+        e18_metrics: &str,
+    ) -> String {
         let entries: Vec<String> = ids
             .iter()
             .map(|id| {
                 let metrics = match *id {
                     "E22" => e22_metrics,
                     "E16" => e16_metrics,
+                    "E18" => e18_metrics,
                     _ => "{}",
                 };
                 format!(
@@ -389,6 +435,10 @@ mod tests {
             "{{\"schema\":\"fmdb-bench-engine/v1\",\"quick\":true,\"experiments\":[{}]}}",
             entries.join(",")
         )
+    }
+
+    fn artifact_with(ids: &[&str], e22_metrics: &str, e16_metrics: &str) -> String {
+        artifact_full(ids, e22_metrics, e16_metrics, GOOD_E18)
     }
 
     fn artifact(ids: &[&str], e22_metrics: &str) -> String {
@@ -489,6 +539,34 @@ mod tests {
         let e16 = "{\"regret_sel5_k5_r1\":1.0,\"regret_max\":1.3}";
         let err = check(&artifact_with(&refs, GOOD_E22, e16)).unwrap_err();
         assert!(err.contains("regret_median"), "{err}");
+    }
+
+    #[test]
+    fn rejects_e18_without_metrics() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let err = check(&artifact_full(&refs, GOOD_E22, GOOD_E16, "{}")).unwrap_err();
+        assert!(err.contains("cold_wall_ms"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_hit_rate() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e18 = "{\"cold_wall_ms\":8.0,\"warm_wall_ms\":2.0,\
+                    \"warm_hit_rate\":1.5,\"cold_page_reads\":64.0}";
+        let err = check(&artifact_full(&refs, GOOD_E22, GOOD_E16, e18)).unwrap_err();
+        assert!(err.contains("warm_hit_rate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_page_reads() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e18 = "{\"cold_wall_ms\":8.0,\"warm_wall_ms\":2.0,\
+                    \"warm_hit_rate\":0.9,\"cold_page_reads\":0.0}";
+        let err = check(&artifact_full(&refs, GOOD_E22, GOOD_E16, e18)).unwrap_err();
+        assert!(err.contains("cold_page_reads"), "{err}");
     }
 
     #[test]

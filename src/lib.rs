@@ -67,7 +67,7 @@ pub mod prelude {
         AccessStats, Algo, AlgoError, Algorithm, ApproxNra, ApproxTa, Approximation,
         CombinedAlgorithm, CostModel, Engine, EngineConfig, ExecPolicy, FaSession, FaginsAlgorithm,
         GradeCache, GradedSource, MaxMerge, Naive, Nra, Oid, OptimalityOracle, OwnedFaSession,
-        PageConfig, PagedSource, PrunedFa, ShardPolicy, SharedScoring, SourceInfo,
+        PagedSource, PagedStore, PrunedFa, ShardPolicy, SharedScoring, SourceInfo, StoreError,
         ThresholdAlgorithm, TopKAlgorithm, TopKQuery, TopKRequest, TopKResult, ValidatingSource,
         VecSource,
     };
