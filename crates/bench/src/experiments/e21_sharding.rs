@@ -45,7 +45,6 @@ pub fn run(cfg: &RunCfg) -> Report {
             .shared_scoring(Arc::clone(&min))
             .k(k)
             .policy(ExecPolicy::new().sharding(sharding))
-            // lint:allow(no-panic): experiments only build valid monotone requests
             .request()
             .expect("valid request")
     };
@@ -75,7 +74,6 @@ pub fn run(cfg: &RunCfg) -> Report {
             let t0 = Instant::now();
             let result = engine
                 .run_algorithm(&ThresholdAlgorithm, &request)
-                // lint:allow(no-panic): valid monotone requests cannot fail
                 .expect("sharded TA run");
             wall += t0.elapsed().as_secs_f64() * 1e6;
             sorted += result.stats.sorted;
@@ -88,7 +86,6 @@ pub fn run(cfg: &RunCfg) -> Report {
                     &ThresholdAlgorithm,
                     &make_request(seed, ShardPolicy::Serial),
                 )
-                // lint:allow(no-panic): valid monotone requests cannot fail
                 .expect("serial TA run");
             if serial.answers != result.answers {
                 mismatches += 1;

@@ -47,7 +47,6 @@ fn scalar_run(
         .collect();
     algorithm
         .top_k(&mut refs, &Min, k)
-        // lint:allow(no-panic): experiments only run valid monotone configurations
         .expect("valid monotone run")
 }
 
@@ -97,18 +96,14 @@ pub fn run(cfg: &RunCfg) -> Report {
                 .map(|s| s as &mut dyn GradedSource)
                 .collect();
             oracles.push(
-                OptimalityOracle::build(&mut refs, &Min, k, theta)
-                    // lint:allow(no-panic): experiments only run valid monotone configurations
-                    .expect("valid oracle build"),
+                OptimalityOracle::build(&mut refs, &Min, k, theta).expect("valid oracle build"),
             );
             ta_runs.push(scalar_run(&ApproxTa::new(theta), n, m, seed, k));
             nra_runs.push(scalar_run(&ApproxNra::new(theta), n, m, seed, k));
         }
 
         for &ratio in &RATIOS {
-            let model = CostModel::random_to_sorted_ratio(ratio)
-                // lint:allow(no-panic): the grid is positive and finite
-                .expect("valid cost ratio");
+            let model = CostModel::random_to_sorted_ratio(ratio).expect("valid cost ratio");
             let ca = CombinedAlgorithm::for_cost(&model, theta);
             let mut sums = [0.0f64; 3];
             for seed in 0..cfg.seeds {

@@ -417,6 +417,9 @@ impl EmbeddedCorpus {
 
     /// The embedded coordinates of object `i`.
     pub fn embedded(&self, i: usize) -> &[f64] {
+        // lint:allow(unchecked-arith): i < n and n·k == coords.len(),
+        // so both products stay within the existing allocation's
+        // length; the slice op bounds-checks the result regardless.
         &self.coords[i * self.k..(i + 1) * self.k]
     }
 
@@ -584,7 +587,7 @@ impl EmbeddedCorpus {
                 .collect()
         });
         let mut stats = ScanStats::default();
-        let mut merged: Vec<(f64, usize)> = Vec::with_capacity(threads * k_nearest);
+        let mut merged: Vec<(f64, usize)> = Vec::with_capacity(threads.saturating_mul(k_nearest));
         for (local, local_stats) in results {
             stats += local_stats;
             merged.extend(local);
@@ -656,10 +659,11 @@ impl EmbeddedCorpus {
         let shorts = self.filter.as_ref().map(|f| f.shorts.as_slice());
         for i in range {
             let full = best.len() == k_nearest;
-            let kth_sq = if full {
-                best[k_nearest - 1].0
-            } else {
-                f64::INFINITY
+            // `best` is kept sorted and truncated to `k_nearest`, so
+            // when full its last element is the current k-th best.
+            let (kth_sq, kth_tie) = match best.last() {
+                Some(&(d, tie)) if full => (d, tie),
+                _ => (f64::INFINITY, usize::MAX),
             };
             // Stage 1: the §2.1 bounding filter. d ≥ d̂, so
             // d̂² > kth_sq ⇒ d² > kth_sq and the object cannot improve
@@ -690,7 +694,7 @@ impl EmbeddedCorpus {
                 }
             };
             stats.completed += 1;
-            if !full || (sum, i) < (kth_sq, best[k_nearest - 1].1) {
+            if !full || (sum, i) < (kth_sq, kth_tie) {
                 best.push((sum, i));
                 sort_candidates(&mut best);
                 best.truncate(k_nearest);

@@ -650,6 +650,10 @@ struct EngineTotals {
 impl EngineTotals {
     fn fold(&self, stats: &crate::stats::AccessStats) {
         use std::sync::atomic::Ordering::Relaxed;
+        // ordering(Relaxed): telemetry-only counter merge — each field
+        // is an independent monotone sum, no reader orders decisions
+        // against these values, and the final fold happens after the
+        // shard threads are joined (the join is the synchronization).
         self.sorted.fetch_add(stats.sorted, Relaxed);
         self.random.fetch_add(stats.random, Relaxed);
         self.cache_hits.fetch_add(stats.cache_hits, Relaxed);
@@ -663,6 +667,10 @@ impl EngineTotals {
     fn snapshot(&self) -> crate::stats::AccessStats {
         use std::sync::atomic::Ordering::Relaxed;
         crate::stats::AccessStats {
+            // ordering(Relaxed): report-time read of telemetry
+            // counters; a snapshot taken concurrently with updates may
+            // be slightly stale per field, which the stats contract
+            // permits — nothing branches on these values.
             sorted: self.sorted.load(Relaxed),
             random: self.random.load(Relaxed),
             cache_hits: self.cache_hits.load(Relaxed),

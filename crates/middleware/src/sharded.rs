@@ -87,12 +87,20 @@ impl AtomicThreshold {
 
     /// Raises the bound to `candidate` if it is an improvement.
     pub fn observe(&self, candidate: Score) {
+        // ordering(Relaxed): the threshold is a monotone advisory
+        // bound. Scores are in [0,1], so their IEEE-754 bit patterns
+        // order like the values and fetch_max never lowers the bound;
+        // a racing reader that misses this update merely prunes less
+        // — correctness never depends on seeing the newest maximum.
         self.bits
             .fetch_max(candidate.value().to_bits(), Ordering::Relaxed);
     }
 
     /// The current bound (possibly stale, never overstated).
     pub fn get(&self) -> Score {
+        // ordering(Relaxed): reading a stale bound is safe by the same
+        // monotonicity argument — the value can only be under the true
+        // maximum, which weakens pruning but never drops a result.
         Score::clamped(f64::from_bits(self.bits.load(Ordering::Relaxed)))
     }
 }

@@ -163,6 +163,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// (pages are fixed-size buffers the reader allocated itself).
 pub(crate) fn read_u32(buf: &[u8], off: usize) -> u32 {
     let mut b = [0u8; 4];
+    // lint:allow(unchecked-arith): off is a within-page field offset
+    // (< PAGE_SIZE), so off + 4 cannot wrap; the slice op
+    // bounds-checks against the page buffer regardless.
     b.copy_from_slice(&buf[off..off + 4]);
     u32::from_le_bytes(b)
 }
@@ -170,15 +173,21 @@ pub(crate) fn read_u32(buf: &[u8], off: usize) -> u32 {
 /// Reads a little-endian `u64` at `off` (same bounds contract).
 pub(crate) fn read_u64(buf: &[u8], off: usize) -> u64 {
     let mut b = [0u8; 8];
+    // lint:allow(unchecked-arith): same within-page contract — off + 8
+    // cannot wrap and the slice op bounds-checks.
     b.copy_from_slice(&buf[off..off + 8]);
     u64::from_le_bytes(b)
 }
 
 fn write_u32(buf: &mut [u8], off: usize, v: u32) {
+    // lint:allow(unchecked-arith): within-page field offset, cannot
+    // wrap; slice op bounds-checks.
     buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
 }
 
 fn write_u64(buf: &mut [u8], off: usize, v: u64) {
+    // lint:allow(unchecked-arith): within-page field offset, cannot
+    // wrap; slice op bounds-checks.
     buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
 }
 

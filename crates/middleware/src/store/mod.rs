@@ -285,6 +285,11 @@ impl PagedStore {
         let readahead = (cfg.readahead > 0).then(|| {
             let (tx, rx) = sync_channel(cfg.readahead.saturating_mul(2).max(1));
             let worker_inner = Arc::clone(&inner);
+            // lint:allow(detached-thread): the read-ahead worker's
+            // lifetime is bounded by its channel — every sender lives
+            // in a store/source handle, and when the last one drops
+            // the recv() disconnects and the worker returns. Joining
+            // would require the Drop impl to block on I/O in flight.
             thread::spawn(move || readahead_worker(worker_inner, rx));
             tx
         });

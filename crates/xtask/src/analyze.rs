@@ -1,0 +1,121 @@
+//! The **fmdb-analyze** driver: parses every workspace file into an
+//! item tree ([`crate::parser`]), builds the cross-file
+//! [`SymbolTable`], runs the five concurrency/invariant rules, and
+//! applies the suppression policy.
+//!
+//! Pipeline: lexer → item tree → symbol table → rule passes →
+//! policy gate. The split mirrors `rules::run_all` for the token-level
+//! linter: rules produce *raw* findings (already scoped to library
+//! code outside `#[cfg(test)]`), and the driver drops findings covered
+//! by a justified `lint:allow` / `ordering(...)` marker — so the
+//! policy lives in one place and `cargo xtask suppressions` can reuse
+//! the raw stream for stale-marker detection.
+//!
+//! Parse failures are findings too (`parse-error`): the analyzer
+//! refuses to silently skip code it cannot model, and the workspace
+//! integration test keeps the grammar subset complete by parsing every
+//! first-party file.
+
+use crate::diagnostics::Diagnostic;
+use crate::parser::{parse, FileTree};
+use crate::rules::{atomic_ordering, detached_thread, ignored_result, lock_order, unchecked_arith};
+use crate::symbols::SymbolTable;
+use crate::workspace::{SourceFile, Workspace, PARSE_RULE};
+
+/// One workspace file plus its parsed item tree.
+#[derive(Debug)]
+pub struct AnalyzedFile<'ws> {
+    /// The lexed/annotated file from workspace discovery.
+    pub source: &'ws SourceFile,
+    /// The parsed item tree.
+    pub tree: FileTree,
+}
+
+/// The fully parsed workspace the analyze rules run over.
+#[derive(Debug)]
+pub struct AnalyzedWorkspace<'ws> {
+    /// Every file with its item tree, in walk order.
+    pub files: Vec<AnalyzedFile<'ws>>,
+    /// Cross-file `fn name → definitions` table.
+    pub symbols: SymbolTable,
+}
+
+/// Parses every file and links the symbol table.
+pub fn parse_workspace(ws: &Workspace) -> AnalyzedWorkspace<'_> {
+    let files: Vec<AnalyzedFile<'_>> = ws
+        .files
+        .iter()
+        .map(|source| AnalyzedFile {
+            source,
+            tree: parse(&source.code),
+        })
+        .collect();
+    let symbols = SymbolTable::build(files.iter().map(|f| (&f.source.rel_path, &f.tree)));
+    AnalyzedWorkspace { files, symbols }
+}
+
+/// Raw findings: parse errors plus every rule's diagnostics, scoped
+/// (library code, outside `#[cfg(test)]`) but **not** yet filtered by
+/// `lint:allow` markers. `cargo xtask suppressions` diffs markers
+/// against this stream.
+pub fn raw_diagnostics(aws: &AnalyzedWorkspace<'_>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for af in &aws.files {
+        for e in &af.tree.errors {
+            diags.push(
+                Diagnostic::new(
+                    PARSE_RULE,
+                    &af.source.rel_path,
+                    e.line,
+                    e.col,
+                    format!("analyzer could not model this construct: {}", e.message),
+                )
+                .with_help(
+                    "the analyze parser must cover every first-party construct; \
+                     extend crates/xtask/src/parser.rs",
+                ),
+            );
+        }
+        let mut raw = Vec::new();
+        raw.extend(atomic_ordering::check(af));
+        raw.extend(detached_thread::check(af));
+        raw.extend(ignored_result::check(af, &aws.symbols));
+        raw.extend(unchecked_arith::check(af));
+        diags.extend(
+            raw.into_iter()
+                .filter(|d| !af.source.in_test_region(d.line)),
+        );
+    }
+    diags.extend(lock_order::check(aws));
+    diags
+}
+
+/// Runs the full analyze pass over a workspace: raw findings filtered
+/// through the suppression policy, plus malformed-marker findings,
+/// sorted for stable output.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let aws = parse_workspace(ws);
+    let mut diags: Vec<Diagnostic> = raw_diagnostics(&aws)
+        .into_iter()
+        .filter(|d| {
+            let allowed = ws
+                .files
+                .iter()
+                .find(|f| f.rel_path.display().to_string() == d.path)
+                .is_some_and(|f| f.allowed(d.rule, d.line));
+            // Parse errors are never suppressible: an unmodeled
+            // construct starves every downstream rule of facts.
+            !allowed || d.rule == PARSE_RULE
+        })
+        .collect();
+    for file in &ws.files {
+        diags.extend(file.suppression_diags.iter().cloned());
+    }
+    diags.sort_by(|a, b| {
+        a.path
+            .cmp(&b.path)
+            .then(a.line.cmp(&b.line))
+            .then(a.col.cmp(&b.col))
+    });
+    diags
+}

@@ -13,7 +13,7 @@
 //! quality bar), or E18 paged-store telemetry that is missing or
 //! nonsensical (cold/warm wall-clock present, `warm_hit_rate` in
 //! [0, 1], `cold_page_reads` > 0 — a zero means the experiment never
-//! touched the store).
+//! touched the store — and `warm_ta_vs_mem` a positive finite ratio).
 //!
 //! The parser is a minimal hand-rolled recursive-descent JSON reader —
 //! same no-dependency reasoning as the writer in
@@ -274,6 +274,7 @@ pub fn check(content: &str) -> Result<String, String> {
     let mut e18_warm_wall: Option<f64> = None;
     let mut e18_hit_rate: Option<f64> = None;
     let mut e18_page_reads: Option<f64> = None;
+    let mut e18_ta_ratio: Option<f64> = None;
     for entry in experiments {
         let id = entry
             .get("id")
@@ -314,6 +315,7 @@ pub fn check(content: &str) -> Result<String, String> {
                         "warm_wall_ms" => e18_warm_wall = Some(v),
                         "warm_hit_rate" => e18_hit_rate = Some(v),
                         "cold_page_reads" => e18_page_reads = Some(v),
+                        "warm_ta_vs_mem" => e18_ta_ratio = Some(v),
                         _ => {}
                     }
                 }
@@ -386,6 +388,13 @@ pub fn check(content: &str) -> Result<String, String> {
              never touched the store"
         ));
     }
+    let ta_ratio = e18_ta_ratio.ok_or("E18 is missing the `warm_ta_vs_mem` metric")?;
+    if !ta_ratio.is_finite() || ta_ratio <= 0.0 {
+        return Err(format!(
+            "E18: warm_ta_vs_mem = {ta_ratio} — the warm-paged vs in-memory TA ratio \
+             must be a positive finite number"
+        ));
+    }
 
     let mut summary = format!(
         "check-bench: {} experiments, E1–E22 all present and numeric",
@@ -407,7 +416,8 @@ mod tests {
     const GOOD_E16: &str = "{\"regret_sel5_k5_r1\":1.0,\"regret_median\":1.05,\"regret_max\":1.3}";
 
     const GOOD_E18: &str = "{\"cold_wall_ms\":8.0,\"warm_wall_ms\":2.0,\
-                            \"warm_hit_rate\":0.95,\"cold_page_reads\":64.0}";
+                            \"warm_hit_rate\":0.95,\"cold_page_reads\":64.0,\
+                            \"warm_ta_vs_mem\":1.4}";
 
     fn artifact_full(
         ids: &[&str],
@@ -554,7 +564,8 @@ mod tests {
         let ids = all_ids();
         let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
         let e18 = "{\"cold_wall_ms\":8.0,\"warm_wall_ms\":2.0,\
-                    \"warm_hit_rate\":1.5,\"cold_page_reads\":64.0}";
+                    \"warm_hit_rate\":1.5,\"cold_page_reads\":64.0,\
+                    \"warm_ta_vs_mem\":1.4}";
         let err = check(&artifact_full(&refs, GOOD_E22, GOOD_E16, e18)).unwrap_err();
         assert!(err.contains("warm_hit_rate"), "{err}");
     }
@@ -564,9 +575,31 @@ mod tests {
         let ids = all_ids();
         let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
         let e18 = "{\"cold_wall_ms\":8.0,\"warm_wall_ms\":2.0,\
-                    \"warm_hit_rate\":0.9,\"cold_page_reads\":0.0}";
+                    \"warm_hit_rate\":0.9,\"cold_page_reads\":0.0,\
+                    \"warm_ta_vs_mem\":1.4}";
         let err = check(&artifact_full(&refs, GOOD_E22, GOOD_E16, e18)).unwrap_err();
         assert!(err.contains("cold_page_reads"), "{err}");
+    }
+
+    #[test]
+    fn rejects_e18_without_warm_ta_ratio() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e18 = "{\"cold_wall_ms\":8.0,\"warm_wall_ms\":2.0,\
+                    \"warm_hit_rate\":0.9,\"cold_page_reads\":64.0}";
+        let err = check(&artifact_full(&refs, GOOD_E22, GOOD_E16, e18)).unwrap_err();
+        assert!(err.contains("warm_ta_vs_mem"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nonpositive_warm_ta_ratio() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e18 = "{\"cold_wall_ms\":8.0,\"warm_wall_ms\":2.0,\
+                    \"warm_hit_rate\":0.9,\"cold_page_reads\":64.0,\
+                    \"warm_ta_vs_mem\":0.0}";
+        let err = check(&artifact_full(&refs, GOOD_E22, GOOD_E16, e18)).unwrap_err();
+        assert!(err.contains("warm_ta_vs_mem"), "{err}");
     }
 
     #[test]

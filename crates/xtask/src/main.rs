@@ -15,23 +15,48 @@
 //! | `crate-hygiene` | crate roots carry the baseline inner attributes |
 //! | `no-deprecated` | no calls to workspace-deprecated items |
 //!
+//! `cargo xtask analyze` is the deeper **fmdb-analyze** pass: it
+//! parses every file into an item tree (hand-rolled recursive-descent
+//! parser over the same lexer), links call sites to definitions
+//! through a workspace-wide symbol table, and enforces the
+//! concurrency/invariant rules:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `atomic-ordering` | every `Ordering::*` matches a whitelisted idiom or is justified |
+//! | `lock-order` | the workspace lock-acquisition graph is acyclic |
+//! | `detached-thread` | every `thread::spawn` keeps its handle or is justified |
+//! | `ignored-result` | discarding a workspace `Result` needs a written reason |
+//! | `unchecked-arith` | hot-kernel integer `+ - *` is saturating/checked or justified |
+//! | `parse-error` | the analyzer modelled every first-party construct |
+//!
+//! `cargo xtask suppressions` audits every `lint:allow(...)` /
+//! `ordering(...)` marker and fails on stale ones (markers that no
+//! longer excuse any finding).
+//!
 //! Findings print rustc-style (`error[rule]: … --> path:line:col`), or
-//! as a JSON array with `--format json`. Exit status: `0` clean, `1`
-//! violations found, `2` usage or I/O error.
+//! as a JSON array with `--format json`. Exit status for every
+//! subcommand: `0` clean, `1` violations found, `2` usage or I/O
+//! error.
 //!
 //! `cargo xtask check-bench [PATH]` additionally gates the
 //! `BENCH_engine.json` perf trajectory: every experiment E1–E22 must be
-//! present with numeric measurements, and E22's instance-optimality
-//! ratios must be ≥ 1 (see `bench_check`).
+//! present with numeric measurements, E18's cold/warm persistence
+//! split must be coherent, and E22's instance-optimality ratios must
+//! be ≥ 1 (see `bench_check`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod bench_check;
 mod diagnostics;
 mod lexer;
+mod parser;
 mod rules;
+mod suppressions;
+mod symbols;
 mod workspace;
 
 use std::path::PathBuf;
@@ -45,16 +70,28 @@ commands:
       Run the fmdb-lint invariant rules over the workspace.
       --format json   emit findings as a JSON array (default: text)
       --root PATH     lint PATH instead of the enclosing workspace
+  analyze [--format text|json] [--root PATH]
+      Run the fmdb-analyze concurrency/invariant rules: parse every
+      file, link the symbol table, enforce atomic-ordering,
+      lock-order, detached-thread, ignored-result, unchecked-arith.
+  suppressions [--format text|json] [--root PATH]
+      List every lint:allow(...)/ordering(...) marker with its
+      justification; exit 1 if any marker is stale (excuses nothing).
   check-bench [PATH]
       Validate the BENCH_engine.json perf trajectory (default path:
       BENCH_engine.json in the workspace root): experiments E1-E22
-      present, measurements numeric, E22 optimality ratios >= 1.
+      present, measurements numeric, E18 cold/warm split coherent,
+      E22 optimality ratios >= 1.
+
+exit status: 0 clean, 1 violations, 2 usage or I/O error
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => run_analyze(&args[1..]),
+        Some("suppressions") => run_suppressions(&args[1..]),
         Some("check-bench") => check_bench(&args[1..]),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
@@ -78,7 +115,10 @@ enum Format {
     Json,
 }
 
-fn lint(args: &[String]) -> ExitCode {
+/// Parses the `--format`/`--root` flags shared by the diagnostic
+/// subcommands, and collects the target workspace. `Err` carries the
+/// exit code (always 2: usage or I/O).
+fn diag_setup(args: &[String]) -> Result<(Format, workspace::Workspace), ExitCode> {
     let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
@@ -92,45 +132,55 @@ fn lint(args: &[String]) -> ExitCode {
                         "error: --format takes `text` or `json`, got {}",
                         other.unwrap_or("nothing")
                     );
-                    return ExitCode::from(2);
+                    return Err(ExitCode::from(2));
                 }
             },
             "--root" => match it.next() {
                 Some(path) => root = Some(PathBuf::from(path)),
                 None => {
                     eprintln!("error: --root takes a path");
-                    return ExitCode::from(2);
+                    return Err(ExitCode::from(2));
                 }
             },
             other => {
                 eprintln!("error: unknown flag `{other}`\n\n{USAGE}");
-                return ExitCode::from(2);
+                return Err(ExitCode::from(2));
             }
         }
     }
     let root = root.unwrap_or_else(workspace_root);
-    let ws = match workspace::collect(&root) {
-        Ok(ws) => ws,
+    match workspace::collect(&root) {
+        Ok(ws) => Ok((format, ws)),
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::from(2);
+            Err(ExitCode::from(2))
         }
-    };
-    let diags = rules::run_all(&ws);
+    }
+}
+
+/// Prints diagnostics in the requested format with a `name:` summary
+/// line, returning exit 0/1.
+fn report(
+    name: &str,
+    rule_names: &[&str],
+    format: &Format,
+    ws: &workspace::Workspace,
+    diags: &[diagnostics::Diagnostic],
+) -> ExitCode {
     match format {
-        Format::Json => println!("{}", diagnostics::to_json(&diags)),
+        Format::Json => println!("{}", diagnostics::to_json(diags)),
         Format::Text => {
-            for d in &diags {
+            for d in diags {
                 println!("{d}\n");
             }
             if diags.is_empty() {
                 println!(
-                    "fmdb-lint: {} files clean ({})",
+                    "{name}: {} files clean ({})",
                     ws.files.len(),
-                    workspace::RULES.join(", ")
+                    rule_names.join(", ")
                 );
             } else {
-                println!("fmdb-lint: {} violation(s)", diags.len());
+                println!("{name}: {} violation(s)", diags.len());
             }
         }
     }
@@ -138,6 +188,47 @@ fn lint(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let (format, ws) = match diag_setup(args) {
+        Ok(ok) => ok,
+        Err(code) => return code,
+    };
+    let diags = rules::run_all(&ws);
+    report("fmdb-lint", workspace::RULES, &format, &ws, &diags)
+}
+
+fn run_analyze(args: &[String]) -> ExitCode {
+    let (format, ws) = match diag_setup(args) {
+        Ok(ok) => ok,
+        Err(code) => return code,
+    };
+    let diags = analyze::run_all(&ws);
+    report(
+        "fmdb-analyze",
+        workspace::ANALYZE_RULES,
+        &format,
+        &ws,
+        &diags,
+    )
+}
+
+fn run_suppressions(args: &[String]) -> ExitCode {
+    let (format, ws) = match diag_setup(args) {
+        Ok(ok) => ok,
+        Err(code) => return code,
+    };
+    let reports = suppressions::audit(&ws);
+    match format {
+        Format::Json => println!("{}", suppressions::render_json(&reports)),
+        Format::Text => print!("{}", suppressions::render(&reports)),
+    }
+    if reports.iter().any(|r| r.stale) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

@@ -1,0 +1,1643 @@
+//! A hand-rolled recursive-descent parser over the [`crate::lexer`]
+//! token stream, producing the per-file **item tree** the analyze
+//! rules reason about.
+//!
+//! This is deliberately not a full Rust grammar. The build environment
+//! is offline (no `syn`), and the analyze rules need *facts*, not
+//! syntax trees: which functions exist (and in which `impl`), where
+//! lock guards are acquired and how long they live, where threads are
+//! spawned, which atomic operations run under which memory ordering,
+//! which calls discard their value, and where integer arithmetic
+//! happens. The parser therefore models:
+//!
+//! * the item grammar — `mod`, `impl` (with the implemented type
+//!   name), `trait`, `fn` (modifiers, generics, parameters with type
+//!   hints, return type), `struct`/`enum`/`const`/`static`/`type`/
+//!   `use`/`macro_rules!` as skippable items;
+//! * inside function bodies, a linear fact-extraction walk with a
+//!   block stack (for guard scopes) and a statement tracker (for
+//!   discard classification and temporary-guard lifetimes).
+//!
+//! **Graceful degradation is a hard requirement**: on any construct it
+//! does not model, the parser records a [`ParseError`] and skips to
+//! the next item boundary — it must never panic and never loop. The
+//! workspace integration test parses every first-party `.rs` file and
+//! asserts zero parse errors, so in practice the grammar subset covers
+//! the whole codebase; the recovery path is insurance for code the
+//! workspace has not written yet.
+
+use std::collections::HashMap;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Memory-ordering constant names, as spelled at atomic call sites.
+pub const ORDERING_NAMES: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic methods whose arguments carry a memory ordering.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+/// Zero-argument guard-producing methods on `Mutex` / `RwLock`.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Chain links that forward a `LockResult` guard (poison handling)
+/// without ending the guard's life.
+const POISON_WRAPPERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Integer primitive type names, for operand hints.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Statement keywords that can directly precede a `(` without being a
+/// call (`if (a || b) …`, `while (…)`, `match (…)`, `return (…)`).
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "mut", "ref", "else",
+    "break", "continue", "where", "dyn", "impl", "fn",
+];
+
+/// A recoverable parse failure: the construct at `line:col` was not
+/// modeled, and the parser skipped to the next item boundary.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// 1-based line of the unmodeled construct.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What the parser saw.
+    pub message: String,
+}
+
+/// Everything the parser extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileTree {
+    /// Every function (free, method, trait-default) with its body
+    /// facts, in source order.
+    pub fns: Vec<FnNode>,
+    /// Recoverable failures (empty on every first-party file, by the
+    /// workspace parse test).
+    pub errors: Vec<ParseError>,
+}
+
+/// One parsed function and the facts mined from its body.
+#[derive(Debug)]
+pub struct FnNode {
+    /// The function's name.
+    pub name: String,
+    /// The enclosing `impl`/`trait` type name, if any (`Engine`,
+    /// `PagePool`, …).
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// True when the declared return type mentions `Result`.
+    pub returns_result: bool,
+    /// True when the declared return type mentions a guard type
+    /// (`MutexGuard`, `RwLockReadGuard`, `RwLockWriteGuard`) — the
+    /// lock-order rule treats calls to such helpers as acquisitions.
+    pub returns_guard: bool,
+    /// Facts extracted from the body (empty for bodiless trait
+    /// methods).
+    pub body: BodyFacts,
+}
+
+/// The facts a function body yields.
+#[derive(Debug, Default)]
+pub struct BodyFacts {
+    /// Direct lock acquisitions (`.lock()` / `.read()` / `.write()`),
+    /// with guard lifetimes.
+    pub locks: Vec<LockAcquire>,
+    /// Thread spawn sites.
+    pub spawns: Vec<SpawnSite>,
+    /// Atomic operations that pass a memory ordering.
+    pub atomics: Vec<AtomicSite>,
+    /// Call sites (free, path, method, macro) with discard
+    /// classification.
+    pub calls: Vec<CallSite>,
+    /// Binary / compound-assignment arithmetic with operand hints.
+    pub arith: Vec<ArithSite>,
+}
+
+/// One direct guard acquisition and its live range.
+#[derive(Debug, Clone)]
+pub struct LockAcquire {
+    /// Heuristic lock class: the last meaningful identifier of the
+    /// receiver chain (`stripes` for `self.stripes[i].lock()`),
+    /// resolved through simple local aliases.
+    pub class: String,
+    /// `lock`, `read`, or `write`.
+    pub method: String,
+    /// 1-based line of the acquiring method name.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Last line on which the guard is live: the enclosing block's
+    /// closing brace for `let`-bound guards, the end of the statement
+    /// for temporaries, the `drop(g)` line for explicit drops.
+    pub scope_end_line: usize,
+}
+
+/// One thread spawn site.
+#[derive(Debug, Clone)]
+pub struct SpawnSite {
+    /// True for path-form `thread::spawn` (detached); false for
+    /// method-form `scope.spawn(…)` / pool-managed spawns.
+    pub detached: bool,
+    /// True when the `JoinHandle` flows onward: the spawn is nested
+    /// inside an outer call (`handles.push(thread::spawn(…))`), bound
+    /// by a non-`_` `let`, or returned/assigned. A bare
+    /// `thread::spawn(…);` statement or `let _ =` discard leaves it
+    /// false — the thread is truly detached.
+    pub handle_kept: bool,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// One atomic operation that names a memory ordering.
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// Last identifier of the receiver chain (the atomic's field or
+    /// variable name, e.g. `cache_hits`).
+    pub receiver: String,
+    /// The atomic method (`fetch_add`, `load`, …).
+    pub method: String,
+    /// Every ordering constant named in the arguments, in order
+    /// (`compare_exchange` passes two).
+    pub orderings: Vec<String>,
+    /// True when some non-ordering argument is a bare integer literal
+    /// (the telemetry-counter increment shape).
+    pub literal_arg: bool,
+    /// 1-based line of the method name.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Line of the receiver token just before the method's `.` —
+    /// rustfmt may wrap a chain so the method sits a line below its
+    /// receiver, and an `// ordering(...)` justification above the
+    /// statement must still cover the site.
+    pub recv_line: usize,
+}
+
+/// How a call's produced value is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discard {
+    /// The value flows onward (bound, returned, chained, `?`-handled).
+    Used,
+    /// `let _ = call(…);` — explicitly thrown away.
+    LetUnderscore,
+    /// `call(…);` — a bare expression statement.
+    StmtSemi,
+}
+
+/// One call site, as the ignored-result and lock-order rules see it.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Last path segment or method name; macros keep their bang
+    /// (`write!`).
+    pub callee: String,
+    /// True for `.method(…)` form.
+    pub is_method: bool,
+    /// How the produced value is used.
+    pub discard: Discard,
+    /// 1-based line of the callee name.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Last line of the enclosing statement.
+    pub stmt_end_line: usize,
+    /// Closing-brace line of the enclosing block.
+    pub block_end_line: usize,
+    /// True when the call is the right-hand side of a `let` binding —
+    /// a guard returned by a helper then lives to `block_end_line`.
+    pub bound_to_let: bool,
+}
+
+/// Operand classification for the arithmetic rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandHint {
+    /// An integer literal.
+    IntLit,
+    /// A float literal.
+    FloatLit,
+    /// An identifier with a known integer type (param or `let` ascription).
+    IntIdent,
+    /// An identifier with a known float type.
+    FloatIdent,
+    /// Anything else (untyped local, call result, parenthesized expr).
+    Unknown,
+}
+
+/// One `+` / `-` / `*` / `+=` / `-=` / `*=` site with operand hints.
+#[derive(Debug, Clone)]
+pub struct ArithSite {
+    /// The operator text.
+    pub op: String,
+    /// Hint for the left operand.
+    pub lhs: OperandHint,
+    /// Hint for the right operand.
+    pub rhs: OperandHint,
+    /// 1-based line of the operator.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Parses one file's comment-stripped token stream into a
+/// [`FileTree`]. Never panics; unmodeled constructs become
+/// [`ParseError`]s and the parser resumes at the next item.
+pub fn parse(code: &[Token]) -> FileTree {
+    let mut tree = FileTree::default();
+    let mut p = Parser { toks: code, i: 0 };
+    p.items(&mut tree, None, 0);
+    tree
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Token> {
+        self.toks.get(self.i + ahead)
+    }
+
+    fn text(&self, ahead: usize) -> &'a str {
+        self.peek(ahead).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.i);
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    /// Parses items until end of input or a `}` closing the enclosing
+    /// block (`depth > 0`).
+    fn items(&mut self, tree: &mut FileTree, impl_type: Option<&str>, depth: usize) {
+        while let Some(tok) = self.peek(0) {
+            match tok.text.as_str() {
+                "}" if depth > 0 => {
+                    self.bump();
+                    return;
+                }
+                "#" => self.skip_attribute(),
+                "pub" => {
+                    self.bump();
+                    if self.text(0) == "(" {
+                        self.skip_balanced("(", ")");
+                    }
+                }
+                "use" | "extern" if self.text(1) == "crate" => {
+                    self.skip_to_semi();
+                }
+                "use" => {
+                    self.skip_to_semi();
+                }
+                "mod" => {
+                    self.bump();
+                    self.bump(); // name
+                    match self.text(0) {
+                        "{" => {
+                            self.bump();
+                            self.items(tree, impl_type, depth + 1);
+                        }
+                        _ => {
+                            self.skip_to_semi();
+                        }
+                    }
+                }
+                "impl" => self.item_impl(tree, depth),
+                "trait" => self.item_trait(tree, depth),
+                "fn" | "unsafe" | "async" | "const" | "static" | "type" | "default"
+                    if self.fn_ahead() =>
+                {
+                    self.item_fn(tree, impl_type);
+                }
+                "const" | "static" | "type" => {
+                    self.skip_to_semi();
+                }
+                "struct" | "enum" | "union" => self.skip_struct_like(),
+                "macro_rules" => {
+                    self.bump(); // macro_rules
+                    self.bump(); // !
+                    self.bump(); // name
+                    self.skip_balanced("{", "}");
+                }
+                "extern" => {
+                    // `extern "C" { … }` block or `extern crate x;`.
+                    self.bump();
+                    if self.peek(0).map(|t| t.kind) == Some(TokenKind::StrLike) {
+                        self.bump();
+                    }
+                    match self.text(0) {
+                        "{" => self.skip_balanced("{", "}"),
+                        _ => {
+                            self.skip_to_semi();
+                        }
+                    }
+                }
+                ";" => {
+                    self.bump();
+                }
+                // Item-position macro invocation (`proptest! { … }`,
+                // `criterion_group!(…);`): skip the delimited body.
+                _ if tok.kind == TokenKind::Ident && self.text(1) == "!" => {
+                    self.bump(); // name
+                    self.bump(); // !
+                    match self.text(0) {
+                        "{" => self.skip_balanced("{", "}"),
+                        "(" => {
+                            self.skip_balanced("(", ")");
+                            if self.text(0) == ";" {
+                                self.bump();
+                            }
+                        }
+                        "[" => {
+                            self.skip_balanced("[", "]");
+                            if self.text(0) == ";" {
+                                self.bump();
+                            }
+                        }
+                        _ => self.recover(),
+                    }
+                }
+                _ => {
+                    let (line, col, text) = (tok.line, tok.col, tok.text.clone());
+                    tree.errors.push(ParseError {
+                        line,
+                        col,
+                        message: format!("unexpected `{text}` at item position"),
+                    });
+                    self.recover();
+                }
+            }
+        }
+    }
+
+    /// True when a `fn` keyword follows the current run of function
+    /// modifiers (`pub` already consumed by the caller loop).
+    fn fn_ahead(&self) -> bool {
+        let mut k = 0;
+        while matches!(
+            self.text(k),
+            "unsafe" | "async" | "const" | "default" | "extern"
+        ) {
+            k += 1;
+            if self.peek(k).map(|t| t.kind) == Some(TokenKind::StrLike) {
+                k += 1; // ABI string after `extern`
+            }
+        }
+        self.text(k) == "fn"
+    }
+
+    fn item_impl(&mut self, tree: &mut FileTree, depth: usize) {
+        self.bump(); // impl
+        if self.text(0) == "<" {
+            self.skip_generics();
+        }
+        // Type path until `for` / `{` / `where`; a `for` means we had
+        // the trait, and the implemented type follows.
+        let mut ty = self.take_type_name();
+        if self.text(0) == "for" {
+            self.bump();
+            ty = self.take_type_name();
+        }
+        self.skip_where();
+        if self.text(0) == "{" {
+            self.bump();
+            self.items(tree, ty.as_deref(), depth + 1);
+        } else {
+            self.skip_to_semi();
+        }
+    }
+
+    fn item_trait(&mut self, tree: &mut FileTree, depth: usize) {
+        self.bump(); // trait
+        let name = self.bump().map(|t| t.text.clone());
+        if self.text(0) == "<" {
+            self.skip_generics();
+        }
+        // Supertrait bounds / where clause.
+        while !matches!(self.text(0), "{" | ";" | "") {
+            if self.text(0) == "<" {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+        if self.text(0) == "{" {
+            self.bump();
+            self.items(tree, name.as_deref(), depth + 1);
+        } else {
+            self.bump();
+        }
+    }
+
+    /// Collects the last identifier of a (possibly generic, possibly
+    /// `dyn`) type path, consuming it.
+    fn take_type_name(&mut self) -> Option<String> {
+        let mut last = None;
+        while let Some(tok) = self.peek(0) {
+            match tok.text.as_str() {
+                "for" | "{" | "where" | ";" => break,
+                "<" => self.skip_generics(),
+                "::" | "dyn" | "&" | "'" => {
+                    self.bump();
+                }
+                _ if tok.kind == TokenKind::Ident => {
+                    last = Some(tok.text.clone());
+                    self.bump();
+                }
+                _ if tok.kind == TokenKind::Lifetime => {
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        last
+    }
+
+    fn item_fn(&mut self, tree: &mut FileTree, impl_type: Option<&str>) {
+        // Modifiers.
+        while matches!(
+            self.text(0),
+            "unsafe" | "async" | "const" | "default" | "extern"
+        ) {
+            self.bump();
+            if self.peek(0).map(|t| t.kind) == Some(TokenKind::StrLike) {
+                self.bump();
+            }
+        }
+        let Some(kw) = self.bump() else { return }; // `fn`
+        let line = kw.line;
+        let name = match self.bump() {
+            Some(t) => t.text.clone(),
+            None => return,
+        };
+        if self.text(0) == "<" {
+            self.skip_generics();
+        }
+        // Parameters.
+        let mut hints = HashMap::new();
+        if self.text(0) == "(" {
+            let params = self.take_balanced("(", ")");
+            collect_param_hints(params, &mut hints);
+        }
+        // Return type. Array types nest a `;` (`[f64; 3]`), so the
+        // terminating `;`/`{`/`where` only counts outside brackets.
+        let mut returns_result = false;
+        let mut returns_guard = false;
+        if self.text(0) == "->" {
+            self.bump();
+            let mut depth = 0usize;
+            loop {
+                let t = self.text(0);
+                if t.is_empty() || (depth == 0 && matches!(t, "{" | "where" | ";")) {
+                    break;
+                }
+                match t {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => depth = depth.saturating_sub(1),
+                    _ => {
+                        returns_result |= t == "Result";
+                        returns_guard |=
+                            matches!(t, "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard");
+                    }
+                }
+                self.bump();
+            }
+        }
+        self.skip_where();
+        let body = match self.text(0) {
+            "{" => {
+                let start = self.i;
+                self.skip_balanced("{", "}");
+                walk_body(&self.toks[start..self.i], &mut hints)
+            }
+            _ => {
+                // Signature-only `fn` (trait decl, extern block) ends
+                // in `;`. Hitting EOF instead means the source is
+                // truncated or a delimiter never closed — a parse
+                // failure, not a declaration.
+                if !self.skip_to_semi() {
+                    tree.errors.push(ParseError {
+                        line,
+                        col: kw.col,
+                        message: format!("fn `{name}` has neither a body nor a `;`"),
+                    });
+                }
+                BodyFacts::default()
+            }
+        };
+        tree.fns.push(FnNode {
+            name,
+            impl_type: impl_type.map(str::to_owned),
+            line,
+            returns_result,
+            returns_guard,
+            body,
+        });
+    }
+
+    /// Skips `struct`/`enum`/`union` definitions (named braces, tuple
+    /// `(…);`, or unit `;`).
+    fn skip_struct_like(&mut self) {
+        self.bump(); // keyword
+        self.bump(); // name
+        if self.text(0) == "<" {
+            self.skip_generics();
+        }
+        self.skip_where();
+        match self.text(0) {
+            "{" => self.skip_balanced("{", "}"),
+            "(" => {
+                self.skip_balanced("(", ")");
+                self.skip_to_semi();
+            }
+            _ => {
+                self.skip_to_semi();
+            }
+        }
+    }
+
+    fn skip_attribute(&mut self) {
+        self.bump(); // '#'
+        if self.text(0) == "!" {
+            self.bump();
+        }
+        if self.text(0) == "[" {
+            self.skip_balanced("[", "]");
+        }
+    }
+
+    /// Skips a balanced `<…>` generic group, counting `<<`/`>>` as two.
+    fn skip_generics(&mut self) {
+        let mut depth = 0isize;
+        while let Some(tok) = self.bump() {
+            match tok.text.as_str() {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    fn skip_where(&mut self) {
+        if self.text(0) != "where" {
+            return;
+        }
+        while !matches!(self.text(0), "{" | ";" | "") {
+            if self.text(0) == "<" {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Skips past a `;` at zero bracket depth (consuming interleaved
+    /// balanced groups).
+    fn skip_to_semi(&mut self) -> bool {
+        let mut depth = 0usize;
+        while let Some(tok) = self.bump() {
+            match tok.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Consumes a balanced group from the current `open` token through
+    /// its matching `close`, returning the inner tokens.
+    fn take_balanced(&mut self, open: &str, close: &str) -> &'a [Token] {
+        let start = self.i + 1;
+        self.skip_balanced(open, close);
+        let end = self.i.saturating_sub(1).max(start);
+        &self.toks[start..end]
+    }
+
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        let mut depth = 0usize;
+        while let Some(tok) = self.bump() {
+            if tok.text == open {
+                depth += 1;
+            } else if tok.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Error recovery: skip to the next plausible item boundary — a
+    /// `;` at depth zero, past a balanced `{…}` block, or just before
+    /// a `}` that closes the enclosing scope.
+    fn recover(&mut self) {
+        self.bump(); // the offending token — always make progress
+        let mut depth = 0usize;
+        while let Some(tok) = self.peek(0) {
+            match tok.text.as_str() {
+                "{" if depth == 0 => {
+                    self.skip_balanced("{", "}");
+                    return;
+                }
+                "}" if depth == 0 => return, // let the enclosing items() see it
+                ";" if depth == 0 => {
+                    self.bump();
+                    return;
+                }
+                // Stop in front of the next item so it still parses.
+                "fn" | "pub" | "impl" | "trait" | "mod" | "use" | "struct" | "enum" | "#"
+                    if depth == 0 =>
+                {
+                    return;
+                }
+                "(" | "[" | "{" => {
+                    depth += 1;
+                    self.bump();
+                }
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+/// Parses parameter tokens into `name → hint` entries.
+fn collect_param_hints(params: &[Token], hints: &mut HashMap<String, OperandHint>) {
+    for group in split_top_commas(params) {
+        let Some(colon) = top_level_colon(group) else {
+            continue;
+        };
+        // Pattern side: the last plain identifier before the `:`.
+        let name = group[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokenKind::Ident && t.text != "mut" && t.text != "ref")
+            .map(|t| t.text.clone());
+        if let Some(name) = name {
+            if let Some(hint) = type_hint(&group[colon + 1..]) {
+                hints.insert(name, hint);
+            }
+        }
+    }
+}
+
+/// Splits a token slice on commas at zero bracket depth.
+fn split_top_commas(toks: &[Token]) -> Vec<&[Token]> {
+    let mut out = Vec::new();
+    let mut depth = 0isize;
+    let mut start = 0;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            "<<" => depth += 2,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            ">>" => depth -= 2,
+            "," if depth <= 0 => {
+                out.push(&toks[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        out.push(&toks[start..]);
+    }
+    out
+}
+
+fn top_level_colon(toks: &[Token]) -> Option<usize> {
+    let mut depth = 0isize;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            ":" if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Classifies a type's tokens as int-ish / float-ish, if primitive.
+fn type_hint(ty: &[Token]) -> Option<OperandHint> {
+    let first = ty
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && t.text != "mut")?;
+    if INT_TYPES.contains(&first.text.as_str()) {
+        Some(OperandHint::IntIdent)
+    } else if first.text == "f32" || first.text == "f64" {
+        Some(OperandHint::FloatIdent)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body fact extraction
+// ---------------------------------------------------------------------------
+
+/// A guard whose scope end is not yet known.
+#[derive(Debug)]
+struct PendingGuard {
+    lock_idx: usize,
+    /// `Some(name)` for `let`-bound guards (closed by block or
+    /// `drop`), `None` for temporaries (closed at statement end).
+    binding: Option<String>,
+}
+
+struct BodyWalker<'a> {
+    toks: &'a [Token],
+    facts: BodyFacts,
+    hints: HashMap<String, OperandHint>,
+    /// Local `let x = <chain>` aliases: variable → origin identifier
+    /// (last field/method name of the initializer chain).
+    aliases: HashMap<String, String>,
+    /// Per-open-block list of `let`-bound pending guards.
+    blocks: Vec<Vec<PendingGuard>>,
+    /// Temporaries open in the current statement.
+    stmt_guards: Vec<usize>,
+    /// Call recorded most recently at statement paren-depth 0, with
+    /// the token index of its opening delimiter.
+    stmt_last_call: Option<(usize, usize)>,
+    /// Whether the current statement started with `let`.
+    stmt_let: Option<String>,
+    stmt_let_underscore: bool,
+    /// The statement routes its value onward (`return …;`, `a = …;`,
+    /// `expr?;` chains) — its final call is Used, not discarded.
+    stmt_value_used: bool,
+    /// Indices of calls made in the current statement (to fix up
+    /// `stmt_end_line` / `block_end_line` later).
+    stmt_calls: Vec<usize>,
+    /// Paren/bracket depth within the current statement.
+    depth: usize,
+}
+
+/// Walks a `{…}` body token slice (inclusive of both braces) and
+/// extracts [`BodyFacts`]. `hints` starts with the parameter hints.
+fn walk_body(toks: &[Token], hints: &mut HashMap<String, OperandHint>) -> BodyFacts {
+    let mut w = BodyWalker {
+        toks,
+        facts: BodyFacts::default(),
+        hints: std::mem::take(hints),
+        aliases: HashMap::new(),
+        blocks: Vec::new(),
+        stmt_guards: Vec::new(),
+        stmt_last_call: None,
+        stmt_let: None,
+        stmt_let_underscore: false,
+        stmt_value_used: false,
+        stmt_calls: Vec::new(),
+        depth: 0,
+    };
+    w.run();
+    w.facts
+}
+
+impl<'a> BodyWalker<'a> {
+    fn text(&self, i: usize) -> &'a str {
+        self.toks.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn kind(&self, i: usize) -> Option<TokenKind> {
+        self.toks.get(i).map(|t| t.kind)
+    }
+
+    fn run(&mut self) {
+        let mut i = 0;
+        while i < self.toks.len() {
+            let tok = &self.toks[i];
+            match tok.text.as_str() {
+                "{" => {
+                    self.end_statement(tok.line, None);
+                    self.blocks.push(Vec::new());
+                    i += 1;
+                }
+                "}" => {
+                    self.end_statement(tok.line, None);
+                    if let Some(guards) = self.blocks.pop() {
+                        for g in guards {
+                            self.facts.locks[g.lock_idx].scope_end_line = tok.line;
+                        }
+                    }
+                    self.close_block_calls(tok.line);
+                    i += 1;
+                }
+                ";" if self.depth == 0 => {
+                    let semi_line = tok.line;
+                    let final_call = self.statement_final_call(i);
+                    self.end_statement(semi_line, final_call);
+                    i += 1;
+                }
+                "let" => {
+                    self.stmt_let_underscore = self.text(i + 1) == "_";
+                    if self.kind(i + 1) == Some(TokenKind::Ident)
+                        || (self.text(i + 1) == "mut" && self.kind(i + 2) == Some(TokenKind::Ident))
+                    {
+                        let off = if self.text(i + 1) == "mut" { 2 } else { 1 };
+                        self.stmt_let = Some(self.toks[i + off].text.clone());
+                        // `let x: usize = …` type ascription hint.
+                        if self.text(i + off + 1) == ":" {
+                            let ty_start = i + off + 2;
+                            let ty_end = self.scan_to_eq_or_semi(ty_start);
+                            if let Some(h) = type_hint(&self.toks[ty_start..ty_end]) {
+                                self.hints.insert(self.toks[i + off].text.clone(), h);
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                "use" => {
+                    // Body-local `use` — skip to `;`.
+                    while i < self.toks.len() && self.text(i) != ";" {
+                        i += 1;
+                    }
+                }
+                "(" | "[" => {
+                    self.depth += 1;
+                    i += 1;
+                }
+                ")" | "]" => {
+                    self.depth = self.depth.saturating_sub(1);
+                    i += 1;
+                }
+                "drop" if self.text(i + 1) == "(" && self.kind(i + 2) == Some(TokenKind::Ident) => {
+                    let name = self.toks[i + 2].text.clone();
+                    self.drop_guard(&name, tok.line);
+                    i += 3;
+                }
+                "+" | "-" | "*" | "+=" | "-=" | "*=" => {
+                    self.arith(i);
+                    i += 1;
+                }
+                "return" | "break" => {
+                    self.stmt_value_used = true;
+                    i += 1;
+                }
+                "=" if self.depth == 0 => {
+                    // Plain assignment: `a = f();` binds the value.
+                    self.stmt_value_used = true;
+                    i += 1;
+                }
+                _ if tok.kind == TokenKind::Ident => {
+                    i = self.ident(i);
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+        // Anything still pending lives to the last line.
+        let last_line = self.toks.last().map(|t| t.line).unwrap_or(0);
+        self.end_statement(last_line, None);
+        for blk in std::mem::take(&mut self.blocks) {
+            for g in blk {
+                self.facts.locks[g.lock_idx].scope_end_line = last_line;
+            }
+        }
+        self.close_block_calls(last_line);
+    }
+
+    /// Sets `block_end_line` for calls whose enclosing block has now
+    /// closed. Until then a call stores `BLOCK_DEPTH_TAG + depth`, so
+    /// the calls to finalize are exactly those tagged with a depth at
+    /// or beyond the number of still-open blocks.
+    fn close_block_calls(&mut self, line: usize) {
+        let open = self.blocks.len();
+        for c in &mut self.facts.calls {
+            if c.block_end_line >= BLOCK_DEPTH_TAG && c.block_end_line - BLOCK_DEPTH_TAG >= open {
+                c.block_end_line = line;
+            }
+        }
+    }
+
+    /// Ends the named `let`-bound guard's life at the `drop(name)`
+    /// line.
+    fn drop_guard(&mut self, name: &str, line: usize) {
+        for blk in self.blocks.iter_mut() {
+            if let Some(pos) = blk.iter().position(|g| g.binding.as_deref() == Some(name)) {
+                let g = blk.remove(pos);
+                self.facts.locks[g.lock_idx].scope_end_line = line;
+                return;
+            }
+        }
+    }
+
+    /// Handles an identifier: lock methods, atomic methods, spawn
+    /// sites, calls, aliases. Returns the next index.
+    fn ident(&mut self, i: usize) -> usize {
+        let name = self.text(i);
+        let tok = &self.toks[i];
+        let prev = i.checked_sub(1).map(|p| self.text(p)).unwrap_or("");
+        let next = self.text(i + 1);
+
+        // `thread::spawn(` — detached; `.spawn(` — scoped/managed.
+        if name == "spawn" && next == "(" {
+            let handle_kept = !self.stmt_let_underscore
+                && (self.depth > 0 || self.stmt_value_used || self.stmt_let.is_some());
+            if prev == "::" && i >= 2 && self.text(i - 2) == "thread" {
+                self.facts.spawns.push(SpawnSite {
+                    detached: true,
+                    handle_kept,
+                    line: tok.line,
+                    col: tok.col,
+                });
+            } else if prev == "." {
+                self.facts.spawns.push(SpawnSite {
+                    detached: false,
+                    handle_kept,
+                    line: tok.line,
+                    col: tok.col,
+                });
+            }
+        }
+
+        // Guard-producing methods: zero-argument `.lock()` / `.read()`
+        // / `.write()`.
+        if prev == "." && LOCK_METHODS.contains(&name) && next == "(" && self.text(i + 2) == ")" {
+            let class = self.receiver_of(i).unwrap_or_else(|| name.to_owned());
+            let lock_idx = self.facts.locks.len();
+            self.facts.locks.push(LockAcquire {
+                class,
+                method: name.to_owned(),
+                line: tok.line,
+                col: tok.col,
+                scope_end_line: tok.line,
+            });
+            // Bound or temporary? Chain continuing past poison
+            // wrappers means the guard is consumed within the
+            // statement; otherwise a `let` binding keeps it alive to
+            // the end of the block.
+            let after = self.chain_end(i + 1);
+            let continues = self.text(after) == "." || self.text(after) == "?";
+            if !continues && !self.stmt_let_underscore {
+                if let Some(binding) = self.stmt_let.clone() {
+                    let g = PendingGuard {
+                        lock_idx,
+                        binding: Some(binding),
+                    };
+                    if let Some(top) = self.blocks.last_mut() {
+                        top.push(g);
+                    } else {
+                        self.stmt_guards.push(lock_idx);
+                    }
+                } else {
+                    self.stmt_guards.push(lock_idx);
+                }
+            } else {
+                self.stmt_guards.push(lock_idx);
+            }
+            return i + 1;
+        }
+
+        // Atomic operations: `.method(…, Ordering::X, …)`.
+        if prev == "." && ATOMIC_METHODS.contains(&name) && next == "(" {
+            let (orderings, literal_arg, close) = self.atomic_args(i + 1);
+            if !orderings.is_empty() {
+                let receiver = self.receiver_of(i).unwrap_or_default();
+                let recv_line = i
+                    .checked_sub(2)
+                    .and_then(|p| self.toks.get(p))
+                    .map_or(tok.line, |t| t.line.min(tok.line));
+                self.facts.atomics.push(AtomicSite {
+                    receiver,
+                    method: name.to_owned(),
+                    orderings,
+                    literal_arg,
+                    line: tok.line,
+                    col: tok.col,
+                    recv_line,
+                });
+                // Also record as a call for completeness.
+                self.record_call(i, name.to_owned(), true, close);
+                return i + 1;
+            }
+        }
+
+        // Macro call `name!(…)` — record macros the rules care about.
+        if next == "!" && matches!(self.text(i + 2), "(" | "[" | "{") {
+            self.record_call(i, format!("{name}!"), false, i + 2);
+            return i + 1;
+        }
+
+        // Plain call: ident followed by `(`, not a keyword, not a
+        // definition.
+        if next == "(" && !NON_CALL_KEYWORDS.contains(&name) && prev != "fn" && name != "drop" {
+            let is_method = prev == ".";
+            self.record_call(i, name.to_owned(), is_method, i + 1);
+            return i + 1;
+        }
+
+        // `let x = self.stripe(k)…;` — record a local alias from the
+        // initializer chain so `x.lock()` later names class `stripe`.
+        if prev == "=" || prev == "let" {
+            // handled at lock site via receiver_of; nothing here
+        }
+        i + 1
+    }
+
+    /// Records a call site; `open` is the index of its `(` (or of the
+    /// macro's opening delimiter).
+    fn record_call(&mut self, i: usize, callee: String, is_method: bool, open: usize) {
+        let tok = &self.toks[i];
+        let idx = self.facts.calls.len();
+        self.facts.calls.push(CallSite {
+            callee,
+            is_method,
+            discard: Discard::Used,
+            line: tok.line,
+            col: tok.col,
+            stmt_end_line: tok.line,
+            block_end_line: BLOCK_DEPTH_TAG + self.blocks.len(),
+            bound_to_let: self.stmt_let.is_some(),
+        });
+        if self.depth == 0 {
+            self.stmt_last_call = Some((idx, open));
+        }
+        self.stmt_calls.push(idx);
+    }
+
+    /// Finds the token index just past the end of a method-call chain
+    /// of poison wrappers starting at the `(` at `open`.
+    fn chain_end(&self, open: usize) -> usize {
+        let mut i = self.skip_group(open);
+        loop {
+            if self.text(i) == "."
+                && POISON_WRAPPERS.contains(&self.text(i + 1))
+                && self.text(i + 2) == "("
+            {
+                i = self.skip_group(i + 2);
+            } else {
+                return i;
+            }
+        }
+    }
+
+    /// Returns the index just past the group opening at `open`.
+    fn skip_group(&self, open: usize) -> usize {
+        let open_text = self.text(open);
+        let close_text = match open_text {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return open,
+        };
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.toks.len() {
+            let t = self.text(i);
+            if t == open_text {
+                depth += 1;
+            } else if t == close_text {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Walks the receiver chain left of the `.` before token `i` and
+    /// returns its last meaningful identifier, resolved through local
+    /// aliases (`self.stripes[h].lock()` → `stripes`).
+    fn receiver_of(&self, i: usize) -> Option<String> {
+        let mut j = i.checked_sub(2)?; // before the `.`
+        let mut segments: Vec<String> = Vec::new();
+        loop {
+            match self.toks.get(j) {
+                Some(t) if t.text == "]" || t.text == ")" => {
+                    // Skip the balanced group backwards.
+                    let (open, close) = if t.text == "]" {
+                        ("[", "]")
+                    } else {
+                        ("(", ")")
+                    };
+                    let mut depth = 0usize;
+                    loop {
+                        let txt = self.text(j);
+                        if txt == close {
+                            depth += 1;
+                        } else if txt == open {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        j = match j.checked_sub(1) {
+                            Some(n) => n,
+                            None => return segments.pop(),
+                        };
+                    }
+                    j = match j.checked_sub(1) {
+                        Some(n) => n,
+                        None => break,
+                    };
+                }
+                Some(t) if t.kind == TokenKind::Ident => {
+                    segments.push(t.text.clone());
+                    match j.checked_sub(1) {
+                        Some(p) if self.text(p) == "." || self.text(p) == "::" => {
+                            j = match p.checked_sub(1) {
+                                Some(n) => n,
+                                None => break,
+                            };
+                        }
+                        _ => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        let last = segments
+            .iter()
+            .find(|s| *s != "self" && *s != "Self")
+            .cloned()
+            .or_else(|| segments.first().cloned())?;
+        Some(self.aliases.get(&last).cloned().unwrap_or(last))
+    }
+
+    /// Parses the argument group opening at `open` for ordering names
+    /// and literal args; returns (orderings, literal_arg, close index).
+    fn atomic_args(&self, open: usize) -> (Vec<String>, bool, usize) {
+        let close = self.skip_group(open);
+        let inner = &self.toks[open + 1..close.saturating_sub(1).max(open + 1)];
+        let mut orderings = Vec::new();
+        let mut literal = false;
+        for arg in split_top_commas(inner) {
+            let idents: Vec<&str> = arg
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            if let Some(ord) = idents.iter().find(|t| ORDERING_NAMES.contains(*t)) {
+                orderings.push((*ord).to_owned());
+            } else if arg.len() == 1 && arg[0].kind == TokenKind::Int {
+                literal = true;
+            }
+        }
+        (orderings, literal, close)
+    }
+
+    /// Records an arithmetic site at operator index `i`.
+    fn arith(&mut self, i: usize) {
+        let op = self.text(i);
+        let prev = i.checked_sub(1).map(|p| &self.toks[p]);
+        // Unary `-` / deref `*` / `&` contexts: the operator follows
+        // punctuation (or a keyword) rather than an operand.
+        let lhs = match prev {
+            Some(t) if t.kind == TokenKind::Int => OperandHint::IntLit,
+            Some(t) if t.kind == TokenKind::Float => OperandHint::FloatLit,
+            Some(t)
+                if t.kind == TokenKind::Ident
+                    && !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                    && t.text != "return"
+                    && t.text != "let" =>
+            {
+                self.hints
+                    .get(&t.text)
+                    .copied()
+                    .unwrap_or(OperandHint::Unknown)
+            }
+            Some(t) if t.text == ")" || t.text == "]" => OperandHint::Unknown,
+            _ => {
+                // Unary context: not a binary arithmetic site.
+                if op == "-" || op == "*" || op == "+" {
+                    return;
+                }
+                OperandHint::Unknown
+            }
+        };
+        let next = self.toks.get(i + 1);
+        let rhs = match next {
+            Some(t) if t.kind == TokenKind::Int => OperandHint::IntLit,
+            Some(t) if t.kind == TokenKind::Float => OperandHint::FloatLit,
+            Some(t) if t.kind == TokenKind::Ident => {
+                // A chain like `b.len()` is not the ident itself.
+                if self.text(i + 2) == "." || self.text(i + 2) == "::" {
+                    OperandHint::Unknown
+                } else {
+                    self.hints
+                        .get(&t.text)
+                        .copied()
+                        .unwrap_or(OperandHint::Unknown)
+                }
+            }
+            _ => OperandHint::Unknown,
+        };
+        let tok = &self.toks[i];
+        self.facts.arith.push(ArithSite {
+            op: op.to_owned(),
+            lhs,
+            rhs,
+            line: tok.line,
+            col: tok.col,
+        });
+    }
+
+    /// The final top-level call of the statement ending at `;` index
+    /// `semi`, if the `;` directly follows its closing paren.
+    fn statement_final_call(&self, semi: usize) -> Option<usize> {
+        let (idx, open) = self.stmt_last_call?;
+        // `;` must directly follow the call's closing paren (no `?`,
+        // no further chaining — those mean the value was used).
+        let close = self.skip_group(open);
+        if close == semi {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Finalizes the current statement at `line`: closes temporary
+    /// guards, applies discard classification, records aliases.
+    fn end_statement(&mut self, line: usize, final_call: Option<usize>) {
+        for lock_idx in self.stmt_guards.drain(..) {
+            self.facts.locks[lock_idx].scope_end_line = line;
+        }
+        if let Some(idx) = final_call {
+            let discard = if self.stmt_let_underscore {
+                Discard::LetUnderscore
+            } else if self.stmt_let.is_none() && !self.stmt_value_used {
+                Discard::StmtSemi
+            } else {
+                Discard::Used
+            };
+            self.facts.calls[idx].discard = discard;
+        }
+        // Local alias: `let x = self.stripe(k)` → x aliases `stripe`.
+        if let (Some(name), Some((idx, _))) = (&self.stmt_let, self.stmt_last_call) {
+            let call = &self.facts.calls[idx];
+            if call.is_method || call.callee.chars().next().is_some_and(char::is_lowercase) {
+                self.aliases.insert(name.clone(), call.callee.clone());
+            }
+        }
+        for idx in self.stmt_calls.drain(..) {
+            self.facts.calls[idx].stmt_end_line = line;
+        }
+        self.stmt_last_call = None;
+        self.stmt_let = None;
+        self.stmt_let_underscore = false;
+        self.stmt_value_used = false;
+        self.depth = 0;
+    }
+
+    fn scan_to_eq_or_semi(&self, start: usize) -> usize {
+        let mut i = start;
+        let mut depth = 0isize;
+        while i < self.toks.len() {
+            match self.text(i) {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "=" | ";" if depth <= 0 => return i,
+                _ => {}
+            }
+            i += 1;
+        }
+        i
+    }
+}
+
+/// Sentinel base: calls store `BLOCK_DEPTH_TAG + depth` in
+/// `block_end_line` until their enclosing block closes.
+const BLOCK_DEPTH_TAG: usize = usize::MAX / 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileTree {
+        let toks: Vec<Token> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        parse(&toks)
+    }
+
+    #[test]
+    fn finds_fns_in_impls_and_traits() {
+        let src = "
+            pub struct Engine { x: u32 }
+            impl Engine {
+                pub fn run(&self) -> Result<u32, String> { Ok(self.x) }
+            }
+            impl Default for Engine {
+                fn default() -> Engine { Engine { x: 0 } }
+            }
+            pub trait Source {
+                fn pull(&mut self) -> Option<u32>;
+                fn pull_all(&mut self) -> Vec<u32> { Vec::new() }
+            }
+            fn free() {}
+        ";
+        let t = parse_src(src);
+        assert!(t.errors.is_empty(), "{:?}", t.errors);
+        let names: Vec<(Option<&str>, &str)> = t
+            .fns
+            .iter()
+            .map(|f| (f.impl_type.as_deref(), f.name.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                (Some("Engine"), "run"),
+                (Some("Engine"), "default"),
+                (Some("Source"), "pull"),
+                (Some("Source"), "pull_all"),
+                (None, "free"),
+            ]
+        );
+        assert!(t.fns[0].returns_result);
+        assert!(!t.fns[1].returns_result);
+    }
+
+    #[test]
+    fn impl_for_takes_the_implemented_type() {
+        let src =
+            "impl<T: Clone> Iterator for Wrapper<T> { fn next(&mut self) -> Option<T> { None } }";
+        let t = parse_src(src);
+        assert!(t.errors.is_empty(), "{:?}", t.errors);
+        assert_eq!(t.fns[0].impl_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn guard_returning_helper_is_detected() {
+        let src = "fn lock(s: &M) -> std::sync::MutexGuard<'_, u32> { s.lock().unwrap() }";
+        let t = parse_src(src);
+        assert!(t.fns[0].returns_guard);
+        assert_eq!(t.fns[0].body.locks.len(), 1);
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end() {
+        let src = "
+            fn f(&self) {
+                let g = self.registry.lock().unwrap();
+                g.touch();
+                self.other.lock().unwrap().poke();
+            }
+        ";
+        let t = parse_src(src);
+        let locks = &t.fns[0].body.locks;
+        assert_eq!(locks.len(), 2);
+        assert_eq!(locks[0].class, "registry");
+        assert_eq!(locks[0].scope_end_line, 6, "let-bound lives to block end");
+        assert_eq!(locks[1].class, "other");
+        assert_eq!(
+            locks[1].scope_end_line, 5,
+            "temporary dies at statement end"
+        );
+    }
+
+    #[test]
+    fn drop_ends_a_guard_early() {
+        let src = "
+            fn f(&self) {
+                let g = self.a.lock().unwrap();
+                drop(g);
+                let h = self.b.lock().unwrap();
+            }
+        ";
+        let t = parse_src(src);
+        let locks = &t.fns[0].body.locks;
+        assert_eq!(locks[0].scope_end_line, 4, "dropped on the drop line");
+        assert_eq!(locks[1].scope_end_line, 6);
+    }
+
+    #[test]
+    fn indexed_receiver_names_the_field() {
+        let src = "fn f(&self, h: usize) { let g = self.stripes[h].lock().unwrap(); g.x(); }";
+        let t = parse_src(src);
+        assert_eq!(t.fns[0].body.locks[0].class, "stripes");
+    }
+
+    #[test]
+    fn local_alias_resolves_to_origin() {
+        let src = "
+            fn f(&self, k: u64) {
+                let stripe = self.stripe(k);
+                let g = stripe.lock().unwrap();
+                g.x();
+            }
+        ";
+        let t = parse_src(src);
+        assert_eq!(t.fns[0].body.locks[0].class, "stripe");
+    }
+
+    #[test]
+    fn spawn_sites_distinguish_detached_from_scoped() {
+        let src = "
+            fn f() {
+                std::thread::spawn(move || {});
+                thread::scope(|scope| {
+                    scope.spawn(move || {});
+                });
+            }
+        ";
+        let t = parse_src(src);
+        let spawns = &t.fns[0].body.spawns;
+        assert_eq!(spawns.len(), 2);
+        assert!(spawns[0].detached);
+        assert!(!spawns[1].detached);
+    }
+
+    #[test]
+    fn atomic_sites_capture_ordering_receiver_and_literal() {
+        let src = "
+            fn f(&self) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.bits.fetch_max(v.to_bits(), Relaxed);
+                self.flag.store(true, Ordering::SeqCst);
+                self.state.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire);
+            }
+        ";
+        let t = parse_src(src);
+        let at = &t.fns[0].body.atomics;
+        assert_eq!(at.len(), 4);
+        assert_eq!(at[0].receiver, "cache_hits");
+        assert_eq!(at[0].orderings, vec!["Relaxed"]);
+        assert!(at[0].literal_arg);
+        assert_eq!(at[1].receiver, "bits");
+        assert_eq!(at[1].orderings, vec!["Relaxed"]);
+        assert!(!at[1].literal_arg);
+        assert_eq!(at[2].orderings, vec!["SeqCst"]);
+        assert_eq!(at[3].orderings, vec!["AcqRel", "Acquire"]);
+    }
+
+    #[test]
+    fn plain_load_without_ordering_is_not_atomic() {
+        let src = "fn f(x: &Loader) { x.load(\"path\"); }";
+        let t = parse_src(src);
+        assert!(t.fns[0].body.atomics.is_empty());
+    }
+
+    #[test]
+    fn discard_classification() {
+        let src = "
+            fn f() {
+                let _ = might_fail();
+                might_fail();
+                let ok = might_fail();
+                let _ = tx.send(1);
+                if might_fail().is_ok() {}
+            }
+        ";
+        let t = parse_src(src);
+        let calls: Vec<(&str, Discard)> = t.fns[0]
+            .body
+            .calls
+            .iter()
+            .map(|c| (c.callee.as_str(), c.discard))
+            .collect();
+        assert!(calls.contains(&("might_fail", Discard::LetUnderscore)));
+        assert!(calls.contains(&("might_fail", Discard::StmtSemi)));
+        assert!(calls.contains(&("send", Discard::LetUnderscore)));
+        assert!(calls.contains(&("is_ok", Discard::Used)));
+        let used = t.fns[0]
+            .body
+            .calls
+            .iter()
+            .filter(|c| c.callee == "might_fail" && c.discard == Discard::Used)
+            .count();
+        assert_eq!(used, 2, "bound and chained calls are Used");
+    }
+
+    #[test]
+    fn question_mark_is_a_use() {
+        let src = "fn f() -> Result<(), E> { might_fail()?; Ok(()) }";
+        let t = parse_src(src);
+        let c = t.fns[0]
+            .body
+            .calls
+            .iter()
+            .find(|c| c.callee == "might_fail")
+            .map(|c| c.discard);
+        assert_eq!(c, Some(Discard::Used));
+    }
+
+    #[test]
+    fn arith_hints_from_params_and_lets() {
+        let src = "
+            fn f(n: usize, x: f64) {
+                let m: u64 = 3;
+                let a = n * 8;
+                let b = x * 2.0;
+                let c = m + n;
+                let d = x - 1.0;
+            }
+        ";
+        let t = parse_src(src);
+        let a = &t.fns[0].body.arith;
+        assert!(a.iter().any(|s| s.op == "*"
+            && s.lhs == OperandHint::IntIdent
+            && s.rhs == OperandHint::IntLit));
+        assert!(a
+            .iter()
+            .any(|s| s.op == "*" && s.lhs == OperandHint::FloatIdent));
+        assert!(a.iter().any(|s| s.op == "+"
+            && s.lhs == OperandHint::IntIdent
+            && s.rhs == OperandHint::IntIdent));
+    }
+
+    #[test]
+    fn unary_minus_and_deref_are_not_arith() {
+        let src = "fn f(p: &u32) { let a = -1; let b = *p; let c = &mut b; }";
+        let t = parse_src(src);
+        assert!(t.fns[0].body.arith.is_empty(), "{:?}", t.fns[0].body.arith);
+    }
+
+    #[test]
+    fn trait_bound_plus_is_not_flagged_as_int_arith() {
+        let src = "fn f(x: Box<dyn Source + Send>) -> Box<dyn Source + Send + 'static> { x }";
+        let t = parse_src(src);
+        for s in &t.fns[0].body.arith {
+            assert!(
+                s.lhs != OperandHint::IntIdent
+                    && s.lhs != OperandHint::IntLit
+                    && s.rhs != OperandHint::IntLit,
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unmodeled_constructs_degrade_gracefully() {
+        // A stray token at item position is recorded, later items
+        // still parse.
+        let src = "
+            @!garbage@!
+            fn after() {}
+        ";
+        let t = parse_src(src);
+        assert!(!t.errors.is_empty());
+        assert!(t.fns.iter().any(|f| f.name == "after"));
+    }
+
+    #[test]
+    fn complex_generics_and_wheres_parse() {
+        let src = "
+            pub fn merge<K: Ord, V, F>(a: Vec<(K, V)>, f: F) -> Vec<V>
+            where
+                F: FnMut(&K) -> Option<Vec<V>>,
+            {
+                Vec::new()
+            }
+            pub struct S<const N: usize> { data: [u64; N] }
+            impl<const N: usize> S<N> {
+                pub fn get(&self) -> Option<Vec<Box<dyn Fn() -> u64>>> { None }
+            }
+        ";
+        let t = parse_src(src);
+        assert!(t.errors.is_empty(), "{:?}", t.errors);
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[1].impl_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn macro_calls_keep_their_bang() {
+        let src = "fn f() { let _ = write!(out, \"x\"); vec![1, 2]; }";
+        let t = parse_src(src);
+        assert!(t.fns[0]
+            .body
+            .calls
+            .iter()
+            .any(|c| c.callee == "write!" && c.discard == Discard::LetUnderscore));
+    }
+}

@@ -1,0 +1,105 @@
+//! `atomic-ordering`: every explicit `Ordering::*` must either match a
+//! whitelisted idiom or carry an `// ordering(<Ordering>): why`
+//! justification.
+//!
+//! Whitelisted idioms (no comment required):
+//!
+//! 1. **Relaxed counter bump** — `fetch_add`/`fetch_sub` with a
+//!    *literal* integer argument under `Ordering::Relaxed`. Pure
+//!    telemetry: the value never feeds a decision, only a report.
+//! 2. **Relaxed counter read/reset** — `load(Relaxed)`, or
+//!    `store(<literal>, Relaxed)`, on an atomic that idiom 1 bumps in
+//!    the same file. Reading a monotone counter for display tolerates
+//!    staleness by construction.
+//!
+//! Everything else is decision-carrying or protocol-relevant and must
+//! say *why* its ordering is sufficient: unjustified `Relaxed` on a
+//! value that gates behaviour (the fetch-max threshold), a lazy
+//! `SeqCst` that hides the real protocol, or a non-literal `fetch_add`
+//! folding one atomic into another.
+
+use crate::analyze::AnalyzedFile;
+use crate::diagnostics::Diagnostic;
+use crate::parser::AtomicSite;
+use crate::workspace::FileClass;
+use std::collections::HashSet;
+
+/// Rule name, as reported and as used in `lint:allow(...)`.
+pub const RULE: &str = "atomic-ordering";
+
+/// True if `site`'s use of `ordering` matches a whitelisted idiom.
+fn whitelisted(site: &AtomicSite, ordering: &str, counters: &HashSet<&str>) -> bool {
+    if ordering != "Relaxed" {
+        return false;
+    }
+    match site.method.as_str() {
+        // Idiom 1: literal counter bump.
+        "fetch_add" | "fetch_sub" => site.literal_arg,
+        // Idiom 2: read of an idiom-1 counter.
+        "load" => counters.contains(site.receiver.as_str()),
+        // Idiom 2: literal reset of an idiom-1 counter.
+        "store" => site.literal_arg && counters.contains(site.receiver.as_str()),
+        _ => false,
+    }
+}
+
+fn message(site: &AtomicSite, ordering: &str) -> (String, String) {
+    let what = format!("`{}.{}`", site.receiver, site.method);
+    let msg = match ordering {
+        "SeqCst" => format!(
+            "`SeqCst` on {what} — sequentially consistent ordering is \
+             almost never required and hides the actual synchronization protocol"
+        ),
+        "Relaxed" => format!(
+            "unjustified `Relaxed` on {what} — this atomic is not a \
+             whitelisted telemetry counter, so its value may carry a decision"
+        ),
+        other => format!("`{other}` on {what} without a written validity argument"),
+    };
+    let help = format!(
+        "state why this ordering is sufficient: `// ordering({ordering}): <why>` \
+         on or immediately above this line (or weaken/strengthen the ordering)"
+    );
+    (msg, help)
+}
+
+/// Checks one parsed file.
+pub fn check(af: &AnalyzedFile<'_>) -> Vec<Diagnostic> {
+    if af.source.class != FileClass::Lib {
+        return Vec::new();
+    }
+    let sites: Vec<&AtomicSite> = af.tree.fns.iter().flat_map(|f| &f.body.atomics).collect();
+    // Idiom-1 counters: receivers bumped by a literal Relaxed
+    // fetch_add/fetch_sub anywhere in this file.
+    let counters: HashSet<&str> = sites
+        .iter()
+        .filter(|s| {
+            matches!(s.method.as_str(), "fetch_add" | "fetch_sub")
+                && s.literal_arg
+                && s.orderings.iter().all(|o| o == "Relaxed")
+                && !s.orderings.is_empty()
+        })
+        .map(|s| s.receiver.as_str())
+        .collect();
+    let atomic_lines: Vec<usize> = sites.iter().flat_map(|s| [s.recv_line, s.line]).collect();
+    let mut diags = Vec::new();
+    for site in &sites {
+        for ordering in &site.orderings {
+            if whitelisted(site, ordering, &counters) {
+                continue;
+            }
+            if af
+                .source
+                .ordering_justified(ordering, site.recv_line, &atomic_lines)
+            {
+                continue;
+            }
+            let (msg, help) = message(site, ordering);
+            diags.push(
+                Diagnostic::new(RULE, &af.source.rel_path, site.line, site.col, msg)
+                    .with_help(help),
+            );
+        }
+    }
+    diags
+}

@@ -1,0 +1,63 @@
+//! `ignored-result`: discarding the `Result` of a workspace call —
+//! `let _ = f(…);` or a bare `f(…);` statement — needs a written
+//! justification.
+//!
+//! `#[must_use]` on `Result` already catches the bare-statement case
+//! at compile time *when the compiler sees the type*; this rule closes
+//! the `let _ =` escape hatch, which compiles silently and is the
+//! idiomatic way to swallow an error on purpose. Swallowing on purpose
+//! is fine — the rule only demands the purpose be written down.
+//!
+//! Linking is name-level (no type information), so the rule fires only
+//! when **every** workspace definition of the callee returns `Result`
+//! ([`SymbolTable::all_return_result`]): a homonym returning plain
+//! data would otherwise make the rule cry wolf.
+
+use crate::analyze::AnalyzedFile;
+use crate::diagnostics::Diagnostic;
+use crate::parser::Discard;
+use crate::symbols::SymbolTable;
+use crate::workspace::FileClass;
+
+/// Rule name, as reported and as used in `lint:allow(...)`.
+pub const RULE: &str = "ignored-result";
+
+/// Checks one parsed file against the workspace symbol table.
+pub fn check(af: &AnalyzedFile<'_>, symbols: &SymbolTable) -> Vec<Diagnostic> {
+    if af.source.class != FileClass::Lib {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for f in &af.tree.fns {
+        for call in &f.body.calls {
+            let shape = match call.discard {
+                Discard::Used => continue,
+                Discard::LetUnderscore => "let _ =",
+                Discard::StmtSemi => "bare statement",
+            };
+            if !symbols.all_return_result(&call.callee, call.is_method) {
+                continue;
+            }
+            let mut d = Diagnostic::new(
+                RULE,
+                &af.source.rel_path,
+                call.line,
+                call.col,
+                format!(
+                    "{shape} discards the `Result` of workspace call `{}`",
+                    call.callee
+                ),
+            );
+            let note = symbols
+                .definition_note(&call.callee)
+                .map(|n| format!(" ({n})"))
+                .unwrap_or_default();
+            d = d.with_help(format!(
+                "handle or propagate the error{note}; if dropping it is \
+                 intentional, say why: `// lint:allow(ignored-result): <why>`"
+            ));
+            diags.push(d);
+        }
+    }
+    diags
+}

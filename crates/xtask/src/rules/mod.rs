@@ -7,30 +7,50 @@
 //! `lint:allow` suppression are dropped **after** the rule runs, so
 //! rules stay simple and the policy lives in one place.
 
+pub mod atomic_ordering;
 pub mod bounded_channels;
 pub mod crate_hygiene;
+pub mod detached_thread;
+pub mod ignored_result;
+pub mod lock_order;
 pub mod no_deprecated;
 pub mod no_float_eq;
 pub mod no_panic;
+pub mod unchecked_arith;
 
 use crate::diagnostics::Diagnostic;
 use crate::workspace::Workspace;
 
-/// Runs every rule over the workspace and returns the surviving
-/// diagnostics, sorted by path, line, column.
-pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+/// Runs every token-level lint rule and returns the raw findings,
+/// before the `lint:allow` filter. `cargo xtask suppressions` diffs
+/// markers against this stream to detect stale ones.
+pub fn raw_all(ws: &Workspace) -> Vec<Diagnostic> {
     let deprecated = no_deprecated::collect_deprecated(ws);
     let mut diags = Vec::new();
     for file in &ws.files {
-        let mut raw = Vec::new();
-        raw.extend(no_panic::check(file));
-        raw.extend(no_float_eq::check(file));
-        raw.extend(bounded_channels::check(file));
-        raw.extend(crate_hygiene::check(file));
-        raw.extend(no_deprecated::check(file, &deprecated));
+        diags.extend(no_panic::check(file));
+        diags.extend(no_float_eq::check(file));
+        diags.extend(bounded_channels::check(file));
+        diags.extend(crate_hygiene::check(file));
+        diags.extend(no_deprecated::check(file, &deprecated));
+    }
+    diags
+}
+
+/// Runs every rule over the workspace and returns the surviving
+/// diagnostics, sorted by path, line, column.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let raw = raw_all(ws);
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        let path = file.rel_path.display().to_string();
         // Policy gate: suppressions silence findings; malformed
         // suppressions are findings of their own.
-        diags.extend(raw.into_iter().filter(|d| !file.allowed(d.rule, d.line)));
+        diags.extend(
+            raw.iter()
+                .filter(|d| d.path == path && !file.allowed(d.rule, d.line))
+                .cloned(),
+        );
         diags.extend(file.suppression_diags.iter().cloned());
     }
     diags.sort_by(|a, b| {

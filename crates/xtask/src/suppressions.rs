@@ -1,0 +1,174 @@
+//! `cargo xtask suppressions` — the suppression audit.
+//!
+//! Lists every `lint:allow(...)` and `ordering(...)` site in the
+//! workspace with its justification, and flags **stale** markers: a
+//! `lint:allow` that no raw finding of its rule would hit (the code it
+//! excused moved or was fixed), or an `ordering(...)` comment that no
+//! longer covers an atomic site using that ordering. Stale markers are
+//! failures — a justification that excuses nothing is misinformation
+//! waiting to excuse the wrong thing later.
+//!
+//! "Raw" findings come from the rule passes *before* the allow filter
+//! ([`crate::analyze::raw_diagnostics`] and [`crate::rules::raw_all`]),
+//! so a marker is live exactly when removing it would make `lint` or
+//! `analyze` fail.
+
+use crate::analyze::{self, AnalyzedWorkspace};
+use crate::diagnostics::Diagnostic;
+use crate::rules;
+use crate::workspace::{SourceFile, Workspace};
+
+/// One audited marker, rendered for the listing.
+#[derive(Debug)]
+pub struct SiteReport {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line of the marker comment.
+    pub line: usize,
+    /// `lint:allow(rule)`, `lint:allow-file(rule)`, or `ordering(Ord)`.
+    pub kind: String,
+    /// The written justification.
+    pub justification: String,
+    /// True when the marker excuses nothing.
+    pub stale: bool,
+}
+
+fn allow_is_live(file: &SourceFile, raw: &[Diagnostic], idx: usize) -> bool {
+    let site = &file.allows[idx];
+    let path = file.rel_path.display().to_string();
+    raw.iter().any(|d| {
+        d.rule == site.rule
+            && d.path == path
+            && (site.file_wide || (site.line..=site.end_line + 1).contains(&d.line))
+    })
+}
+
+fn ordering_is_live(file: &SourceFile, aws: &AnalyzedWorkspace<'_>, idx: usize) -> bool {
+    let site = &file.ordering_allows[idx];
+    let Some(af) = aws
+        .files
+        .iter()
+        .find(|af| af.source.rel_path == file.rel_path)
+    else {
+        return false;
+    };
+    let sites: Vec<(usize, &Vec<String>)> = af
+        .tree
+        .fns
+        .iter()
+        .flat_map(|f| &f.body.atomics)
+        .map(|a| (a.recv_line, &a.orderings))
+        .collect();
+    let atomic_lines: Vec<usize> = af
+        .tree
+        .fns
+        .iter()
+        .flat_map(|f| &f.body.atomics)
+        .flat_map(|a| [a.recv_line, a.line])
+        .collect();
+    // Live iff some atomic site actually uses this ordering within the
+    // comment's coverage (base range or contiguous run — the same
+    // geometry `ordering_justified` applies when filtering findings).
+    sites.iter().any(|(line, orderings)| {
+        if !orderings.iter().any(|o| o == &site.ordering) || site.line > *line {
+            return false;
+        }
+        (site.line..=site.end_line + 1).contains(line)
+            || (site.end_line + 1..*line).all(|l| atomic_lines.contains(&l))
+    })
+}
+
+/// Audits every suppression site in the workspace.
+pub fn audit(ws: &Workspace) -> Vec<SiteReport> {
+    let aws = analyze::parse_workspace(ws);
+    let mut raw = rules::raw_all(ws);
+    raw.extend(analyze::raw_diagnostics(&aws));
+    let mut reports = Vec::new();
+    for file in &ws.files {
+        let path = file.rel_path.display().to_string();
+        for (i, a) in file.allows.iter().enumerate() {
+            reports.push(SiteReport {
+                path: path.clone(),
+                line: a.line,
+                kind: format!(
+                    "lint:allow{}({})",
+                    if a.file_wide { "-file" } else { "" },
+                    a.rule
+                ),
+                justification: a.justification.clone(),
+                stale: !allow_is_live(file, &raw, i),
+            });
+        }
+        for (i, o) in file.ordering_allows.iter().enumerate() {
+            reports.push(SiteReport {
+                path: path.clone(),
+                line: o.line,
+                kind: format!("ordering({})", o.ordering),
+                justification: o.justification.clone(),
+                stale: !ordering_is_live(file, &aws, i),
+            });
+        }
+    }
+    reports.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    reports
+}
+
+/// Renders the audit as the text listing the subcommand prints.
+pub fn render(reports: &[SiteReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&format!(
+            "{}{}:{}  {}  — {}\n",
+            if r.stale { "STALE  " } else { "       " },
+            r.path,
+            r.line,
+            r.kind,
+            if r.justification.is_empty() {
+                "(no justification)"
+            } else {
+                &r.justification
+            },
+        ));
+    }
+    let stale = reports.iter().filter(|r| r.stale).count();
+    out.push_str(&format!(
+        "fmdb-suppressions: {} site(s), {} stale\n",
+        reports.len(),
+        stale
+    ));
+    out
+}
+
+/// Renders the audit as a JSON array (hand-rolled, same dialect as
+/// `diagnostics::to_json`).
+pub fn render_json(reports: &[SiteReport]) -> String {
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    let items: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"path\": \"{}\", \"line\": {}, \"kind\": \"{}\", \
+                 \"justification\": \"{}\", \"stale\": {}}}",
+                esc(&r.path),
+                r.line,
+                esc(&r.kind),
+                esc(&r.justification),
+                r.stale
+            )
+        })
+        .collect();
+    if items.is_empty() {
+        "[]".to_owned()
+    } else {
+        format!("[\n  {}\n]", items.join(",\n  "))
+    }
+}

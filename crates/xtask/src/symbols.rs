@@ -1,0 +1,176 @@
+//! The workspace-wide symbol table: every parsed function definition,
+//! keyed by name, so rules can link a call site to the definitions it
+//! might resolve to.
+//!
+//! Name-level linking is deliberately conservative. The analyzer has
+//! no type information, so a method call `x.run()` could resolve to
+//! any workspace `fn run`; rules that act on a call therefore ask
+//! questions quantified over **all** candidate definitions
+//! ([`SymbolTable::all_return_result`]) or **any** of them
+//! ([`SymbolTable::any_returns_guard`]), choosing the quantifier that
+//! makes false positives impossible rather than false negatives:
+//!
+//! * `ignored-result` flags a discarded call only when *every*
+//!   workspace definition with that name returns `Result` — a homonym
+//!   that returns plain data would otherwise produce noise;
+//! * `lock-order` treats a call as a guard acquisition when *any*
+//!   definition with that name returns a guard type — missing an
+//!   acquisition hides a deadlock, so the rule over-approximates.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use crate::parser::FileTree;
+
+/// One function definition, as the symbol table records it.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Workspace-relative path of the defining file.
+    pub path: PathBuf,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub impl_type: Option<String>,
+    /// Declared return type mentions `Result`.
+    pub returns_result: bool,
+    /// Declared return type is a `MutexGuard`/`RwLock*Guard`.
+    pub returns_guard: bool,
+}
+
+/// Workspace-wide `fn name → definitions` map.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    defs: HashMap<String, Vec<FnDef>>,
+}
+
+impl SymbolTable {
+    /// Builds the table from every parsed file.
+    pub fn build<'a>(trees: impl IntoIterator<Item = (&'a PathBuf, &'a FileTree)>) -> SymbolTable {
+        let mut defs: HashMap<String, Vec<FnDef>> = HashMap::new();
+        for (path, tree) in trees {
+            for f in &tree.fns {
+                defs.entry(f.name.clone()).or_default().push(FnDef {
+                    path: path.clone(),
+                    line: f.line,
+                    impl_type: f.impl_type.clone(),
+                    returns_result: f.returns_result,
+                    returns_guard: f.returns_guard,
+                });
+            }
+        }
+        SymbolTable { defs }
+    }
+
+    /// The candidate definitions a call to `name` might resolve to.
+    pub fn candidates(&self, name: &str) -> &[FnDef] {
+        self.defs.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True when `name` is defined in the workspace and **every**
+    /// definition a call of this form could reach returns `Result`
+    /// (the `ignored-result` quantifier). A `.name(…)` method call
+    /// only reaches `impl`/`trait` definitions — a free workspace fn
+    /// that shares its name with a std trait method (`collect`,
+    /// `write`, …) must not be linked to method-call sites.
+    pub fn all_return_result(&self, name: &str, method_call: bool) -> bool {
+        let c: Vec<&FnDef> = self
+            .candidates(name)
+            .iter()
+            .filter(|d| !method_call || d.impl_type.is_some())
+            .collect();
+        !c.is_empty() && c.iter().all(|d| d.returns_result)
+    }
+
+    /// True when **any** workspace definition of `name` returns a lock
+    /// guard (the `lock-order` quantifier).
+    pub fn any_returns_guard(&self, name: &str) -> bool {
+        self.candidates(name).iter().any(|d| d.returns_guard)
+    }
+
+    /// Where the first candidate is defined, for diagnostic help text.
+    pub fn definition_note(&self, name: &str) -> Option<String> {
+        let d = self.candidates(name).first()?;
+        let owner = d
+            .impl_type
+            .as_deref()
+            .map(|t| format!("{t}::"))
+            .unwrap_or_default();
+        Some(format!(
+            "`{owner}{name}` is defined at {}:{}",
+            d.path.display(),
+            d.line
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, TokenKind};
+    use crate::parser::parse;
+
+    fn table(sources: &[(&str, &str)]) -> SymbolTable {
+        let parsed: Vec<(PathBuf, FileTree)> = sources
+            .iter()
+            .map(|(path, src)| {
+                let toks: Vec<_> = lex(src)
+                    .into_iter()
+                    .filter(|t| t.kind != TokenKind::Comment)
+                    .collect();
+                (PathBuf::from(path), parse(&toks))
+            })
+            .collect();
+        SymbolTable::build(parsed.iter().map(|(p, t)| (p, t)))
+    }
+
+    #[test]
+    fn links_result_fns_across_files() {
+        let t = table(&[
+            ("a.rs", "pub fn build() -> Result<u32, E> { Ok(0) }"),
+            ("b.rs", "pub fn plain() -> u32 { 0 }"),
+        ]);
+        assert!(t.all_return_result("build", false));
+        assert!(!t.all_return_result("plain", false));
+        assert!(!t.all_return_result("undefined_anywhere", false));
+    }
+
+    #[test]
+    fn homonyms_must_agree_for_result_linking() {
+        let t = table(&[
+            (
+                "a.rs",
+                "impl A { pub fn get(&self) -> Result<u32, E> { Ok(0) } }",
+            ),
+            ("b.rs", "impl B { pub fn get(&self) -> u32 { 0 } }"),
+        ]);
+        assert!(
+            !t.all_return_result("get", true),
+            "ambiguous homonym must not flag"
+        );
+        assert_eq!(t.candidates("get").len(), 2);
+    }
+
+    #[test]
+    fn guard_helpers_link_by_any_quantifier() {
+        let t = table(&[
+            (
+                "a.rs",
+                "impl Pool { fn stripe(&self) -> MutexGuard<'_, u32> { self.m.lock().unwrap() } }",
+            ),
+            ("b.rs", "fn stripe() -> u32 { 0 }"),
+        ]);
+        assert!(t.any_returns_guard("stripe"));
+        assert!(!t.any_returns_guard("other"));
+    }
+
+    #[test]
+    fn definition_note_names_the_impl_type() {
+        let t = table(&[(
+            "crates/m/src/pool.rs",
+            "impl Pool { fn stripe(&self) -> MutexGuard<'_, u32> { self.m.lock().unwrap() } }",
+        )]);
+        let note = t.definition_note("stripe").expect("defined");
+        assert!(note.contains("Pool::stripe"), "{note}");
+        assert!(note.contains("pool.rs:1"), "{note}");
+    }
+}

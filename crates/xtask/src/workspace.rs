@@ -35,8 +35,36 @@ pub const RULES: &[&str] = &[
     "no-deprecated",
 ];
 
+/// Every rule the analyzer (`cargo xtask analyze`) knows, in
+/// reporting order. These run on the parsed item tree, not the raw
+/// token stream.
+pub const ANALYZE_RULES: &[&str] = &[
+    "atomic-ordering",
+    "lock-order",
+    "detached-thread",
+    "ignored-result",
+    "unchecked-arith",
+];
+
+/// Internal rule id for files the analyzer's parser could not model.
+pub const PARSE_RULE: &str = "parse-error";
+
 /// Internal rule id for malformed suppression comments.
 pub const SUPPRESSION_RULE: &str = "lint-allow";
+
+/// Internal rule id for malformed `// ordering(...)` justifications.
+pub const ORDERING_RULE: &str = "ordering-comment";
+
+/// Memory-ordering names an `// ordering(<Ord>): why` comment may
+/// justify (mirrors `parser::ORDERING_NAMES`, duplicated here so the
+/// workspace layer stays independent of the parser).
+const ORDERING_NAMES: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// True when `rule` is a lint or analyze rule a `lint:allow` marker
+/// may name.
+pub fn known_rule(rule: &str) -> bool {
+    RULES.contains(&rule) || ANALYZE_RULES.contains(&rule)
+}
 
 /// What kind of source a file is; rules use this to scope themselves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +79,36 @@ pub enum FileClass {
     Example,
     /// A `build.rs` build script.
     BuildScript,
+}
+
+/// One `// lint:allow(rule): why` site, as parsed from a comment.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// The rule this marker suppresses.
+    pub rule: String,
+    /// First line of the comment.
+    pub line: usize,
+    /// Last line of the comment (block comments span several).
+    pub end_line: usize,
+    /// True for the `lint:allow-file(...)` whole-file form.
+    pub file_wide: bool,
+    /// The mandatory justification text after the colon.
+    pub justification: String,
+}
+
+/// One `// ordering(<Ord>): why` justification site — the
+/// atomic-ordering rule's mandatory validity argument for a memory
+/// ordering that is not a whitelisted idiom.
+#[derive(Debug, Clone)]
+pub struct OrderingSite {
+    /// The justified ordering name (`Relaxed`, `SeqCst`, …).
+    pub ordering: String,
+    /// First line of the comment.
+    pub line: usize,
+    /// Last line of the comment.
+    pub end_line: usize,
+    /// The mandatory validity argument after the colon.
+    pub justification: String,
 }
 
 /// One analyzed source file.
@@ -69,10 +127,10 @@ pub struct SourceFile {
     pub code: Vec<Token>,
     /// Inclusive line ranges covered by `#[cfg(test)]`.
     test_ranges: Vec<(usize, usize)>,
-    /// Per-rule line suppressions: (rule, first line, last line).
-    line_allows: Vec<(String, usize, usize)>,
-    /// Rules suppressed for the entire file.
-    file_allows: Vec<String>,
+    /// Every well-formed `lint:allow` / `lint:allow-file` marker.
+    pub allows: Vec<AllowSite>,
+    /// Every well-formed `ordering(...)` justification.
+    pub ordering_allows: Vec<OrderingSite>,
     /// Findings from the suppression parser itself (missing
     /// justification, unknown rule name).
     pub suppression_diags: Vec<Diagnostic>,
@@ -91,11 +149,30 @@ impl SourceFile {
 
     /// True if a `lint:allow` suppression covers `rule` at `line`.
     pub fn allowed(&self, rule: &str, line: usize) -> bool {
-        self.file_allows.iter().any(|r| r == rule)
-            || self
-                .line_allows
-                .iter()
-                .any(|(r, start, end)| r == rule && (*start..=end + 1).contains(&line))
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.file_wide || (a.line..=a.end_line + 1).contains(&line)))
+    }
+
+    /// True if an `// ordering(<ordering>): why` justification covers
+    /// an atomic site at `line`. A justification covers its own line,
+    /// the next line, and — so one comment can head a *run* of
+    /// consecutive same-shape atomic statements (e.g. a counter fold)
+    /// — every further consecutive line that carries an atomic site
+    /// (`atomic_lines`, supplied by the rule from the parse tree).
+    pub fn ordering_justified(&self, ordering: &str, line: usize, atomic_lines: &[usize]) -> bool {
+        self.ordering_allows.iter().any(|o| {
+            if o.ordering != ordering || o.line > line {
+                return false;
+            }
+            if (o.line..=o.end_line + 1).contains(&line) {
+                return true;
+            }
+            // Contiguous-run coverage: every line strictly between the
+            // comment's end and the site must itself carry an atomic
+            // site.
+            (o.end_line + 1..line).all(|l| atomic_lines.contains(&l))
+        })
     }
 }
 
@@ -131,15 +208,15 @@ pub fn analyze(rel_path: PathBuf, source: &str) -> SourceFile {
         .collect();
     let (crate_dir, class, is_crate_root) = classify(&rel_path);
     let test_ranges = find_test_ranges(&code);
-    let mut line_allows = Vec::new();
-    let mut file_allows = Vec::new();
+    let mut allows = Vec::new();
+    let mut ordering_allows = Vec::new();
     let mut suppression_diags = Vec::new();
-    for token in tokens.iter().filter(|t| t.kind == TokenKind::Comment) {
-        parse_suppressions(
+    for token in &merge_comment_runs(tokens.iter().filter(|t| t.kind == TokenKind::Comment)) {
+        parse_suppressions(token, &rel_path, &mut allows, &mut suppression_diags);
+        parse_ordering_comments(
             token,
             &rel_path,
-            &mut line_allows,
-            &mut file_allows,
+            &mut ordering_allows,
             &mut suppression_diags,
         );
     }
@@ -150,8 +227,8 @@ pub fn analyze(rel_path: PathBuf, source: &str) -> SourceFile {
         is_crate_root,
         code,
         test_ranges,
-        line_allows,
-        file_allows,
+        allows,
+        ordering_allows,
         suppression_diags,
     }
 }
@@ -300,19 +377,11 @@ fn item_extent(code: &[Token], start: usize) -> Option<(usize, usize)> {
 fn parse_suppressions(
     token: &Token,
     rel_path: &Path,
-    line_allows: &mut Vec<(String, usize, usize)>,
-    file_allows: &mut Vec<String>,
+    allows: &mut Vec<AllowSite>,
     diags: &mut Vec<Diagnostic>,
 ) {
     let text = &token.text;
-    // Doc comments never carry suppressions — they are API prose (and
-    // may legitimately *describe* the marker syntax, as this module's
-    // own docs do). Only plain `//` / `/* */` comments are scanned.
-    if text.starts_with("///")
-        || text.starts_with("//!")
-        || text.starts_with("/**")
-        || text.starts_with("/*!")
-    {
+    if is_doc_comment(text) {
         return;
     }
     let end_line = token.line + text.matches('\n').count();
@@ -343,8 +412,16 @@ fn parse_suppressions(
         };
         let rule = after_kw[..close].trim().to_owned();
         let tail = after_kw[close + 1..].trim_start();
-        let justification = tail.strip_prefix(':').map(str::trim_start).unwrap_or("");
-        if !RULES.contains(&rule.as_str()) {
+        let justification = tail
+            .strip_prefix(':')
+            .map(str::trim_start)
+            .unwrap_or("")
+            .lines()
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_owned();
+        if !known_rule(&rule) {
             diags.push(
                 Diagnostic::new(
                     SUPPRESSION_RULE,
@@ -353,7 +430,11 @@ fn parse_suppressions(
                     token.col,
                     format!("`lint:allow({rule})` names an unknown rule"),
                 )
-                .with_help(format!("known rules: {}", RULES.join(", "))),
+                .with_help(format!(
+                    "known rules: {}, {}",
+                    RULES.join(", "),
+                    ANALYZE_RULES.join(", ")
+                )),
             );
         } else if justification.is_empty() {
             diags.push(
@@ -369,12 +450,124 @@ fn parse_suppressions(
                      `// lint:allow(<rule>): <why this is sound>`",
                 ),
             );
-        } else if is_file {
-            file_allows.push(rule);
         } else {
-            line_allows.push((rule, token.line, end_line));
+            allows.push(AllowSite {
+                rule,
+                line: token.line,
+                end_line,
+                file_wide: is_file,
+                justification,
+            });
         }
         search = at + close;
+    }
+}
+
+/// Joins runs of line-adjacent plain `//` comments into one logical
+/// comment token. A justification is often several `//` lines long;
+/// its marker must cover the code the *whole block* precedes, not
+/// just the single line the marker happens to sit on. Doc comments
+/// and block comments break a run — they are never marker carriers.
+fn merge_comment_runs<'a>(comments: impl Iterator<Item = &'a Token>) -> Vec<Token> {
+    let mut out: Vec<Token> = Vec::new();
+    let mut prev_mergeable = false;
+    for tok in comments {
+        let mergeable = tok.text.starts_with("//") && !is_doc_comment(&tok.text);
+        if mergeable && prev_mergeable {
+            if let Some(prev) = out.last_mut() {
+                let prev_end = prev.line + prev.text.matches('\n').count();
+                if prev_end + 1 == tok.line {
+                    prev.text.push('\n');
+                    prev.text.push_str(&tok.text);
+                    continue;
+                }
+            }
+        }
+        out.push(tok.clone());
+        prev_mergeable = mergeable;
+    }
+    out
+}
+
+fn is_doc_comment(text: &str) -> bool {
+    // Doc comments never carry suppressions — they are API prose (and
+    // may legitimately *describe* the marker syntax, as this module's
+    // own docs do). Only plain `//` / `/* */` comments are scanned.
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
+/// Parses `// ordering(<Ord>): <validity argument>` markers out of a
+/// comment token. The marker only counts when the parenthesized word
+/// is a real memory-ordering name — prose like "the ordering(s)" is
+/// ignored — but a recognizable marker without a justification is
+/// reported, exactly like a bare `lint:allow`.
+fn parse_ordering_comments(
+    token: &Token,
+    rel_path: &Path,
+    ordering_allows: &mut Vec<OrderingSite>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let text = &token.text;
+    if is_doc_comment(text) {
+        return;
+    }
+    let end_line = token.line + text.matches('\n').count();
+    let mut search = 0usize;
+    while let Some(found) = text[search..].find("ordering(") {
+        let at = search + found;
+        search = at + "ordering(".len();
+        // `Ordering::Relaxed` prose or `atomic_ordering(` identifiers
+        // are not markers: require a word boundary before `ordering(`.
+        let boundary = text[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_' && c != ':');
+        if !boundary {
+            continue;
+        }
+        let after_kw = &text[at + "ordering(".len()..];
+        let Some(close) = after_kw.find(')') else {
+            continue;
+        };
+        let ordering = after_kw[..close].trim();
+        if !ORDERING_NAMES.contains(&ordering) {
+            continue;
+        }
+        let tail = after_kw[close + 1..].trim_start();
+        let justification = tail
+            .strip_prefix(':')
+            .map(str::trim_start)
+            .unwrap_or("")
+            .lines()
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_owned();
+        if justification.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    ORDERING_RULE,
+                    rel_path,
+                    token.line,
+                    token.col,
+                    format!("`ordering({ordering})` has no validity argument"),
+                )
+                .with_help(
+                    "ordering justifications must explain themselves: \
+                     `// ordering(<Ordering>): <why this ordering is sufficient>`",
+                ),
+            );
+        } else {
+            ordering_allows.push(OrderingSite {
+                ordering: ordering.to_owned(),
+                line: token.line,
+                end_line,
+                justification,
+            });
+        }
     }
 }
 
