@@ -8,7 +8,7 @@ use std::path::{Path, PathBuf};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use fmdb_core::score::Score;
 use fmdb_middleware::source::{GradedSource, VecSource};
-use fmdb_middleware::store::{build_store, BuildConfig, PagedStore, PoolConfig};
+use fmdb_middleware::store::{build_store, BuildConfig, PagedStore, StoreOptions};
 
 const N: u64 = 1 << 14;
 
@@ -41,7 +41,7 @@ fn bench_sorted_drain(c: &mut Criterion) {
             &BuildConfig::with_page_size(page_size),
         )
         .expect("build store");
-        let store = PagedStore::open(&path, PoolConfig::with_pool_pages(4096)).expect("open store");
+        let store = PagedStore::open(&path, StoreOptions::with_pool_pages(4096)).expect("open store");
 
         group.bench_function(BenchmarkId::new("cold", page_size), |b| {
             b.iter(|| {
@@ -92,7 +92,7 @@ fn bench_random_probes(c: &mut Criterion) {
 
     let path = scratch("crit-probe.fmdb");
     build_store(&path, "bench", data.clone(), &BuildConfig::DEFAULT).expect("build store");
-    let store = PagedStore::open(&path, PoolConfig::with_pool_pages(4096)).expect("open store");
+    let store = PagedStore::open(&path, StoreOptions::with_pool_pages(4096)).expect("open store");
     let mut src = store.source();
     for &oid in &probe_oids {
         let _ = src.random_access(oid); // warm the pool

@@ -1,0 +1,150 @@
+//! Criterion benchmarks for the block-max pruning layer: the widened
+//! squared-distance kernel (scalar vs 4-wide vs 8-wide), zone-map
+//! pruned vs unpruned corpus kNN scans, and bounded vs unbounded
+//! sorted drains of the paged store — each at several selectivities
+//! (how close the seeded threshold sits to the best grades), since
+//! selectivity is what decides how many blocks/pages the bounds can
+//! prove skippable.
+
+use std::path::{Path, PathBuf};
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmdb_core::score::Score;
+use fmdb_media::embed::{
+    squared_euclidean, squared_euclidean_4wide, squared_euclidean_scalar, EmbeddedCorpus,
+    EmbeddedSpace,
+};
+use fmdb_media::synth::{SynthConfig, SyntheticDb};
+use fmdb_middleware::source::{GradedSource, VecSource};
+use fmdb_middleware::store::{build_store_from_source, BuildConfig, PagedStore, StoreOptions};
+use fmdb_middleware::workload::independent_uniform;
+
+fn corpus(n: usize, bins_per_channel: usize) -> (EmbeddedCorpus, SyntheticDb) {
+    let db = SyntheticDb::generate(&SynthConfig {
+        count: n,
+        bins_per_channel,
+        seed: 11,
+        ..SynthConfig::default()
+    });
+    let hists: Vec<_> = db.objects.iter().map(|o| o.histogram.clone()).collect();
+    let corpus = EmbeddedCorpus::build(
+        EmbeddedSpace::for_space(&db.space).expect("QBIC matrix embeds"),
+        &hists,
+    )
+    .expect("same space");
+    (corpus, db)
+}
+
+/// Kernel microbench: the same dot-product at 1, 4, and 8 lanes.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pruned_scan/kernel");
+    for dim in [64usize, 125] {
+        let a: Vec<f64> = (0..dim).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..dim).map(|i| (i as f64).cos()).collect();
+        group.bench_function(BenchmarkId::new("scalar", dim), |bch| {
+            bch.iter(|| squared_euclidean_scalar(black_box(&a), black_box(&b)))
+        });
+        group.bench_function(BenchmarkId::new("4wide", dim), |bch| {
+            bch.iter(|| squared_euclidean_4wide(black_box(&a), black_box(&b)))
+        });
+        group.bench_function(BenchmarkId::new("8wide", dim), |bch| {
+            bch.iter(|| squared_euclidean(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+/// Corpus scans: pruned vs unpruned at several threshold
+/// selectivities. The threshold is the distance of the q-th nearest
+/// neighbour, so "q = 10" seeds the scan with a tight bound (high
+/// selectivity, most blocks skippable) and "q = n/2" a loose one.
+fn bench_corpus_scans(c: &mut Criterion) {
+    let n = 4096usize;
+    let (corpus, db) = corpus(n, 4);
+    let query = &db.objects[0].histogram;
+    let (oracle, _) = corpus.knn_brute(query, n).expect("same space");
+
+    let mut group = c.benchmark_group("pruned_scan/corpus");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("knn_unpruned", n), |b| {
+        b.iter(|| corpus.knn_unpruned(black_box(query), 10).expect("scan"))
+    });
+    group.bench_function(BenchmarkId::new("knn_pruned", n), |b| {
+        b.iter(|| corpus.knn(black_box(query), 10).expect("scan"))
+    });
+    for q in [10usize, 100, n / 2] {
+        let bound = oracle[q - 1].1;
+        group.bench_function(BenchmarkId::new("within_unpruned", q), |b| {
+            b.iter(|| {
+                corpus
+                    .knn_within(black_box(query), 10, bound, false)
+                    .expect("scan")
+            })
+        });
+        group.bench_function(BenchmarkId::new("within_pruned", q), |b| {
+            b.iter(|| {
+                corpus
+                    .knn_within(black_box(query), 10, bound, true)
+                    .expect("scan")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Scratch directory inside `target/` so benches never write outside
+/// the repository.
+fn store_path(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-stores");
+    std::fs::create_dir_all(&dir).expect("create bench store dir");
+    dir.join(format!("pruned-{tag}.fmdb"))
+}
+
+/// Store drains: a bounded drain stops (and skips the provably-low
+/// tail at page granularity) where the unbounded drain streams every
+/// page. Selectivity = the fraction of the run above the bound.
+fn bench_store_drains(c: &mut Criterion) {
+    let n = 1 << 15;
+    let mut src: VecSource = independent_uniform(n, 1, 23).remove(0);
+    let path = store_path("drain");
+    build_store_from_source(&path, &mut src, &BuildConfig::with_page_size(4096))
+        .expect("build store");
+    let store = PagedStore::open(&path, StoreOptions::DEFAULT).expect("open store");
+
+    let mut group = c.benchmark_group("pruned_scan/store");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("drain_unbounded", n), |b| {
+        b.iter(|| {
+            let mut cursor = store.source();
+            let mut count = 0u64;
+            while let Some(so) = cursor.sorted_next() {
+                black_box(so);
+                count += 1;
+            }
+            count
+        })
+    });
+    for selectivity in [0.01f64, 0.1, 0.5] {
+        let bound = Score::clamped(1.0 - selectivity);
+        group.bench_function(
+            BenchmarkId::new("drain_bounded", format!("{selectivity}")),
+            |b| {
+                b.iter(|| {
+                    let mut cursor = store.source();
+                    cursor
+                        .sorted_drain_bounded(black_box(bound))
+                        .map(|v| v.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_corpus_scans,
+    bench_store_drains
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Standalone runner for experiment `e23_block_pruning`.
+fn main() {
+    let cfg = fmdb_bench::runners::RunCfg::from_env();
+    fmdb_bench::experiments::e23_block_pruning::run(&cfg).print();
+}

@@ -21,7 +21,7 @@ use fmdb_middleware::algorithms::ta::ThresholdAlgorithm;
 use fmdb_middleware::algorithms::TopKAlgorithm;
 use fmdb_middleware::source::{GradedSource, VecSource};
 use fmdb_middleware::stats::PageIoStats;
-use fmdb_middleware::store::{build_store_from_source, BuildConfig, PagedStore, PoolConfig};
+use fmdb_middleware::store::{build_store_from_source, BuildConfig, PagedStore, StoreOptions};
 use fmdb_middleware::workload::independent_uniform;
 
 use crate::report::{f3, int, Report, Table};
@@ -46,9 +46,9 @@ fn persist(sources: &mut [VecSource], page_size: usize, pool_pages: usize) -> Ve
                 .expect("build store");
             PagedStore::open(
                 &path,
-                PoolConfig {
-                    pool_pages,
-                    readahead: 4,
+                StoreOptions {
+                    pool_pages: (pool_pages > 0).then_some(pool_pages),
+                    readahead: Some(4),
                 },
             )
             .expect("open store")

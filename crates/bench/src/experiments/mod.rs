@@ -23,6 +23,7 @@ pub mod e19_no_random_access;
 pub mod e20_embedding;
 pub mod e21_sharding;
 pub mod e22_optimality;
+pub mod e23_block_pruning;
 
 use crate::report::Report;
 use crate::runners::RunCfg;
@@ -54,6 +55,7 @@ pub fn experiments() -> Vec<fn(&RunCfg) -> Report> {
         e20_embedding::run,
         e21_sharding::run,
         e22_optimality::run,
+        e23_block_pruning::run,
     ]
 }
 

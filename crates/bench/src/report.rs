@@ -279,7 +279,7 @@ pub fn bench_engine_json(entries: &[BenchEntry], quick: bool) -> String {
         out.push(',');
         json_field(&mut out, "title", &e.title);
         out.push_str(&format!(
-            ",\"wall_ms\":{:.3},\"sorted\":{},\"random\":{},\"cache_hits\":{},\"cache_misses\":{},\"worker_spawns\":{},\"page_reads\":{},\"page_hits\":{},\"page_evictions\":{}",
+            ",\"wall_ms\":{:.3},\"sorted\":{},\"random\":{},\"cache_hits\":{},\"cache_misses\":{},\"worker_spawns\":{},\"page_reads\":{},\"page_hits\":{},\"page_evictions\":{},\"pages_skipped\":{},\"blocks_skipped\":{}",
             e.wall_ms,
             e.stats.sorted,
             e.stats.random,
@@ -289,6 +289,8 @@ pub fn bench_engine_json(entries: &[BenchEntry], quick: bool) -> String {
             e.stats.page_reads,
             e.stats.page_hits,
             e.stats.page_evictions,
+            e.stats.pages_skipped,
+            e.stats.blocks_skipped,
         ));
         out.push_str(",\"metrics\":");
         json_metrics(&mut out, &e.metrics);
@@ -401,6 +403,8 @@ mod tests {
                     page_reads: 12,
                     page_hits: 5,
                     page_evictions: 2,
+                    pages_skipped: 6,
+                    blocks_skipped: 9,
                 },
                 metrics: vec![("opt_ratio_ta".to_owned(), 1.25)],
             },
@@ -423,6 +427,8 @@ mod tests {
         assert!(j.contains("\"page_reads\":12"));
         assert!(j.contains("\"page_hits\":5"));
         assert!(j.contains("\"page_evictions\":2"));
+        assert!(j.contains("\"pages_skipped\":6"));
+        assert!(j.contains("\"blocks_skipped\":9"));
         assert!(j.contains("\"metrics\":{\"opt_ratio_ta\":1.250000}"));
         assert!(j.contains("\"metrics\":{}"));
         assert!(j.contains("\"id\":\"E21\""));

@@ -681,12 +681,12 @@ mod tests {
 
     #[test]
     fn persisted_repository_source_roundtrips_exactly() {
-        use fmdb_middleware::store::{PagedStore, PoolConfig};
+        use fmdb_middleware::store::{PagedStore, StoreOptions};
         let repo = small_qbic();
         let q = atom("Color", Target::Similar("red".into()));
         let path = scratch("garlic-color.fmdb");
         persist_source(&repo, &q, &path, &BuildConfig::DEFAULT).unwrap();
-        let store = PagedStore::open(&path, PoolConfig::DEFAULT).unwrap();
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
         let mut paged = store.source();
         let mut live = repo.source_for(&q).unwrap();
         assert_eq!(paged.info().universe_size, live.info().universe_size);
@@ -723,7 +723,7 @@ mod tests {
     #[test]
     fn media_graded_pairs_persist_and_roundtrip() {
         use fmdb_media::prelude::ExpDecay;
-        use fmdb_middleware::store::{build_store, PagedStore, PoolConfig};
+        use fmdb_middleware::store::{build_store, PagedStore, StoreOptions};
         let repo = small_qbic();
         let corpus = EmbeddedCorpus::build(
             EmbeddedSpace::for_space(&repo.db().space).unwrap(),
@@ -742,7 +742,7 @@ mod tests {
 
         let path = scratch("garlic-corpus.fmdb");
         build_store(&path, "corpus", pairs.clone(), &BuildConfig::DEFAULT).unwrap();
-        let store = PagedStore::open(&path, PoolConfig::DEFAULT).unwrap();
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
         let mut paged = store.source();
         let mut mem = VecSource::new("corpus", pairs);
         loop {

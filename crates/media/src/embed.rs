@@ -27,15 +27,21 @@
 //!
 //! [`EmbeddedCorpus`] carries the idea to whole databases: a flat
 //! structure-of-arrays column store of pre-embedded coordinates with a
-//! batched kNN scan that (1) first prunes via the §2.1 short-vector
-//! bounding filter, then (2) **early-abandons** the running squared
-//! sum against the current k-th best distance, and (3) optionally
-//! fans the scan out over worker threads. The abandon invariant: the
-//! running sum of squares is monotone non-decreasing, so once a
-//! partial sum strictly exceeds the current k-th best *squared*
-//! distance the object's final distance is strictly larger too and it
-//! can never enter the top k — results are identical to the
-//! brute-force scan, bit for bit.
+//! batched kNN scan that (1) skips whole blocks via per-block
+//! coordinate **zone maps** (the distance from the query to a block's
+//! bounding box lower-bounds every member's distance), (2) prunes
+//! single objects via the §2.1 short-vector bounding filter, then
+//! (3) **early-abandons** the running squared sum against the current
+//! k-th best distance, and (4) optionally fans the scan out over
+//! worker threads. The abandon invariant: the running sum of squares
+//! is monotone non-decreasing, so once a partial sum strictly exceeds
+//! the current k-th best *squared* distance the object's final
+//! distance is strictly larger too and it can never enter the top k —
+//! results are identical to the brute-force scan, bit for bit. The
+//! zone-map bound is computed with the *same* unrolled kernel in the
+//! same accumulation order as the per-object distances (see
+//! [`EmbeddedCorpus::block_lower_bound`]), which makes whole-block
+//! skipping exact too, not just approximately safe.
 
 use std::fmt;
 use std::ops::Range;
@@ -54,12 +60,18 @@ use crate::scorer::DistanceScorer;
 /// matrix is numerically on the PSD boundary.
 const RIDGE_STEPS: [f64; 3] = [1e-12, 1e-10, 1e-8];
 
-/// How many accumulated dimensions between early-abandon checks —
-/// also the block size of the four-lane unrolled kernel
+/// How many accumulated dimensions between early-abandon checks — a
+/// multiple of the eight-lane unrolled kernel's width
 /// ([`squared_block`]), so both scans accumulate in the same order
 /// and abandoned/completed evaluations agree bitwise with the plain
 /// scan.
 const ABANDON_STRIDE: usize = 16;
+
+/// Default zone-map block size: rows per per-block bounding box. Small
+/// enough that a selective query skips most of a clustered corpus,
+/// large enough that the O(k) bound check amortizes to a fraction of
+/// one distance evaluation per block.
+pub const DEFAULT_PRUNE_BLOCK: usize = 64;
 
 /// Error raised by the embedding kernel.
 #[derive(Debug, Clone)]
@@ -104,15 +116,62 @@ impl From<BoundError> for EmbedError {
     }
 }
 
-/// One block's squared-distance contribution, manually unrolled four
-/// lanes wide: independent lane accumulators break the loop-carried
-/// add dependency so the FPU pipelines the multiply-adds, folded
-/// deterministically as `(s0 + s1) + (s2 + s3)` with the scalar tail
-/// accumulated after the fold. Every distance path — the plain scan,
-/// the early-abandoning scan, and [`euclidean`] — sums through this
-/// one helper, so all of them agree bitwise.
+/// One block's squared-distance contribution, manually unrolled eight
+/// lanes wide with **two independent accumulators**: each iteration
+/// folds its eight squared lane differences pairwise and adds lanes
+/// 0–3 into `s0` and lanes 4–7 into `s1`, so the loop-carried
+/// dependency is a single add per accumulator and the FPU pipelines
+/// the multiply-adds. The accumulators fold deterministically as
+/// `s0 + s1` with the scalar tail accumulated after the fold. Every
+/// distance path — the plain scan, the early-abandoning scan, the
+/// zone-map bound, and [`euclidean`] — sums through this one helper,
+/// so all of them agree bitwise.
 #[inline(always)]
 fn squared_block(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    let (mut s0, mut s1) = (0.0f64, 0.0f64);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        let d0 = xa[0] - xb[0];
+        let d1 = xa[1] - xb[1];
+        let d2 = xa[2] - xb[2];
+        let d3 = xa[3] - xb[3];
+        let d4 = xa[4] - xb[4];
+        let d5 = xa[5] - xb[5];
+        let d6 = xa[6] - xb[6];
+        let d7 = xa[7] - xb[7];
+        s0 += (d0 * d0 + d1 * d1) + (d2 * d2 + d3 * d3);
+        s1 += (d4 * d4 + d5 * d5) + (d6 * d6 + d7 * d7);
+    }
+    let mut sum = s0 + s1;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
+}
+
+/// The plain scalar squared-distance loop — the reference the unrolled
+/// kernels are benchmarked against (`pruned_scan` bench group) and the
+/// numerical oracle of the kernel tests. Not used by any scan path.
+#[inline]
+pub fn squared_euclidean_scalar(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// The previous production kernel, four lanes with one accumulator
+/// per lane, kept as a benchmark reference so the 8-wide kernel's win
+/// stays measurable. Not used by any scan path.
+#[inline]
+pub fn squared_euclidean_4wide(a: &[f64], b: &[f64]) -> f64 {
     let n = a.len().min(b.len());
     let (a, b) = (&a[..n], &b[..n]);
     let mut ca = a.chunks_exact(4);
@@ -138,7 +197,7 @@ fn squared_block(a: &[f64], b: &[f64]) -> f64 {
 
 /// The squared Euclidean distance between two embedded coordinate
 /// slices. Accumulated block-by-block through [`squared_block`]'s
-/// fixed four-lane order, so it is bitwise identical to a completed
+/// fixed eight-lane order, so it is bitwise identical to a completed
 /// [`EmbeddedCorpus::squared_distance_abandoning`] evaluation.
 #[inline]
 pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
@@ -305,12 +364,20 @@ pub struct ScanStats {
     pub abandoned: u64,
     /// Objects whose O(k) distance ran to completion.
     pub completed: u64,
+    /// Whole zone-map blocks skipped because the query's distance to
+    /// the block's bounding box already exceeded the k-th best.
+    pub blocks_skipped: u64,
+    /// Objects inside skipped blocks — never individually examined.
+    /// Every scanned object lands in exactly one bucket, so
+    /// `filter_pruned + abandoned + completed + block_pruned` equals
+    /// the number of objects in the scanned range.
+    pub block_pruned: u64,
 }
 
 impl ScanStats {
     /// Fraction of objects that never paid the full O(k) loop.
     pub fn savings(&self) -> f64 {
-        let total = self.filter_pruned + self.abandoned + self.completed;
+        let total = self.filter_pruned + self.abandoned + self.completed + self.block_pruned;
         if total == 0 {
             0.0
         } else {
@@ -324,12 +391,16 @@ impl std::ops::AddAssign for ScanStats {
         self.filter_pruned += rhs.filter_pruned;
         self.abandoned += rhs.abandoned;
         self.completed += rhs.completed;
+        self.blocks_skipped += rhs.blocks_skipped;
+        self.block_pruned += rhs.block_pruned;
     }
 }
 
 /// A flat column store of pre-embedded histogram coordinates
 /// (structure of arrays: one contiguous `n×k` coordinate block, one
-/// `n×3` short-vector block), with batched early-abandoning kNN.
+/// `n×3` short-vector block, one bounding box per
+/// [`EmbeddedCorpus::prune_block`] rows), with batched zone-map-pruned
+/// early-abandoning kNN.
 #[derive(Debug, Clone)]
 pub struct EmbeddedCorpus {
     space: EmbeddedSpace,
@@ -341,6 +412,13 @@ pub struct EmbeddedCorpus {
     /// The §2.1 first-stage filter, when derivable: the bound plus a
     /// flat `n·3` block of short vectors.
     filter: Option<CorpusFilter>,
+    /// Zone-map block size: rows per bounding box.
+    prune_block: usize,
+    /// Per-block coordinate minima (`⌈n/prune_block⌉·k` entries; block
+    /// `b` owns `block_lo[b·k .. (b+1)·k]`), empty for an empty corpus.
+    block_lo: Vec<f64>,
+    /// Per-block coordinate maxima, same layout as `block_lo`.
+    block_hi: Vec<f64>,
 }
 
 #[derive(Debug, Clone)]
@@ -352,7 +430,8 @@ struct CorpusFilter {
 
 impl EmbeddedCorpus {
     /// Embeds every histogram into `space` (O(n·k²) once). No bounding
-    /// filter — every scan pays at least the abandon loop per object.
+    /// filter — every scan pays at least the zone-map/abandon stages
+    /// per object.
     pub fn build(
         space: EmbeddedSpace,
         hists: &[ColorHistogram],
@@ -362,13 +441,87 @@ impl EmbeddedCorpus {
         for (h, chunk) in hists.iter().zip(coords.chunks_mut(k)) {
             space.embed_into(h.bins(), chunk)?;
         }
-        Ok(EmbeddedCorpus {
+        let mut corpus = EmbeddedCorpus {
             space,
             n: hists.len(),
             k,
             coords,
             filter: None,
-        })
+            prune_block: DEFAULT_PRUNE_BLOCK,
+            block_lo: Vec::new(),
+            block_hi: Vec::new(),
+        };
+        corpus.rebuild_zone_maps();
+        Ok(corpus)
+    }
+
+    /// Rebuilds this corpus's zone maps at a different block size
+    /// (clamped to ≥ 1) — the proptest grid and benchmarks sweep this;
+    /// production uses [`DEFAULT_PRUNE_BLOCK`]. O(n·k).
+    pub fn with_prune_block(mut self, block: usize) -> EmbeddedCorpus {
+        self.prune_block = block.max(1);
+        self.rebuild_zone_maps();
+        self
+    }
+
+    /// The zone-map block size (rows per bounding box).
+    pub fn prune_block(&self) -> usize {
+        self.prune_block
+    }
+
+    /// Recomputes the per-block coordinate bounding boxes from the
+    /// stored coordinates.
+    fn rebuild_zone_maps(&mut self) {
+        let blocks = self.n.div_ceil(self.prune_block.max(1));
+        self.block_lo = vec![f64::INFINITY; blocks * self.k];
+        self.block_hi = vec![f64::NEG_INFINITY; blocks * self.k];
+        for i in 0..self.n {
+            let b = i / self.prune_block;
+            // i < n and n·k == coords.len(), so the products stay
+            // within the existing allocation; the slice op
+            // bounds-checks regardless.
+            let row = &self.coords[i * self.k..(i + 1) * self.k];
+            // b < ⌈n/prune_block⌉ and the zone-map vectors were sized
+            // as blocks·k just above, so the product stays within
+            // their length; the slice op bounds-checks regardless.
+            let lo = &mut self.block_lo[b * self.k..(b + 1) * self.k];
+            for (slot, &c) in lo.iter_mut().zip(row) {
+                *slot = slot.min(c);
+            }
+            let hi = &mut self.block_hi[b * self.k..(b + 1) * self.k];
+            for (slot, &c) in hi.iter_mut().zip(row) {
+                *slot = slot.max(c);
+            }
+        }
+    }
+
+    /// A lower bound on the squared distance from `q` to **every**
+    /// object of zone-map block `b`: the squared distance from `q` to
+    /// the block's bounding box, i.e. to `q` clamped into
+    /// `[lo, hi]` per dimension.
+    ///
+    /// The bound is computed by [`squared_euclidean`] over the clamped
+    /// point — the same kernel, same accumulation order as the
+    /// per-object distances. Per dimension the clamped difference is
+    /// dominated by the true difference (`lo ≤ x ≤ hi` holds exactly,
+    /// min/max never round, and f64 rounding is monotone), and summing
+    /// pointwise-dominated terms in the *identical* association order
+    /// keeps the domination through every intermediate rounding. So
+    /// `block_lower_bound(q, b) ≤ squared_euclidean(q, member)` holds
+    /// for the computed values themselves, not just the reals they
+    /// approximate — a strict `bound > kth` skip can never drop an
+    /// object the unpruned scan would have kept.
+    fn block_lower_bound(&self, q: &[f64], b: usize, clamped: &mut [f64]) -> f64 {
+        // lint:allow(unchecked-arith): b indexes an existing zone-map
+        // block, so b·k stays within the blocks·k vectors; the slice
+        // ops bounds-check regardless.
+        let lo = &self.block_lo[b * self.k..(b + 1) * self.k];
+        // lint:allow(unchecked-arith): same blocks·k sizing.
+        let hi = &self.block_hi[b * self.k..(b + 1) * self.k];
+        for (((slot, &q_d), &lo_d), &hi_d) in clamped.iter_mut().zip(q).zip(lo).zip(hi) {
+            *slot = q_d.clamp(lo_d, hi_d);
+        }
+        squared_euclidean(q, clamped)
     }
 
     /// Builds the corpus for a color space **with** the §2.1
@@ -435,7 +588,7 @@ impl EmbeddedCorpus {
     /// the exact squared distance.
     ///
     /// The sum is accumulated block-by-block in [`squared_block`]'s
-    /// fixed four-lane order — the same order [`squared_euclidean`]
+    /// fixed eight-lane order — the same order [`squared_euclidean`]
     /// uses — so a completed evaluation is bitwise identical to the
     /// plain scan. The abandon check runs once per
     /// [`ABANDON_STRIDE`]-dimension block, not per lane, keeping the
@@ -536,12 +689,29 @@ impl EmbeddedCorpus {
     ) -> Result<(Vec<(usize, f64)>, ScanStats), EmbedError> {
         let q = self.embed_query(query)?;
         let q_short = self.query_short(query)?;
-        let (heap, stats) = self.scan_range(&q, q_short.as_ref(), 0..self.n, k_nearest, true);
+        let (heap, stats) = self.scan_range(&q, q_short.as_ref(), 0..self.n, k_nearest, true, true);
+        Ok((finalize(heap), stats))
+    }
+
+    /// [`EmbeddedCorpus::knn`] with the zone-map block pruning turned
+    /// off (filter and early abandoning still on) — the unpruned
+    /// reference the `pruned_equivalence` suite and the bench group
+    /// compare against. Answers are bit-identical to
+    /// [`EmbeddedCorpus::knn`]; only the work differs.
+    pub fn knn_unpruned(
+        &self,
+        query: &ColorHistogram,
+        k_nearest: usize,
+    ) -> Result<(Vec<(usize, f64)>, ScanStats), EmbedError> {
+        let q = self.embed_query(query)?;
+        let q_short = self.query_short(query)?;
+        let (heap, stats) =
+            self.scan_range(&q, q_short.as_ref(), 0..self.n, k_nearest, true, false);
         Ok((finalize(heap), stats))
     }
 
     /// The brute-force oracle: every distance run to completion, no
-    /// filter, no abandoning. Same ordering contract as
+    /// filter, no abandoning, no zone maps. Same ordering contract as
     /// [`EmbeddedCorpus::knn`].
     pub fn knn_brute(
         &self,
@@ -549,7 +719,44 @@ impl EmbeddedCorpus {
         k_nearest: usize,
     ) -> Result<(Vec<(usize, f64)>, ScanStats), EmbedError> {
         let q = self.embed_query(query)?;
-        let (heap, stats) = self.scan_range(&q, None, 0..self.n, k_nearest, false);
+        let (heap, stats) = self.scan_range(&q, None, 0..self.n, k_nearest, false, false);
+        Ok((finalize(heap), stats))
+    }
+
+    /// The threshold-aware scan hook: the `k_nearest` objects closest
+    /// to `query` **among those within `max_distance`** — a caller
+    /// holding a live threshold (a top-k algorithm's current k-th
+    /// grade, mapped back to a distance) seeds the scan with it, so
+    /// zone-map skipping, the §2.1 filter, and early abandoning all
+    /// engage from the first row instead of waiting for `k_nearest`
+    /// candidates to accumulate.
+    ///
+    /// Objects at exactly `max_distance` are kept. `pruned = false`
+    /// runs the same bounded scan without zone maps (the equivalence
+    /// oracle); both variants return bit-identical answers.
+    pub fn knn_within(
+        &self,
+        query: &ColorHistogram,
+        k_nearest: usize,
+        max_distance: f64,
+        pruned: bool,
+    ) -> Result<(Vec<(usize, f64)>, ScanStats), EmbedError> {
+        let q = self.embed_query(query)?;
+        let q_short = self.query_short(query)?;
+        let bound_sq = if max_distance.is_finite() && max_distance >= 0.0 {
+            max_distance * max_distance
+        } else {
+            f64::INFINITY
+        };
+        let (heap, stats) = self.scan_bounded(
+            &q,
+            q_short.as_ref(),
+            0..self.n,
+            k_nearest,
+            bound_sq,
+            true,
+            pruned,
+        );
         Ok((finalize(heap), stats))
     }
 
@@ -578,7 +785,7 @@ impl EmbeddedCorpus {
                     let q_short = q_short.as_ref();
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(self.n);
-                    scope.spawn(move || self.scan_range(q, q_short, lo..hi, k_nearest, true))
+                    scope.spawn(move || self.scan_range(q, q_short, lo..hi, k_nearest, true, true))
                 })
                 .collect();
             handles
@@ -623,7 +830,7 @@ impl EmbeddedCorpus {
         let q_short = self.query_short(query)?;
         let lo = range.start.min(self.n);
         let hi = range.end.min(self.n).max(lo);
-        let (heap, stats) = self.scan_range(&q, q_short.as_ref(), lo..hi, k_nearest, true);
+        let (heap, stats) = self.scan_range(&q, q_short.as_ref(), lo..hi, k_nearest, true, true);
         Ok((finalize(heap), stats))
     }
 
@@ -643,6 +850,17 @@ impl EmbeddedCorpus {
     /// strictly exceeds the current k-th best and the object can be
     /// dropped without changing the result. Pruning and abandoning
     /// only ever engage once `k_nearest` candidates are held.
+    ///
+    /// Zone-map invariant (`prune`): a block is skipped only when its
+    /// [`EmbeddedCorpus::block_lower_bound`] strictly exceeds the
+    /// current k-th best squared distance. Within one scan indices only
+    /// grow, so a later object can improve a *full* answer set only
+    /// with a strictly smaller sum — and every member of a skipped
+    /// block has `sum ≥ bound > kth_sq` (for the computed values; see
+    /// `block_lower_bound`). Skipping therefore never changes the
+    /// answer, only `blocks_skipped`/`block_pruned` and the work done.
+    /// An edge block truncated by `range` is still validly bounded:
+    /// its box covers a superset of the rows scanned.
     fn scan_range(
         &self,
         q: &[f64],
@@ -650,6 +868,28 @@ impl EmbeddedCorpus {
         range: Range<usize>,
         k_nearest: usize,
         abandon: bool,
+        prune: bool,
+    ) -> (Vec<(f64, usize)>, ScanStats) {
+        self.scan_bounded(q, q_short, range, k_nearest, f64::INFINITY, abandon, prune)
+    }
+
+    /// The scan workhorse behind [`EmbeddedCorpus::scan_range`] and
+    /// [`EmbeddedCorpus::knn_within`]: like `scan_range`, but seeded
+    /// with an initial squared-distance bound. While fewer than
+    /// `k_nearest` candidates are held, `bound_sq` plays the role of
+    /// the k-th best (inclusively: an object at exactly `bound_sq`
+    /// is admitted), so all three pruning stages engage from the
+    /// first row. `bound_sq = ∞` recovers the plain top-k scan.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_bounded(
+        &self,
+        q: &[f64],
+        q_short: Option<&ShortVector>,
+        range: Range<usize>,
+        k_nearest: usize,
+        bound_sq: f64,
+        abandon: bool,
+        prune: bool,
     ) -> (Vec<(f64, usize)>, ScanStats) {
         let mut stats = ScanStats::default();
         let mut best: Vec<(f64, usize)> = Vec::with_capacity(k_nearest.saturating_add(1));
@@ -657,48 +897,76 @@ impl EmbeddedCorpus {
             return (best, stats);
         }
         let shorts = self.filter.as_ref().map(|f| f.shorts.as_slice());
-        for i in range {
-            let full = best.len() == k_nearest;
-            // `best` is kept sorted and truncated to `k_nearest`, so
-            // when full its last element is the current k-th best.
-            let (kth_sq, kth_tie) = match best.last() {
-                Some(&(d, tie)) if full => (d, tie),
-                _ => (f64::INFINITY, usize::MAX),
-            };
-            // Stage 1: the §2.1 bounding filter. d ≥ d̂, so
-            // d̂² > kth_sq ⇒ d² > kth_sq and the object cannot improve
-            // the answer.
-            if full {
-                if let (Some(q_s), Some(shorts)) = (q_short, shorts) {
-                    let s = &shorts[i * 3..i * 3 + 3];
-                    let lb_sq = (q_s.coords[0] - s[0]).powi(2)
-                        + (q_s.coords[1] - s[1]).powi(2)
-                        + (q_s.coords[2] - s[2]).powi(2);
-                    if lb_sq > kth_sq {
-                        stats.filter_pruned += 1;
-                        continue;
-                    }
-                }
-            }
-            // Stage 2: running-sum early abandoning.
-            let threshold_sq = if abandon && full {
-                kth_sq
-            } else {
-                f64::INFINITY
-            };
-            let sum = match self.squared_distance_abandoning(q, i, threshold_sq) {
-                Some(sum) => sum,
-                None => {
-                    stats.abandoned += 1;
+        let prune = prune && !self.block_lo.is_empty();
+        let mut clamped = if prune { vec![0.0; self.k] } else { Vec::new() };
+        let mut i = range.start;
+        while i < range.end {
+            let block = i / self.prune_block;
+            // block < ⌈n/prune_block⌉ so the +1 cannot overflow; the
+            // min clamps the product to the scanned range.
+            let block_end = ((block + 1) * self.prune_block).min(range.end);
+            if prune {
+                // `best` is sorted and truncated, so its last element
+                // is the current k-th best; below `k_nearest`
+                // candidates the seeded bound stands in for it.
+                let kth_sq = match best.last() {
+                    Some(&(d, _)) if best.len() == k_nearest => d,
+                    _ => bound_sq,
+                };
+                if self.block_lower_bound(q, block, &mut clamped) > kth_sq {
+                    stats.blocks_skipped += 1;
+                    stats.block_pruned += (block_end - i) as u64;
+                    i = block_end;
                     continue;
                 }
-            };
-            stats.completed += 1;
-            if !full || (sum, i) < (kth_sq, kth_tie) {
-                best.push((sum, i));
-                sort_candidates(&mut best);
-                best.truncate(k_nearest);
             }
+            for j in i..block_end {
+                let full = best.len() == k_nearest;
+                // When full, `best.last()` is the current k-th best;
+                // otherwise the seeded bound (inclusive via the
+                // usize::MAX tie-break) gates admission.
+                let (kth_sq, kth_tie) = match best.last() {
+                    Some(&(d, tie)) if full => (d, tie),
+                    _ => (bound_sq, usize::MAX),
+                };
+                // Stage 1: the §2.1 bounding filter. d ≥ d̂, so
+                // d̂² > kth_sq ⇒ d² > kth_sq and the object cannot
+                // improve the answer. `kth_sq` is infinite exactly
+                // when neither a full candidate set nor a seeded
+                // bound gates admission, and then nothing prunes.
+                if kth_sq < f64::INFINITY {
+                    if let (Some(q_s), Some(shorts)) = (q_short, shorts) {
+                        let s = &shorts[j * 3..j * 3 + 3];
+                        let lb_sq = (q_s.coords[0] - s[0]).powi(2)
+                            + (q_s.coords[1] - s[1]).powi(2)
+                            + (q_s.coords[2] - s[2]).powi(2);
+                        if lb_sq > kth_sq {
+                            stats.filter_pruned += 1;
+                            continue;
+                        }
+                    }
+                }
+                // Stage 2: running-sum early abandoning (against the
+                // seeded bound while the candidate set is short).
+                let threshold_sq = if abandon { kth_sq } else { f64::INFINITY };
+                let sum = match self.squared_distance_abandoning(q, j, threshold_sq) {
+                    Some(sum) => sum,
+                    None => {
+                        stats.abandoned += 1;
+                        continue;
+                    }
+                };
+                stats.completed += 1;
+                // The sentinel pair admits `sum ≤ bound_sq` inclusively
+                // while the set is short (j < usize::MAX breaks the
+                // tie); a full set demands a strict improvement.
+                if (sum, j) < (kth_sq, kth_tie) {
+                    best.push((sum, j));
+                    sort_candidates(&mut best);
+                    best.truncate(k_nearest);
+                }
+            }
+            i = block_end;
         }
         (best, stats)
     }
@@ -787,18 +1055,21 @@ mod tests {
 
     #[test]
     fn unrolled_kernel_matches_scalar_reference() {
-        // Awkward lengths exercise every tail path of the four-lane
+        // Awkward lengths exercise every tail path of the eight-lane
         // unroll: empty, sub-lane, lane-aligned, block-aligned, and
         // block+lane+tail combinations.
-        for len in [0usize, 1, 3, 4, 5, 7, 15, 16, 17, 20, 31, 33, 64] {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 20, 24, 31, 33, 64] {
             let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
             let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.73).cos()).collect();
-            let scalar: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            let scalar = squared_euclidean_scalar(&a, &b);
+            let four = squared_euclidean_4wide(&a, &b);
             let unrolled = squared_euclidean(&a, &b);
-            assert!(
-                (scalar - unrolled).abs() <= 1e-12 * scalar.max(1.0),
-                "len {len}: scalar {scalar} vs unrolled {unrolled}"
-            );
+            for (name, got) in [("4-wide", four), ("8-wide", unrolled)] {
+                assert!(
+                    (scalar - got).abs() <= 1e-12 * scalar.max(1.0),
+                    "len {len}: scalar {scalar} vs {name} {got}"
+                );
+            }
             // The block helper alone agrees with the full function on
             // sub-block inputs (the abandoning scan relies on this).
             if len <= ABANDON_STRIDE {
@@ -834,8 +1105,12 @@ mod tests {
             let (fast, fstats) = corpus.knn(q, 7).unwrap();
             assert_eq!(brute, fast, "early abandoning changed the answer");
             assert_eq!(bstats.completed, 200);
+            assert_eq!(bstats.blocks_skipped, 0, "the oracle never prunes blocks");
             assert_eq!(
-                fstats.filter_pruned + fstats.abandoned + fstats.completed,
+                fstats.filter_pruned
+                    + fstats.abandoned
+                    + fstats.completed
+                    + fstats.block_pruned,
                 200
             );
             assert!(
@@ -844,6 +1119,126 @@ mod tests {
             );
             assert!(fstats.savings() > 0.0);
         }
+    }
+
+    #[test]
+    fn zone_map_pruning_preserves_answers_across_block_sizes() {
+        let sp = space();
+        let hists = sample_histograms(&sp, 230, 21);
+        let base = EmbeddedCorpus::build_filtered(&sp, &hists).unwrap();
+        let queries = sample_histograms(&sp, 4, 131);
+        for block in [1usize, 3, 16, 64, 500] {
+            let corpus = base.clone().with_prune_block(block);
+            assert_eq!(corpus.prune_block(), block);
+            for q in &queries {
+                for k in [1usize, 7, 229, 230, 400] {
+                    let (pruned, pstats) = corpus.knn(q, k).unwrap();
+                    let (plain, ustats) = corpus.knn_unpruned(q, k).unwrap();
+                    // Bit-identical answers — indices AND distances.
+                    assert_eq!(pruned.len(), plain.len(), "block={block} k={k}");
+                    for (a, b) in pruned.iter().zip(&plain) {
+                        assert_eq!(a.0, b.0, "block={block} k={k}");
+                        assert_eq!(a.1.to_bits(), b.1.to_bits(), "block={block} k={k}");
+                    }
+                    assert_eq!(ustats.blocks_skipped, 0);
+                    assert_eq!(ustats.block_pruned, 0);
+                    assert_eq!(
+                        pstats.filter_pruned
+                            + pstats.abandoned
+                            + pstats.completed
+                            + pstats.block_pruned,
+                        230,
+                        "block={block} k={k}: every object lands in one bucket"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zone_maps_skip_blocks_on_selective_scans() {
+        // A tight query against a small k: most blocks cannot beat the
+        // k-th best, so whole blocks must be skipped.
+        let sp = space();
+        let hists = sample_histograms(&sp, 512, 33);
+        let corpus = EmbeddedCorpus::build_filtered(&sp, &hists)
+            .unwrap()
+            .with_prune_block(16);
+        let q = &hists[5];
+        let (_, stats) = corpus.knn(q, 1).unwrap();
+        assert!(
+            stats.blocks_skipped > 0,
+            "a 1-NN self-query must skip blocks: {stats:?}"
+        );
+        assert_eq!(
+            stats.block_pruned,
+            // Each fully-skipped block covers prune_block rows except a
+            // possible edge block.
+            stats.blocks_skipped * 16,
+            "512 divides into whole 16-row blocks"
+        );
+    }
+
+    #[test]
+    fn bounded_scan_matches_filtered_unbounded_scan() {
+        let sp = space();
+        let hists = sample_histograms(&sp, 180, 47);
+        let corpus = EmbeddedCorpus::build_filtered(&sp, &hists)
+            .unwrap()
+            .with_prune_block(8);
+        let q = &sample_histograms(&sp, 1, 7)[0];
+        let (all, _) = corpus.knn(q, 180).unwrap();
+        for cut in [5usize, 40, 120] {
+            // A bound strictly between two attained distances: no
+            // boundary object, so sqrt/square rounding cannot flip
+            // membership.
+            let max_distance = (all[cut].1 + all[cut + 1].1) / 2.0;
+            assert!(all[cut].1 < max_distance && max_distance < all[cut + 1].1);
+            let want: Vec<(usize, f64)> = all.iter().copied().take(cut + 1).take(25).collect();
+            let (bounded, bstats) = corpus.knn_within(q, 25, max_distance, true).unwrap();
+            let (oracle, ostats) = corpus.knn_within(q, 25, max_distance, false).unwrap();
+            assert_eq!(bounded, oracle, "pruned vs unpruned bounded scan");
+            assert_eq!(bounded, want, "cut={cut}");
+            assert_eq!(ostats.blocks_skipped, 0);
+            assert_eq!(
+                bstats.filter_pruned
+                    + bstats.abandoned
+                    + bstats.completed
+                    + bstats.block_pruned,
+                180
+            );
+        }
+        // A non-finite bound degenerates to the plain top-k scan.
+        let (unbounded, _) = corpus.knn_within(q, 25, f64::INFINITY, true).unwrap();
+        let (plain, _) = corpus.knn(q, 25).unwrap();
+        assert_eq!(unbounded, plain);
+        // A zero bound admits only exact matches — none here — and the
+        // seeded threshold prunes from the very first row.
+        let (none, nstats) = corpus.knn_within(q, 25, 0.0, true).unwrap();
+        assert!(none.is_empty(), "no object is at distance zero: {none:?}");
+        assert!(
+            nstats.blocks_skipped > 0,
+            "a zero bound must skip blocks outright: {nstats:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_corpora_never_prune_wrongly() {
+        let sp = space();
+        // All-equal rows: every distance ties, zone boxes are points.
+        let hist = sample_histograms(&sp, 1, 3).remove(0);
+        let hists: Vec<ColorHistogram> = (0..40).map(|_| hist.clone()).collect();
+        let corpus = EmbeddedCorpus::build(EmbeddedSpace::for_space(&sp).unwrap(), &hists)
+            .unwrap()
+            .with_prune_block(7);
+        let q = &sample_histograms(&sp, 1, 9)[0];
+        let (pruned, _) = corpus.knn(q, 5).unwrap();
+        let (brute, _) = corpus.knn_brute(q, 5).unwrap();
+        assert_eq!(pruned, brute, "ties must resolve by index, pruned or not");
+        // k ≥ n: nothing may be pruned away.
+        let (all_of_them, stats) = corpus.knn(q, 40).unwrap();
+        assert_eq!(all_of_them.len(), 40);
+        assert_eq!(stats.block_pruned, 0, "k ≥ n leaves no block skippable");
     }
 
     #[test]
@@ -856,7 +1251,10 @@ mod tests {
         for threads in [2, 3, 8, 64] {
             let (par, stats) = corpus.knn_parallel(q, 9, threads).unwrap();
             assert_eq!(serial, par, "threads={threads}");
-            assert_eq!(stats.filter_pruned + stats.abandoned + stats.completed, 157);
+            assert_eq!(
+                stats.filter_pruned + stats.abandoned + stats.completed + stats.block_pruned,
+                157
+            );
         }
     }
 

@@ -93,6 +93,55 @@ proptest! {
         }
     }
 
+    /// Zone-map pruning is invisible in answers: pruned and unpruned
+    /// scans agree bit for bit across block sizes and thresholds,
+    /// including degenerate corpora (k ≥ n; every histogram equal).
+    #[test]
+    fn pruned_equivalence_across_block_sizes_and_thresholds(
+        s in scenario(),
+        block in prop_oneof![Just(1usize), Just(3), Just(8), Just(64)],
+        all_equal in prop_oneof![Just(false), Just(true)],
+    ) {
+        let space = ColorSpace::rgb_grid(s.bins_per_channel).expect("valid grid");
+        let mut hists = histograms(&space, s.n, s.seed);
+        if all_equal {
+            let first = hists[0].clone();
+            hists = vec![first; s.n];
+        }
+        let query = &histograms(&space, 1, s.seed ^ 0xdead_beef)[0];
+        let corpus = EmbeddedCorpus::build(
+            EmbeddedSpace::for_space(&space).expect("QBIC matrix embeds"),
+            &hists,
+        )
+        .expect("same space")
+        .with_prune_block(block);
+
+        // k ≥ n is in the sweep (k_nearest = 100 > n ≤ 80).
+        let (pruned, pstats) = corpus.knn(query, s.k_nearest).expect("same space");
+        let (unpruned, ustats) = corpus.knn_unpruned(query, s.k_nearest).expect("same space");
+        prop_assert_eq!(&pruned, &unpruned, "block={}", block);
+        prop_assert!(
+            pstats.completed <= ustats.completed,
+            "pruning may only reduce work: {} vs {} completed",
+            pstats.completed,
+            ustats.completed
+        );
+
+        // Threshold-seeded scans: a live bound (drawn from the true
+        // distance spread, plus extremes) never changes the answer.
+        let (oracle, _) = corpus.knn_brute(query, s.n.max(1)).expect("same space");
+        let mid = oracle[oracle.len() / 2].1;
+        for bound in [0.0, mid, f64::INFINITY] {
+            let (p, _) = corpus
+                .knn_within(query, s.k_nearest, bound, true)
+                .expect("same space");
+            let (u, _) = corpus
+                .knn_within(query, s.k_nearest, bound, false)
+                .expect("same space");
+            prop_assert_eq!(&p, &u, "block={} bound={}", block, bound);
+        }
+    }
+
     /// Early-abandoning, filtered, and parallel scans all equal the
     /// brute-force oracle exactly.
     #[test]

@@ -125,6 +125,14 @@ impl TopKAlgorithm for CombinedAlgorithm {
         let mut bottoms = vec![Score::ONE; m];
         let mut exhausted = vec![false; m];
         let mut round = 0usize;
+        // Threshold feeding, same contract as in TA/NRA: only under a
+        // zero-absorbing combiner is the k-th lower bound a valid
+        // per-source hint for [`GradedSource::note_threshold`] (purely
+        // physical — read-ahead gating — never answers or charges).
+        let feed = matches!(
+            crate::planner::classify_combiner(scoring, m),
+            crate::planner::CombinerKind::ZeroAbsorbing
+        );
 
         let answers = loop {
             round += 1;
@@ -187,6 +195,11 @@ impl TopKAlgorithm for CombinedAlgorithm {
             let mut bounded = ca_bounds(&seen, &bottoms, scoring);
             if bounded.len() >= k {
                 let tau = bounded[k - 1].lower;
+                if feed {
+                    for source in sources.iter_mut() {
+                        source.note_threshold(tau);
+                    }
+                }
                 let unseen_upper = scoring.combine(&bottoms);
                 let rest_ok = bounded[k..]
                     .iter()

@@ -91,6 +91,15 @@ pub(crate) fn nra_core(
     let mut exhausted = vec![false; m];
     let mut low_buf = Vec::with_capacity(m);
     let mut high_buf = Vec::with_capacity(m);
+    // Threshold feeding: under a zero-absorbing combiner (t-norms:
+    // combine ≤ min), a sorted entry graded below the current k-th
+    // lower bound cannot reach the top k, so τ is a valid per-source
+    // hint for [`GradedSource::note_threshold`] — purely physical
+    // (e.g. gating read-ahead), never affecting answers or charges.
+    let feed = matches!(
+        crate::planner::classify_combiner(scoring, m),
+        crate::planner::CombinerKind::ZeroAbsorbing
+    );
 
     loop {
         // One round of sorted access on every live list.
@@ -136,6 +145,11 @@ pub(crate) fn nra_core(
         let enough_candidates = bounded.len() >= k;
         if enough_candidates {
             let tau = bounded[k - 1].lower;
+            if feed {
+                for source in sources.iter_mut() {
+                    source.note_threshold(tau);
+                }
+            }
             // Unseen objects are bounded by combine(bottoms).
             let unseen_upper = scoring.combine(&bottoms);
             let rest_ok = bounded[k..]

@@ -76,6 +76,17 @@ pub(crate) fn ta_core(
     let mut bottoms = vec![Score::ONE; m];
     let mut exhausted = vec![false; m];
     let mut slot_buf = vec![Score::ZERO; m];
+    // Threshold feeding: under a zero-absorbing combiner (t-norms:
+    // combine ≤ min), a sorted entry graded below the current k-th
+    // best overall grade cannot reach the top k, so that grade is a
+    // valid per-source bound to hint ([`GradedSource::note_threshold`]
+    // — purely physical, e.g. gating read-ahead of provably useless
+    // pages). `topk` holds the best overall grades seen, descending.
+    let feed = matches!(
+        crate::planner::classify_combiner(scoring, m),
+        crate::planner::CombinerKind::ZeroAbsorbing
+    );
+    let mut topk: Vec<Score> = Vec::new();
 
     loop {
         let mut progressed = false;
@@ -101,7 +112,21 @@ pub(crate) fn ta_core(
                         stats.random += 1;
                     }
                 }
-                entry.insert(scoring.combine(&slot_buf));
+                let overall = scoring.combine(&slot_buf);
+                entry.insert(overall);
+                if feed {
+                    let pos = topk.partition_point(|&g| g >= overall);
+                    if pos < k {
+                        topk.insert(pos, overall);
+                        topk.truncate(k);
+                    }
+                }
+            }
+        }
+        if feed && topk.len() == k {
+            let bound = topk[k - 1];
+            for source in sources.iter_mut() {
+                source.note_threshold(bound);
             }
         }
 

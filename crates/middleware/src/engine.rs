@@ -645,6 +645,8 @@ struct EngineTotals {
     page_reads: std::sync::atomic::AtomicU64,
     page_hits: std::sync::atomic::AtomicU64,
     page_evictions: std::sync::atomic::AtomicU64,
+    pages_skipped: std::sync::atomic::AtomicU64,
+    blocks_skipped: std::sync::atomic::AtomicU64,
 }
 
 impl EngineTotals {
@@ -662,6 +664,8 @@ impl EngineTotals {
         self.page_reads.fetch_add(stats.page_reads, Relaxed);
         self.page_hits.fetch_add(stats.page_hits, Relaxed);
         self.page_evictions.fetch_add(stats.page_evictions, Relaxed);
+        self.pages_skipped.fetch_add(stats.pages_skipped, Relaxed);
+        self.blocks_skipped.fetch_add(stats.blocks_skipped, Relaxed);
     }
 
     fn snapshot(&self) -> crate::stats::AccessStats {
@@ -679,6 +683,8 @@ impl EngineTotals {
             page_reads: self.page_reads.load(Relaxed),
             page_hits: self.page_hits.load(Relaxed),
             page_evictions: self.page_evictions.load(Relaxed),
+            pages_skipped: self.pages_skipped.load(Relaxed),
+            blocks_skipped: self.blocks_skipped.load(Relaxed),
         }
     }
 }
@@ -1022,6 +1028,7 @@ impl Engine {
                 result.stats.page_reads += delta.reads;
                 result.stats.page_hits += delta.hits;
                 result.stats.page_evictions += delta.evictions;
+                result.stats.pages_skipped += delta.skipped;
             }
         }
         Ok(result)

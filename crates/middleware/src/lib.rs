@@ -112,7 +112,7 @@ pub mod prelude {
     };
     pub use crate::stats::{AccessStats, CostModel, PageIoStats};
     pub use crate::store::{
-        build_store, build_store_from_source, BuildConfig, PagedSource, PagedStore, PoolConfig,
-        StoreError,
+        build_store, build_store_from_source, BuildConfig, PagedSource, PagedStore, StoreError,
+        StoreOptions,
     };
 }

@@ -240,6 +240,14 @@ pub struct PlanQuery {
     /// [`fa_theorem41_cost`]). Garlic's `CostEstimator::calibrate_fa`
     /// fits it by measuring a live A₀ run.
     pub fa_constant: f64,
+    /// Expected fraction of sorted entries a full scan can skip via
+    /// block-max pruning (zone maps over the embedded corpus, page
+    /// bounds in the paged store), in `[0, 1]`. `0` — the default —
+    /// prices an unpruned scan; callers with a live skip-rate reading
+    /// (e.g. [`crate::stats::AccessStats::pages_skipped`] over pages
+    /// touched) feed it back here so FullScan competes fairly against
+    /// the threshold family on selective workloads.
+    pub expected_skip: f64,
 }
 
 impl PlanQuery {
@@ -256,6 +264,7 @@ impl PlanQuery {
             crisp_survivors: None,
             exact_grades: false,
             fa_constant: 1.0,
+            expected_skip: 0.0,
         }
     }
 
@@ -285,6 +294,16 @@ impl PlanQuery {
     pub fn fa_constant(mut self, c: f64) -> PlanQuery {
         if c.is_finite() && c > 0.0 {
             self.fa_constant = c;
+        }
+        self
+    }
+
+    /// Declares the expected block-max skip fraction for full scans.
+    /// Out-of-range or non-finite values are ignored (the conservative
+    /// unpruned price stands).
+    pub fn expected_skip(mut self, fraction: f64) -> PlanQuery {
+        if fraction.is_finite() && (0.0..=1.0).contains(&fraction) {
+            self.expected_skip = fraction;
         }
         self
     }
@@ -631,8 +650,12 @@ impl<'a> Estimator<'a> {
                 for i in 0..self.q.m {
                     total += self.universe_of(i);
                 }
+                // Block-max pruning lets a bounded scan skip the
+                // fraction of entries the caller measured as provably
+                // below its threshold; the unpruned price is the
+                // `expected_skip == 0` default.
                 Some(Accesses {
-                    sorted: total,
+                    sorted: total * (1.0 - self.q.expected_skip),
                     random: 0.0,
                 })
             }
@@ -877,6 +900,41 @@ mod tests {
                 est / measured < 2.0 && measured / est < 2.0,
                 "{plan}: estimated {est:.0}, measured {measured:.0}"
             );
+        }
+    }
+
+    #[test]
+    fn expected_skip_discounts_full_scans_and_rejects_junk() {
+        let stats = uniform_stats(1000, 2, 3);
+        let u = CostModel::UNIFORM;
+        let base = PlanQuery::fuzzy(1000, 2, 10);
+        let full = estimate_cost(PhysicalPlan::FullScan, &base, Some(&stats), &u, 0.0).unwrap();
+        let pruned = estimate_cost(
+            PhysicalPlan::FullScan,
+            &base.clone().expected_skip(0.75),
+            Some(&stats),
+            &u,
+            0.0,
+        )
+        .unwrap();
+        assert!(
+            (pruned - full * 0.25).abs() < 1e-9,
+            "75% skip should quarter the scan price: {pruned:.1} vs {full:.1}"
+        );
+        // Threshold plans are unaffected by the scan discount.
+        let ta = estimate_cost(PhysicalPlan::Ta, &base, Some(&stats), &u, 0.0).unwrap();
+        let ta_skip = estimate_cost(
+            PhysicalPlan::Ta,
+            &base.clone().expected_skip(0.75),
+            Some(&stats),
+            &u,
+            0.0,
+        )
+        .unwrap();
+        assert_eq!(ta, ta_skip);
+        // Out-of-range and non-finite fractions are ignored.
+        for junk in [-0.5, 1.5, f64::NAN, f64::INFINITY] {
+            assert_eq!(base.clone().expected_skip(junk).expected_skip, 0.0);
         }
     }
 

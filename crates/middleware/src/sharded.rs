@@ -270,6 +270,15 @@ fn shard_ta<S: GradedSource>(
     let mut bottoms = vec![Score::ONE; m];
     let mut exhausted = vec![false; m];
     let mut slot_buf = vec![Score::ZERO; m];
+    // Threshold feeding (same contract as serial TA): under a
+    // zero-absorbing combiner the shared bound — max of the local k-th
+    // grade and every other shard's published k-th — is a valid
+    // per-source [`GradedSource::note_threshold`] hint. Purely
+    // physical (read-ahead gating); answers and charges never change.
+    let feed = matches!(
+        crate::planner::classify_combiner(scoring, m),
+        crate::planner::CombinerKind::ZeroAbsorbing
+    );
 
     loop {
         let mut progressed = false;
@@ -312,6 +321,12 @@ fn shard_ta<S: GradedSource>(
             // global k-th grade is ≥ kth: a certified bound to share.
             global.observe(kth);
         }
+        if feed {
+            let bound = global.get();
+            for source in sources.iter_mut() {
+                source.note_threshold(bound);
+            }
+        }
         let tau = scoring.combine(&bottoms);
         let locally_done = kth.is_some_and(|kth| kth >= tau);
         // Strict <: every unseen object here grades ≤ τ < global k-th,
@@ -353,6 +368,11 @@ fn shard_nra<S: GradedSource>(
     let mut exhausted = vec![false; m];
     let mut low_buf = Vec::with_capacity(m);
     let mut high_buf = Vec::with_capacity(m);
+    // Threshold feeding, same contract as in [`shard_ta`].
+    let feed = matches!(
+        crate::planner::classify_combiner(scoring, m),
+        crate::planner::CombinerKind::ZeroAbsorbing
+    );
 
     loop {
         let mut progressed = false;
@@ -397,6 +417,11 @@ fn shard_nra<S: GradedSource>(
             global.observe(bounded[k - 1].lower);
         }
         let theta = global.get();
+        if feed {
+            for source in sources.iter_mut() {
+                source.note_threshold(theta);
+            }
+        }
         let unseen_upper = scoring.combine(&bottoms);
 
         // Cooperative prune: nothing this shard has seen — or could

@@ -162,6 +162,57 @@ pub trait GradedSource {
     fn page_io(&self) -> Option<crate::stats::PageIoStats> {
         None
     }
+
+    /// Tells the source the caller's live grade threshold: entries
+    /// graded below `bound` can no longer affect the caller's answer
+    /// (TA/NRA/CA feed their running τ / k-th grade here as it rises).
+    ///
+    /// Purely a *physical* hint — a source may use it to stop
+    /// prefetching provably useless pages, but every access method
+    /// keeps its exact contract: same entries, same grades, same
+    /// charged accounting. The default does nothing.
+    fn note_threshold(&mut self, bound: Score) {
+        let _ = bound;
+    }
+
+    /// Bounded sorted drain: every remaining entry of the sorted
+    /// stream with grade ≥ `bound`, in stream order, advancing the
+    /// cursor past exactly those entries (the next [`sorted_next`]
+    /// returns the first entry below `bound`, if any). Costs one
+    /// sorted access per item returned — a skipped tail is never
+    /// charged.
+    ///
+    /// Returns `None` when the implementation has no better strategy
+    /// than the scalar loop (the default); callers then fall back to
+    /// [`sorted_next`] and stop at the first below-bound grade, which
+    /// is observationally identical. [`crate::store::PagedSource`]
+    /// answers this from its persisted per-page grade bounds, skipping
+    /// whole pages.
+    ///
+    /// [`sorted_next`]: GradedSource::sorted_next
+    fn sorted_drain_bounded(&mut self, bound: Score) -> Option<Vec<ScoredObject<Oid>>> {
+        let _ = bound;
+        None
+    }
+
+    /// Random access for a caller that only consumes grades at or
+    /// above `bound`: returns the exact grade when it is ≥ `bound`,
+    /// and [`Score::ZERO`] when it is provably below. The caller must
+    /// treat any return below `bound` as "cannot affect my answer",
+    /// never as the object's true grade. Costs one random access
+    /// either way, exactly like [`GradedSource::random_access`].
+    ///
+    /// The default calls `random_access` and clamps; a paged source
+    /// can skip the page read entirely when its persisted bounds prove
+    /// every grade on the page is below `bound`.
+    fn random_access_bounded(&mut self, oid: Oid, bound: Score) -> Score {
+        let grade = self.random_access(oid);
+        if grade >= bound {
+            grade
+        } else {
+            Score::ZERO
+        }
+    }
 }
 
 impl fmt::Debug for dyn GradedSource + '_ {
@@ -345,6 +396,16 @@ impl GradedSource for ShardedSource {
             |i| self.sorted.get(i).map(|s| s.grade).unwrap_or(Score::ZERO),
         ))
     }
+
+    // The shard's slice is materialized and grade-descending, so the
+    // ≥-bound prefix is one partition point.
+    fn sorted_drain_bounded(&mut self, bound: Score) -> Option<Vec<ScoredObject<Oid>>> {
+        let tail = &self.sorted[self.cursor.min(self.sorted.len())..];
+        let take = tail.partition_point(|so| so.grade >= bound);
+        let out = tail[..take].to_vec();
+        self.cursor += take;
+        Some(out)
+    }
 }
 
 /// An in-memory [`GradedSource`] over an explicit grade assignment.
@@ -482,6 +543,18 @@ impl GradedSource for VecSource {
             |i| self.sorted.get(i).map(|s| s.grade).unwrap_or(Score::ZERO),
         ))
     }
+
+    // The reference semantics for bounded drains: the ≥-bound prefix
+    // of the remaining stream, found with one partition point over the
+    // materialized sorted vec. Disk-backed sources must return exactly
+    // what this returns (the `pruned_equivalence` suite checks).
+    fn sorted_drain_bounded(&mut self, bound: Score) -> Option<Vec<ScoredObject<Oid>>> {
+        let tail = &self.sorted[self.cursor.min(self.sorted.len())..];
+        let take = tail.partition_point(|so| so.grade >= bound);
+        let out = tail[..take].to_vec();
+        self.cursor += take;
+        Some(out)
+    }
 }
 
 /// A wrapper that independently counts the accesses made to an inner
@@ -556,6 +629,28 @@ impl<S: GradedSource> GradedSource for CountingSource<S> {
     fn random_batch(&mut self, oids: &[Oid]) -> Vec<Score> {
         self.random_accesses += oids.len() as u64;
         self.inner.random_batch(oids)
+    }
+
+    fn note_threshold(&mut self, bound: Score) {
+        // A hint, not an access: forwarded unmetered.
+        self.inner.note_threshold(bound);
+    }
+
+    fn sorted_drain_bounded(&mut self, bound: Score) -> Option<Vec<ScoredObject<Oid>>> {
+        let out = self.inner.sorted_drain_bounded(bound)?;
+        // The documented contract: one sorted access per item
+        // returned, nothing for the skipped tail.
+        self.sorted_accesses += out.len() as u64;
+        Some(out)
+    }
+
+    fn random_access_bounded(&mut self, oid: Oid, bound: Score) -> Score {
+        self.random_accesses += 1;
+        self.inner.random_access_bounded(oid, bound)
+    }
+
+    fn page_io(&self) -> Option<crate::stats::PageIoStats> {
+        self.inner.page_io()
     }
 }
 
@@ -690,7 +785,15 @@ impl<S: GradedSource> GradedSource for ValidatingSource<S> {
 
     // The default batch implementations route through the scalar
     // methods above, so batched access is validated item by item; no
-    // overrides here on purpose.
+    // overrides here on purpose. Likewise `sorted_drain_bounded` stays
+    // at its default `None` so bounded drains fall back to validated
+    // scalar reads.
+
+    fn note_threshold(&mut self, bound: Score) {
+        // A pure hint — forwarding it costs nothing and validates
+        // nothing.
+        self.inner.note_threshold(bound);
+    }
 }
 
 #[cfg(test)]

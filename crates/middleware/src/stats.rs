@@ -55,6 +55,16 @@ pub struct AccessStats {
     pub page_hits: u64,
     /// Page frames dropped from a buffer pool to make room.
     pub page_evictions: u64,
+    /// Sorted-run / random-table pages a paged source *proved* it did
+    /// not need via its persisted per-page grade bounds (bounded drains
+    /// and probes, see [`crate::store::PagedSource`]). Physical
+    /// telemetry like `page_reads`: skipping changes the work, never
+    /// the answers or the charged accesses.
+    pub pages_skipped: u64,
+    /// Corpus scan blocks the media layer's zone maps pruned wholesale
+    /// (see `fmdb_media`'s `EmbeddedCorpus` block bounds). Physical
+    /// telemetry; 0 means "no embedded corpus involved".
+    pub blocks_skipped: u64,
 }
 
 impl AccessStats {
@@ -68,6 +78,8 @@ impl AccessStats {
         page_reads: 0,
         page_hits: 0,
         page_evictions: 0,
+        pages_skipped: 0,
+        blocks_skipped: 0,
     };
 
     /// Creates explicit stats (no cache activity).
@@ -105,6 +117,8 @@ impl Add for AccessStats {
             page_reads: self.page_reads + rhs.page_reads,
             page_hits: self.page_hits + rhs.page_hits,
             page_evictions: self.page_evictions + rhs.page_evictions,
+            pages_skipped: self.pages_skipped + rhs.pages_skipped,
+            blocks_skipped: self.blocks_skipped + rhs.blocks_skipped,
         }
     }
 }
@@ -132,6 +146,8 @@ impl Sub for AccessStats {
             page_reads: self.page_reads.saturating_sub(rhs.page_reads),
             page_hits: self.page_hits.saturating_sub(rhs.page_hits),
             page_evictions: self.page_evictions.saturating_sub(rhs.page_evictions),
+            pages_skipped: self.pages_skipped.saturating_sub(rhs.pages_skipped),
+            blocks_skipped: self.blocks_skipped.saturating_sub(rhs.blocks_skipped),
         }
     }
 }
@@ -151,7 +167,7 @@ impl fmt::Display for AccessStats {
 /// Buffer-pool I/O counters a paged source exposes through
 /// [`crate::source::GradedSource::page_io`].
 ///
-/// All three counters are cumulative over the source's lifetime;
+/// All counters are cumulative over the source's lifetime;
 /// the engine diffs two snapshots to attribute page traffic to one
 /// request ([`AccessStats::page_reads`] and friends).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -163,6 +179,9 @@ pub struct PageIoStats {
     pub hits: u64,
     /// Page frames dropped from the buffer pool to make room.
     pub evictions: u64,
+    /// Pages a bounded drain or probe proved unnecessary via the
+    /// store's persisted per-page grade bounds and never visited.
+    pub skipped: u64,
 }
 
 impl PageIoStats {
@@ -171,6 +190,7 @@ impl PageIoStats {
         reads: 0,
         hits: 0,
         evictions: 0,
+        skipped: 0,
     };
 }
 
@@ -181,6 +201,7 @@ impl Add for PageIoStats {
             reads: self.reads + rhs.reads,
             hits: self.hits + rhs.hits,
             evictions: self.evictions + rhs.evictions,
+            skipped: self.skipped + rhs.skipped,
         }
     }
 }
@@ -194,6 +215,7 @@ impl Sub for PageIoStats {
             reads: self.reads.saturating_sub(rhs.reads),
             hits: self.hits.saturating_sub(rhs.hits),
             evictions: self.evictions.saturating_sub(rhs.evictions),
+            skipped: self.skipped.saturating_sub(rhs.skipped),
         }
     }
 }

@@ -1,15 +1,24 @@
 //! On-disk format of the paged column store: page layout, checksums,
 //! and the crash-safe one-shot writer.
 //!
-//! A store file is a sequence of fixed-size pages:
+//! A version-2 store file is a sequence of fixed-size pages:
 //!
 //! ```text
-//! page 0                    header (magic, version, geometry, label)
-//! page 1                    stats  (persisted equi-depth histogram)
-//! pages 2 .. 2+D            directory (first oid of each random page)
-//! pages 2+D .. 2+D+S        sorted run   (grade-desc, oid-asc entries)
-//! pages 2+D+S .. 2+D+S+R    random table (oid-asc entries)
+//! page 0                      header (magic, version, geometry, label)
+//! page 1                      stats  (persisted equi-depth histogram)
+//! pages 2 .. 2+D              directory (first oid of each random page)
+//! pages 2+D .. 2+D+B          page bounds ((min, max) grade per data page)
+//! pages 2+D+B .. 2+D+B+S      sorted run   (grade-desc, oid-asc entries)
+//! pages 2+D+B+S .. 2+D+B+S+R  random table (oid-asc entries)
 //! ```
+//!
+//! The bounds section holds one `(min_grade, max_grade)` f64-bit pair
+//! per data page — sorted-run pages first, then random-table pages —
+//! and powers the zone-map pruning layer: a drain holding a live
+//! threshold stops at the first sorted page whose persisted `max`
+//! falls below it, and bounded probes skip pages entirely outside the
+//! requested grade range. Version-1 files (no bounds section,
+//! `B = 0`) still open fine — pruning is simply disabled.
 //!
 //! Every page carries a CRC32 over its post-checksum bytes, so a torn
 //! or bit-flipped page surfaces as [`StoreError::ChecksumMismatch`],
@@ -35,8 +44,12 @@ use crate::source::Oid;
 /// Magic bytes opening every store file (version baked into the name).
 pub const MAGIC: [u8; 8] = *b"FMDBPGS1";
 
-/// Format version written into the header.
-pub const VERSION: u32 = 1;
+/// Format version written into the header (2: per-page grade bounds).
+pub const VERSION: u32 = 2;
+
+/// The previous format version: no bounds section. Still readable —
+/// opening a v1 store disables page pruning instead of erroring.
+pub const VERSION_1: u32 = 1;
 
 /// Smallest supported page size: the header (with a bounded label)
 /// and a useful number of entries must fit on one page.
@@ -54,8 +67,12 @@ pub const ENTRY_BYTES: usize = 16;
 /// Longest label a store can persist.
 pub const MAX_LABEL_BYTES: usize = 128;
 
-/// Fixed header fields before the variable-length label.
-const HEADER_FIXED_BYTES: usize = 60;
+/// Fixed version-1 header fields before the variable-length label.
+const HEADER_FIXED_BYTES_V1: usize = 60;
+
+/// Fixed version-2 header fields: v1's plus the `u32` bounds-page
+/// count at offset 60.
+const HEADER_FIXED_BYTES: usize = 64;
 
 /// Everything that can go wrong opening, reading, or building a store.
 ///
@@ -95,6 +112,9 @@ pub enum StoreError {
     PageSizeTooSmall(usize),
     /// The persisted stats page does not reassemble into a histogram.
     InvalidStats,
+    /// An open-time knob is self-contradictory (e.g. `Some(0)` frames —
+    /// use `None` to disable a feature explicitly).
+    InvalidOptions(&'static str),
 }
 
 impl std::fmt::Display for StoreError {
@@ -125,6 +145,9 @@ impl std::fmt::Display for StoreError {
                 write!(f, "page size {n} below the {MIN_PAGE_SIZE}-byte minimum")
             }
             StoreError::InvalidStats => write!(f, "persisted stats page is not a histogram"),
+            StoreError::InvalidOptions(what) => {
+                write!(f, "invalid store options: {what}")
+            }
         }
     }
 }
@@ -211,6 +234,9 @@ pub(crate) fn verify_page(page: &[u8], index: u64) -> Result<(), StoreError> {
 /// The decoded header page: file geometry and identity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Header {
+    /// Format version the file was written with ([`VERSION_1`] or
+    /// [`VERSION`]).
+    pub version: u32,
     /// Fixed page size in bytes.
     pub page_size: usize,
     /// Number of `(oid, grade)` entries the store holds.
@@ -223,6 +249,9 @@ pub struct Header {
     pub sorted_pages: u64,
     /// Pages of the oid-ascending random table.
     pub random_pages: u64,
+    /// Pages of the per-data-page grade-bounds section (0 for a
+    /// version-1 file: pruning disabled).
+    pub bounds_pages: u64,
     /// Bucket count of the persisted histogram (0 for an empty store).
     pub hist_bins: u32,
     /// Universe the persisted histogram describes.
@@ -237,9 +266,14 @@ impl Header {
         2
     }
 
+    /// First page of the grade-bounds section (empty for version 1).
+    pub fn bounds_start(&self) -> u64 {
+        2 + self.dir_pages
+    }
+
     /// First page of the sorted run.
     pub fn sorted_start(&self) -> u64 {
-        2 + self.dir_pages
+        self.bounds_start() + self.bounds_pages
     }
 
     /// First page of the random table.
@@ -312,6 +346,19 @@ pub fn build_store(
     pairs: Vec<(Oid, Score)>,
     cfg: &BuildConfig,
 ) -> Result<(), StoreError> {
+    build_store_versioned(path, label, pairs, cfg, VERSION)
+}
+
+/// [`build_store`] at an explicit format version — version 1 writes no
+/// bounds section. Kept for the backward-compatibility tests; new
+/// stores are always current-version.
+pub(crate) fn build_store_versioned(
+    path: &Path,
+    label: &str,
+    pairs: Vec<(Oid, Score)>,
+    cfg: &BuildConfig,
+    version: u32,
+) -> Result<(), StoreError> {
     if cfg.page_size < MIN_PAGE_SIZE {
         return Err(StoreError::PageSizeTooSmall(cfg.page_size));
     }
@@ -342,6 +389,14 @@ pub fn build_store(
     let sorted_pages = pages_for(n);
     let random_pages = pages_for(n);
     let dir_pages = random_pages.div_ceil(dir_entries_per_page as u64);
+    // One (min, max) pair per data page; pairs are entry-sized, so the
+    // bounds section packs at the data-page entry rate. Version 1 has
+    // no bounds section at all.
+    let bounds_pages = if version == VERSION_1 {
+        0
+    } else {
+        (sorted_pages + random_pages).div_ceil(entries_per_page as u64)
+    };
 
     // The histogram must fit the single stats page.
     let max_bounds = (page_size - PAGE_HEADER_BYTES) / 8;
@@ -354,12 +409,14 @@ pub fn build_store(
     });
 
     let header = Header {
+        version,
         page_size,
         n,
         entries_per_page,
         dir_pages,
         sorted_pages,
         random_pages,
+        bounds_pages,
         hist_bins: histogram.bins() as u32,
         hist_universe: histogram.universe() as u64,
         label: label.to_owned(),
@@ -427,6 +484,35 @@ fn write_all_pages(
     // An empty store still owns its directory page count (0), nothing
     // to pad.
 
+    // Bounds pages: one (min, max) grade pair per data page, sorted
+    // run first then random table, entry-sized pairs. Version-1 files
+    // carry no bounds section.
+    if header.version != VERSION_1 {
+        let mut page_bounds: Vec<(Score, Score)> = Vec::new();
+        for section in [sorted, by_id] {
+            for chunk in section.chunks(epp.max(1)) {
+                let mut lo = Score::ONE;
+                let mut hi = Score::ZERO;
+                for so in chunk {
+                    lo = lo.min(so.grade);
+                    hi = hi.max(so.grade);
+                }
+                page_bounds.push((lo, hi));
+            }
+        }
+        for chunk in page_bounds.chunks(epp.max(1)) {
+            page.iter_mut().for_each(|b| *b = 0);
+            write_u32(&mut page, 4, chunk.len() as u32);
+            for (i, &(lo, hi)) in chunk.iter().enumerate() {
+                let off = PAGE_HEADER_BYTES + i * ENTRY_BYTES;
+                write_u64(&mut page, off, lo.value().to_bits());
+                write_u64(&mut page, off + 8, hi.value().to_bits());
+            }
+            seal_page(&mut page);
+            file.write_all(&page)?;
+        }
+    }
+
     // Sorted run, then random table: identical entry encoding.
     for section in [sorted, by_id] {
         for chunk in section.chunks(epp.max(1)) {
@@ -446,15 +532,22 @@ fn write_all_pages(
     Ok(())
 }
 
-/// Encodes the header page (checksummed like every other page).
+/// Encodes the header page (checksummed like every other page) in the
+/// layout `header.version` dictates — the version-1 writer survives
+/// for the backward-compatibility tests.
 fn write_header(page: &mut [u8], header: &Header) -> Result<(), StoreError> {
     page.iter_mut().for_each(|b| *b = 0);
     let label = header.label.as_bytes();
-    if HEADER_FIXED_BYTES + label.len() > page.len() {
+    let label_off = if header.version == VERSION_1 {
+        HEADER_FIXED_BYTES_V1
+    } else {
+        HEADER_FIXED_BYTES
+    };
+    if label_off + label.len() > page.len() {
         return Err(StoreError::LabelTooLong(label.len()));
     }
     page[4..12].copy_from_slice(&MAGIC);
-    write_u32(page, 12, VERSION);
+    write_u32(page, 12, header.version);
     write_u32(page, 16, header.page_size as u32);
     write_u64(page, 20, header.n);
     write_u32(page, 28, header.entries_per_page as u32);
@@ -464,7 +557,10 @@ fn write_header(page: &mut [u8], header: &Header) -> Result<(), StoreError> {
     write_u32(page, 44, header.hist_bins);
     write_u64(page, 48, header.hist_universe);
     write_u32(page, 56, label.len() as u32);
-    page[HEADER_FIXED_BYTES..HEADER_FIXED_BYTES + label.len()].copy_from_slice(label);
+    if header.version != VERSION_1 {
+        write_u32(page, 60, header.bounds_pages as u32);
+    }
+    page[label_off..label_off + label.len()].copy_from_slice(label);
     seal_page(page);
     Ok(())
 }
@@ -481,7 +577,7 @@ pub(crate) fn decode_header(page: &[u8]) -> Result<Header, StoreError> {
     // store", not "corrupt store".
     verify_page(page, 0)?;
     let version = read_u32(page, 12);
-    if version != VERSION {
+    if version != VERSION_1 && version != VERSION {
         return Err(StoreError::UnsupportedVersion(version));
     }
     let page_size = read_u32(page, 16) as usize;
@@ -503,19 +599,34 @@ pub(crate) fn decode_header(page: &[u8]) -> Result<Header, StoreError> {
     let hist_bins = read_u32(page, 44);
     let hist_universe = read_u64(page, 48);
     let label_len = read_u32(page, 56) as usize;
-    if label_len > MAX_LABEL_BYTES || HEADER_FIXED_BYTES + label_len > page_size {
+    let (bounds_pages, label_off) = if version == VERSION_1 {
+        (0u64, HEADER_FIXED_BYTES_V1)
+    } else {
+        let bounds_pages = read_u32(page, 60) as u64;
+        let expected_bounds =
+            (sorted_pages + random_pages).div_ceil(entries_per_page as u64);
+        if bounds_pages != expected_bounds {
+            return Err(StoreError::InvalidHeader(
+                "bounds page count disagrees with data pages",
+            ));
+        }
+        (bounds_pages, HEADER_FIXED_BYTES)
+    };
+    if label_len > MAX_LABEL_BYTES || label_off + label_len > page_size {
         return Err(StoreError::InvalidHeader("label length out of range"));
     }
-    let label = std::str::from_utf8(&page[HEADER_FIXED_BYTES..HEADER_FIXED_BYTES + label_len])
+    let label = std::str::from_utf8(&page[label_off..label_off + label_len])
         .map_err(|_| StoreError::InvalidHeader("label is not UTF-8"))?
         .to_owned();
     Ok(Header {
+        version,
         page_size,
         n,
         entries_per_page,
         dir_pages,
         sorted_pages,
         random_pages,
+        bounds_pages,
         hist_bins,
         hist_universe,
         label,
@@ -541,6 +652,27 @@ pub(crate) fn page_entry_count(page: &[u8], entries_per_page: usize) -> usize {
     (read_u32(page, 4) as usize).min(entries_per_page)
 }
 
+/// Decodes one `(min, max)` grade pair at slot `i` of a bounds page,
+/// validating both grades and their ordering — corrupt bounds surface
+/// as typed errors, never as silently wrong pruning.
+pub(crate) fn decode_bound(
+    page: &[u8],
+    i: usize,
+    page_index: u64,
+) -> Result<(Score, Score), StoreError> {
+    // i < entries_per_page so the offset stays within the page; the
+    // reads bounds-check regardless.
+    let off = PAGE_HEADER_BYTES + i * ENTRY_BYTES;
+    let lo = Score::new(f64::from_bits(read_u64(page, off)))
+        .map_err(|_| StoreError::InvalidGrade { page: page_index })?;
+    let hi = Score::new(f64::from_bits(read_u64(page, off + 8)))
+        .map_err(|_| StoreError::InvalidGrade { page: page_index })?;
+    if lo > hi {
+        return Err(StoreError::InvalidHeader("page bound min above max"));
+    }
+    Ok((lo, hi))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,12 +687,14 @@ mod tests {
     #[test]
     fn header_roundtrips() {
         let header = Header {
+            version: VERSION,
             page_size: 4096,
             n: 1000,
             entries_per_page: (4096 - PAGE_HEADER_BYTES) / ENTRY_BYTES,
             dir_pages: 1,
             sorted_pages: 4,
             random_pages: 4,
+            bounds_pages: 1,
             hist_bins: 16,
             hist_universe: 1000,
             label: "color".into(),
@@ -571,14 +705,61 @@ mod tests {
     }
 
     #[test]
+    fn version_1_header_roundtrips_with_pruning_disabled() {
+        let header = Header {
+            version: VERSION_1,
+            page_size: 4096,
+            n: 1000,
+            entries_per_page: (4096 - PAGE_HEADER_BYTES) / ENTRY_BYTES,
+            dir_pages: 1,
+            sorted_pages: 4,
+            random_pages: 4,
+            bounds_pages: 0,
+            hist_bins: 16,
+            hist_universe: 1000,
+            label: "color".into(),
+        };
+        let mut page = vec![0u8; 4096];
+        write_header(&mut page, &header).unwrap();
+        let decoded = decode_header(&page).unwrap();
+        assert_eq!(decoded, header);
+        assert_eq!(decoded.bounds_pages, 0, "v1 has no bounds section");
+        assert_eq!(decoded.sorted_start(), 3, "v1 sorted run follows the directory");
+    }
+
+    #[test]
+    fn bounds_pairs_roundtrip_and_reject_corruption() {
+        let mut page = vec![0u8; 512];
+        write_u32(&mut page, 4, 2);
+        write_u64(&mut page, PAGE_HEADER_BYTES, 0.25f64.to_bits());
+        write_u64(&mut page, PAGE_HEADER_BYTES + 8, 0.75f64.to_bits());
+        write_u64(&mut page, PAGE_HEADER_BYTES + 16, 0.9f64.to_bits());
+        write_u64(&mut page, PAGE_HEADER_BYTES + 24, 0.1f64.to_bits());
+        let (lo, hi) = decode_bound(&page, 0, 3).unwrap();
+        assert_eq!(lo.value().to_bits(), 0.25f64.to_bits());
+        assert_eq!(hi.value().to_bits(), 0.75f64.to_bits());
+        assert!(matches!(
+            decode_bound(&page, 1, 3),
+            Err(StoreError::InvalidHeader(_))
+        ));
+        write_u64(&mut page, PAGE_HEADER_BYTES, 2.0f64.to_bits());
+        assert!(matches!(
+            decode_bound(&page, 0, 3),
+            Err(StoreError::InvalidGrade { page: 3 })
+        ));
+    }
+
+    #[test]
     fn header_rejects_bad_magic_and_bad_checksum() {
         let header = Header {
+            version: VERSION,
             page_size: 4096,
             n: 0,
             entries_per_page: (4096 - PAGE_HEADER_BYTES) / ENTRY_BYTES,
             dir_pages: 0,
             sorted_pages: 0,
             random_pages: 0,
+            bounds_pages: 0,
             hist_bins: 0,
             hist_universe: 0,
             label: String::new(),

@@ -55,35 +55,68 @@ use format::{decode_entry, decode_header, page_entry_count, read_u32, read_u64, 
 use pool::PagePool;
 
 /// Open-time knobs: buffer-pool capacity and read-ahead depth.
+///
+/// Each knob is either `Some(n)` with `n > 0`, or `None` to disable
+/// the feature explicitly (run uncached / no read-ahead worker).
+/// `Some(0)` is rejected by [`PagedStore::open`] with
+/// [`StoreError::InvalidOptions`] — a zero capacity used to fall
+/// through and silently behave like "disabled", which is exactly the
+/// kind of obscure downstream failure a typed error should catch at
+/// the boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PoolConfig {
-    /// Page frames the buffer pool holds (0 disables caching — every
-    /// access reads storage).
-    pub pool_pages: usize,
+pub struct StoreOptions {
+    /// Page frames the buffer pool holds, or `None` for no caching —
+    /// every access reads storage.
+    pub pool_pages: Option<usize>,
     /// Sorted-run pages the read-ahead worker keeps ahead of the
-    /// cursor (0 disables the worker).
-    pub readahead: usize,
+    /// cursor, or `None` for no worker.
+    pub readahead: Option<usize>,
 }
 
-impl PoolConfig {
+impl StoreOptions {
     /// 256 frames (1 MiB at the default page size), read-ahead 4.
-    pub const DEFAULT: PoolConfig = PoolConfig {
-        pool_pages: 256,
-        readahead: 4,
+    pub const DEFAULT: StoreOptions = StoreOptions {
+        pool_pages: Some(256),
+        readahead: Some(4),
     };
 
-    /// The default with a different pool capacity.
-    pub fn with_pool_pages(pool_pages: usize) -> PoolConfig {
-        PoolConfig {
-            pool_pages,
-            ..PoolConfig::DEFAULT
+    /// The default with a different pool capacity (`None` disables
+    /// caching).
+    pub fn with_pool_pages(pool_pages: usize) -> StoreOptions {
+        StoreOptions {
+            pool_pages: (pool_pages > 0).then_some(pool_pages),
+            ..StoreOptions::DEFAULT
         }
+    }
+
+    /// Validates the knobs, returning each feature's effective
+    /// capacity (0 = disabled) for the pool/worker internals.
+    fn validate(&self) -> Result<(usize, usize), StoreError> {
+        let pool_pages = match self.pool_pages {
+            Some(0) => {
+                return Err(StoreError::InvalidOptions(
+                    "pool_pages must be positive; use None to disable caching",
+                ))
+            }
+            Some(n) => n,
+            None => 0,
+        };
+        let readahead = match self.readahead {
+            Some(0) => {
+                return Err(StoreError::InvalidOptions(
+                    "readahead must be positive; use None to disable the worker",
+                ))
+            }
+            Some(n) => n,
+            None => 0,
+        };
+        Ok((pool_pages, readahead))
     }
 }
 
-impl Default for PoolConfig {
-    fn default() -> PoolConfig {
-        PoolConfig::DEFAULT
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions::DEFAULT
     }
 }
 
@@ -124,7 +157,15 @@ struct StoreInner {
     directory: Vec<Oid>,
     /// The persisted stats-page histogram.
     histogram: GradeHistogram,
+    /// Per-data-page `(min, max)` grade bounds loaded from the bounds
+    /// section: sorted-run pages first (indices `0..sorted_pages`),
+    /// then random-table pages. Empty for version-1 stores — pruning
+    /// is simply disabled, never an error.
+    bounds: Vec<(Score, Score)>,
     pool: PagePool,
+    /// Pages bounded drains/probes proved unnecessary and never
+    /// visited (folded into [`PageIoStats::skipped`]).
+    pages_skipped: std::sync::atomic::AtomicU64,
     /// First runtime I/O failure after a successful open (see the
     /// module docs' failure model).
     error: Mutex<Option<StoreError>>,
@@ -163,6 +204,38 @@ impl StoreInner {
             .unwrap_or_else(PoisonError::into_inner)
             .take()
     }
+
+    /// Persisted `(min, max)` grade bounds of sorted-run page `p`
+    /// (0-based within the run); `None` when the store has none
+    /// (version 1) — callers must then visit the page.
+    fn sorted_page_bounds(&self, p: u64) -> Option<(Score, Score)> {
+        self.bounds.get(p as usize).copied()
+    }
+
+    /// Bounds of random-table page `p` (0-based within the table).
+    fn random_page_bounds(&self, p: u64) -> Option<(Score, Score)> {
+        let idx = self.header.sorted_pages.saturating_add(p);
+        self.bounds.get(idx as usize).copied()
+    }
+
+    /// Records `pages` pages proved unnecessary by a bounded access.
+    fn note_skipped(&self, pages: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        // ordering(Relaxed): telemetry-only skip counter — nothing
+        // branches on it, so no cross-thread ordering is required.
+        self.pages_skipped.fetch_add(pages, Relaxed);
+    }
+
+    /// Pool counters with the store-level skip counter folded in.
+    fn page_io(&self) -> PageIoStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        PageIoStats {
+            // ordering(Relaxed): report-time read of the telemetry
+            // counter; a slightly stale value is acceptable.
+            skipped: self.pages_skipped.load(Relaxed),
+            ..self.pool.stats()
+        }
+    }
 }
 
 /// The read-ahead worker: loads hinted sorted-run pages into the pool
@@ -198,7 +271,8 @@ impl PagedStore {
     /// file's exact expected length, the stats page, and the whole
     /// directory are checked here; data pages are checksummed when
     /// first read.
-    pub fn open(path: &Path, cfg: PoolConfig) -> Result<PagedStore, StoreError> {
+    pub fn open(path: &Path, cfg: StoreOptions) -> Result<PagedStore, StoreError> {
+        let (pool_pages, readahead_depth) = cfg.validate()?;
         let file = File::open(path)?;
         let len = file.metadata()?.len();
         if len < format::MIN_PAGE_SIZE as u64 {
@@ -272,18 +346,44 @@ impl PagedStore {
             ));
         }
 
+        // Bounds pages (version 2): one `(min, max)` grade pair per
+        // data page, validated eagerly like the directory — corrupt
+        // bounds must never silently mis-prune. Version-1 stores have
+        // none; `bounds` stays empty and pruning is disabled.
+        let data_pages = header.sorted_pages.saturating_add(header.random_pages);
+        let mut bounds: Vec<(Score, Score)> = Vec::with_capacity(data_pages as usize);
+        for b in 0..header.bounds_pages {
+            let page_no = header.bounds_start().saturating_add(b);
+            let mut buf = vec![0u8; page_size];
+            file.read_exact_at(&mut buf, page_no.saturating_mul(page_size as u64))?;
+            verify_page(&buf, page_no)?;
+            let count = format::page_entry_count(&buf, header.entries_per_page);
+            for i in 0..count {
+                if (bounds.len() as u64) < data_pages {
+                    bounds.push(format::decode_bound(&buf, i, page_no)?);
+                }
+            }
+        }
+        if header.bounds_pages > 0 && bounds.len() as u64 != data_pages {
+            return Err(StoreError::InvalidHeader(
+                "bounds section disagrees with page counts",
+            ));
+        }
+
         let inner = Arc::new(StoreInner {
             file,
             header,
             directory,
             histogram,
-            pool: PagePool::new(cfg.pool_pages),
+            bounds,
+            pool: PagePool::new(pool_pages),
+            pages_skipped: std::sync::atomic::AtomicU64::new(0),
             error: Mutex::new(None),
         });
         // The worker gets its own Arc; the sender lives only in store
         // and source handles, so dropping them all disconnects it.
-        let readahead = (cfg.readahead > 0).then(|| {
-            let (tx, rx) = sync_channel(cfg.readahead.saturating_mul(2).max(1));
+        let readahead = (readahead_depth > 0).then(|| {
+            let (tx, rx) = sync_channel(readahead_depth.saturating_mul(2).max(1));
             let worker_inner = Arc::clone(&inner);
             // lint:allow(detached-thread): the read-ahead worker's
             // lifetime is bounded by its channel — every sender lives
@@ -306,7 +406,21 @@ impl PagedStore {
             pos: 0,
             cached_page: u64::MAX,
             cached: Vec::new(),
+            threshold: Score::ZERO,
         }
+    }
+
+    /// True when the store persists per-page grade bounds (format
+    /// version 2) — i.e. bounded drains and probes can actually skip
+    /// pages. Version-1 stores open fine but never skip.
+    pub fn has_page_bounds(&self) -> bool {
+        !self.inner.bounds.is_empty()
+    }
+
+    /// Pages bounded drains/probes proved unnecessary so far (also in
+    /// [`PageIoStats::skipped`] via [`PagedStore::page_io`]).
+    pub fn pages_skipped(&self) -> u64 {
+        self.inner.page_io().skipped
     }
 
     /// The decoded header: geometry and identity.
@@ -324,9 +438,10 @@ impl PagedStore {
         self.inner.header.n == 0
     }
 
-    /// Cumulative buffer-pool counters (reads/hits/evictions).
+    /// Cumulative buffer-pool counters (reads/hits/evictions) plus the
+    /// store-level skipped-page counter.
     pub fn page_io(&self) -> PageIoStats {
-        self.inner.pool.stats()
+        self.inner.page_io()
     }
 
     /// Pages the read-ahead worker loaded so far.
@@ -345,6 +460,10 @@ impl PagedStore {
     /// the store's own pool, not the kernel's).
     pub fn clear_pool(&self) {
         self.inner.pool.clear();
+        let skipped = &self.inner.pages_skipped;
+        // ordering(Relaxed): resetting the telemetry skip counter —
+        // readers only ever report it, never branch on it.
+        skipped.store(0, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Retrieves (and clears) the first runtime I/O error any cursor
@@ -373,6 +492,10 @@ pub struct PagedSource {
     /// Decoded entries of `cached_page` — one decode per page visit,
     /// so a sequential drain is slice copies, not per-entry reads.
     cached: Vec<ScoredObject<Oid>>,
+    /// The caller's live grade threshold
+    /// ([`GradedSource::note_threshold`]): a physical hint that gates
+    /// read-ahead of provably useless pages, never a demand read.
+    threshold: Score,
 }
 
 impl PagedSource {
@@ -390,10 +513,21 @@ impl PagedSource {
         if page == self.cached_page {
             return true;
         }
-        // Hint the pages after this one while we decode it.
+        // Hint the pages after this one while we decode it — except
+        // pages whose persisted max grade is below the caller's noted
+        // threshold: prefetching those would be provably wasted I/O.
+        // Demand reads are never gated, so answers cannot change.
         if let Some(tx) = &self.readahead {
             let last = header.random_start();
+            let sorted_start = header.sorted_start();
             for ahead in (page + 1)..(page + 3).min(last) {
+                let below = self
+                    .inner
+                    .sorted_page_bounds(ahead - sorted_start)
+                    .is_some_and(|(_, hi)| hi < self.threshold);
+                if below {
+                    continue;
+                }
                 match tx.try_send(ahead) {
                     Ok(()) | Err(TrySendError::Full(_)) => {}
                     Err(TrySendError::Disconnected(_)) => break,
@@ -474,7 +608,7 @@ impl PagedSource {
 
     /// Cumulative buffer-pool counters of the shared store.
     pub fn pool_stats(&self) -> PageIoStats {
-        self.inner.pool.stats()
+        self.inner.page_io()
     }
 
     /// Retrieves (and clears) the first runtime I/O error — same slot
@@ -506,6 +640,7 @@ impl GradedSource for PagedSource {
         self.pos = 0;
         self.cached_page = u64::MAX;
         self.cached.clear();
+        self.threshold = Score::ZERO;
     }
 
     fn info(&self) -> SourceInfo {
@@ -535,6 +670,88 @@ impl GradedSource for PagedSource {
 
     fn random_batch(&mut self, oids: &[Oid]) -> Vec<Score> {
         oids.iter().map(|&oid| self.lookup(oid)).collect()
+    }
+
+    fn note_threshold(&mut self, bound: Score) {
+        self.threshold = bound;
+    }
+
+    // Bounded drain answered from the persisted per-page bounds: the
+    // sorted run is globally descending, so page max grades are
+    // non-increasing — the first page whose persisted max is below
+    // `bound` proves the whole remaining run is too, and the drain
+    // stops without reading it. Entries returned (and the cursor
+    // position reached) are bit-identical to `VecSource`'s reference
+    // semantics; only `PageIoStats::skipped` records the saved work.
+    fn sorted_drain_bounded(&mut self, bound: Score) -> Option<Vec<ScoredObject<Oid>>> {
+        let mut out = Vec::new();
+        loop {
+            let header = &self.inner.header;
+            if self.pos >= header.n {
+                break;
+            }
+            let epp = header.entries_per_page as u64;
+            let run_page = self.pos / epp;
+            if let Some((_, hi)) = self.inner.sorted_page_bounds(run_page) {
+                if hi < bound {
+                    let remaining = header.sorted_pages.saturating_sub(run_page);
+                    self.inner.note_skipped(remaining);
+                    break;
+                }
+            }
+            if !self.ensure_sorted_page() {
+                break;
+            }
+            let slot = (self.pos % epp) as usize;
+            let tail = &self.cached[slot..];
+            let take = tail.partition_point(|so| so.grade >= bound);
+            out.extend_from_slice(&tail[..take]);
+            self.pos += take as u64;
+            if take < tail.len() {
+                // The boundary fell inside this page. When the store
+                // carries bounds, every later page is individually
+                // provable useless (its persisted max is ≤ the
+                // boundary grade, which is < bound) — count them all
+                // as skipped; they are never visited.
+                if !self.inner.bounds.is_empty() {
+                    let after = self
+                        .inner
+                        .header
+                        .sorted_pages
+                        .saturating_sub(run_page.saturating_add(1));
+                    self.inner.note_skipped(after);
+                }
+                break;
+            }
+        }
+        Some(out)
+    }
+
+    // Bounded probe: when the random-table page that could hold `oid`
+    // has a persisted max grade below `bound`, the contract's answer
+    // (`Score::ZERO`, "cannot affect the caller") is known without
+    // reading the page.
+    fn random_access_bounded(&mut self, oid: Oid, bound: Score) -> Score {
+        if self.inner.header.n == 0 {
+            return Score::ZERO;
+        }
+        let idx = match self.inner.directory.binary_search(&oid) {
+            Ok(i) => i,
+            Err(0) => return Score::ZERO,
+            Err(i) => i - 1,
+        };
+        if let Some((_, hi)) = self.inner.random_page_bounds(idx as u64) {
+            if hi < bound {
+                self.inner.note_skipped(1);
+                return Score::ZERO;
+            }
+        }
+        let grade = self.lookup(oid);
+        if grade >= bound {
+            grade
+        } else {
+            Score::ZERO
+        }
     }
 
     // Partitioning materializes the sorted run once (sequential page
@@ -592,7 +809,7 @@ impl GradedSource for PagedSource {
     }
 
     fn page_io(&self) -> Option<PageIoStats> {
-        Some(self.inner.pool.stats())
+        Some(self.inner.page_io())
     }
 }
 
@@ -634,7 +851,7 @@ mod tests {
             &BuildConfig::with_page_size(512),
         )
         .unwrap();
-        let store = PagedStore::open(&path, PoolConfig::DEFAULT).unwrap();
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
         let mut paged = store.source();
         let mut vec = VecSource::new("colors", pairs);
 
@@ -680,7 +897,7 @@ mod tests {
     fn empty_store_roundtrips() {
         let path = scratch("empty.fmdb");
         build_store(&path, "empty", Vec::new(), &BuildConfig::DEFAULT).unwrap();
-        let store = PagedStore::open(&path, PoolConfig::DEFAULT).unwrap();
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
         assert!(store.is_empty());
         let mut src = store.source();
         assert_eq!(src.sorted_next(), None);
@@ -701,7 +918,7 @@ mod tests {
         );
         let path = scratch("from-source.fmdb");
         build_store_from_source(&path, &mut vec, &BuildConfig::DEFAULT).unwrap();
-        let store = PagedStore::open(&path, PoolConfig::DEFAULT).unwrap();
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
         assert_eq!(store.len(), 300);
         let mut paged = store.source();
         vec.rewind();
@@ -713,7 +930,7 @@ mod tests {
         let pairs = sample_pairs(200, 3);
         let path = scratch("partition.fmdb");
         build_store(&path, "p", pairs.clone(), &BuildConfig::with_page_size(256)).unwrap();
-        let store = PagedStore::open(&path, PoolConfig::DEFAULT).unwrap();
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
         let paged_shards = store
             .source()
             .partition(SourcePartitioner::Modulo, 3)
@@ -746,7 +963,7 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 700]).unwrap();
         assert!(matches!(
-            PagedStore::open(&path, PoolConfig::DEFAULT),
+            PagedStore::open(&path, StoreOptions::DEFAULT),
             Err(StoreError::Truncated { .. })
         ));
     }
@@ -761,13 +978,18 @@ mod tests {
             &BuildConfig::with_page_size(512),
         )
         .unwrap();
-        let mut bytes = std::fs::read(&path).unwrap();
         // Flip a bit in the middle of a data page (past header, stats,
-        // and directory pages).
-        let offset = 512 * 4 + 100;
+        // directory, and bounds pages — computed from the header so
+        // the offset tracks the format layout).
+        let sorted_start = {
+            let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
+            store.header().sorted_start()
+        };
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = 512 * sorted_start as usize + 100;
         bytes[offset] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
-        let store = PagedStore::open(&path, PoolConfig::DEFAULT).expect("open is page-local");
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).expect("open is page-local");
         let mut src = store.source();
         // Draining hits the bad page eventually: the stream degrades
         // (never panics) and the typed error is parked.
@@ -793,7 +1015,7 @@ mod tests {
         let path = scratch("not-a-store.fmdb");
         std::fs::write(&path, vec![0u8; 4096]).unwrap();
         assert!(matches!(
-            PagedStore::open(&path, PoolConfig::DEFAULT),
+            PagedStore::open(&path, StoreOptions::DEFAULT),
             Err(StoreError::BadMagic)
         ));
     }
@@ -805,9 +1027,9 @@ mod tests {
         build_store(&path, "ra", pairs, &BuildConfig::with_page_size(256)).unwrap();
         let store = PagedStore::open(
             &path,
-            PoolConfig {
-                pool_pages: 512,
-                readahead: 8,
+            StoreOptions {
+                pool_pages: Some(512),
+                readahead: Some(8),
             },
         )
         .unwrap();
@@ -831,9 +1053,9 @@ mod tests {
         build_store(&path, "cw", pairs, &BuildConfig::with_page_size(512)).unwrap();
         let store = PagedStore::open(
             &path,
-            PoolConfig {
-                pool_pages: 256,
-                readahead: 0,
+            StoreOptions {
+                pool_pages: Some(256),
+                readahead: None,
             },
         )
         .unwrap();
@@ -858,9 +1080,9 @@ mod tests {
         build_store(&path, "cal", pairs, &BuildConfig::with_page_size(512)).unwrap();
         let store = PagedStore::open(
             &path,
-            PoolConfig {
-                pool_pages: 8,
-                readahead: 0,
+            StoreOptions {
+                pool_pages: Some(8),
+                readahead: None,
             },
         )
         .unwrap();
@@ -874,5 +1096,177 @@ mod tests {
         // An in-memory source has no page counters to calibrate from.
         let mut vec = VecSource::from_dense("v", &[Score::HALF; 8]);
         assert!(crate::stats::calibrate_cost_model_io(&mut vec, 4).is_none());
+    }
+
+    #[test]
+    fn zero_options_are_rejected_with_typed_errors() {
+        let path = scratch("zero-options.fmdb");
+        build_store(&path, "z", sample_pairs(10, 5), &BuildConfig::DEFAULT).unwrap();
+        assert!(matches!(
+            PagedStore::open(
+                &path,
+                StoreOptions {
+                    pool_pages: Some(0),
+                    readahead: Some(4),
+                },
+            ),
+            Err(StoreError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            PagedStore::open(
+                &path,
+                StoreOptions {
+                    pool_pages: Some(256),
+                    readahead: Some(0),
+                },
+            ),
+            Err(StoreError::InvalidOptions(_))
+        ));
+        // `None` is the explicit disable and still opens.
+        let store = PagedStore::open(
+            &path,
+            StoreOptions {
+                pool_pages: None,
+                readahead: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(store.len(), 10);
+    }
+
+    #[test]
+    fn zero_page_size_is_rejected_at_build() {
+        let path = scratch("zero-page-size.fmdb");
+        let cfg = BuildConfig::with_page_size(0);
+        assert!(matches!(
+            build_store(&path, "z", sample_pairs(4, 1), &cfg),
+            Err(StoreError::PageSizeTooSmall(0))
+        ));
+    }
+
+    #[test]
+    fn version_1_stores_open_with_pruning_disabled() {
+        let pairs = sample_pairs(400, 13);
+        let v1 = scratch("compat-v1.fmdb");
+        let v2 = scratch("compat-v2.fmdb");
+        let cfg = BuildConfig::with_page_size(512);
+        format::build_store_versioned(&v1, "compat", pairs.clone(), &cfg, format::VERSION_1)
+            .unwrap();
+        build_store(&v2, "compat", pairs.clone(), &cfg).unwrap();
+
+        let old = PagedStore::open(&v1, StoreOptions::DEFAULT).unwrap();
+        let new = PagedStore::open(&v2, StoreOptions::DEFAULT).unwrap();
+        assert!(!old.has_page_bounds(), "v1 carries no bounds");
+        assert!(new.has_page_bounds(), "v2 persists bounds");
+
+        // Both versions stream and probe identically to the reference.
+        let mut vec = VecSource::new("compat", pairs);
+        let mut old_src = old.source();
+        let mut new_src = new.source();
+        loop {
+            let want = vec.sorted_next();
+            assert_eq!(old_src.sorted_next(), want);
+            assert_eq!(new_src.sorted_next(), want);
+            if want.is_none() {
+                break;
+            }
+        }
+
+        // Bounded drains still answer exactly on v1 — they just cannot
+        // skip, so the skip counter stays zero.
+        for src in [&mut old_src, &mut new_src] {
+            src.rewind();
+        }
+        vec.rewind();
+        let bound = Score::clamped(0.8);
+        let want = vec.sorted_drain_bounded(bound).unwrap();
+        assert_eq!(old_src.sorted_drain_bounded(bound).unwrap(), want);
+        assert_eq!(new_src.sorted_drain_bounded(bound).unwrap(), want);
+        assert_eq!(old.page_io().skipped, 0, "v1 cannot skip");
+        assert!(new.page_io().skipped > 0, "v2 skips the low tail");
+    }
+
+    #[test]
+    fn bounded_drain_matches_vecsource_and_skips_pages() {
+        let pairs = sample_pairs(2000, 21);
+        let path = scratch("bounded-drain.fmdb");
+        build_store(&path, "bd", pairs.clone(), &BuildConfig::with_page_size(256)).unwrap();
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
+        for bound in [0.0, 0.25, 0.5, 0.9, 0.999, 1.0] {
+            let bound = Score::clamped(bound);
+            let mut paged = store.source();
+            let mut vec = VecSource::new("bd", pairs.clone());
+            let want = vec.sorted_drain_bounded(bound).unwrap();
+            assert_eq!(paged.sorted_drain_bounded(bound).unwrap(), want);
+            // After the bounded drain both cursors sit at the first
+            // below-bound entry; the rest of the stream still agrees.
+            loop {
+                let (a, b) = (paged.sorted_next(), vec.sorted_next());
+                assert_eq!(a, b, "post-drain stream at bound {bound}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        // A selective drain on a fresh cursor must actually skip.
+        store.clear_pool();
+        let mut paged = store.source();
+        let drained = paged.sorted_drain_bounded(Score::clamped(0.95)).unwrap();
+        assert!(!drained.is_empty(), "the high head still streams");
+        assert!(store.page_io().skipped > 0, "the low tail is skipped");
+        assert!(store.take_error().is_none());
+    }
+
+    #[test]
+    fn bounded_random_probe_skips_low_pages() {
+        // Grades correlate with oid so random-table pages have tight
+        // grade ranges — the realistic case where per-page bounds pay.
+        let pairs: Vec<(Oid, Score)> = (0..1000)
+            .map(|i| (i, Score::clamped(i as f64 / 1000.0)))
+            .collect();
+        let path = scratch("bounded-probe.fmdb");
+        build_store(&path, "bp", pairs.clone(), &BuildConfig::with_page_size(256)).unwrap();
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
+        let mut paged = store.source();
+        let mut vec = VecSource::new("bp", pairs);
+        let bound = Score::clamped(0.9);
+        for oid in 0..1200 {
+            assert_eq!(
+                paged.random_access_bounded(oid, bound),
+                vec.random_access_bounded(oid, bound),
+                "oid {oid}"
+            );
+        }
+        assert!(
+            store.page_io().skipped > 0,
+            "low-grade pages answered from bounds"
+        );
+        assert!(store.take_error().is_none());
+    }
+
+    #[test]
+    fn corrupt_bounds_page_fails_open() {
+        let path = scratch("corrupt-bounds.fmdb");
+        build_store(
+            &path,
+            "cb",
+            sample_pairs(500, 6),
+            &BuildConfig::with_page_size(512),
+        )
+        .unwrap();
+        let bounds_start = {
+            let store = PagedStore::open(&path, StoreOptions::DEFAULT).unwrap();
+            assert!(store.has_page_bounds());
+            store.header().bounds_start()
+        };
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[512 * bounds_start as usize + 40] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        // Bounds are validated eagerly: a corrupt summary must fail the
+        // open, never silently mis-prune.
+        assert!(matches!(
+            PagedStore::open(&path, StoreOptions::DEFAULT),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
     }
 }

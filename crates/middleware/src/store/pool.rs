@@ -100,10 +100,13 @@ impl PagePool {
             let guard = Self::lock(s);
             (h + guard.hits(), e + guard.evictions())
         });
+        // `skipped` is a drain-level notion (pages never requested at
+        // all), so the store tracks it outside the pool and folds it in.
         PageIoStats {
             reads: self.reads.load(Relaxed),
             hits,
             evictions,
+            skipped: 0,
         }
     }
 

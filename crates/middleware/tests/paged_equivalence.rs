@@ -27,7 +27,7 @@ use fmdb_middleware::policy::ExecPolicy;
 use fmdb_middleware::source::{GradedSource, VecSource};
 use fmdb_middleware::stats::{calibrate_cost_model_io, CostModel};
 use fmdb_middleware::store::{
-    build_store, build_store_from_source, BuildConfig, PagedStore, PoolConfig, StoreError,
+    build_store, build_store_from_source, BuildConfig, PagedStore, StoreError, StoreOptions,
 };
 use fmdb_middleware::workload::independent_uniform;
 
@@ -93,9 +93,11 @@ fn paged_copies(s: Scenario) -> Vec<PagedStore> {
                 .expect("build store");
             PagedStore::open(
                 &path,
-                PoolConfig {
-                    pool_pages: s.pool_pages,
-                    readahead: s.readahead,
+                StoreOptions {
+                    // The strategy uses 0 for "feature off" — the
+                    // options API spells that `None`.
+                    pool_pages: (s.pool_pages > 0).then_some(s.pool_pages),
+                    readahead: (s.readahead > 0).then_some(s.readahead),
                 },
             )
             .expect("open store")
@@ -181,7 +183,7 @@ proptest! {
         let path = scratch("raw");
         build_store(&path, "raw", pairs.clone(), &BuildConfig::with_page_size(page_size))
             .expect("build store");
-        let store = PagedStore::open(&path, PoolConfig::DEFAULT).expect("open store");
+        let store = PagedStore::open(&path, StoreOptions::DEFAULT).expect("open store");
         let mut paged = store.source();
         let mut vec = VecSource::new("raw", pairs);
 
@@ -218,7 +220,7 @@ proptest! {
         let full = std::fs::read(&path).expect("read back");
         let keep = ((full.len() - 1) as f64 * cut_frac) as usize;
         std::fs::write(&path, &full[..keep]).expect("truncate");
-        match PagedStore::open(&path, PoolConfig::DEFAULT) {
+        match PagedStore::open(&path, StoreOptions::DEFAULT) {
             Err(StoreError::Truncated { .. }) | Err(StoreError::BadMagic) | Err(StoreError::Io(_)) => {}
             Err(e) => return Err(TestCaseError::fail(format!("unexpected error kind: {e}"))),
             Ok(_) => return Err(TestCaseError::fail("truncated store opened cleanly".to_owned())),
@@ -248,7 +250,7 @@ proptest! {
         bytes[pos] ^= 1 << bit;
         std::fs::write(&path, &bytes).expect("write corrupted");
 
-        let store = match PagedStore::open(&path, PoolConfig::DEFAULT) {
+        let store = match PagedStore::open(&path, StoreOptions::DEFAULT) {
             Err(_) => return Ok(()), // typed error at open: done
             Ok(store) => store,
         };
@@ -289,9 +291,9 @@ fn io_calibrated_cost_model_shifts_the_plan() {
     // larger than memory behaves.
     let store = PagedStore::open(
         &path,
-        PoolConfig {
-            pool_pages: 4,
-            readahead: 0,
+        StoreOptions {
+            pool_pages: Some(4),
+            readahead: None,
         },
     )
     .expect("open store");

@@ -10,10 +10,14 @@
 //! is broken, not that an algorithm beat the optimum), an E16
 //! planner-regret drift (every `regret_*` cell ≥ 1 by construction,
 //! `regret_median` ≤ 2, `regret_max` ≤ 10 — the unified cost model's
-//! quality bar), or E18 paged-store telemetry that is missing or
+//! quality bar), E18 paged-store telemetry that is missing or
 //! nonsensical (cold/warm wall-clock present, `warm_hit_rate` in
 //! [0, 1], `cold_page_reads` > 0 — a zero means the experiment never
-//! touched the store — and `warm_ta_vs_mem` a positive finite ratio).
+//! touched the store — and `warm_ta_vs_mem` a positive finite ratio),
+//! or E23 block-max pruning telemetry that is missing or nonsensical
+//! (`corpus_speedup`/`drain_speedup` positive — pruned runs that take
+//! no time at all mean the timer broke — and both skip rates in
+//! [0, 1]).
 //!
 //! The parser is a minimal hand-rolled recursive-descent JSON reader —
 //! same no-dependency reasoning as the writer in
@@ -249,7 +253,7 @@ pub fn parse(content: &str) -> Result<Json, String> {
 }
 
 /// The experiment ids the suite must have produced.
-const REQUIRED: std::ops::RangeInclusive<u32> = 1..=22;
+const REQUIRED: std::ops::RangeInclusive<u32> = 1..=23;
 
 /// Validates a `BENCH_engine.json` payload. Returns a human-readable
 /// summary on success, the first failure otherwise.
@@ -275,6 +279,10 @@ pub fn check(content: &str) -> Result<String, String> {
     let mut e18_hit_rate: Option<f64> = None;
     let mut e18_page_reads: Option<f64> = None;
     let mut e18_ta_ratio: Option<f64> = None;
+    let mut e23_corpus_speedup: Option<f64> = None;
+    let mut e23_drain_speedup: Option<f64> = None;
+    let mut e23_corpus_skip: Option<f64> = None;
+    let mut e23_page_skip: Option<f64> = None;
     for entry in experiments {
         let id = entry
             .get("id")
@@ -316,6 +324,15 @@ pub fn check(content: &str) -> Result<String, String> {
                         "warm_hit_rate" => e18_hit_rate = Some(v),
                         "cold_page_reads" => e18_page_reads = Some(v),
                         "warm_ta_vs_mem" => e18_ta_ratio = Some(v),
+                        _ => {}
+                    }
+                }
+                if id == "E23" {
+                    match name.as_str() {
+                        "corpus_speedup" => e23_corpus_speedup = Some(v),
+                        "drain_speedup" => e23_drain_speedup = Some(v),
+                        "corpus_skip_rate" => e23_corpus_skip = Some(v),
+                        "page_skip_rate" => e23_page_skip = Some(v),
                         _ => {}
                     }
                 }
@@ -396,15 +413,47 @@ pub fn check(content: &str) -> Result<String, String> {
         ));
     }
 
+    let corpus_speedup =
+        e23_corpus_speedup.ok_or("E23 is missing the `corpus_speedup` metric")?;
+    let drain_speedup = e23_drain_speedup.ok_or("E23 is missing the `drain_speedup` metric")?;
+    for (name, v) in [
+        ("corpus_speedup", corpus_speedup),
+        ("drain_speedup", drain_speedup),
+    ] {
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!(
+                "E23: `{name}` = {v} — a pruned-vs-unpruned wall-clock ratio must be a \
+                 positive finite number"
+            ));
+        }
+    }
+    for (name, v) in [
+        (
+            "corpus_skip_rate",
+            e23_corpus_skip.ok_or("E23 is missing the `corpus_skip_rate` metric")?,
+        ),
+        (
+            "page_skip_rate",
+            e23_page_skip.ok_or("E23 is missing the `page_skip_rate` metric")?,
+        ),
+    ] {
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!(
+                "E23: `{name}` = {v} is outside [0, 1] — the skip counters are broken"
+            ));
+        }
+    }
+
     let mut summary = format!(
-        "check-bench: {} experiments, E1–E22 all present and numeric",
+        "check-bench: {} experiments, E1–E23 all present and numeric",
         seen.len()
     );
     let _ = write!(
         summary,
         "; {ratio_count} optimality ratios ≥ 1 (min {min_ratio:.3}); \
          {regret_count} planner regrets (median {median:.3}, max {max:.3}); \
-         E18 paged store: {page_reads:.0} cold page reads, warm hit rate {hit_rate:.3}"
+         E18 paged store: {page_reads:.0} cold page reads, warm hit rate {hit_rate:.3}; \
+         E23 pruning: corpus {corpus_speedup:.2}x, drain {drain_speedup:.2}x"
     );
     Ok(summary)
 }
@@ -419,11 +468,15 @@ mod tests {
                             \"warm_hit_rate\":0.95,\"cold_page_reads\":64.0,\
                             \"warm_ta_vs_mem\":1.4}";
 
-    fn artifact_full(
+    const GOOD_E23: &str = "{\"corpus_speedup\":2.5,\"corpus_skip_rate\":0.8,\
+                            \"drain_speedup\":15.0,\"page_skip_rate\":0.94}";
+
+    fn artifact_e23(
         ids: &[&str],
         e22_metrics: &str,
         e16_metrics: &str,
         e18_metrics: &str,
+        e23_metrics: &str,
     ) -> String {
         let entries: Vec<String> = ids
             .iter()
@@ -432,6 +485,7 @@ mod tests {
                     "E22" => e22_metrics,
                     "E16" => e16_metrics,
                     "E18" => e18_metrics,
+                    "E23" => e23_metrics,
                     _ => "{}",
                 };
                 format!(
@@ -447,6 +501,15 @@ mod tests {
         )
     }
 
+    fn artifact_full(
+        ids: &[&str],
+        e22_metrics: &str,
+        e16_metrics: &str,
+        e18_metrics: &str,
+    ) -> String {
+        artifact_e23(ids, e22_metrics, e16_metrics, e18_metrics, GOOD_E23)
+    }
+
     fn artifact_with(ids: &[&str], e22_metrics: &str, e16_metrics: &str) -> String {
         artifact_full(ids, e22_metrics, e16_metrics, GOOD_E18)
     }
@@ -456,7 +519,7 @@ mod tests {
     }
 
     fn all_ids() -> Vec<String> {
-        (1..=22).map(|i| format!("E{i}")).collect()
+        (1..=23).map(|i| format!("E{i}")).collect()
     }
 
     #[test]
@@ -468,17 +531,18 @@ mod tests {
             "{\"opt_ratio_ta_t0_r1\":1.25,\"opt_ratio_ca_t0_r1\":1.0}",
         );
         let summary = check(&doc).expect("valid artifact");
-        assert!(summary.contains("22 experiments"), "{summary}");
+        assert!(summary.contains("23 experiments"), "{summary}");
         assert!(summary.contains("min 1.000"), "{summary}");
         assert!(summary.contains("median 1.050"), "{summary}");
+        assert!(summary.contains("drain 15.00x"), "{summary}");
     }
 
     #[test]
     fn rejects_missing_experiment() {
-        let ids: Vec<String> = (1..=21).map(|i| format!("E{i}")).collect();
+        let ids: Vec<String> = (1..=22).map(|i| format!("E{i}")).collect();
         let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
         let err = check(&artifact(&refs, "{}")).unwrap_err();
-        assert!(err.contains("E22 missing"), "{err}");
+        assert!(err.contains("E23 missing"), "{err}");
     }
 
     #[test]
@@ -600,6 +664,34 @@ mod tests {
                     \"warm_ta_vs_mem\":0.0}";
         let err = check(&artifact_full(&refs, GOOD_E22, GOOD_E16, e18)).unwrap_err();
         assert!(err.contains("warm_ta_vs_mem"), "{err}");
+    }
+
+    #[test]
+    fn rejects_e23_without_metrics() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let err = check(&artifact_e23(&refs, GOOD_E22, GOOD_E16, GOOD_E18, "{}")).unwrap_err();
+        assert!(err.contains("corpus_speedup"), "{err}");
+    }
+
+    #[test]
+    fn rejects_nonpositive_pruning_speedup() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e23 = "{\"corpus_speedup\":2.5,\"corpus_skip_rate\":0.8,\
+                    \"drain_speedup\":0.0,\"page_skip_rate\":0.94}";
+        let err = check(&artifact_e23(&refs, GOOD_E22, GOOD_E16, GOOD_E18, e23)).unwrap_err();
+        assert!(err.contains("drain_speedup"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_skip_rate() {
+        let ids = all_ids();
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let e23 = "{\"corpus_speedup\":2.5,\"corpus_skip_rate\":1.2,\
+                    \"drain_speedup\":15.0,\"page_skip_rate\":0.94}";
+        let err = check(&artifact_e23(&refs, GOOD_E22, GOOD_E16, GOOD_E18, e23)).unwrap_err();
+        assert!(err.contains("corpus_skip_rate"), "{err}");
     }
 
     #[test]

@@ -40,10 +40,11 @@
 //! error.
 //!
 //! `cargo xtask check-bench [PATH]` additionally gates the
-//! `BENCH_engine.json` perf trajectory: every experiment E1–E22 must be
+//! `BENCH_engine.json` perf trajectory: every experiment E1–E23 must be
 //! present with numeric measurements, E18's cold/warm persistence
-//! split must be coherent, and E22's instance-optimality ratios must
-//! be ≥ 1 (see `bench_check`).
+//! split must be coherent, E22's instance-optimality ratios must be
+//! ≥ 1, and E23's pruning speedups/skip rates must be sane (see
+//! `bench_check`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
@@ -79,9 +80,10 @@ commands:
       justification; exit 1 if any marker is stale (excuses nothing).
   check-bench [PATH]
       Validate the BENCH_engine.json perf trajectory (default path:
-      BENCH_engine.json in the workspace root): experiments E1-E22
+      BENCH_engine.json in the workspace root): experiments E1-E23
       present, measurements numeric, E18 cold/warm split coherent,
-      E22 optimality ratios >= 1.
+      E22 optimality ratios >= 1, E23 pruning speedups positive and
+      skip rates in [0, 1].
 
 exit status: 0 clean, 1 violations, 2 usage or I/O error
 ";
